@@ -1,0 +1,20 @@
+//! # kiss-alias
+//!
+//! A unification-based (Steensgaard-style) flow-insensitive points-to
+//! analysis over the core IR — the stand-in for the "static alias
+//! analysis \[12\]" (Das, PLDI 2000) that KISS uses "to optimize away
+//! most of the calls to check_r and check_w" (paper Section 5).
+//!
+//! The analysis assigns every abstract memory cell a node in a
+//! union-find structure; each node has at most one pointee node, and
+//! assignments unify pointees. Field cells are field-sensitive but
+//! object-insensitive (one node per `(struct, field)` pair), heap
+//! allocations are merged per struct — standard unification-analysis
+//! granularity, conservative in the right direction for pruning: a
+//! check may be removed only if the accessed cell **cannot** be the
+//! distinguished race location.
+
+pub mod analysis;
+pub mod unify;
+
+pub use analysis::{AbsLoc, AliasAnalysis};

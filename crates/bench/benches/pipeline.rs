@@ -1,0 +1,178 @@
+//! Criterion benchmarks for the KISS pipeline components.
+//!
+//! * `transform` — the sequentialization itself (Figures 4/5), on the
+//!   Bluetooth model and a mid-size corpus driver;
+//! * `explicit_vs_summary` — the two sequential engines on the same
+//!   transformed program;
+//! * `kiss_vs_exhaustive` — end-to-end KISS check vs. exhaustive
+//!   interleaving exploration on a 3-thread workload (the paper's
+//!   complexity argument, as wall-clock);
+//! * `table_row` — one full per-field Table 1 row (toastmon);
+//! * `alias_pruning` — race transformation with and without the alias
+//!   analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kiss_conc::Explorer;
+use kiss_core::checker::Kiss;
+use kiss_core::transform::{transform, RaceTarget, TransformConfig};
+use kiss_exec::Module;
+use kiss_lang::Program;
+use kiss_seq::{ExplicitChecker, SummaryChecker};
+
+fn bluetooth() -> Program {
+    kiss_lang::parse_and_lower(kiss_drivers::bluetooth::BLUETOOTH_BUGGY).expect("valid")
+}
+
+fn three_thread_workload() -> Program {
+    let src = "
+        int g_lock;
+        int counter;
+        void acquire() { atomic { assume g_lock == 0; g_lock = 1; } }
+        void release() { atomic { g_lock = 0; } }
+        void worker() { int t; acquire(); t = counter; counter = t + 1; release(); }
+        void main() { async worker(); async worker(); assert counter >= 0; }
+    ";
+    kiss_lang::parse_and_lower(src).expect("valid")
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let program = bluetooth();
+    let toastmon = kiss_drivers::generate_driver(&kiss_drivers::paper_table()[5]);
+    let toastmon_p = kiss_lang::parse_and_lower(&toastmon.source).expect("valid");
+    let race = RaceTarget::resolve(&program, "DEVICE_EXTENSION.stoppingFlag").expect("resolves");
+
+    let mut g = c.benchmark_group("transform");
+    g.bench_function("bluetooth_assertion_max1", |b| {
+        b.iter(|| {
+            transform(black_box(&program), &TransformConfig { max_ts: 1, ..Default::default() })
+                .expect("ok")
+        })
+    });
+    g.bench_function("bluetooth_race_max0", |b| {
+        b.iter(|| {
+            transform(
+                black_box(&program),
+                &TransformConfig { max_ts: 0, race: Some(race), alias_prune: true },
+            )
+            .expect("ok")
+        })
+    });
+    g.bench_function("toastmon_assertion_max0", |b| {
+        b.iter(|| {
+            transform(black_box(&toastmon_p), &TransformConfig::default()).expect("ok")
+        })
+    });
+    g.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let program = bluetooth();
+    let t = transform(&program, &TransformConfig { max_ts: 1, ..Default::default() }).expect("ok");
+    let module = Module::lower(t.program);
+
+    let mut g = c.benchmark_group("explicit_vs_summary");
+    g.bench_function("explicit_bluetooth_max1", |b| {
+        b.iter(|| ExplicitChecker::new(black_box(&module)).check())
+    });
+    g.bench_function("summary_bluetooth_max1", |b| {
+        b.iter(|| SummaryChecker::new(black_box(&module)).check())
+    });
+    g.finish();
+}
+
+fn bench_kiss_vs_exhaustive(c: &mut Criterion) {
+    let program = three_thread_workload();
+    let module = Module::lower(program.clone());
+
+    let mut g = c.benchmark_group("kiss_vs_exhaustive");
+    g.bench_function("exhaustive_3_threads", |b| {
+        b.iter(|| Explorer::new(black_box(&module)).check())
+    });
+    g.bench_function("kiss_max1_3_threads", |b| {
+        b.iter(|| {
+            Kiss::new().with_max_ts(1).with_validation(false).check_assertions(black_box(&program))
+        })
+    });
+    g.finish();
+}
+
+fn bench_table_row(c: &mut Criterion) {
+    let model = kiss_drivers::generate_driver(&kiss_drivers::paper_table()[5]); // toastmon
+    c.bench_function("table1_row_toastmon", |b| {
+        b.iter(|| {
+            kiss_drivers::check_driver(
+                black_box(&model),
+                false,
+                kiss_drivers::table::default_budget(),
+            )
+        })
+    });
+}
+
+fn bench_opt_ablation(c: &mut Criterion) {
+    // A padded program in the driver-corpus shape: the optimizer prunes
+    // the padding before transformation.
+    let pads: String = (0..60)
+        .map(|i| format!("int pad_{i}(int a) {{ int c; c = a + {i}; return c; }}\n"))
+        .collect();
+    let src = format!(
+        "{pads}int g; void w() {{ g = 1; }} void main() {{ async w(); assert g <= 1; }}"
+    );
+    let program = kiss_lang::parse_and_lower(&src).expect("valid");
+    let mut g = c.benchmark_group("opt_ablation");
+    g.bench_function("padded_check_plain", |b| {
+        b.iter(|| Kiss::new().with_validation(false).check_assertions(black_box(&program)))
+    });
+    g.bench_function("padded_check_optimized", |b| {
+        b.iter(|| {
+            Kiss::new()
+                .with_validation(false)
+                .with_optimize(true)
+                .check_assertions(black_box(&program))
+        })
+    });
+    g.finish();
+}
+
+fn bench_alias_pruning(c: &mut Criterion) {
+    let model = kiss_drivers::generate_driver(&kiss_drivers::paper_table()[9]); // fakemodem
+    let program = kiss_lang::parse_and_lower(&model.source).expect("valid");
+    let spec = model.race_spec(model.spec.spurious()); // a Real-class field
+    let target = RaceTarget::resolve(&program, &spec).expect("resolves");
+
+    let mut g = c.benchmark_group("alias_pruning");
+    g.bench_function("race_transform_pruned", |b| {
+        b.iter(|| {
+            transform(
+                black_box(&program),
+                &TransformConfig { max_ts: 0, race: Some(target), alias_prune: true },
+            )
+            .expect("ok")
+        })
+    });
+    g.bench_function("race_transform_unpruned", |b| {
+        b.iter(|| {
+            transform(
+                black_box(&program),
+                &TransformConfig { max_ts: 0, race: Some(target), alias_prune: false },
+            )
+            .expect("ok")
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_transform,
+        bench_engines,
+        bench_kiss_vs_exhaustive,
+        bench_table_row,
+        bench_alias_pruning,
+        bench_opt_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Detector comparison — the paper's §6.1/§7 discussion, measured.
+//!
+//! Compares four approaches on characteristic concurrency scenarios:
+//!
+//! * **KISS** (race mode, `MAX = 0`) — static, never reports false
+//!   errors, handles any synchronization expressible in the language;
+//! * **lockset** (Eraser-style, 100 random runs) — "can handle only the
+//!   simplest synchronization mechanism of locks";
+//! * **happens-before** (vector clocks, 100 random runs) — precise per
+//!   execution but coverage-limited;
+//! * **exhaustive** — the ground-truth interleaving explorer (with an
+//!   observer assertion where applicable).
+//!
+//! ```text
+//! cargo run --release -p kiss-bench --bin detectors
+//! ```
+
+use kiss_conc::{hb_check, lockset_check};
+use kiss_core::checker::{Kiss, KissOutcome};
+use kiss_exec::Module;
+
+struct Scenario {
+    name: &'static str,
+    src: &'static str,
+    target: &'static str,
+    /// Is there a real race on the target (ground truth)?
+    real_race: bool,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "plain write/write race",
+        src: "int r; void w() { r = 1; } void main() { async w(); r = 2; }",
+        target: "r",
+        real_race: true,
+    },
+    Scenario {
+        name: "lock-protected counter",
+        src: "int l; int r;
+              void w() { atomic { assume l == 0; l = 1; } r = r + 1; atomic { l = 0; } }
+              void main() { async w(); atomic { assume l == 0; l = 1; } r = r + 1; atomic { l = 0; } }",
+        target: "r",
+        real_race: false,
+    },
+    Scenario {
+        name: "event-ordered handoff",
+        src: "bool ev; int r;
+              void consumer() { assume ev; r = r + 1; }
+              void main() { async consumer(); r = 1; ev = true; }",
+        target: "r",
+        // The write and the consumer's access are strictly ordered by
+        // the event: not a race.
+        real_race: false,
+    },
+    Scenario {
+        name: "benign counter read (unannotated)",
+        src: "int l; int r; int d;
+              void c() { atomic { assume l == 0; l = 1; } r = r + 1; atomic { l = 0; } }
+              void main() { int t; async c(); t = r; if (t == 0) { d = 1; } }",
+        target: "r",
+        // Technically a race (unsynchronized read vs locked write).
+        real_race: true,
+    },
+];
+
+fn main() {
+    println!(
+        "{:<32} {:>6} | {:>6} {:>8} {:>6} | notes",
+        "scenario", "truth", "KISS", "lockset", "HB"
+    );
+    for sc in SCENARIOS {
+        let program = kiss_lang::parse_and_lower(sc.src).expect("scenario parses");
+        let module = Module::lower(program.clone());
+
+        let kiss = match Kiss::new().check_race_spec(&program, sc.target).expect("target resolves") {
+            KissOutcome::RaceDetected(_) => true,
+            KissOutcome::NoErrorFound(_) => false,
+            other => panic!("unexpected: {other:?}"),
+        };
+        let ls = lockset_check(&module, 100, 11).has_warnings();
+        let hb = hb_check(&module, 100, 11).has_races();
+
+        let mark = |b: bool| if b { "race" } else { "-" };
+        let mut notes = Vec::new();
+        if kiss == sc.real_race && ls != sc.real_race {
+            notes.push("lockset wrong, KISS right");
+        }
+        if ls && !sc.real_race {
+            notes.push("lockset false positive");
+        }
+        if !kiss && sc.real_race {
+            notes.push("KISS missed (coverage)");
+        }
+        println!(
+            "{:<32} {:>6} | {:>6} {:>8} {:>6} | {}",
+            sc.name,
+            mark(sc.real_race),
+            mark(kiss),
+            mark(ls),
+            mark(hb),
+            notes.join("; ")
+        );
+    }
+    println!();
+    println!("expected shape (paper §6.1/§7): KISS matches ground truth on all four.");
+    println!("The dynamic detectors only understand lock and fork edges, so both");
+    println!("misjudge the event-ordered handoff (lockset and vector clocks cannot");
+    println!("see `assume`-based ordering) — the paper's point that modeling diverse");
+    println!("synchronization is what makes KISS practical for systems code. The");
+    println!("lockset detector also misses the write-then-read benign-counter race");
+    println!("when the sampled order leaves the cell in the non-reporting Shared");
+    println!("state — the coverage limitation of dynamic tools.");
+}

@@ -1,0 +1,63 @@
+//! The `MAX` coverage/cost knob (paper §2: "The set ts provides a
+//! tuning knob to trade off coverage for computational cost of
+//! analysis. Increasing the size of ts increases the number of
+//! simulated behaviors at the cost of increasing the global state
+//! space...").
+//!
+//! For a family of handshake-depth bugs (a bug at depth `d` needs `d`
+//! suspend/resume rounds, hence `ts` capacity), reports for each `MAX`
+//! which depths are caught and what the search costs.
+//!
+//! ```text
+//! cargo run --release -p kiss-bench --bin max_ablation
+//! ```
+
+use kiss_core::checker::{Kiss, KissOutcome};
+
+/// A bug that requires `depth` nested suspensions to expose: main
+/// forks `depth` stagers; each stager bumps the phase once; worker
+/// watches the phase between its statements. Exposing the assert
+/// needs every stager to run *between* worker statements, so `ts`
+/// must hold them all.
+fn workload(depth: usize) -> String {
+    let mut src = String::from("int phase;\n");
+    for d in 0..depth {
+        src.push_str(&format!("void stager{d}() {{ phase = phase + 1; }}\n"));
+    }
+    let spawns: String = (0..depth).map(|d| format!("    async stager{d}();\n")).collect();
+    // worker observes the phase advance step by step.
+    let mut observes = String::new();
+    for d in 1..=depth {
+        observes.push_str(&format!("    t = phase;\n    if (t == {d}) {{ c = c + 1; }}\n"));
+    }
+    src.push_str(&format!(
+        "void worker() {{\n    int t;\n    int c;\n    c = 0;\n{observes}    assert c < {depth};\n}}\n"
+    ));
+    src.push_str(&format!("void main() {{\n{spawns}    worker();\n}}\n"));
+    src
+}
+
+fn main() {
+    let max_depth = 4;
+    println!("{:>6} | per-depth verdict (a depth-d bug needs MAX >= d-1) | steps at deepest", "MAX");
+    for max_ts in 0..=max_depth {
+        let mut row = String::new();
+        let mut last_steps = 0u64;
+        for depth in 1..=max_depth {
+            let program = kiss_lang::parse_and_lower(&workload(depth)).expect("workload is valid");
+            let outcome =
+                Kiss::new().with_max_ts(max_ts).with_validation(false).check_assertions(&program);
+            let (mark, steps) = match outcome {
+                KissOutcome::AssertionViolation(r) => ("FOUND ", r.stats.steps),
+                KissOutcome::NoErrorFound(s) => ("miss  ", s.steps),
+                other => panic!("unexpected: {other:?}"),
+            };
+            row.push_str(&format!("d{depth}:{mark} "));
+            last_steps = steps;
+        }
+        println!("{max_ts:>6} | {row} | {last_steps}");
+    }
+    println!();
+    println!("expected shape: MAX = k catches exactly the bugs of depth <= k+1,");
+    println!("and the step count (cost) grows with MAX.");
+}

@@ -1,0 +1,98 @@
+//! The complexity claim of the paper's introduction and Section 4:
+//! exhaustive interleaving exploration grows **exponentially** with
+//! the number of threads, while KISS's cost is that of a sequential
+//! analysis of a program of about the same size (the instrumentation
+//! adds a small constant CFG blowup and a constant number of globals).
+//!
+//! This binary sweeps the thread count on a lock-protected-counter
+//! workload and reports, per thread count:
+//!
+//! * states explored by the exhaustive concurrent explorer
+//!   (`kiss-conc`), and
+//! * states + steps used by KISS (transform + sequential check), plus
+//!   the CFG blowup factor of the transformation.
+//!
+//! ```text
+//! cargo run --release -p kiss-bench --bin scalability
+//! ```
+
+use kiss_conc::Explorer;
+use kiss_core::checker::{Kiss, KissOutcome};
+use kiss_core::transform::{transform, TransformConfig};
+use kiss_exec::Module;
+
+/// `n` forked workers each do a locked increment; main asserts a
+/// trivial invariant. No bug: both tools must explore everything.
+fn workload(n: usize) -> String {
+    let spawns: String = (0..n).map(|_| "    async worker();\n".to_string()).collect();
+    format!(
+        "int g_lock;\nint counter;\n\
+         void acquire() {{ atomic {{ assume g_lock == 0; g_lock = 1; }} }}\n\
+         void release() {{ atomic {{ g_lock = 0; }} }}\n\
+         void worker() {{\n    int t;\n    acquire();\n    t = counter;\n    counter = t + 1;\n    release();\n}}\n\
+         void main() {{\n{spawns}    assert counter >= 0;\n}}"
+    )
+}
+
+fn main() {
+    println!(
+        "{:>8} {:>16} {:>14} {:>12} {:>10} {:>12}",
+        "threads", "explorer-states", "kiss-states", "kiss-steps", "blowup", "globals +g"
+    );
+    let mut prev_explorer = 0usize;
+    for n in 1..=6 {
+        let src = workload(n);
+        let program = kiss_lang::parse_and_lower(&src).expect("workload is valid");
+
+        // Exhaustive interleaving exploration (all schedules).
+        let module = Module::lower(program.clone());
+        let (cv, cstats) = Explorer::new(&module)
+            .with_max_threads(n + 2)
+            .with_budget(50_000_000, 5_000_000)
+            .check_with_stats();
+        let explorer_states = match cv {
+            v if v.is_pass() => cstats.states.to_string(),
+            kiss_conc::ConcVerdict::ResourceBound { states, .. } => format!(">{states}"),
+            other => panic!("workload has no bug: {other:?}"),
+        };
+
+        // KISS with the paper's practical setting MAX = 1: cost stays
+        // that of a sequential analysis while the explorer pays for
+        // every interleaving. (Coverage is bounded — that is the KISS
+        // trade; the max_ablation binary measures it.)
+        let outcome = Kiss::new().with_max_ts(1).with_validation(false).check_assertions(&program);
+        let KissOutcome::NoErrorFound(kstats) = outcome else {
+            panic!("workload has no bug: {outcome:?}")
+        };
+
+        // CFG blowup of the transformation.
+        let before = Module::lower(program.clone()).instr_count();
+        let globals_before = program.globals.len();
+        let t = transform(&program, &TransformConfig { max_ts: 1, ..Default::default() })
+            .expect("transform succeeds");
+        let extra_globals = t.program.globals.len() - globals_before;
+        let after = Module::lower(t.program).instr_count();
+
+        let growth = if prev_explorer > 0 {
+            format!("  (x{:.1})", cstats.states as f64 / prev_explorer as f64)
+        } else {
+            String::new()
+        };
+        println!(
+            "{:>8} {:>16} {:>14} {:>12} {:>9.1}x {:>12}{growth}",
+            n + 1, // including main
+            explorer_states,
+            kstats.states,
+            kstats.steps,
+            after as f64 / before as f64,
+            format!("+{extra_globals}"),
+        );
+        prev_explorer = cstats.states;
+    }
+    println!();
+    println!("expected shape: explorer states grow exponentially in the thread count;");
+    println!("KISS (at the paper's practical MAX = 1) stays near-flat; the CFG blowup");
+    println!("and the number of added globals stay small constants — the paper's §4");
+    println!("complexity claim O(|C| * 2^(g+l)) with |C| scaled by a constant and g");
+    println!("by a constant number of fresh variables.");
+}

@@ -1,0 +1,51 @@
+//! Regenerates the paper's **Table 1**: per-driver race detection over
+//! the 18-driver corpus with the *naive* harness (any pair of dispatch
+//! routines may run concurrently), `MAX = 0`, one check per
+//! device-extension field, under a per-field resource bound.
+//!
+//! ```text
+//! cargo run --release -p kiss-bench --bin table1
+//! ```
+
+use kiss_drivers::table::{check_corpus, default_budget};
+use kiss_drivers::{generate_corpus, paper_table};
+
+fn main() {
+    let specs = paper_table();
+    let corpus = generate_corpus();
+    println!("Table 1: race detection with the naive harness (MAX = 0)");
+    println!(
+        "{:<18} {:>7} {:>7} {:>6} {:>9} | paper: {:>6} {:>9}",
+        "Driver", "LOC", "Fields", "Races", "No Races", "Races", "No Races"
+    );
+    let t0 = std::time::Instant::now();
+    let results = check_corpus(&corpus, false, default_budget(), |r| {
+        let spec = paper_table().into_iter().find(|s| s.name == r.name).expect("spec exists");
+        println!(
+            "{:<18} {:>7} {:>7} {:>6} {:>9} | paper: {:>6} {:>9}{}",
+            r.name,
+            r.loc,
+            r.fields,
+            r.races,
+            r.no_races,
+            spec.races_naive,
+            spec.no_races,
+            if r.races == spec.races_naive && r.no_races == spec.no_races { "  ok" } else { "  MISMATCH" }
+        );
+    });
+    let total_loc: usize = results.iter().map(|r| r.loc).sum();
+    let total_fields: usize = results.iter().map(|r| r.fields).sum();
+    let total_races: usize = results.iter().map(|r| r.races).sum();
+    let total_no: usize = results.iter().map(|r| r.no_races).sum();
+    let total_inc: usize = results.iter().map(|r| r.inconclusive).sum();
+    println!(
+        "{:<18} {:>7} {:>7} {:>6} {:>9} | paper: {:>6} {:>9}",
+        "Total", total_loc, total_fields, total_races, total_no, 71, 346
+    );
+    println!("(inconclusive within resource bound: {total_inc}; paper: 64)");
+    println!("elapsed: {:?}", t0.elapsed());
+    let specs_ok = results.iter().zip(&specs).all(|(r, s)| {
+        r.races == s.races_naive && r.no_races == s.no_races && r.inconclusive == s.inconclusive()
+    });
+    println!("shape match vs paper: {}", if specs_ok { "EXACT" } else { "DIVERGES (see rows)" });
+}

@@ -1,0 +1,1 @@
+//! kiss-bench: benchmark harnesses (see bin/ and benches/).

@@ -1,0 +1,261 @@
+//! `kissc` — the KISS checker as a command-line tool.
+//!
+//! ```text
+//! kissc check <file.kc> [--max-ts N] [--engine explicit|summary|bfs] [--no-validate]
+//! kissc race <file.kc> <target> [--max-ts N] [--no-prune]
+//! kissc transform <file.kc> [--max-ts N] [--race <target>]
+//! kissc explore <file.kc> [--balanced] [--context-bound K]
+//! kissc detectors <file.kc> <target> [--runs N]
+//! ```
+//!
+//! `<target>` is a global name or `Struct.field`. Exit code 0 means no
+//! error was found, 1 means an error was reported, 2 means usage or
+//! input problems, 3 means the check was inconclusive.
+
+use std::process::ExitCode;
+
+use kiss_core::checker::{Engine, Kiss, KissOutcome};
+use kiss_core::report::render_trace;
+use kiss_core::transform::{transform, RaceTarget, TransformConfig};
+use kiss_exec::Module;
+use kiss_lang::Program;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  kissc check <file.kc> [--max-ts N] [--engine explicit|summary|bfs] [--no-validate]
+  kissc race <file.kc> <target> [--max-ts N] [--no-prune]
+  kissc transform <file.kc> [--max-ts N] [--race <target>]
+  kissc explore <file.kc> [--balanced] [--context-bound K]
+  kissc detectors <file.kc> <target> [--runs N]";
+
+/// Minimal flag scanner: `--name value` and boolean `--name`.
+struct Flags<'a> {
+    rest: Vec<&'a str>,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Flags { rest: args.iter().map(String::as_str).collect() }
+    }
+
+    fn positional(&mut self) -> Option<&'a str> {
+        let idx = self.rest.iter().position(|a| !a.starts_with("--"))?;
+        Some(self.rest.remove(idx))
+    }
+
+    fn flag(&mut self, name: &str) -> bool {
+        match self.rest.iter().position(|a| *a == name) {
+            Some(i) => {
+                self.rest.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn value(&mut self, name: &str) -> Result<Option<&'a str>, String> {
+        match self.rest.iter().position(|a| *a == name) {
+            Some(i) if i + 1 < self.rest.len() => {
+                self.rest.remove(i);
+                Ok(Some(self.rest.remove(i)))
+            }
+            Some(_) => Err(format!("{name} needs a value")),
+            None => Ok(None),
+        }
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unrecognized arguments: {}", self.rest.join(" ")))
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    kiss_lang::parse_and_lower(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let mut flags = Flags::new(&args[1..]);
+    match cmd.as_str() {
+        "check" => {
+            let file = flags.positional().ok_or("missing <file>")?;
+            let max_ts: usize = parse_num(flags.value("--max-ts")?.unwrap_or("0"))?;
+            let engine = match flags.value("--engine")?.unwrap_or("explicit") {
+                "explicit" => Engine::Explicit,
+                "summary" => Engine::Summary,
+                "bfs" => Engine::Bfs,
+                other => return Err(format!("unknown engine `{other}`")),
+            };
+            let validate = !flags.flag("--no-validate");
+            flags.finish()?;
+            let program = load(file)?;
+            let outcome = Kiss::new()
+                .with_max_ts(max_ts)
+                .with_engine(engine)
+                .with_validation(validate)
+                .check_assertions(&program);
+            report_outcome(&program, outcome)
+        }
+        "race" => {
+            let file = flags.positional().ok_or("missing <file>")?;
+            let target = flags.positional().ok_or("missing <target>")?;
+            let max_ts: usize = parse_num(flags.value("--max-ts")?.unwrap_or("0"))?;
+            let prune = !flags.flag("--no-prune");
+            flags.finish()?;
+            let program = load(file)?;
+            let outcome = Kiss::new()
+                .with_max_ts(max_ts)
+                .with_alias_prune(prune)
+                .check_race_spec(&program, target)
+                .ok_or_else(|| format!("unknown race target `{target}`"))?;
+            report_outcome(&program, outcome)
+        }
+        "transform" => {
+            let file = flags.positional().ok_or("missing <file>")?;
+            let max_ts: usize = parse_num(flags.value("--max-ts")?.unwrap_or("0"))?;
+            let race = flags.value("--race")?;
+            flags.finish()?;
+            let program = load(file)?;
+            let race = match race {
+                Some(spec) => Some(
+                    RaceTarget::resolve(&program, spec)
+                        .ok_or_else(|| format!("unknown race target `{spec}`"))?,
+                ),
+                None => None,
+            };
+            let t = transform(&program, &TransformConfig { max_ts, race, alias_prune: true })
+                .map_err(|e| e.to_string())?;
+            print!("{}", kiss_lang::pretty::print_program(&t.program));
+            Ok(ExitCode::SUCCESS)
+        }
+        "explore" => {
+            let file = flags.positional().ok_or("missing <file>")?;
+            let balanced = flags.flag("--balanced");
+            let cb = flags.value("--context-bound")?;
+            flags.finish()?;
+            let program = load(file)?;
+            let module = Module::lower(program);
+            let mut explorer = kiss_conc::Explorer::new(&module);
+            if balanced {
+                explorer = explorer.with_mode(kiss_conc::ScheduleMode::Balanced);
+            } else if let Some(k) = cb {
+                explorer =
+                    explorer.with_mode(kiss_conc::ScheduleMode::ContextBound(parse_num(k)? as u32));
+            }
+            let (verdict, stats) = explorer.check_with_stats();
+            println!(
+                "explored {} states, {} transitions, up to {} threads, {} deadlocked path(s)",
+                stats.states, stats.transitions, stats.max_threads, stats.deadlocks
+            );
+            match verdict {
+                kiss_conc::ConcVerdict::Pass => {
+                    println!("no assertion failure reachable");
+                    Ok(ExitCode::SUCCESS)
+                }
+                kiss_conc::ConcVerdict::Fail(trace) => {
+                    println!(
+                        "assertion failure; schedule pattern {:?}",
+                        trace.collapsed_schedule()
+                    );
+                    Ok(ExitCode::from(1))
+                }
+                kiss_conc::ConcVerdict::RuntimeError(e, _) => {
+                    println!("runtime error: {e}");
+                    Ok(ExitCode::from(1))
+                }
+                kiss_conc::ConcVerdict::ResourceBound { steps, states } => {
+                    println!("inconclusive: budget exceeded ({steps} steps, {states} states)");
+                    Ok(ExitCode::from(3))
+                }
+            }
+        }
+        "detectors" => {
+            let file = flags.positional().ok_or("missing <file>")?;
+            let target = flags.positional().ok_or("missing <target>")?;
+            let runs: u32 = parse_num(flags.value("--runs")?.unwrap_or("100"))? as u32;
+            flags.finish()?;
+            let program = load(file)?;
+            let module = Module::lower(program.clone());
+            let kiss = Kiss::new()
+                .check_race_spec(&program, target)
+                .ok_or_else(|| format!("unknown race target `{target}`"))?;
+            let ls = kiss_conc::lockset_check(&module, runs, 11);
+            let hb = kiss_conc::hb_check(&module, runs, 11);
+            println!("KISS      : {}", if kiss.found_error() { "race" } else { "no race" });
+            println!("lockset   : {} warning(s) over {runs} runs", ls.warnings.len());
+            println!("happens-b.: {} race(s) over {runs} runs", hb.races.len());
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("invalid number `{s}`"))
+}
+
+fn report_outcome(program: &Program, outcome: KissOutcome) -> Result<ExitCode, String> {
+    match outcome {
+        KissOutcome::NoErrorFound(stats) => {
+            println!("no error found ({} steps, {} states explored)", stats.steps, stats.states);
+            Ok(ExitCode::SUCCESS)
+        }
+        KissOutcome::AssertionViolation(report) => {
+            println!("ASSERTION VIOLATION");
+            println!(
+                "threads: {}, context switches: {}, schedule pattern {:?}",
+                report.mapped.thread_count, report.mapped.context_switches, report.mapped.pattern
+            );
+            if let Some(v) = report.validated {
+                println!("replay-validated on the concurrent program: {v}");
+            }
+            println!("concurrent trace:");
+            print!("{}", render_trace(program, &report.mapped));
+            Ok(ExitCode::from(1))
+        }
+        KissOutcome::RaceDetected(report) => {
+            println!("RACE CONDITION");
+            println!(
+                "  first access : {} at {}",
+                if report.first.is_write { "write" } else { "read" },
+                report.first.span
+            );
+            println!(
+                "  second access: {} at {}",
+                if report.second.is_write { "write" } else { "read" },
+                report.second.span
+            );
+            println!("concurrent trace:");
+            print!("{}", render_trace(program, &report.mapped));
+            Ok(ExitCode::from(1))
+        }
+        KissOutcome::Inconclusive { steps, states } => {
+            println!("inconclusive: resource bound exceeded ({steps} steps, {states} states)");
+            Ok(ExitCode::from(3))
+        }
+        KissOutcome::RuntimeError(e) => {
+            println!("runtime error in program: {e}");
+            Ok(ExitCode::from(1))
+        }
+        KissOutcome::TransformFailed(e) => Err(e.to_string()),
+    }
+}

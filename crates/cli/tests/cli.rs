@@ -1,0 +1,131 @@
+//! End-to-end tests of the `kissc` binary.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn kissc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kissc"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("kissc-test-{name}-{}.kc", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("create temp file");
+    f.write_all(contents.as_bytes()).expect("write temp file");
+    path
+}
+
+const BUGGY: &str = "
+    int g;
+    void other() { g = 1; }
+    void main() { async other(); assert g == 0; }
+";
+
+const CLEAN: &str = "
+    int g;
+    void other() { g = 1; }
+    void main() { async other(); assert g <= 1; }
+";
+
+const RACY: &str = "
+    int r;
+    void w() { r = 1; }
+    void main() { async w(); r = 2; }
+";
+
+#[test]
+fn check_reports_violation_with_exit_1() {
+    let path = write_temp("buggy", BUGGY);
+    let out = kissc().args(["check"]).arg(&path).output().expect("run kissc");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ASSERTION VIOLATION"), "{stdout}");
+    assert!(stdout.contains("replay-validated on the concurrent program: true"), "{stdout}");
+    assert!(stdout.contains("thread 1"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn check_clean_program_exits_0() {
+    let path = write_temp("clean", CLEAN);
+    let out = kissc().args(["check"]).arg(&path).output().expect("run kissc");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no error found"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn race_subcommand_finds_the_race() {
+    let path = write_temp("racy", RACY);
+    let out = kissc().args(["race"]).arg(&path).arg("r").output().expect("run kissc");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("RACE CONDITION"), "{stdout}");
+    assert!(stdout.contains("first access"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn transform_prints_parseable_sequential_program() {
+    let path = write_temp("transform", BUGGY);
+    let out = kissc()
+        .args(["transform"])
+        .arg(&path)
+        .args(["--max-ts", "1"])
+        .output()
+        .expect("run kissc");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("__raise"), "{text}");
+    assert!(text.contains("__schedule"), "{text}");
+    assert!(text.contains("__kiss_main"), "{text}");
+    kiss_lang::parse_and_lower(&text).expect("transform output must reparse");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn explore_reports_states_and_verdict() {
+    let path = write_temp("explore", BUGGY);
+    let out = kissc().args(["explore"]).arg(&path).output().expect("run kissc");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("explored"), "{stdout}");
+    assert!(stdout.contains("assertion failure"), "{stdout}");
+    // Balanced exploration also finds this bug (it is balanced).
+    let out = kissc().args(["explore"]).arg(&path).arg("--balanced").output().expect("run");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn detectors_summarize_all_three() {
+    let path = write_temp("detectors", RACY);
+    let out = kissc()
+        .args(["detectors"])
+        .arg(&path)
+        .args(["r", "--runs", "50"])
+        .output()
+        .expect("run kissc");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("KISS      : race"), "{stdout}");
+    assert!(stdout.contains("lockset"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = kissc().output().expect("run kissc");
+    assert_eq!(out.status.code(), Some(2));
+    let out = kissc().args(["frobnicate"]).output().expect("run kissc");
+    assert_eq!(out.status.code(), Some(2));
+    let out = kissc().args(["check", "/nonexistent/path.kc"]).output().expect("run kissc");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn bad_race_target_is_a_usage_error() {
+    let path = write_temp("badtarget", RACY);
+    let out = kissc().args(["race"]).arg(&path).arg("nope").output().expect("run kissc");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,242 @@
+//! Concurrent configurations: shared memory plus one stack per thread.
+
+use std::hash::{Hash, Hasher};
+
+use kiss_exec::{Addr, Env, ExecError, Memory, Module, Value};
+use kiss_lang::hir::{FuncId, LocalId, Place, VarRef};
+
+/// One stack frame (same layout as the sequential engine's).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Frame {
+    /// Executing function.
+    pub func: FuncId,
+    /// Program counter.
+    pub pc: usize,
+    /// Local values (parameters first).
+    pub locals: Vec<Value>,
+    /// Caller's destination for the return value.
+    pub dest: Option<Place>,
+}
+
+impl Frame {
+    /// A frame entering `func` with arguments bound.
+    pub fn enter(module: &Module, func: FuncId, args: &[Value], dest: Option<Place>) -> Frame {
+        let def = module.program.func(func);
+        let mut locals = Vec::with_capacity(def.locals.len());
+        for (i, local) in def.locals.iter().enumerate() {
+            locals.push(if i < args.len() { args[i] } else { Value::default_for(local.ty.as_ref()) });
+        }
+        Frame { func, pc: 0, locals, dest }
+    }
+}
+
+/// One thread: a stack of frames. An empty stack means the thread has
+/// terminated.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ThreadState {
+    /// Call stack, bottom first.
+    pub frames: Vec<Frame>,
+}
+
+impl ThreadState {
+    /// Whether the thread has finished.
+    pub fn finished(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+/// A concurrent configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConcConfig {
+    /// Globals and heap, shared by all threads.
+    pub mem: Memory,
+    /// Thread states; the vector index is the thread id (main = 0).
+    pub threads: Vec<ThreadState>,
+}
+
+impl ConcConfig {
+    /// The initial configuration: thread 0 entering `main`.
+    pub fn initial(module: &Module) -> ConcConfig {
+        ConcConfig {
+            mem: Memory::initial(&module.program),
+            threads: vec![ThreadState {
+                frames: vec![Frame::enter(module, module.program.main, &[], None)],
+            }],
+        }
+    }
+
+    /// Whether every thread has terminated.
+    pub fn all_finished(&self) -> bool {
+        self.threads.iter().all(ThreadState::finished)
+    }
+
+    /// A 128-bit fingerprint for visited-state hashing, mixed with an
+    /// engine-supplied extra (scheduler restrictions are part of the
+    /// exploration state).
+    pub fn fingerprint(&self, extra: u64) -> (u64, u64) {
+        let mut h1 = std::collections::hash_map::DefaultHasher::new();
+        extra.hash(&mut h1);
+        self.hash(&mut h1);
+        let mut h2 = std::collections::hash_map::DefaultHasher::new();
+        (extra ^ 0xDEAD_BEEF).hash(&mut h2);
+        self.hash(&mut h2);
+        (h1.finish(), h2.finish())
+    }
+}
+
+/// [`Env`] for one thread of a concurrent configuration.
+pub struct ConcEnv<'a> {
+    /// Lowered program.
+    pub module: &'a Module,
+    /// The configuration being stepped.
+    pub config: &'a mut ConcConfig,
+    /// The acting thread.
+    pub tid: usize,
+}
+
+impl ConcEnv<'_> {
+    fn top(&self) -> &Frame {
+        self.config.threads[self.tid].frames.last().expect("acting thread has a frame")
+    }
+
+    fn top_mut(&mut self) -> &mut Frame {
+        self.config.threads[self.tid].frames.last_mut().expect("acting thread has a frame")
+    }
+}
+
+impl Env for ConcEnv<'_> {
+    fn read_var(&self, v: VarRef) -> Value {
+        match v {
+            VarRef::Global(g) => self.config.mem.globals[g.0 as usize],
+            VarRef::Local(LocalId(l)) => self.top().locals[l as usize],
+        }
+    }
+
+    fn write_var(&mut self, v: VarRef, val: Value) {
+        match v {
+            VarRef::Global(g) => self.config.mem.globals[g.0 as usize] = val,
+            VarRef::Local(LocalId(l)) => self.top_mut().locals[l as usize] = val,
+        }
+    }
+
+    fn read_addr(&self, a: Addr) -> Result<Value, ExecError> {
+        match a {
+            Addr::Global(g) => Ok(self.config.mem.globals[g.0 as usize]),
+            Addr::Heap { obj, field } => self
+                .config
+                .mem
+                .heap
+                .get(obj as usize)
+                .and_then(|o| o.fields.get(field as usize))
+                .copied()
+                .ok_or(ExecError::BadField),
+            Addr::Local { tid, frame, local } => self
+                .config
+                .threads
+                .get(tid as usize)
+                .and_then(|t| t.frames.get(frame as usize))
+                .and_then(|f| f.locals.get(local as usize))
+                .copied()
+                .ok_or(ExecError::DanglingLocal),
+        }
+    }
+
+    fn write_addr(&mut self, a: Addr, val: Value) -> Result<(), ExecError> {
+        match a {
+            Addr::Global(g) => {
+                self.config.mem.globals[g.0 as usize] = val;
+                Ok(())
+            }
+            Addr::Heap { obj, field } => {
+                *self
+                    .config
+                    .mem
+                    .heap
+                    .get_mut(obj as usize)
+                    .and_then(|o| o.fields.get_mut(field as usize))
+                    .ok_or(ExecError::BadField)? = val;
+                Ok(())
+            }
+            Addr::Local { tid, frame, local } => {
+                *self
+                    .config
+                    .threads
+                    .get_mut(tid as usize)
+                    .and_then(|t| t.frames.get_mut(frame as usize))
+                    .and_then(|f| f.locals.get_mut(local as usize))
+                    .ok_or(ExecError::DanglingLocal)? = val;
+                Ok(())
+            }
+        }
+    }
+
+    fn addr_of_var(&self, v: VarRef) -> Addr {
+        match v {
+            VarRef::Global(g) => Addr::Global(g),
+            VarRef::Local(LocalId(l)) => Addr::Local {
+                tid: self.tid as u32,
+                frame: (self.config.threads[self.tid].frames.len() - 1) as u32,
+                local: l,
+            },
+        }
+    }
+
+    fn malloc(&mut self, sid: kiss_lang::hir::StructId) -> u32 {
+        self.config.mem.malloc(&self.module.program, sid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kiss_lang::parse_and_lower;
+
+    fn module(src: &str) -> Module {
+        Module::lower(parse_and_lower(src).unwrap())
+    }
+
+    #[test]
+    fn initial_has_single_main_thread() {
+        let m = module("int g; void main() { g = 1; }");
+        let c = ConcConfig::initial(&m);
+        assert_eq!(c.threads.len(), 1);
+        assert!(!c.all_finished());
+        assert_eq!(c.threads[0].frames[0].func, m.program.main);
+    }
+
+    #[test]
+    fn fingerprint_mixes_extra_state() {
+        let m = module("int g; void main() { g = 1; }");
+        let c = ConcConfig::initial(&m);
+        assert_ne!(c.fingerprint(0), c.fingerprint(1));
+        assert_eq!(c.fingerprint(7), c.fingerprint(7));
+    }
+
+    #[test]
+    fn env_addresses_cross_thread_locals() {
+        let m = module("void main() { int x; skip; }");
+        let mut c = ConcConfig::initial(&m);
+        // Simulate a second thread with one frame.
+        let frame = Frame::enter(&m, m.program.main, &[], None);
+        c.threads.push(ThreadState { frames: vec![frame] });
+        {
+            let mut env = ConcEnv { module: &m, config: &mut c, tid: 1 };
+            env.write_var(VarRef::Local(LocalId(0)), Value::Int(42));
+        }
+        let env = ConcEnv { module: &m, config: &mut c, tid: 0 };
+        // Thread 0 can read thread 1's local through an address.
+        let a = Addr::Local { tid: 1, frame: 0, local: 0 };
+        assert_eq!(env.read_addr(a), Ok(Value::Int(42)));
+        // Dangling coordinates fail.
+        assert_eq!(env.read_addr(Addr::Local { tid: 5, frame: 0, local: 0 }), Err(ExecError::DanglingLocal));
+    }
+
+    #[test]
+    fn finished_thread_is_detected() {
+        let mut t = ThreadState::default();
+        assert!(t.finished());
+        let m = module("void main() { skip; }");
+        t.frames.push(Frame::enter(&m, m.program.main, &[], None));
+        assert!(!t.finished());
+    }
+}

@@ -1,0 +1,665 @@
+//! The end-to-end KISS pipeline (the paper's Figure 1).
+//!
+//! `concurrent program → instrumentation → sequential program →
+//! sequential checker → error trace → concurrent error trace`.
+//!
+//! [`Kiss`] bundles the transformation configuration, the sequential
+//! engine and its budget, error-trace back-mapping, and (optionally)
+//! *validation*: replaying the back-mapped schedule pattern on the
+//! original concurrent program with `kiss-conc` to confirm the error is
+//! real — an executable witness of the paper's "never reports false
+//! errors" guarantee.
+
+use kiss_exec::Module;
+use kiss_lang::hir::Origin;
+use kiss_lang::Program;
+use kiss_seq::{BfsChecker, Budget, ErrorTrace, ExplicitChecker, SummaryChecker, Verdict};
+
+use crate::trace_map::{self, MappedTrace};
+use crate::transform::{transform, RaceSite, RaceTarget, TransformConfig, TransformError, Transformed};
+
+/// Which sequential engine analyzes the transformed program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Explicit-state DFS (full error traces; the default).
+    #[default]
+    Explicit,
+    /// Summary-based interprocedural engine (verdicts only).
+    Summary,
+    /// Breadth-first engine (minimal-depth error traces).
+    Bfs,
+}
+
+/// Search statistics for one check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Instructions executed by the sequential engine.
+    pub steps: u64,
+    /// Distinct states recorded.
+    pub states: usize,
+    /// Race checks emitted after pruning (race mode).
+    pub checks_emitted: usize,
+    /// Race checks removed by the alias analysis (race mode).
+    pub checks_pruned: usize,
+}
+
+/// A confirmed assertion violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorReport {
+    /// The reconstructed concurrent execution.
+    pub mapped: MappedTrace,
+    /// `Some(true)` if the schedule pattern reproduced the failure on
+    /// the original concurrent program; `None` if validation was
+    /// disabled or the engine produced no trace.
+    pub validated: Option<bool>,
+    /// Engine statistics.
+    pub stats: CheckStats,
+}
+
+/// A detected race condition on the distinguished location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaceReport {
+    /// The first access (recorded by the instrumentation).
+    pub first: RaceSite,
+    /// The second, conflicting access (where the assertion fired).
+    pub second: RaceSite,
+    /// The reconstructed concurrent execution.
+    pub mapped: MappedTrace,
+    /// Engine statistics.
+    pub stats: CheckStats,
+}
+
+/// The outcome of a KISS check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KissOutcome {
+    /// The sequential search completed without finding an error. By
+    /// Theorem 1 this means no *balanced* execution (within the `ts`
+    /// bound) goes wrong; other interleavings may still err.
+    NoErrorFound(CheckStats),
+    /// A user assertion can fail.
+    AssertionViolation(ErrorReport),
+    /// Conflicting accesses to the distinguished location exist.
+    RaceDetected(RaceReport),
+    /// The search exceeded its budget — the paper's "resource bound
+    /// exceeded" bucket in Table 1.
+    Inconclusive {
+        /// Steps executed.
+        steps: u64,
+        /// States recorded.
+        states: usize,
+    },
+    /// The program has a runtime error (ill-typed operation).
+    RuntimeError(String),
+    /// The transformation itself failed.
+    TransformFailed(TransformError),
+}
+
+impl KissOutcome {
+    /// `true` for any error-finding outcome.
+    pub fn found_error(&self) -> bool {
+        matches!(self, KissOutcome::AssertionViolation(_) | KissOutcome::RaceDetected(_))
+    }
+
+    /// `true` for [`KissOutcome::NoErrorFound`].
+    pub fn is_clean(&self) -> bool {
+        matches!(self, KissOutcome::NoErrorFound(_))
+    }
+
+    /// `true` for [`KissOutcome::Inconclusive`].
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(self, KissOutcome::Inconclusive { .. })
+    }
+}
+
+/// The KISS checker.
+#[derive(Debug, Clone)]
+pub struct Kiss {
+    max_ts: usize,
+    budget: Budget,
+    alias_prune: bool,
+    validate: bool,
+    engine: Engine,
+    optimize: bool,
+}
+
+impl Default for Kiss {
+    fn default() -> Self {
+        Kiss::new()
+    }
+}
+
+impl Kiss {
+    /// A checker with `MAX = 0`, the default budget, alias pruning and
+    /// validation enabled.
+    pub fn new() -> Self {
+        Kiss {
+            max_ts: 0,
+            budget: Budget::default(),
+            alias_prune: true,
+            validate: true,
+            engine: Engine::Explicit,
+            optimize: false,
+        }
+    }
+
+    /// Sets `MAX`, the `ts` multiset bound (the coverage knob).
+    pub fn with_max_ts(mut self, max_ts: usize) -> Self {
+        self.max_ts = max_ts;
+        self
+    }
+
+    /// Sets the sequential engine's budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables or disables alias-based check pruning.
+    pub fn with_alias_prune(mut self, on: bool) -> Self {
+        self.alias_prune = on;
+        self
+    }
+
+    /// Enables or disables concurrent-replay validation of reported
+    /// errors.
+    pub fn with_validation(mut self, on: bool) -> Self {
+        self.validate = on;
+        self
+    }
+
+    /// Selects the sequential engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Enables semantics-preserving optimization: unreachable functions
+    /// are pruned before the transformation, and the transformed
+    /// program is simplified before checking. Verdicts are unchanged;
+    /// the `opt_ablation` benchmark measures the cost difference.
+    pub fn with_optimize(mut self, on: bool) -> Self {
+        self.optimize = on;
+        self
+    }
+
+    /// Checks the user assertions of a concurrent program
+    /// (Figure 4 instrumentation).
+    pub fn check_assertions(&self, program: &Program) -> KissOutcome {
+        let cfg = TransformConfig { max_ts: self.max_ts, race: None, alias_prune: self.alias_prune };
+        self.run(program, &cfg)
+    }
+
+    /// Checks for races on the distinguished location (Figure 5
+    /// instrumentation). User assertions remain active.
+    pub fn check_race(&self, program: &Program, target: RaceTarget) -> KissOutcome {
+        let cfg = TransformConfig {
+            max_ts: self.max_ts,
+            race: Some(target),
+            alias_prune: self.alias_prune,
+        };
+        self.run(program, &cfg)
+    }
+
+    /// Checks for races on a `"global"` or `"Struct.field"` spec.
+    pub fn check_race_spec(&self, program: &Program, spec: &str) -> Option<KissOutcome> {
+        RaceTarget::resolve(program, spec).map(|t| self.check_race(program, t))
+    }
+
+    fn run(&self, program: &Program, cfg: &TransformConfig) -> KissOutcome {
+        let pruned;
+        let input: &Program = if self.optimize {
+            let mut p = program.clone();
+            kiss_lang::opt::prune_unreachable(&mut p);
+            pruned = p;
+            &pruned
+        } else {
+            program
+        };
+        let mut info = match transform(input, cfg) {
+            Ok(t) => t,
+            Err(e) => return KissOutcome::TransformFailed(e),
+        };
+        if self.optimize {
+            kiss_lang::opt::simplify(&mut info.program);
+        }
+        let module = Module::lower(info.program.clone());
+        let (verdict, stats) = match self.engine {
+            Engine::Explicit => {
+                let (v, s) = ExplicitChecker::new(&module).with_budget(self.budget).check_with_stats();
+                (v, CheckStats {
+                    steps: s.steps,
+                    states: s.states,
+                    checks_emitted: info.checks_emitted,
+                    checks_pruned: info.checks_pruned,
+                })
+            }
+            Engine::Summary => {
+                let (v, s) = SummaryChecker::new(&module).with_budget(self.budget).check_with_stats();
+                (v, CheckStats {
+                    steps: s.steps,
+                    states: s.summaries,
+                    checks_emitted: info.checks_emitted,
+                    checks_pruned: info.checks_pruned,
+                })
+            }
+            Engine::Bfs => {
+                let v = BfsChecker::new(&module).with_budget(self.budget).check();
+                (v, CheckStats {
+                    steps: 0,
+                    states: 0,
+                    checks_emitted: info.checks_emitted,
+                    checks_pruned: info.checks_pruned,
+                })
+            }
+        };
+        match verdict {
+            Verdict::Pass => KissOutcome::NoErrorFound(stats),
+            Verdict::ResourceBound { steps, states } => KissOutcome::Inconclusive { steps, states },
+            Verdict::RuntimeError(e, _) => KissOutcome::RuntimeError(e.to_string()),
+            Verdict::Fail(trace) => self.report(program, &module, &info, trace, stats),
+        }
+    }
+
+    fn report(
+        &self,
+        program: &Program,
+        module: &Module,
+        info: &Transformed,
+        trace: ErrorTrace,
+        stats: CheckStats,
+    ) -> KissOutcome {
+        let mapped = trace_map::map_trace(module, info, &trace);
+        // Race or user assertion? The failing step's provenance tells.
+        let failing_origin = trace.steps.last().map(|s| s.origin);
+        let is_race = failing_origin == Some(Origin::Check)
+            || trace
+                .steps
+                .last()
+                .map(|s| Some(s.func) == info.check_r || Some(s.func) == info.check_w)
+                .unwrap_or(false);
+        if is_race {
+            if let Some((first, second)) = trace_map::race_sites(module, info, &trace) {
+                return KissOutcome::RaceDetected(RaceReport { first, second, mapped, stats });
+            }
+        }
+        let validated = if self.validate && !mapped.pattern.is_empty() {
+            let orig = Module::lower(program.clone());
+            let v = kiss_conc::Explorer::new(&orig)
+                .with_mode(kiss_conc::ScheduleMode::Pattern(mapped.pattern.clone()))
+                .check();
+            Some(v.is_fail() || matches!(v, kiss_conc::ConcVerdict::RuntimeError(..)))
+        } else {
+            None
+        };
+        KissOutcome::AssertionViolation(ErrorReport { mapped, validated, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kiss_lang::parse_and_lower;
+
+    fn prog(src: &str) -> Program {
+        parse_and_lower(src).unwrap()
+    }
+
+    const FORK_BUG: &str = "
+        int g;
+        void other() { g = 1; }
+        void main() { async other(); assert g == 0; }
+    ";
+
+    #[test]
+    fn finds_and_validates_fork_bug() {
+        let outcome = Kiss::new().check_assertions(&prog(FORK_BUG));
+        let KissOutcome::AssertionViolation(report) = outcome else {
+            panic!("expected violation, got {outcome:?}");
+        };
+        assert_eq!(report.validated, Some(true), "mapped schedule must replay");
+        assert_eq!(report.mapped.thread_count, 2);
+        assert!(report.stats.steps > 0);
+    }
+
+    #[test]
+    fn clean_program_reports_no_error() {
+        let outcome = Kiss::new().check_assertions(&prog(
+            "int g; void other() { g = 1; } void main() { async other(); assert g <= 1; }",
+        ));
+        assert!(outcome.is_clean(), "{outcome:?}");
+        assert!(!outcome.found_error());
+    }
+
+    #[test]
+    fn summary_engine_agrees_on_verdicts() {
+        for (src, fails) in [
+            (FORK_BUG, true),
+            ("int g; void o() { g = 1; } void main() { async o(); assert g <= 1; }", false),
+        ] {
+            let outcome =
+                Kiss::new().with_engine(Engine::Summary).with_validation(false).check_assertions(&prog(src));
+            assert_eq!(outcome.found_error(), fails, "summary disagrees on: {src}");
+        }
+    }
+
+    #[test]
+    fn race_is_detected_with_both_sites() {
+        let src = "
+            int r;
+            void w1() { r = 1; }
+            void main() { async w1(); r = 2; }
+        ";
+        let p = prog(src);
+        let outcome = Kiss::new().check_race_spec(&p, "r").unwrap();
+        let KissOutcome::RaceDetected(report) = outcome else {
+            panic!("expected race, got {outcome:?}");
+        };
+        assert!(report.first.is_write && report.second.is_write, "write/write race");
+        assert!(report.mapped.thread_count >= 2);
+    }
+
+    #[test]
+    fn read_only_sharing_is_race_free() {
+        let src = "
+            int r;
+            int a;
+            int b;
+            void rd() { a = r; }
+            void main() { async rd(); b = r; }
+        ";
+        let p = prog(src);
+        let outcome = Kiss::new().check_race_spec(&p, "r").unwrap();
+        assert!(outcome.is_clean(), "two reads do not race: {outcome:?}");
+    }
+
+    #[test]
+    fn lock_protected_accesses_are_race_free() {
+        let src = "
+            int lock;
+            int r;
+            void acquire() { atomic { assume lock == 0; lock = 1; } }
+            void release() { atomic { lock = 0; } }
+            void w1() { acquire(); r = 1; release(); }
+            void main() { async w1(); acquire(); r = 2; release(); }
+        ";
+        let p = prog(src);
+        let outcome = Kiss::new().check_race_spec(&p, "r").unwrap();
+        // KISS's RAISE-after-check means: first thread records its
+        // access *while holding the lock* and terminates — the lock is
+        // never released, so the second thread blocks before its
+        // access. No race is reported, matching the lockset intuition.
+        assert!(outcome.is_clean(), "{outcome:?}");
+    }
+
+    #[test]
+    fn unknown_race_spec_returns_none() {
+        let p = prog("int r; void main() { skip; }");
+        assert!(Kiss::new().check_race_spec(&p, "nope").is_none());
+    }
+
+    #[test]
+    fn budget_produces_inconclusive() {
+        let src = "
+            int g;
+            void spin() { iter { g = g + 1; } }
+            void main() { async spin(); assert g >= 0; }
+        ";
+        let outcome = Kiss::new()
+            .with_budget(Budget { max_steps: 2_000, max_states: 200 })
+            .check_assertions(&prog(src));
+        assert!(outcome.is_inconclusive(), "{outcome:?}");
+    }
+
+    #[test]
+    fn max_ts_knob_changes_coverage() {
+        // The refcount idiom of paper §2.3 in miniature: the bug needs
+        // the forked thread to run *in the middle of* the other
+        // thread's call, which requires a ts slot (MAX = 1); with
+        // MAX = 0 the forked thread runs as one inline block and the
+        // bug is missed.
+        let src = "
+            int phase;
+            void stopper() { phase = 1; }
+            void worker() {
+                int p0;
+                p0 = phase;
+                if (p0 == 1) { assert phase == 0; }
+            }
+            void main() {
+                async stopper();
+                worker();
+            }
+        ";
+        // worker reads phase twice; failing needs phase==1 at first
+        // read and ==1 at assert... that fails whenever stopper ran
+        // first — reachable at MAX=0 too. Use the classic
+        // read-switch-write shape instead:
+        let src2 = "
+            int x;
+            void stopper() { x = 1; }
+            void worker() {
+                int t;
+                t = x;
+                assert t == x;
+            }
+            void main() {
+                async stopper();
+                worker();
+            }
+        ";
+        let _ = src;
+        // With MAX=0: stopper runs entirely before worker, after
+        // worker, or... inline at the fork — never *between* worker's
+        // two statements of the same synchronous call? It can: RAISE
+        // terminates worker early but does not resume it. The
+        // between-statements interleaving needs suspend/resume of
+        // worker, i.e. a pending slot. MAX=0 must miss it; MAX=1 finds
+        // it.
+        let p = prog(src2);
+        let at0 = Kiss::new().with_max_ts(0).check_assertions(&p);
+        assert!(at0.is_clean(), "MAX=0 cannot suspend/resume worker: {at0:?}");
+        let at1 = Kiss::new().with_max_ts(1).check_assertions(&p);
+        assert!(at1.found_error(), "MAX=1 exposes the mid-call interleaving: {at1:?}");
+        if let KissOutcome::AssertionViolation(r) = at1 {
+            assert_eq!(r.validated, Some(true));
+        }
+    }
+
+    #[test]
+    fn never_reports_false_errors_on_a_small_corpus() {
+        // For every program where KISS reports an error, the concurrent
+        // explorer (free schedules) must also find one.
+        let corpus = [
+            FORK_BUG,
+            "int g; void o() { g = g + 1; } void main() { async o(); g = g + 1; assert g <= 2; }",
+            "int r; void w() { r = 1; } void main() { async w(); assert r == 0; }",
+            "bool f; void o() { f = true; } void main() { async o(); assert !f; }",
+        ];
+        for src in corpus {
+            let p = prog(src);
+            for max_ts in [0, 1] {
+                let outcome =
+                    Kiss::new().with_max_ts(max_ts).with_validation(false).check_assertions(&p);
+                if outcome.found_error() {
+                    let orig = Module::lower(p.clone());
+                    let conc = kiss_conc::Explorer::new(&orig).check();
+                    assert!(conc.is_fail(), "KISS error not confirmed concurrently: {src}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod benign_tests {
+    use super::*;
+    use kiss_lang::parse_and_lower;
+
+    /// The paper's future-work annotation: marking the deliberate
+    /// lock-free read as benign suppresses the race report, while the
+    /// unannotated variant is still flagged.
+    #[test]
+    fn benign_annotation_suppresses_the_fakemodem_style_warning() {
+        let flagged = "
+            int l;
+            int OpenCount;
+            int decision;
+            void creator() { atomic { assume l == 0; l = 1; } OpenCount = OpenCount + 1; atomic { l = 0; } }
+            void closer() { int t; t = OpenCount; if (t == 0) { decision = 1; } }
+            void main() { async creator(); closer(); }
+        ";
+        let p = parse_and_lower(flagged).unwrap();
+        let outcome = Kiss::new().check_race_spec(&p, "OpenCount").unwrap();
+        assert!(matches!(outcome, KissOutcome::RaceDetected(_)), "{outcome:?}");
+
+        let annotated = "
+            int l;
+            int OpenCount;
+            int decision;
+            void creator() { atomic { assume l == 0; l = 1; } OpenCount = OpenCount + 1; atomic { l = 0; } }
+            void closer() { int t; benign t = OpenCount; if (t == 0) { decision = 1; } }
+            void main() { async creator(); closer(); }
+        ";
+        let p = parse_and_lower(annotated).unwrap();
+        let outcome = Kiss::new().check_race_spec(&p, "OpenCount").unwrap();
+        assert!(outcome.is_clean(), "benign read must not be flagged: {outcome:?}");
+    }
+
+    /// Benign annotations do not weaken *other* accesses' checking.
+    #[test]
+    fn benign_does_not_mask_unrelated_races() {
+        let src = "
+            int r;
+            int unrelated;
+            void w() { benign unrelated = 1; r = 1; }
+            void main() { async w(); r = 2; }
+        ";
+        let p = parse_and_lower(src).unwrap();
+        let outcome = Kiss::new().check_race_spec(&p, "r").unwrap();
+        assert!(matches!(outcome, KissOutcome::RaceDetected(_)), "{outcome:?}");
+    }
+
+    /// Assertion checking is unaffected by benign annotations.
+    #[test]
+    fn benign_statements_still_execute_in_assertion_mode() {
+        let src = "
+            int g;
+            void w() { benign g = 1; }
+            void main() { async w(); assert g == 0; }
+        ";
+        let p = parse_and_lower(src).unwrap();
+        let outcome = Kiss::new().check_assertions(&p);
+        assert!(outcome.found_error(), "{outcome:?}");
+    }
+}
+
+#[cfg(test)]
+mod bfs_engine_tests {
+    use super::*;
+    use kiss_lang::parse_and_lower;
+
+    #[test]
+    fn bfs_engine_finds_bugs_with_short_mapped_traces() {
+        let src = "
+            int g;
+            void other() { g = 1; }
+            void main() { async other(); assert g == 0; }
+        ";
+        let p = parse_and_lower(src).unwrap();
+        let bfs = Kiss::new().with_engine(Engine::Bfs).check_assertions(&p);
+        let KissOutcome::AssertionViolation(bfs_report) = bfs else {
+            panic!("expected violation, got {bfs:?}");
+        };
+        assert_eq!(bfs_report.validated, Some(true));
+        let dfs = Kiss::new().check_assertions(&p);
+        let KissOutcome::AssertionViolation(dfs_report) = dfs else { panic!() };
+        assert!(
+            bfs_report.mapped.steps.len() <= dfs_report.mapped.steps.len(),
+            "bfs {} vs dfs {}",
+            bfs_report.mapped.steps.len(),
+            dfs_report.mapped.steps.len()
+        );
+    }
+
+    #[test]
+    fn bfs_engine_agrees_on_clean_programs() {
+        let src = "int g; void o() { g = 1; } void main() { async o(); assert g <= 1; }";
+        let p = parse_and_lower(src).unwrap();
+        assert!(Kiss::new().with_engine(Engine::Bfs).check_assertions(&p).is_clean());
+    }
+}
+
+#[cfg(test)]
+mod optimize_tests {
+    use super::*;
+    use kiss_lang::parse_and_lower;
+
+    /// Optimization never changes verdicts, only cost.
+    #[test]
+    fn optimize_preserves_verdicts() {
+        let corpus = [
+            ("int g; void w() { g = 1; } void main() { async w(); assert g == 0; }", true),
+            ("int g; void w() { g = 1; } void main() { async w(); assert g <= 1; }", false),
+            (
+                "int g; void dead() { g = 99; }
+                 void w() { g = 1; } void main() { async w(); assert g <= 1; }",
+                false,
+            ),
+        ];
+        for (src, fails) in corpus {
+            let p = parse_and_lower(src).unwrap();
+            for max_ts in [0, 1] {
+                let plain = Kiss::new()
+                    .with_max_ts(max_ts)
+                    .with_validation(false)
+                    .check_assertions(&p);
+                let opt = Kiss::new()
+                    .with_max_ts(max_ts)
+                    .with_validation(false)
+                    .with_optimize(true)
+                    .check_assertions(&p);
+                assert_eq!(plain.found_error(), fails, "{src}");
+                assert_eq!(opt.found_error(), fails, "optimized diverged on {src}");
+            }
+        }
+    }
+
+    /// Optimized traces still validate against the concurrent original.
+    #[test]
+    fn optimized_traces_still_replay() {
+        let src = "int g; void w() { g = 1; } void main() { async w(); assert g == 0; }";
+        let p = parse_and_lower(src).unwrap();
+        let outcome = Kiss::new().with_optimize(true).check_assertions(&p);
+        let KissOutcome::AssertionViolation(report) = outcome else {
+            panic!("expected violation, got {outcome:?}");
+        };
+        assert_eq!(report.validated, Some(true));
+    }
+
+    /// Pruning drives down the checking cost on padded programs (the
+    /// driver-corpus shape).
+    #[test]
+    fn optimization_reduces_cost_on_padded_programs() {
+        let pads: String = (0..30)
+            .map(|i| format!("int pad_{i}(int a) {{ int c; c = a + {i}; return c; }}\n"))
+            .collect();
+        let src = format!(
+            "{pads}int g; void w() {{ g = 1; }} void main() {{ async w(); assert g <= 1; }}"
+        );
+        let p = parse_and_lower(&src).unwrap();
+        let KissOutcome::NoErrorFound(plain) =
+            Kiss::new().with_validation(false).check_assertions(&p)
+        else {
+            panic!()
+        };
+        let KissOutcome::NoErrorFound(opt) =
+            Kiss::new().with_validation(false).with_optimize(true).check_assertions(&p)
+        else {
+            panic!()
+        };
+        // Exploration cost is dominated by reachable code, so steps are
+        // similar; the win is in transformation/lowering size. Assert
+        // the verdict costs did not grow.
+        assert!(opt.steps <= plain.steps, "opt {} vs plain {}", opt.steps, plain.steps);
+    }
+}

@@ -1,0 +1,290 @@
+//! The paper's Figure 2: a simplified model of a Windows Bluetooth
+//! driver, with the reference-counting protocol between `BCSP_PnpAdd`
+//! (I/O dispatch) and `BCSP_PnpStop` (stop dispatch).
+//!
+//! Section 2.2 shows KISS finding a race on `stoppingFlag` with
+//! `MAX = 0`; Section 2.3 shows the `assert !stopped` violation that
+//! needs `MAX = 1`; Section 6 reports that after fixing
+//! `BCSP_IoIncrement` as the driver quality team suggested, KISS finds
+//! no errors — and that fakemodem's reference counting already follows
+//! the fixed pattern.
+
+use kiss_lang::Program;
+
+/// The Figure 2 model, transcribed to KISS-C. The only deviations from
+/// the paper's listing are syntactic: a global alias `e0` is not
+/// needed, and the `// do work here` comment is kept.
+pub const BLUETOOTH_BUGGY: &str = r#"
+struct DEVICE_EXTENSION {
+    int pendingIo;
+    bool stoppingFlag;
+    bool stoppingEvent;
+}
+
+bool stopped;
+
+void main() {
+    DEVICE_EXTENSION *e;
+    e = malloc(DEVICE_EXTENSION);
+    e->pendingIo = 1;
+    e->stoppingFlag = false;
+    e->stoppingEvent = false;
+    stopped = false;
+    async BCSP_PnpStop(e);
+    BCSP_PnpAdd(e);
+}
+
+void BCSP_PnpAdd(DEVICE_EXTENSION *e) {
+    int status;
+    status = BCSP_IoIncrement(e);
+    if (status == 0) {
+        // do work here
+        assert !stopped;
+    }
+    BCSP_IoDecrement(e);
+}
+
+void BCSP_PnpStop(DEVICE_EXTENSION *e) {
+    e->stoppingFlag = true;
+    BCSP_IoDecrement(e);
+    assume e->stoppingEvent;
+    // release allocated resources
+    stopped = true;
+}
+
+int BCSP_IoIncrement(DEVICE_EXTENSION *e) {
+    if (e->stoppingFlag) {
+        return -1;
+    }
+    atomic { e->pendingIo = e->pendingIo + 1; }
+    return 0;
+}
+
+void BCSP_IoDecrement(DEVICE_EXTENSION *e) {
+    int pendingIo;
+    atomic {
+        e->pendingIo = e->pendingIo - 1;
+        pendingIo = e->pendingIo;
+    }
+    if (pendingIo == 0) {
+        e->stoppingEvent = true;
+    }
+}
+"#;
+
+/// The fixed driver: `BCSP_IoIncrement` increments `pendingIo` *before*
+/// checking `stoppingFlag`, and undoes the increment when stopping —
+/// the repair the paper reports the driver quality team suggested.
+pub const BLUETOOTH_FIXED: &str = r#"
+struct DEVICE_EXTENSION {
+    int pendingIo;
+    bool stoppingFlag;
+    bool stoppingEvent;
+}
+
+bool stopped;
+
+void main() {
+    DEVICE_EXTENSION *e;
+    e = malloc(DEVICE_EXTENSION);
+    e->pendingIo = 1;
+    e->stoppingFlag = false;
+    e->stoppingEvent = false;
+    stopped = false;
+    async BCSP_PnpStop(e);
+    BCSP_PnpAdd(e);
+}
+
+void BCSP_PnpAdd(DEVICE_EXTENSION *e) {
+    int status;
+    status = BCSP_IoIncrement(e);
+    if (status == 0) {
+        // do work here
+        assert !stopped;
+    }
+    BCSP_IoDecrement(e);
+}
+
+void BCSP_PnpStop(DEVICE_EXTENSION *e) {
+    e->stoppingFlag = true;
+    BCSP_IoDecrement(e);
+    assume e->stoppingEvent;
+    // release allocated resources
+    stopped = true;
+}
+
+int BCSP_IoIncrement(DEVICE_EXTENSION *e) {
+    atomic { e->pendingIo = e->pendingIo + 1; }
+    if (e->stoppingFlag) {
+        BCSP_IoDecrement(e);
+        return -1;
+    }
+    return 0;
+}
+
+void BCSP_IoDecrement(DEVICE_EXTENSION *e) {
+    int pendingIo;
+    atomic {
+        e->pendingIo = e->pendingIo - 1;
+        pendingIo = e->pendingIo;
+    }
+    if (pendingIo == 0) {
+        e->stoppingEvent = true;
+    }
+}
+"#;
+
+/// A fakemodem-style reference-counting model: the paper observes that
+/// fakemodem's counting "behaved exactly according to the fixed
+/// implementation of BCSP_IoIncrement", so KISS reports no errors.
+pub const FAKEMODEM_REFCOUNT: &str = r#"
+struct FM_EXTENSION {
+    int OpenCount;
+    bool Stopping;
+    bool StopEvent;
+}
+
+bool fm_stopped;
+
+void main() {
+    FM_EXTENSION *e;
+    e = malloc(FM_EXTENSION);
+    e->OpenCount = 1;
+    e->Stopping = false;
+    e->StopEvent = false;
+    fm_stopped = false;
+    async FakeModem_Stop(e);
+    FakeModem_Io(e);
+}
+
+int FakeModem_Enter(FM_EXTENSION *e) {
+    atomic { e->OpenCount = e->OpenCount + 1; }
+    if (e->Stopping) {
+        FakeModem_Exit(e);
+        return -1;
+    }
+    return 0;
+}
+
+void FakeModem_Exit(FM_EXTENSION *e) {
+    int count;
+    atomic {
+        e->OpenCount = e->OpenCount - 1;
+        count = e->OpenCount;
+    }
+    if (count == 0) {
+        e->StopEvent = true;
+    }
+}
+
+void FakeModem_Io(FM_EXTENSION *e) {
+    int status;
+    status = FakeModem_Enter(e);
+    if (status == 0) {
+        assert !fm_stopped;
+    }
+    FakeModem_Exit(e);
+}
+
+void FakeModem_Stop(FM_EXTENSION *e) {
+    e->Stopping = true;
+    FakeModem_Exit(e);
+    assume e->StopEvent;
+    fm_stopped = true;
+}
+"#;
+
+/// Parses the buggy Figure 2 model.
+///
+/// # Panics
+///
+/// Panics only if the embedded source is invalid (checked by tests).
+pub fn buggy() -> Program {
+    kiss_lang::parse_and_lower(BLUETOOTH_BUGGY).expect("embedded bluetooth model is valid")
+}
+
+/// Parses the fixed model.
+///
+/// # Panics
+///
+/// Panics only if the embedded source is invalid (checked by tests).
+pub fn fixed() -> Program {
+    kiss_lang::parse_and_lower(BLUETOOTH_FIXED).expect("embedded fixed model is valid")
+}
+
+/// Parses the fakemodem reference-counting model.
+///
+/// # Panics
+///
+/// Panics only if the embedded source is invalid (checked by tests).
+pub fn fakemodem() -> Program {
+    kiss_lang::parse_and_lower(FAKEMODEM_REFCOUNT).expect("embedded fakemodem model is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kiss_core::checker::{Kiss, KissOutcome};
+
+    #[test]
+    fn models_parse_and_lower() {
+        assert_eq!(buggy().funcs.len(), 5);
+        assert_eq!(fixed().funcs.len(), 5);
+        assert_eq!(fakemodem().funcs.len(), 5);
+    }
+
+    #[test]
+    fn race_on_stopping_flag_found_at_max_0() {
+        // Paper §2.2: "For this example, a size 0 for the multiset ts
+        // is enough to expose the race."
+        let outcome = Kiss::new()
+            .with_max_ts(0)
+            .check_race_spec(&buggy(), "DEVICE_EXTENSION.stoppingFlag")
+            .unwrap();
+        let KissOutcome::RaceDetected(report) = outcome else {
+            panic!("expected race on stoppingFlag, got {outcome:?}");
+        };
+        // One write (in BCSP_PnpStop) and one read (in
+        // BCSP_IoIncrement).
+        assert!(report.first.is_write != report.second.is_write, "read/write race");
+    }
+
+    #[test]
+    fn assertion_bug_needs_max_1() {
+        // Paper §2.3: "The error trace ... cannot be simulated ... if
+        // the size of ts is 0. However, the error trace can be
+        // simulated if the size of ts is increased to 1."
+        let at0 = Kiss::new().with_max_ts(0).check_assertions(&buggy());
+        assert!(at0.is_clean(), "MAX=0 must miss the refcount bug: {at0:?}");
+        let at1 = Kiss::new().with_max_ts(1).check_assertions(&buggy());
+        let KissOutcome::AssertionViolation(report) = at1 else {
+            panic!("MAX=1 must find the refcount bug, got {at1:?}");
+        };
+        // The mapped trace is a genuine concurrent execution.
+        assert_eq!(report.validated, Some(true));
+        assert_eq!(report.mapped.thread_count, 2);
+    }
+
+    #[test]
+    fn fixed_driver_is_clean_at_max_1() {
+        // Paper §6: "After fixing the bug as suggested by the driver
+        // quality team, we ran KISS again and this time KISS did not
+        // report any errors."
+        let outcome = Kiss::new().with_max_ts(1).check_assertions(&fixed());
+        assert!(outcome.is_clean(), "{outcome:?}");
+    }
+
+    #[test]
+    fn fixed_driver_is_clean_at_max_2() {
+        let outcome = Kiss::new().with_max_ts(2).check_assertions(&fixed());
+        assert!(outcome.is_clean(), "{outcome:?}");
+    }
+
+    #[test]
+    fn fakemodem_refcounting_is_clean() {
+        // Paper §6: "KISS did not report any errors in the fakemodem
+        // driver."
+        let outcome = Kiss::new().with_max_ts(1).check_assertions(&fakemodem());
+        assert!(outcome.is_clean(), "{outcome:?}");
+    }
+}

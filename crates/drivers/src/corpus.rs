@@ -1,0 +1,515 @@
+//! Synthetic driver corpus generator.
+//!
+//! For each [`DriverSpec`] row of the paper's Table 1, generates a
+//! KISS-C driver whose device-extension fields fall into the defect
+//! classes the paper's experiments surfaced:
+//!
+//! * **Spurious** — unprotected accesses that can only collide when
+//!   the OS harness violates the IRP concurrency rules: either two
+//!   concurrent Pnp IRPs (rules A1/A2) or two concurrent Ioctl IRPs
+//!   (the kbfiltr/moufiltr driver-specific rule). Flagged by the naive
+//!   harness, gone under the refined harness.
+//! * **Real** — a locked write in one dispatch routine against an
+//!   unprotected read in another routine the OS *may* run concurrently
+//!   (the `DevicePnPState` shape of paper Figure 6). Flagged by both
+//!   harnesses.
+//! * **Benign** — a counter incremented under the lock but read once
+//!   without it, where the programmer deliberately skipped the lock
+//!   (the fakemodem `OpenCount` discussion). KISS still reports it.
+//! * **Heavy** — fields whose routines contain enough state (nested
+//!   counters with nondeterministic updates) that the per-field check
+//!   exhausts its resource bound: the paper's inconclusive bucket.
+//! * **Clean** — lock-protected or read-only fields; proved race-free.
+//!
+//! Generation is fully deterministic; the same spec always yields the
+//! same source text.
+
+use std::collections::BTreeMap;
+
+use crate::os_model;
+use crate::spec::DriverSpec;
+
+/// The IRP category of a dispatch routine, used by the refined
+/// harness rules A1–A3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum IrpCategory {
+    /// A Pnp IRP that starts or removes the device (rule A2: nothing
+    /// runs concurrently with these).
+    PnpStartRemove,
+    /// Another Pnp IRP (rule A1: no two Pnp IRPs concurrently).
+    Pnp,
+    /// A system Power IRP (rule A3).
+    PowerSys,
+    /// A device Power IRP (rule A3).
+    PowerDev,
+    /// Device I/O control (kbfiltr/moufiltr: never two concurrently).
+    Ioctl,
+    /// Read path.
+    Read,
+    /// Write path.
+    Write,
+    /// Create (open) path.
+    Create,
+    /// Close path.
+    Close,
+}
+
+/// How a field is seeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldClass {
+    /// Races only under the naive harness (Pnp or Ioctl pair).
+    Spurious,
+    /// Races under both harnesses; a genuine bug shape.
+    Real,
+    /// Races under both harnesses; deliberately lock-free read.
+    Benign,
+    /// The per-field check exceeds the resource bound.
+    Heavy,
+    /// Lock-protected or read-only; provably race-free.
+    Clean,
+}
+
+/// Metadata for one device-extension field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldInfo {
+    /// Field name within the extension struct.
+    pub name: String,
+    /// Seeded class.
+    pub class: FieldClass,
+    /// Dispatch routines that access the field (the sliced per-field
+    /// harness runs exactly these).
+    pub routines: Vec<String>,
+}
+
+/// A generated driver.
+#[derive(Debug, Clone)]
+pub struct DriverModel {
+    /// Driver name.
+    pub name: String,
+    /// The spec it was generated from.
+    pub spec: DriverSpec,
+    /// Complete KISS-C source (parse with `kiss_lang::parse_and_lower`).
+    pub source: String,
+    /// Name of the device-extension struct.
+    pub ext_struct: String,
+    /// Per-field metadata, in field order.
+    pub fields: Vec<FieldInfo>,
+    /// IRP category of each dispatch routine.
+    pub routine_category: BTreeMap<String, IrpCategory>,
+    /// Generated source lines (the reproduction's "KLOC" column).
+    pub loc: usize,
+}
+
+impl DriverModel {
+    /// The `"Struct.field"` race-target spec for a field index.
+    pub fn race_spec(&self, field: usize) -> String {
+        format!("{}.{}", self.ext_struct, self.fields[field].name)
+    }
+
+    /// Ordered routine pairs the harness may run concurrently for a
+    /// field, under the naive (`refined = false`) or refined
+    /// (`refined = true`) OS model.
+    pub fn field_pairs(&self, field: usize, refined: bool) -> Vec<(String, String)> {
+        let routines = &self.fields[field].routines;
+        let mut out = Vec::new();
+        for a in routines {
+            for b in routines {
+                if !refined || self.pair_allowed_refined(a, b) {
+                    out.push((a.clone(), b.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    fn pair_allowed_refined(&self, a: &str, b: &str) -> bool {
+        let ca = self.routine_category[a];
+        let cb = self.routine_category[b];
+        use IrpCategory::*;
+        // A2: nothing concurrent with a Pnp start/remove IRP.
+        if ca == PnpStartRemove || cb == PnpStartRemove {
+            return false;
+        }
+        // A1: no two Pnp IRPs concurrently.
+        if ca == Pnp && cb == Pnp {
+            return false;
+        }
+        // A3: two concurrent Power IRPs must be of different
+        // categories.
+        if (ca == PowerSys && cb == PowerSys) || (ca == PowerDev && cb == PowerDev) {
+            return false;
+        }
+        // Driver-specific rule for the filter drivers: no two
+        // concurrent Ioctl IRPs.
+        if self.spec.ioctl_spurious && ca == Ioctl && cb == Ioctl {
+            return false;
+        }
+        true
+    }
+}
+
+/// Generates the whole 18-driver corpus of Table 1.
+pub fn generate_corpus() -> Vec<DriverModel> {
+    crate::spec::paper_table().iter().map(generate_driver).collect()
+}
+
+/// Generates one driver from its spec.
+pub fn generate_driver(spec: &DriverSpec) -> DriverModel {
+    Generator::new(spec, false).run()
+}
+
+/// Generates a driver with the paper's future-work `benign`
+/// annotations applied to the deliberate lock-free counter reads; the
+/// corresponding warnings disappear from Table 2.
+pub fn generate_driver_annotated(spec: &DriverSpec) -> DriverModel {
+    Generator::new(spec, true).run()
+}
+
+struct Generator<'a> {
+    spec: &'a DriverSpec,
+    ext: String,
+    /// routine name -> (category, body statements)
+    routines: BTreeMap<String, (IrpCategory, Vec<String>)>,
+    fields: Vec<FieldInfo>,
+    heavy_ctr_globals: Vec<String>,
+    /// Apply `benign` annotations to the deliberate lock-free reads.
+    annotate_benign: bool,
+}
+
+impl<'a> Generator<'a> {
+    fn new(spec: &'a DriverSpec, annotate_benign: bool) -> Self {
+        Generator {
+            spec,
+            ext: format!("EXT_{}", sanitize(spec.name)),
+            routines: BTreeMap::new(),
+            fields: Vec::new(),
+            heavy_ctr_globals: Vec::new(),
+            annotate_benign,
+        }
+    }
+
+    fn routine(&mut self, name: &str, cat: IrpCategory) -> &mut Vec<String> {
+        &mut self.routines.entry(name.to_string()).or_insert_with(|| (cat, Vec::new())).1
+    }
+
+    fn run(mut self) -> DriverModel {
+        let spec = self.spec.clone();
+        let n_spurious = spec.spurious();
+        let n_real = spec.races_refined - spec.benign;
+        let n_benign = spec.benign;
+        let n_heavy = spec.inconclusive();
+        let n_clean = spec.clean();
+        assert_eq!(n_spurious + n_real + n_benign + n_heavy + n_clean, spec.fields);
+
+        let mut idx = 0usize;
+        for _ in 0..n_spurious {
+            self.seed_spurious(idx);
+            idx += 1;
+        }
+        for _ in 0..n_real {
+            self.seed_real(idx);
+            idx += 1;
+        }
+        for _ in 0..n_benign {
+            self.seed_benign(idx);
+            idx += 1;
+        }
+        for k in 0..n_heavy {
+            self.seed_heavy(idx, k);
+            idx += 1;
+        }
+        for k in 0..n_clean {
+            self.seed_clean(idx, k);
+            idx += 1;
+        }
+
+        let source = self.render();
+        let loc = source.lines().filter(|l| !l.trim().is_empty()).count();
+        DriverModel {
+            name: spec.name.to_string(),
+            ext_struct: self.ext.clone(),
+            fields: self.fields,
+            routine_category: self.routines.iter().map(|(k, (c, _))| (k.clone(), *c)).collect(),
+            loc,
+            spec,
+            source,
+        }
+    }
+
+    fn field(&mut self, idx: usize, class: FieldClass, routines: &[&str]) -> String {
+        let name = format!("f{idx}");
+        self.fields.push(FieldInfo {
+            name: name.clone(),
+            class,
+            routines: routines.iter().map(|r| r.to_string()).collect(),
+        });
+        name
+    }
+
+    /// Unprotected accesses in routines the refined harness never runs
+    /// concurrently.
+    fn seed_spurious(&mut self, idx: usize) {
+        if self.spec.ioctl_spurious {
+            let f = self.field(idx, FieldClass::Spurious, &["DispatchIoctl"]);
+            let body = self.routine("DispatchIoctl", IrpCategory::Ioctl);
+            // Read-modify-write without the lock: two concurrent Ioctl
+            // IRPs would race — but this driver never receives two.
+            body.push(format!("ext->{f} = ext->{f} + 1;"));
+        } else {
+            let f = self.field(idx, FieldClass::Spurious, &["DispatchPnpStart", "DispatchPnpRemove"]);
+            self.routine("DispatchPnpStart", IrpCategory::PnpStartRemove)
+                .push(format!("ext->{f} = 1;"));
+            let body = self.routine("DispatchPnpRemove", IrpCategory::PnpStartRemove);
+            body.push(format!("t = ext->{f};"));
+        }
+    }
+
+    /// Figure 6 shape: locked write in one routine, unprotected read in
+    /// a routine that may run concurrently even under the refined
+    /// rules.
+    fn seed_real(&mut self, idx: usize) {
+        let f = self.field(idx, FieldClass::Real, &["DispatchWrite", "DispatchPowerDev"]);
+        let body = self.routine("DispatchWrite", IrpCategory::Write);
+        body.push("KeAcquireSpinLock();".into());
+        body.push(format!("ext->{f} = 2;"));
+        body.push("KeReleaseSpinLock();".into());
+        // Race: unprotected read (cf. ToastMon_DispatchPower reading
+        // DevicePnPState without the remove lock).
+        self.routine("DispatchPowerDev", IrpCategory::PowerDev).push(format!("t = ext->{f};"));
+    }
+
+    /// fakemodem `OpenCount` shape: locked increments, one deliberate
+    /// lock-free read ("the read operation is atomic already").
+    fn seed_benign(&mut self, idx: usize) {
+        let f = self.field(idx, FieldClass::Benign, &["DispatchCreate", "DispatchClose"]);
+        let body = self.routine("DispatchCreate", IrpCategory::Create);
+        body.push("KeAcquireSpinLock();".into());
+        body.push(format!("ext->{f} = ext->{f} + 1;"));
+        body.push("KeReleaseSpinLock();".into());
+        let annotate = self.annotate_benign;
+        let body = self.routine("DispatchClose", IrpCategory::Close);
+        // benign: single atomic read, programmer skipped the lock.
+        if annotate {
+            body.push(format!("benign t = ext->{f};"));
+        } else {
+            body.push(format!("t = ext->{f};"));
+        }
+        body.push(format!("if (t == 0) {{ ext2 = ext; }}"));
+    }
+
+    /// A field whose routine drags in a large state space, so the
+    /// per-field check exhausts its budget.
+    fn seed_heavy(&mut self, idx: usize, k: usize) {
+        let routine = format!("DispatchHeavy{k}");
+        let ctr = format!("hctr{k}");
+        self.heavy_ctr_globals.push(ctr.clone());
+        let f = self.field(idx, FieldClass::Heavy, &[&routine]);
+        let body = self.routine(&routine, IrpCategory::Read);
+        body.push("i = 0;".into());
+        body.push("while (i < 25) {".into());
+        body.push("    j = 0;".into());
+        body.push("    while (j < 25) {".into());
+        body.push("        j = j + 1;".into());
+        body.push(format!("        choice {{ {ctr} = {ctr} + 1; [] {ctr} = {ctr} - 1; }}"));
+        body.push("    }".into());
+        body.push("    i = i + 1;".into());
+        body.push("}".into());
+        body.push("KeAcquireSpinLock();".into());
+        body.push(format!("t = ext->{f};"));
+        body.push("KeReleaseSpinLock();".into());
+    }
+
+    /// Race-free shapes, cycled for variety.
+    fn seed_clean(&mut self, idx: usize, k: usize) {
+        match k % 3 {
+            0 => {
+                let f = self.field(idx, FieldClass::Clean, &["DispatchWrite", "DispatchRead"]);
+                let body = self.routine("DispatchWrite", IrpCategory::Write);
+                body.push("KeAcquireSpinLock();".into());
+                body.push(format!("ext->{f} = 3;"));
+                body.push("KeReleaseSpinLock();".into());
+                let body = self.routine("DispatchRead", IrpCategory::Read);
+                body.push("KeAcquireSpinLock();".into());
+                body.push(format!("t = ext->{f};"));
+                body.push("KeReleaseSpinLock();".into());
+            }
+            1 => {
+                // Read-only everywhere: concurrent reads never race.
+                let f = self.field(idx, FieldClass::Clean, &["DispatchPowerSys", "DispatchRead"]);
+                self.routine("DispatchPowerSys", IrpCategory::PowerSys).push(format!("t = ext->{f};"));
+                self.routine("DispatchRead", IrpCategory::Read).push(format!("t = ext->{f};"));
+            }
+            _ => {
+                // Locked counter in a single routine.
+                let f = self.field(idx, FieldClass::Clean, &["DispatchCreate"]);
+                let body = self.routine("DispatchCreate", IrpCategory::Create);
+                body.push("KeAcquireSpinLock();".into());
+                body.push(format!("ext->{f} = ext->{f} + 1;"));
+                body.push("KeReleaseSpinLock();".into());
+            }
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("// Synthetic driver `{}` (generated, deterministic).\n", self.spec.name));
+        // Extension struct.
+        out.push_str(&format!("struct {} {{\n", self.ext));
+        for f in &self.fields {
+            out.push_str(&format!("    int {};\n", f.name));
+        }
+        out.push_str("}\n\n");
+        // Globals.
+        out.push_str(&format!("{} *ext;\n{} *ext2;\nint g_lock;\nint io_count;\n", self.ext, self.ext));
+        for ctr in &self.heavy_ctr_globals {
+            out.push_str(&format!("int {ctr};\n"));
+        }
+        out.push('\n');
+        // OS model.
+        out.push_str(&os_model::spin_lock("g_lock"));
+        if self.spec.benign > 0 || self.spec.fields >= 30 {
+            out.push_str(os_model::interlocked());
+        }
+        out.push('\n');
+        // Init.
+        out.push_str(&format!(
+            "void DriverInit() {{\n    ext = malloc({});\n    g_lock = 0;\n}}\n\n",
+            self.ext
+        ));
+        // Dispatch routines.
+        for (name, (cat, stmts)) in &self.routines {
+            out.push_str(&format!("// category: {cat:?}\nvoid {name}() {{\n"));
+            out.push_str("    int t;\n");
+            if name.starts_with("DispatchHeavy") {
+                out.push_str("    int i;\n    int j;\n");
+            }
+            if stmts.is_empty() {
+                out.push_str("    skip;\n");
+            }
+            for s in stmts {
+                out.push_str(&format!("    {s}\n"));
+            }
+            out.push_str("}\n\n");
+        }
+        // Placeholder main (replaced by the harness).
+        out.push_str("void main() { skip; }\n\n");
+        // Padding to approximate the driver's KLOC (never called by the
+        // harness, like the bulk of real driver code).
+        let target_lines = (self.spec.kloc * 1000.0 * 0.15) as usize;
+        let mut pad_idx = 0usize;
+        while out.lines().count() < target_lines {
+            out.push_str(&format!(
+                "int pad_{p}(int a, int b) {{\n    int c;\n    c = a + b;\n    c = c * 2;\n    c = c - a;\n    if (c > 100) {{ c = c % 100; }}\n    return c;\n}}\n",
+                p = pad_idx
+            ));
+            pad_idx += 1;
+        }
+        out
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::paper_table;
+
+    #[test]
+    fn every_generated_driver_parses() {
+        for model in generate_corpus() {
+            kiss_lang::parse_and_lower(&model.source)
+                .unwrap_or_else(|e| panic!("driver {} does not parse: {e}", model.name));
+        }
+    }
+
+    #[test]
+    fn field_counts_match_the_spec() {
+        for model in generate_corpus() {
+            assert_eq!(model.fields.len(), model.spec.fields, "{}", model.name);
+            let count = |class| model.fields.iter().filter(|f| f.class == class).count();
+            assert_eq!(count(FieldClass::Spurious), model.spec.spurious(), "{}", model.name);
+            assert_eq!(
+                count(FieldClass::Real) + count(FieldClass::Benign),
+                model.spec.races_refined,
+                "{}",
+                model.name
+            );
+            assert_eq!(count(FieldClass::Heavy), model.spec.inconclusive(), "{}", model.name);
+            assert_eq!(count(FieldClass::Clean), model.spec.clean(), "{}", model.name);
+        }
+    }
+
+    #[test]
+    fn race_specs_resolve_against_the_parsed_program() {
+        let model = generate_driver(&paper_table()[9]); // fakemodem
+        let program = kiss_lang::parse_and_lower(&model.source).unwrap();
+        for i in 0..model.fields.len() {
+            let spec = model.race_spec(i);
+            assert!(
+                kiss_core::RaceTarget::resolve(&program, &spec).is_some(),
+                "unresolvable spec {spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn refined_rules_remove_pnp_and_ioctl_pairs() {
+        // A Pnp-spurious driver: refined harness has no pairs for
+        // spurious fields.
+        let gameenum = generate_driver(&paper_table()[10]);
+        let spurious_idx =
+            gameenum.fields.iter().position(|f| f.class == FieldClass::Spurious).unwrap();
+        assert!(!gameenum.field_pairs(spurious_idx, false).is_empty());
+        assert!(gameenum.field_pairs(spurious_idx, true).is_empty());
+        // An Ioctl-spurious driver likewise.
+        let moufiltr = generate_driver(&paper_table()[1]);
+        let spurious_idx =
+            moufiltr.fields.iter().position(|f| f.class == FieldClass::Spurious).unwrap();
+        assert!(!moufiltr.field_pairs(spurious_idx, false).is_empty());
+        assert!(moufiltr.field_pairs(spurious_idx, true).is_empty());
+    }
+
+    #[test]
+    fn real_fields_keep_pairs_under_refined_rules() {
+        let toastmon = generate_driver(&paper_table()[5]);
+        let real_idx = toastmon.fields.iter().position(|f| f.class == FieldClass::Real).unwrap();
+        let refined = toastmon.field_pairs(real_idx, true);
+        assert!(
+            refined.iter().any(|(a, b)| a != b),
+            "cross-routine pair must survive refinement: {refined:?}"
+        );
+    }
+
+    #[test]
+    fn power_self_pairs_are_excluded_refined() {
+        let model = generate_driver(&paper_table()[17]); // fdc has clean PowerSys readers
+        if let Some(idx) = model
+            .fields
+            .iter()
+            .position(|f| f.class == FieldClass::Clean && f.routines.contains(&"DispatchPowerSys".to_string()))
+        {
+            let refined = model.field_pairs(idx, true);
+            assert!(!refined
+                .iter()
+                .any(|(a, b)| a == "DispatchPowerSys" && b == "DispatchPowerSys"));
+        }
+    }
+
+    #[test]
+    fn generated_loc_tracks_paper_kloc() {
+        let corpus = generate_corpus();
+        let small = corpus.iter().find(|m| m.name == "tracedrv").unwrap();
+        let large = corpus.iter().find(|m| m.name == "fdc").unwrap();
+        assert!(large.loc > small.loc * 5, "fdc ({}) >> tracedrv ({})", large.loc, small.loc);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_driver(&paper_table()[3]);
+        let b = generate_driver(&paper_table()[3]);
+        assert_eq!(a.source, b.source);
+    }
+}

@@ -1,0 +1,34 @@
+//! # kiss-drivers
+//!
+//! The evaluation substrate of the reproduction (paper Section 6):
+//!
+//! * [`bluetooth`] — the paper's Figure 2 model of the Windows
+//!   Bluetooth driver, verbatim in KISS-C, in buggy and fixed variants;
+//! * [`os_model`] — KISS-C models of the Windows synchronization
+//!   routines the paper lists (`KeAcquireSpinLock`,
+//!   `KeWaitForSingleObject`, `InterlockedIncrement`,
+//!   `InterlockedCompareExchange`, ...);
+//! * [`spec`] — the 18-driver inventory of Table 1/Table 2, with the
+//!   paper's per-driver field counts and race outcomes;
+//! * [`corpus`] — a deterministic generator that synthesizes a KISS-C
+//!   driver for each spec entry, seeding the same defect classes the
+//!   paper found: harness-dependent spurious races (concurrent-Pnp and
+//!   concurrent-Ioctl pairs, rules A1–A3), persistent real races
+//!   (unprotected read vs. locked write, the toaster/toastmon shape of
+//!   Figure 6), benign lock-free counter reads (the fakemodem
+//!   `OpenCount` shape), budget-exceeding fields, and clean
+//!   lock-protected fields.
+//!
+//! The real driver sources are proprietary; DESIGN.md documents why
+//! this synthetic corpus preserves the behaviour the experiment
+//! measures.
+
+pub mod bluetooth;
+pub mod corpus;
+pub mod table;
+pub mod os_model;
+pub mod spec;
+
+pub use corpus::{generate_corpus, generate_driver, generate_driver_annotated, DriverModel, FieldClass, FieldInfo, IrpCategory};
+pub use spec::{paper_table, DriverSpec};
+pub use table::{check_corpus, check_driver, DriverResult, FieldOutcome, FieldResult};

@@ -1,0 +1,121 @@
+//! KISS-C models of Windows synchronization routines.
+//!
+//! The paper (§6): "SLAM already provided stubs for these calls; we
+//! augmented them to model the synchronization operations accurately.
+//! Some of the synchronization routines we modeled were
+//! KeAcquireSpinLock, KeWaitForSingleObject,
+//! InterlockedCompareExchange, InterlockedIncrement, etc."
+//!
+//! Each model is a KISS-C snippet built from `atomic` + `assume`, the
+//! encoding of synchronization primitives shown in paper Section 3.
+
+/// A spin lock over a named global integer cell (0 = free, 1 = held).
+pub fn spin_lock(lock_global: &str) -> String {
+    format!(
+        "void KeAcquireSpinLock() {{ atomic {{ assume {lock_global} == 0; {lock_global} = 1; }} }}\n\
+         void KeReleaseSpinLock() {{ atomic {{ {lock_global} = 0; }} }}\n"
+    )
+}
+
+/// The interlocked-arithmetic family (hardware-atomic updates through a
+/// pointer).
+pub fn interlocked() -> &'static str {
+    "int InterlockedIncrement(int *p) { int v; atomic { *p = *p + 1; v = *p; } return v; }\n\
+     int InterlockedDecrement(int *p) { int v; atomic { *p = *p - 1; v = *p; } return v; }\n\
+     int InterlockedCompareExchange(int *p, int exch, int cmp) {\n\
+         int old;\n\
+         atomic { old = *p; if (old == cmp) { *p = exch; } }\n\
+         return old;\n\
+     }\n"
+}
+
+/// Event wait/set (`KeWaitForSingleObject` blocks until the event cell
+/// becomes true; `KeSetEvent` fires it).
+pub fn events() -> &'static str {
+    "void KeWaitForSingleObject(bool *ev) { assume *ev; }\n\
+     void KeSetEvent(bool *ev) { *ev = true; }\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use kiss_conc::Explorer;
+    use kiss_exec::Module;
+
+    fn module(src: &str) -> Module {
+        Module::lower(kiss_lang::parse_and_lower(src).unwrap())
+    }
+
+    #[test]
+    fn models_parse_inside_a_program() {
+        let src = format!(
+            "int g_lock;\nint counter;\nbool ev;\n{}{}{}\
+             void main() {{ int v; KeAcquireSpinLock(); KeReleaseSpinLock(); \
+             v = InterlockedIncrement(&counter); KeSetEvent(&ev); KeWaitForSingleObject(&ev); \
+             assert v == 1; }}",
+            super::spin_lock("g_lock"),
+            super::interlocked(),
+            super::events()
+        );
+        let m = module(&src);
+        assert!(Explorer::new(&m).check().is_pass());
+    }
+
+    #[test]
+    fn spin_lock_provides_mutual_exclusion() {
+        let src = format!(
+            "int g_lock;\nint shared;\nbool done;\n{}\
+             void worker() {{ int t; KeAcquireSpinLock(); t = shared; shared = t + 1; KeReleaseSpinLock(); done = true; }}\n\
+             void main() {{ int t; async worker(); KeAcquireSpinLock(); t = shared; shared = t + 1; KeReleaseSpinLock(); \
+             if (done) {{ assert shared == 2; }} }}",
+            super::spin_lock("g_lock")
+        );
+        let m = module(&src);
+        assert!(Explorer::new(&m).check().is_pass());
+    }
+
+    #[test]
+    fn interlocked_increment_is_atomic() {
+        let src = format!(
+            "int c;\nbool done;\n{}\
+             void worker() {{ int v; v = InterlockedIncrement(&c); done = true; }}\n\
+             void main() {{ int v; async worker(); v = InterlockedIncrement(&c); \
+             if (done) {{ assert c == 2; }} }}",
+            super::interlocked()
+        );
+        let m = module(&src);
+        assert!(Explorer::new(&m).check().is_pass());
+    }
+
+    #[test]
+    fn compare_exchange_takes_effect_only_on_match() {
+        let src = format!(
+            "int c;\n{}\
+             void main() {{\n\
+                int old;\n\
+                c = 5;\n\
+                old = InterlockedCompareExchange(&c, 9, 4);\n\
+                assert old == 5;\n\
+                assert c == 5;\n\
+                old = InterlockedCompareExchange(&c, 9, 5);\n\
+                assert old == 5;\n\
+                assert c == 9;\n\
+             }}",
+            super::interlocked()
+        );
+        let m = module(&src);
+        let v = Explorer::new(&m).check();
+        assert!(v.is_pass(), "{v:?}");
+    }
+
+    #[test]
+    fn event_wait_blocks_until_set() {
+        let src = format!(
+            "bool ev;\nint g;\n{}\
+             void setter() {{ g = 1; KeSetEvent(&ev); }}\n\
+             void main() {{ async setter(); KeWaitForSingleObject(&ev); assert g == 1; }}",
+            super::events()
+        );
+        let m = module(&src);
+        assert!(Explorer::new(&m).check().is_pass());
+    }
+}

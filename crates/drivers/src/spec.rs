@@ -1,0 +1,131 @@
+//! The 18-driver inventory of the paper's Tables 1 and 2.
+//!
+//! For each driver the paper reports: code size (KLOC), number of
+//! device-extension fields, fields with reported races under the naive
+//! harness (Table 1), fields proved race-free within the resource
+//! bound (Table 1), and races remaining under the refined harness
+//! (Table 2). The corpus generator seeds exactly these counts:
+//!
+//! * `spurious` fields race only under the naive harness (the
+//!   difference between Table 1 and Table 2);
+//! * `persistent` fields race under both (Table 2; includes the benign
+//!   and confirmed-bug cases);
+//! * `inconclusive` fields exhaust the resource bound
+//!   (`fields − races − no_races` in Table 1);
+//! * the rest are clean.
+
+/// Per-driver corpus specification, mirroring one row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverSpec {
+    /// Driver name (paper's spelling, `/` replaced by `_`).
+    pub name: &'static str,
+    /// Paper code size in KLOC (drives padding in the generator).
+    pub kloc: f64,
+    /// Number of device-extension fields.
+    pub fields: usize,
+    /// Fields racing under the naive harness (Table 1 "Races").
+    pub races_naive: usize,
+    /// Fields proved race-free within the bound (Table 1 "No Races").
+    pub no_races: usize,
+    /// Fields racing under the refined harness (Table 2 "Races").
+    pub races_refined: usize,
+    /// Of the refined races, how many follow the benign lock-free
+    /// counter-read shape (fakemodem's `OpenCount` discussion).
+    pub benign: usize,
+    /// Whether the driver's spurious races come from concurrent Ioctl
+    /// IRPs (the kbfiltr/moufiltr case) rather than concurrent Pnp
+    /// IRPs.
+    pub ioctl_spurious: bool,
+}
+
+impl DriverSpec {
+    /// Fields that race only under the naive harness.
+    pub fn spurious(&self) -> usize {
+        self.races_naive - self.races_refined
+    }
+
+    /// Fields whose check exceeds the resource bound.
+    pub fn inconclusive(&self) -> usize {
+        self.fields - self.races_naive - self.no_races
+    }
+
+    /// Clean fields (race-free and conclusive) — Table 1 "No Races".
+    pub fn clean(&self) -> usize {
+        self.no_races
+    }
+}
+
+/// The paper's Table 1 + Table 2, one entry per driver.
+pub fn paper_table() -> Vec<DriverSpec> {
+    // name, kloc, fields, races(T1), no-races(T1), races(T2), benign, ioctl?
+    let rows: [(&str, f64, usize, usize, usize, usize, usize, bool); 18] = [
+        ("tracedrv", 0.5, 3, 0, 3, 0, 0, false),
+        ("moufiltr", 1.0, 14, 7, 7, 0, 0, true),
+        ("kbfiltr", 1.1, 15, 8, 7, 0, 0, true),
+        ("imca", 1.1, 5, 1, 4, 1, 0, false),
+        ("startio", 1.1, 9, 0, 9, 0, 0, false),
+        ("toaster_toastmon", 1.4, 8, 1, 7, 1, 0, false),
+        ("diskperf", 2.4, 16, 2, 14, 0, 0, false),
+        ("1394diag", 2.7, 18, 1, 17, 1, 0, false),
+        ("1394vdev", 2.8, 18, 1, 17, 1, 0, false),
+        ("fakemodem", 2.9, 39, 6, 31, 6, 1, false),
+        ("gameenum", 3.9, 45, 11, 24, 1, 0, false),
+        ("toaster_bus", 5.0, 30, 0, 22, 0, 0, false),
+        ("serenum", 5.9, 41, 5, 21, 2, 0, false),
+        ("toaster_func", 6.6, 24, 7, 17, 5, 0, false),
+        ("mouclass", 7.0, 34, 1, 32, 1, 0, false),
+        ("kbdclass", 7.4, 36, 1, 33, 1, 0, false),
+        ("mouser", 7.6, 34, 1, 27, 1, 0, false),
+        ("fdc", 9.2, 92, 18, 54, 9, 0, false),
+    ];
+    rows.into_iter()
+        .map(|(name, kloc, fields, races_naive, no_races, races_refined, benign, ioctl)| DriverSpec {
+            name,
+            kloc,
+            fields,
+            races_naive,
+            no_races,
+            races_refined,
+            benign,
+            ioctl_spurious: ioctl,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_the_paper() {
+        let table = paper_table();
+        assert_eq!(table.len(), 18);
+        let kloc: f64 = table.iter().map(|d| d.kloc).sum();
+        assert!((kloc - 69.6).abs() < 0.01, "total KLOC is 69.6, got {kloc}");
+        assert_eq!(table.iter().map(|d| d.fields).sum::<usize>(), 481);
+        assert_eq!(table.iter().map(|d| d.races_naive).sum::<usize>(), 71);
+        assert_eq!(table.iter().map(|d| d.no_races).sum::<usize>(), 346);
+        assert_eq!(table.iter().map(|d| d.races_refined).sum::<usize>(), 30);
+    }
+
+    #[test]
+    fn derived_counts_are_consistent() {
+        for d in paper_table() {
+            assert!(d.races_refined <= d.races_naive, "{}", d.name);
+            assert!(d.benign <= d.races_refined, "{}", d.name);
+            assert_eq!(d.fields, d.races_naive + d.no_races + d.inconclusive(), "{}", d.name);
+        }
+        // Spurious races total 71 - 30 = 41, inconclusive 481-71-346=64.
+        let table = paper_table();
+        assert_eq!(table.iter().map(|d| d.spurious()).sum::<usize>(), 41);
+        assert_eq!(table.iter().map(|d| d.inconclusive()).sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn ioctl_drivers_lose_all_races_when_refined() {
+        for d in paper_table().iter().filter(|d| d.ioctl_spurious) {
+            assert_eq!(d.races_refined, 0, "{}: Ioctl-pair races are all spurious", d.name);
+            assert!(d.races_naive > 0);
+        }
+    }
+}

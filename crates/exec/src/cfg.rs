@@ -1,0 +1,308 @@
+//! Flat control-flow form.
+//!
+//! Each function body is lowered from the statement tree of the core IR
+//! into a vector of instructions with explicit (nondeterministic) jumps.
+//! Program counters into this vector are what the engines store in
+//! stack frames and error traces.
+
+use kiss_lang::hir::{CallTarget, Cond, FuncId, Operand, Origin, Place, Rvalue, Stmt, StmtKind};
+use kiss_lang::{Program, Span};
+
+/// One instruction of the flat form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `place = rvalue`.
+    Assign(Place, Rvalue),
+    /// Fails the program if the condition is false.
+    Assert(Cond),
+    /// Blocks (concurrently) / prunes the path (sequentially) if false.
+    Assume(Cond),
+    /// Synchronous call.
+    Call {
+        /// Destination for the return value, applied in the caller.
+        dest: Option<Place>,
+        /// Callee.
+        target: CallTarget,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// Thread fork.
+    Async {
+        /// New thread's start function.
+        target: CallTarget,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// Return from the current function.
+    Return(Option<Operand>),
+    /// Unconditional jump.
+    Jump(usize),
+    /// Nondeterministic jump: exactly one target is chosen.
+    NondetJump(Vec<usize>),
+    /// Start of an atomic region; control must reach the matching
+    /// [`Instr::AtomicEnd`] without interleaving.
+    AtomicBegin,
+    /// End of an atomic region.
+    AtomicEnd,
+}
+
+impl Instr {
+    /// Whether this instruction is pure control flow (no observable
+    /// action).
+    pub fn is_silent(&self) -> bool {
+        matches!(self, Instr::Jump(_) | Instr::NondetJump(_) | Instr::AtomicBegin | Instr::AtomicEnd)
+    }
+}
+
+/// Source metadata for one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrMeta {
+    /// Source span of the originating statement.
+    pub span: Span,
+    /// Provenance (user code vs. KISS instrumentation).
+    pub origin: Origin,
+}
+
+/// A lowered function body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncBody {
+    /// The function this body belongs to.
+    pub func: FuncId,
+    /// Instructions; entry is index 0.
+    pub instrs: Vec<Instr>,
+    /// Parallel metadata, one entry per instruction.
+    pub meta: Vec<InstrMeta>,
+}
+
+/// A lowered program: the core program plus one [`FuncBody`] per
+/// function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// The core program (owned; engines resolve names/layout through
+    /// it).
+    pub program: Program,
+    /// Lowered bodies, indexed by [`FuncId`].
+    pub bodies: Vec<FuncBody>,
+}
+
+impl Module {
+    /// Lowers every function of a core program.
+    pub fn lower(program: Program) -> Module {
+        let bodies = program
+            .funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| lower_func(FuncId(i as u32), &f.body))
+            .collect();
+        Module { program, bodies }
+    }
+
+    /// The body for a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn body(&self, f: FuncId) -> &FuncBody {
+        &self.bodies[f.0 as usize]
+    }
+
+    /// Total instruction count over all functions — the "size of the
+    /// control-flow graph" metric used in the blowup experiment.
+    pub fn instr_count(&self) -> usize {
+        self.bodies.iter().map(|b| b.instrs.len()).sum()
+    }
+}
+
+struct LowerCx {
+    instrs: Vec<Instr>,
+    meta: Vec<InstrMeta>,
+}
+
+impl LowerCx {
+    fn emit(&mut self, instr: Instr, s: &Stmt) -> usize {
+        self.instrs.push(instr);
+        self.meta.push(InstrMeta { span: s.span, origin: s.origin });
+        self.instrs.len() - 1
+    }
+
+    fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    fn patch_jump(&mut self, at: usize, target: usize) {
+        match &mut self.instrs[at] {
+            Instr::Jump(t) => *t = target,
+            other => panic!("patch_jump on non-jump {other:?}"),
+        }
+    }
+
+    fn lower(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Skip => {}
+            StmtKind::Seq(ss) => {
+                for inner in ss {
+                    self.lower(inner);
+                }
+            }
+            StmtKind::Assign(pl, rv) => {
+                self.emit(Instr::Assign(*pl, *rv), s);
+            }
+            StmtKind::Assert(c) => {
+                self.emit(Instr::Assert(*c), s);
+            }
+            StmtKind::Assume(c) => {
+                self.emit(Instr::Assume(*c), s);
+            }
+            StmtKind::Call { dest, target, args } => {
+                self.emit(Instr::Call { dest: *dest, target: *target, args: args.clone() }, s);
+            }
+            StmtKind::Async { target, args } => {
+                self.emit(Instr::Async { target: *target, args: args.clone() }, s);
+            }
+            StmtKind::Return(op) => {
+                self.emit(Instr::Return(*op), s);
+            }
+            StmtKind::Atomic(inner) => {
+                self.emit(Instr::AtomicBegin, s);
+                self.lower(inner);
+                self.emit(Instr::AtomicEnd, s);
+            }
+            StmtKind::Choice(branches) => {
+                let nondet_at = self.emit(Instr::NondetJump(Vec::new()), s);
+                let mut branch_starts = Vec::with_capacity(branches.len());
+                let mut exit_jumps = Vec::with_capacity(branches.len());
+                for b in branches {
+                    branch_starts.push(self.here());
+                    self.lower(b);
+                    exit_jumps.push(self.emit(Instr::Jump(usize::MAX), s));
+                }
+                let join = self.here();
+                for j in exit_jumps {
+                    self.patch_jump(j, join);
+                }
+                self.instrs[nondet_at] = Instr::NondetJump(branch_starts);
+            }
+            StmtKind::Iter(body) => {
+                // header: NondetJump([body, exit]); body; Jump(header)
+                let header = self.emit(Instr::NondetJump(Vec::new()), s);
+                let body_start = self.here();
+                self.lower(body);
+                self.emit(Instr::Jump(header), s);
+                let exit = self.here();
+                self.instrs[header] = Instr::NondetJump(vec![body_start, exit]);
+            }
+        }
+    }
+}
+
+fn lower_func(func: FuncId, body: &Stmt) -> FuncBody {
+    let mut cx = LowerCx { instrs: Vec::new(), meta: Vec::new() };
+    cx.lower(body);
+    // Implicit `return` at the end of every function, inheriting the
+    // body's provenance so generated runtime functions do not produce
+    // user-attributed steps.
+    let end = Stmt::synth(StmtKind::Return(None), body.origin);
+    cx.emit(Instr::Return(None), &end);
+    FuncBody { func, instrs: cx.instrs, meta: cx.meta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kiss_lang::parse_and_lower;
+
+    fn module(src: &str) -> Module {
+        Module::lower(parse_and_lower(src).unwrap())
+    }
+
+    #[test]
+    fn straightline_code_lowers_in_order() {
+        let m = module("int g; void main() { g = 1; g = 2; }");
+        let b = m.body(m.program.main);
+        assert!(matches!(b.instrs[0], Instr::Assign(..)));
+        assert!(matches!(b.instrs[1], Instr::Assign(..)));
+        assert!(matches!(b.instrs[2], Instr::Return(None)));
+        assert_eq!(b.instrs.len(), 3);
+    }
+
+    #[test]
+    fn choice_lowers_to_nondet_jump_with_join() {
+        let m = module("int g; void main() { choice { g = 1; [] g = 2; } g = 3; }");
+        let b = m.body(m.program.main);
+        let Instr::NondetJump(targets) = &b.instrs[0] else { panic!("expected nondet jump") };
+        assert_eq!(targets.len(), 2);
+        // Both branches jump to the same join point.
+        let joins: Vec<usize> = b
+            .instrs
+            .iter()
+            .filter_map(|i| match i {
+                Instr::Jump(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(joins.len(), 2);
+        assert_eq!(joins[0], joins[1]);
+        assert!(matches!(b.instrs[joins[0]], Instr::Assign(..)));
+    }
+
+    #[test]
+    fn iter_lowers_to_loop_with_exit() {
+        let m = module("int g; void main() { iter { g = g + 1; } g = 0; }");
+        let b = m.body(m.program.main);
+        let Instr::NondetJump(targets) = &b.instrs[0] else { panic!("expected loop header") };
+        assert_eq!(targets.len(), 2);
+        let (body_start, exit) = (targets[0], targets[1]);
+        assert!(matches!(b.instrs[body_start], Instr::Assign(..)));
+        // The back edge returns to the header.
+        assert!(matches!(b.instrs[exit - 1], Instr::Jump(0)));
+        assert!(matches!(b.instrs[exit], Instr::Assign(..)));
+    }
+
+    #[test]
+    fn atomic_is_bracketed() {
+        let m = module("int g; void main() { atomic { g = 1; g = 2; } }");
+        let b = m.body(m.program.main);
+        assert!(matches!(b.instrs[0], Instr::AtomicBegin));
+        assert!(matches!(b.instrs[3], Instr::AtomicEnd));
+    }
+
+    #[test]
+    fn every_instr_has_meta() {
+        let m = module("int g; void main() { if (g == 0) { g = 1; } while (g < 5) { g = g + 1; } }");
+        for b in &m.bodies {
+            assert_eq!(b.instrs.len(), b.meta.len());
+        }
+    }
+
+    #[test]
+    fn skip_emits_nothing_but_function_still_returns() {
+        let m = module("void main() { skip; }");
+        let b = m.body(m.program.main);
+        assert_eq!(b.instrs.len(), 1);
+        assert!(matches!(b.instrs[0], Instr::Return(None)));
+    }
+
+    #[test]
+    fn empty_choice_branch_jumps_straight_to_join() {
+        let m = module("int g; void main() { choice { skip; [] g = 1; } }");
+        let b = m.body(m.program.main);
+        let Instr::NondetJump(targets) = &b.instrs[0] else { panic!() };
+        // First branch starts at a Jump (empty body).
+        assert!(matches!(b.instrs[targets[0]], Instr::Jump(_)));
+    }
+
+    #[test]
+    fn silent_classification() {
+        assert!(Instr::Jump(0).is_silent());
+        assert!(Instr::NondetJump(vec![]).is_silent());
+        assert!(Instr::AtomicBegin.is_silent());
+        assert!(!Instr::Return(None).is_silent());
+    }
+
+    #[test]
+    fn instr_count_sums_bodies() {
+        let m = module("void f() { skip; } void main() { f(); }");
+        assert_eq!(m.instr_count(), m.bodies.iter().map(|b| b.instrs.len()).sum::<usize>());
+        assert!(m.instr_count() >= 3);
+    }
+}

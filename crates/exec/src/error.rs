@@ -1,0 +1,92 @@
+//! Runtime execution errors.
+
+use kiss_lang::hir::FuncId;
+
+/// A runtime error: the program performed an operation with no defined
+/// semantics. These are distinct from assertion failures — a well-typed
+/// program never raises one, and the KISS transformation preserves their
+/// absence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Dereferenced a null or non-pointer value.
+    NullDeref {
+        /// What was dereferenced instead of a pointer.
+        found: &'static str,
+    },
+    /// A pointer referred to a popped stack frame.
+    DanglingLocal,
+    /// An operator was applied to operands of the wrong type.
+    TypeMismatch {
+        /// The operation.
+        op: &'static str,
+        /// Left/only operand type.
+        lhs: &'static str,
+        /// Right operand type, if binary.
+        rhs: Option<&'static str>,
+    },
+    /// `%` by zero.
+    DivisionByZero,
+    /// A field index was out of range for the object (heap corruption —
+    /// impossible for lowered programs, possible for hand-built IR).
+    BadField,
+    /// Called a value that is not a function.
+    NotAFunction {
+        /// What was called.
+        found: &'static str,
+    },
+    /// Called a function with the wrong number of arguments.
+    ArityMismatch {
+        /// Callee.
+        func: FuncId,
+        /// Expected parameter count.
+        expected: u32,
+        /// Supplied argument count.
+        got: u32,
+    },
+    /// An `async` statement reached a sequential engine. Sequentialized
+    /// programs never contain `async`; this indicates a pipeline misuse.
+    AsyncInSequential,
+    /// Integer overflow in arithmetic.
+    Overflow,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::NullDeref { found } => write!(f, "dereference of non-pointer value ({found})"),
+            ExecError::DanglingLocal => write!(f, "dangling pointer to a popped stack frame"),
+            ExecError::TypeMismatch { op, lhs, rhs: Some(rhs) } => {
+                write!(f, "type mismatch: `{op}` applied to {lhs} and {rhs}")
+            }
+            ExecError::TypeMismatch { op, lhs, rhs: None } => {
+                write!(f, "type mismatch: `{op}` applied to {lhs}")
+            }
+            ExecError::DivisionByZero => write!(f, "modulo by zero"),
+            ExecError::BadField => write!(f, "field index out of range"),
+            ExecError::NotAFunction { found } => write!(f, "call of non-function value ({found})"),
+            ExecError::ArityMismatch { func, expected, got } => {
+                write!(f, "call of {func} with {got} argument(s), expected {expected}")
+            }
+            ExecError::AsyncInSequential => {
+                write!(f, "`async` reached a sequential engine (program was not sequentialized)")
+            }
+            ExecError::Overflow => write!(f, "integer overflow"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        let e = ExecError::TypeMismatch { op: "+", lhs: "bool", rhs: Some("int") };
+        assert_eq!(e.to_string(), "type mismatch: `+` applied to bool and int");
+        assert!(ExecError::AsyncInSequential.to_string().contains("sequentialized"));
+        let e = ExecError::ArityMismatch { func: FuncId(3), expected: 2, got: 0 };
+        assert!(e.to_string().contains("expected 2"));
+    }
+}

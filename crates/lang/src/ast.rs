@@ -1,0 +1,225 @@
+//! Surface abstract syntax for KISS-C.
+//!
+//! The surface language is deliberately richer than the paper's core
+//! grammar: it has `if`/`while`, compound boolean/arithmetic expressions
+//! and named struct fields. [`crate::lower`] desugars all of that into
+//! the core [`crate::hir`], which is exactly the paper's Figure 3
+//! language.
+
+use crate::span::Span;
+
+/// A whole translation unit: struct definitions, global variables and
+/// function definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Struct definitions, in source order.
+    pub structs: Vec<StructDef>,
+    /// Global variable declarations, in source order.
+    pub globals: Vec<VarDecl>,
+    /// Function definitions, in source order.
+    pub funcs: Vec<FuncDef>,
+}
+
+/// A `struct Name { field decls }` definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Field declarations.
+    pub fields: Vec<VarDecl>,
+    /// Source location of the `struct` keyword.
+    pub span: Span,
+}
+
+/// A variable declaration `ty name;` (global, local, field or parameter).
+/// Globals may carry a constant initializer: `int g = 0;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Declared name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Constant initializer (globals only; defaults to 0/false/null).
+    pub init: Option<Expr>,
+    /// Source location of the name.
+    pub span: Span,
+}
+
+/// Declared types. KISS-C is checked dynamically at execution time; the
+/// declared types drive struct layout and readability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// Machine integer.
+    Int,
+    /// Boolean.
+    Bool,
+    /// Function reference (a thread start function).
+    Fn,
+    /// Pointer to another type.
+    Ptr(Box<Type>),
+    /// A named struct type (only meaningful behind a pointer or in
+    /// `malloc`).
+    Named(String),
+}
+
+impl Type {
+    /// `true` for `T*` types.
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// `None` for `void` functions, otherwise the declared return type.
+    pub ret: Option<Type>,
+    /// Parameters.
+    pub params: Vec<VarDecl>,
+    /// Local declarations (must precede statements in the body).
+    pub locals: Vec<VarDecl>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source location of the name.
+    pub span: Span,
+}
+
+/// An lvalue: something assignable / addressable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LValue {
+    /// A plain variable `x`.
+    Var(String),
+    /// A pointer dereference `*x`.
+    Deref(String),
+    /// A field projection through a pointer, `x->f`.
+    Field(String, String),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical negation `!`.
+    Not,
+    /// Arithmetic negation `-`.
+    Neg,
+}
+
+/// Surface expressions. Function calls are statements, not expressions,
+/// mirroring the paper's language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Boolean literal.
+    Bool(bool),
+    /// The null pointer / null function reference.
+    Null,
+    /// Variable read — or a function name used as a value.
+    Var(String),
+    /// Pointer dereference `*x`.
+    Deref(String),
+    /// Field read `x->f`.
+    Field(String, String),
+    /// Address of a variable `&x`.
+    AddrOf(String),
+    /// Address of a field `&x->f` (binds as `&(x->f)`).
+    AddrOfField(String, String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+}
+
+/// Surface statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// The statement proper.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The different statement forms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `lv = expr;`
+    Assign(LValue, Expr),
+    /// `lv = malloc(Struct);`
+    Malloc(LValue, String),
+    /// `lv = f(args);` or `f(args);` — synchronous call. The callee is an
+    /// identifier that resolves either to a function (direct call) or to
+    /// a variable holding a function reference (indirect call).
+    Call { dest: Option<LValue>, callee: String, args: Vec<Expr> },
+    /// `async f(args);` — asynchronous call: fork a new thread.
+    Async { callee: String, args: Vec<Expr> },
+    /// `assert expr;`
+    Assert(Expr),
+    /// `assume expr;` — blocks until the expression is true.
+    Assume(Expr),
+    /// `atomic { ... }`
+    Atomic(Vec<Stmt>),
+    /// `if (expr) { ... } else { ... }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (expr) { ... }`
+    While(Expr, Vec<Stmt>),
+    /// `choice { ... [] ... [] ... }` — nondeterministic branch.
+    Choice(Vec<Vec<Stmt>>),
+    /// `iter { ... }` — execute the body a nondeterministic number of
+    /// times.
+    Iter(Vec<Stmt>),
+    /// `return;` / `return expr;`
+    Return(Option<Expr>),
+    /// `skip;`
+    Skip,
+    /// A bare `{ ... }` block.
+    Block(Vec<Stmt>),
+    /// `benign <stmt>` — the enclosed accesses are exempt from race
+    /// instrumentation (the paper's future-work annotation for benign
+    /// races).
+    Benign(Box<Stmt>),
+}
+
+impl Stmt {
+    /// Wraps a kind with a span.
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_pointer_predicate() {
+        assert!(Type::Ptr(Box::new(Type::Int)).is_pointer());
+        assert!(!Type::Int.is_pointer());
+        assert!(!Type::Named("D".into()).is_pointer());
+    }
+
+    #[test]
+    fn stmt_new_attaches_span() {
+        let s = Stmt::new(StmtKind::Skip, Span::new(4, 2));
+        assert_eq!(s.span, Span::new(4, 2));
+        assert_eq!(s.kind, StmtKind::Skip);
+    }
+}

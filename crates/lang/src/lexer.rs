@@ -1,0 +1,283 @@
+//! Hand-written lexer for KISS-C.
+//!
+//! Supports `//` line comments and `/* ... */` block comments. The
+//! `choice` branch separator is the paper's `[]` notation.
+
+use crate::span::Span;
+use crate::token::{Tok, Token};
+use crate::{LangError, LangErrorKind};
+
+/// Lexes `src` into a token vector terminated by [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on unknown characters, malformed numbers, or
+/// unterminated block comments.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { chars: src.chars().collect(), pos: 0, line: 1, col: 1, src }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> LangError {
+        LangError::new(LangErrorKind::Lex, msg, Some(self.span()))
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                out.push(Token { tok: Tok::Eof, span });
+                return Ok(out);
+            };
+            let tok = match c {
+                'a'..='z' | 'A'..='Z' | '_' => self.lex_word(),
+                '0'..='9' => self.lex_number()?,
+                _ => self.lex_symbol()?,
+            };
+            out.push(Token { tok, span });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LangError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.span();
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == '*' && self.peek() == Some('/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(LangError::new(
+                            LangErrorKind::Lex,
+                            "unterminated block comment",
+                            Some(start),
+                        ));
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_word(&mut self) -> Tok {
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Tok::keyword(&word).unwrap_or(Tok::Ident(word))
+    }
+
+    fn lex_number(&mut self) -> Result<Tok, LangError> {
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c);
+                self.bump();
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                return Err(self.error(format!("invalid digit `{c}` in number")));
+            } else {
+                break;
+            }
+        }
+        digits
+            .parse::<i64>()
+            .map(Tok::Int)
+            .map_err(|_| self.error(format!("integer literal `{digits}` out of range")))
+    }
+
+    fn lex_symbol(&mut self) -> Result<Tok, LangError> {
+        let c = self.bump().expect("caller checked peek");
+        let two = |lexer: &mut Self, next: char, yes: Tok, no: Tok| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            ';' => Tok::Semi,
+            ',' => Tok::Comma,
+            '+' => Tok::Plus,
+            '%' => Tok::Percent,
+            '*' => Tok::Star,
+            '[' => {
+                if self.peek() == Some(']') {
+                    self.bump();
+                    Tok::BranchSep
+                } else {
+                    return Err(self.error("expected `]` after `[` (choice separator is `[]`)"));
+                }
+            }
+            '-' => two(self, '>', Tok::Arrow, Tok::Minus),
+            '=' => two(self, '=', Tok::EqEq, Tok::Assign),
+            '!' => two(self, '=', Tok::NotEq, Tok::Bang),
+            '<' => two(self, '=', Tok::Le, Tok::Lt),
+            '>' => two(self, '=', Tok::Ge, Tok::Gt),
+            '&' => two(self, '&', Tok::AndAnd, Tok::Amp),
+            '|' => {
+                if self.peek() == Some('|') {
+                    self.bump();
+                    Tok::OrOr
+                } else {
+                    return Err(self.error("single `|` is not a KISS-C operator (did you mean `||`?)"));
+                }
+            }
+            other => {
+                let _ = self.src;
+                return Err(self.error(format!("unexpected character `{other}`")));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            toks("async foo iter"),
+            vec![Tok::KwAsync, Tok::Ident("foo".into()), Tok::KwIter, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("0 42 1234"), vec![Tok::Int(0), Tok::Int(42), Tok::Int(1234), Tok::Eof]);
+    }
+
+    #[test]
+    fn rejects_number_followed_by_letter() {
+        assert!(lex("12ab").is_err());
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            toks("== != <= >= && || -> []"),
+            vec![
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Arrow,
+                Tok::BranchSep,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_prefix_of_two_char_operators() {
+        assert_eq!(
+            toks("= ! < > & - *"),
+            vec![Tok::Assign, Tok::Bang, Tok::Lt, Tok::Gt, Tok::Amp, Tok::Minus, Tok::Star, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        assert_eq!(toks("a // hi\n b /* x\ny */ c"), vec![
+            Tok::Ident("a".into()),
+            Tok::Ident("b".into()),
+            Tok::Ident("c".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_an_error() {
+        let err = lex("x /* oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_single_pipe_and_lone_bracket() {
+        assert!(lex("a | b").is_err());
+        assert!(lex("a [ b").is_err());
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!(tokens[0].span, Span::new(1, 1));
+        assert_eq!(tokens[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(lex("#").is_err());
+    }
+}

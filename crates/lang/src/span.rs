@@ -1,0 +1,71 @@
+//! Source locations attached to tokens and AST nodes.
+
+/// A line/column position in the source text (both 1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at the given line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+
+    /// The placeholder span used for synthesized nodes.
+    pub fn synthetic() -> Self {
+        Span { line: 0, col: 0 }
+    }
+
+    /// Whether this span was synthesized rather than read from source.
+    pub fn is_synthetic(&self) -> bool {
+        self.line == 0
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A value paired with the source span it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Spanned<T> {
+    /// The wrapped value.
+    pub node: T,
+    /// Where it appeared.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pairs `node` with `span`.
+    pub fn new(node: T, span: Span) -> Self {
+        Spanned { node, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_spans_are_recognised() {
+        assert!(Span::synthetic().is_synthetic());
+        assert!(!Span::new(1, 1).is_synthetic());
+    }
+
+    #[test]
+    fn display_is_line_colon_col() {
+        assert_eq!(Span::new(12, 5).to_string(), "12:5");
+    }
+
+    #[test]
+    fn spans_order_by_line_then_col() {
+        assert!(Span::new(1, 9) < Span::new(2, 1));
+        assert!(Span::new(2, 1) < Span::new(2, 2));
+    }
+}

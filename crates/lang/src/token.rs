@@ -1,0 +1,176 @@
+//! Token definitions for the KISS-C lexer.
+
+use crate::span::Span;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    // Literals and identifiers.
+    /// Integer literal.
+    Int(i64),
+    /// Identifier (variable, function, struct or field name).
+    Ident(String),
+
+    // Keywords.
+    KwStruct,
+    KwInt,
+    KwBool,
+    KwVoid,
+    KwFn,
+    KwTrue,
+    KwFalse,
+    KwNull,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwChoice,
+    KwIter,
+    KwAtomic,
+    KwAssert,
+    KwAssume,
+    KwAsync,
+    KwReturn,
+    KwSkip,
+    KwMalloc,
+    KwBenign,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Assign,
+    /// `[]` separating `choice` branches (paper notation).
+    BranchSep,
+    Arrow,
+    Amp,
+    Star,
+    Plus,
+    Minus,
+    Percent,
+    Bang,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+
+    /// End of input sentinel.
+    Eof,
+}
+
+impl Tok {
+    /// A short human-readable rendering used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Int(n) => format!("integer `{n}`"),
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::KwStruct => "`struct`".into(),
+            Tok::KwInt => "`int`".into(),
+            Tok::KwBool => "`bool`".into(),
+            Tok::KwVoid => "`void`".into(),
+            Tok::KwFn => "`fn`".into(),
+            Tok::KwTrue => "`true`".into(),
+            Tok::KwFalse => "`false`".into(),
+            Tok::KwNull => "`null`".into(),
+            Tok::KwIf => "`if`".into(),
+            Tok::KwElse => "`else`".into(),
+            Tok::KwWhile => "`while`".into(),
+            Tok::KwChoice => "`choice`".into(),
+            Tok::KwIter => "`iter`".into(),
+            Tok::KwAtomic => "`atomic`".into(),
+            Tok::KwAssert => "`assert`".into(),
+            Tok::KwAssume => "`assume`".into(),
+            Tok::KwAsync => "`async`".into(),
+            Tok::KwReturn => "`return`".into(),
+            Tok::KwSkip => "`skip`".into(),
+            Tok::KwMalloc => "`malloc`".into(),
+            Tok::KwBenign => "`benign`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Assign => "`=`".into(),
+            Tok::BranchSep => "`[]`".into(),
+            Tok::Arrow => "`->`".into(),
+            Tok::Amp => "`&`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Percent => "`%`".into(),
+            Tok::Bang => "`!`".into(),
+            Tok::EqEq => "`==`".into(),
+            Tok::NotEq => "`!=`".into(),
+            Tok::Lt => "`<`".into(),
+            Tok::Le => "`<=`".into(),
+            Tok::Gt => "`>`".into(),
+            Tok::Ge => "`>=`".into(),
+            Tok::AndAnd => "`&&`".into(),
+            Tok::OrOr => "`||`".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+
+    /// Resolves a word to its keyword token, if it is one.
+    pub fn keyword(word: &str) -> Option<Tok> {
+        Some(match word {
+            "struct" => Tok::KwStruct,
+            "int" => Tok::KwInt,
+            "bool" => Tok::KwBool,
+            "void" => Tok::KwVoid,
+            "fn" => Tok::KwFn,
+            "true" => Tok::KwTrue,
+            "false" => Tok::KwFalse,
+            "null" => Tok::KwNull,
+            "if" => Tok::KwIf,
+            "else" => Tok::KwElse,
+            "while" => Tok::KwWhile,
+            "choice" => Tok::KwChoice,
+            "iter" => Tok::KwIter,
+            "atomic" => Tok::KwAtomic,
+            "assert" => Tok::KwAssert,
+            "assume" => Tok::KwAssume,
+            "async" => Tok::KwAsync,
+            "return" => Tok::KwReturn,
+            "skip" => Tok::KwSkip,
+            "malloc" => Tok::KwMalloc,
+            "benign" => Tok::KwBenign,
+            _ => return None,
+        })
+    }
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// Where it starts in the source.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(Tok::keyword("choice"), Some(Tok::KwChoice));
+        assert_eq!(Tok::keyword("asynchronously"), None);
+    }
+
+    #[test]
+    fn describe_renders_all_flavours() {
+        assert_eq!(Tok::Int(3).describe(), "integer `3`");
+        assert_eq!(Tok::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(Tok::BranchSep.describe(), "`[]`");
+        assert_eq!(Tok::Eof.describe(), "end of input");
+    }
+}

@@ -1,0 +1,127 @@
+//! Well-formedness checks over the core IR.
+//!
+//! The paper requires (Section 3) that the statement `s` in `atomic{s}`
+//! is free of function calls (synchronous and asynchronous), `return`
+//! statements, and nested `atomic` statements. This module enforces
+//! those restrictions plus a few sanity rules used by the engines.
+
+use crate::hir::{Program, Stmt, StmtKind};
+use crate::span::Span;
+use crate::{LangError, LangErrorKind};
+
+/// Checks a core program for well-formedness.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check(program: &Program) -> Result<(), LangError> {
+    for func in &program.funcs {
+        check_stmt(&func.body, &func.name, false)?;
+    }
+    if program.funcs.is_empty() {
+        return Err(error("program has no functions"));
+    }
+    if program.main.0 as usize >= program.funcs.len() {
+        return Err(error("main function id out of range"));
+    }
+    Ok(())
+}
+
+fn error(msg: impl Into<String>) -> LangError {
+    LangError::new(LangErrorKind::WellFormedness, msg, None)
+}
+
+fn error_at(msg: impl Into<String>, span: Span) -> LangError {
+    let span = if span.is_synthetic() { None } else { Some(span) };
+    LangError::new(LangErrorKind::WellFormedness, msg, span)
+}
+
+fn check_stmt(s: &Stmt, func: &str, in_atomic: bool) -> Result<(), LangError> {
+    match &s.kind {
+        StmtKind::Atomic(inner) => {
+            if in_atomic {
+                return Err(error_at(format!("nested `atomic` in `{func}`"), s.span));
+            }
+            check_stmt(inner, func, true)
+        }
+        StmtKind::Call { .. } if in_atomic => {
+            Err(error_at(format!("function call inside `atomic` in `{func}`"), s.span))
+        }
+        StmtKind::Async { .. } if in_atomic => {
+            Err(error_at(format!("asynchronous call inside `atomic` in `{func}`"), s.span))
+        }
+        StmtKind::Return(_) if in_atomic => {
+            Err(error_at(format!("`return` inside `atomic` in `{func}`"), s.span))
+        }
+        StmtKind::Seq(ss) | StmtKind::Choice(ss) => {
+            if matches!(s.kind, StmtKind::Choice(_)) && ss.is_empty() {
+                return Err(error_at(format!("empty `choice` in `{func}`"), s.span));
+            }
+            for inner in ss {
+                check_stmt(inner, func, in_atomic)?;
+            }
+            Ok(())
+        }
+        StmtKind::Iter(inner) => check_stmt(inner, func, in_atomic),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_and_lower;
+
+    #[test]
+    fn accepts_paper_style_atomic_blocks() {
+        assert!(parse_and_lower(
+            "int l; void main() { int *p; int v; p = &l; atomic { assume *p == 0; *p = 1; } atomic { *p = 0; } }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_call_in_atomic() {
+        let e = parse_and_lower("void f() { skip; } void main() { atomic { f(); } }").unwrap_err();
+        assert!(e.message.contains("call inside `atomic`"));
+    }
+
+    #[test]
+    fn rejects_async_in_atomic() {
+        let e = parse_and_lower("void f() { skip; } void main() { atomic { async f(); } }").unwrap_err();
+        assert!(e.message.contains("asynchronous call inside `atomic`"));
+    }
+
+    #[test]
+    fn rejects_return_in_atomic() {
+        let e = parse_and_lower("void main() { atomic { return; } }").unwrap_err();
+        assert!(e.message.contains("`return` inside `atomic`"));
+    }
+
+    #[test]
+    fn rejects_nested_atomic() {
+        let e = parse_and_lower("void main() { atomic { atomic { skip; } } }").unwrap_err();
+        assert!(e.message.contains("nested `atomic`"));
+    }
+
+    #[test]
+    fn rejects_empty_choice() {
+        // The parser can produce a single empty branch: `choice { }`.
+        let p = parse_and_lower("void main() { choice { } }");
+        // A single empty branch lowers to one Skip branch, which is fine;
+        // choice with zero branches can only be built programmatically.
+        assert!(p.is_ok());
+        let mut prog = p.unwrap();
+        let main = prog.main;
+        prog.func_mut(main).body =
+            crate::hir::Stmt::synth(crate::hir::StmtKind::Choice(vec![]), crate::hir::Origin::User);
+        assert!(super::check(&prog).is_err());
+    }
+
+    #[test]
+    fn atomic_containing_choice_and_iter_is_allowed() {
+        assert!(parse_and_lower(
+            "int x; void main() { atomic { choice { x = 1; [] x = 2; } iter { x = x + 1; } } }"
+        )
+        .is_ok());
+    }
+}

@@ -1,0 +1,321 @@
+//! Breadth-first variant of the explicit-state checker: finds a
+//! counterexample of **minimal branch depth**.
+//!
+//! The DFS engine ([`crate::explicit`]) returns the first error it
+//! stumbles into, which can be needlessly long; model checkers like
+//! SLAM put effort into short traces because humans read them. This
+//! engine explores configurations in breadth-first order over
+//! *decision points* (nondeterministic branches and loop entries) and
+//! reconstructs the trace through a parent map.
+//!
+//! The BFS frontier stores whole configurations, so it trades memory
+//! for trace quality; prefer the DFS engine for pure verdicts.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use kiss_exec::{eval, Env as _, Instr, Module, Value};
+
+use crate::budget::{Budget, Usage};
+use crate::config::{Config, Frame, SeqEnv};
+use crate::explicit::resolve_target;
+use crate::verdict::{ErrorTrace, TraceStep, Verdict};
+
+/// The breadth-first checker.
+#[derive(Debug, Clone, Copy)]
+pub struct BfsChecker<'a> {
+    module: &'a Module,
+    budget: Budget,
+}
+
+impl<'a> BfsChecker<'a> {
+    /// Creates a checker over a lowered module.
+    pub fn new(module: &'a Module) -> Self {
+        BfsChecker { module, budget: Budget::default() }
+    }
+
+    /// Replaces the budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Runs the check; a `Fail` verdict carries a minimal-depth trace.
+    pub fn check(&self) -> Verdict {
+        let mut usage = Usage::default();
+        let mut visited: HashSet<(u64, u64)> = HashSet::new();
+        // Parent map over decision points: child fingerprint →
+        // (parent fingerprint, steps taken between them).
+        let mut parents: HashMap<(u64, u64), ((u64, u64), Vec<TraceStep>)> = HashMap::new();
+        let root = Config::initial(self.module);
+        let root_fp = root.fingerprint();
+        visited.insert(root_fp);
+        let mut frontier: VecDeque<(Config, (u64, u64))> = VecDeque::new();
+        frontier.push_back((root, root_fp));
+
+        while let Some((config, fp)) = frontier.pop_front() {
+            // Run the segment to the next decision point (or to an
+            // end), collecting its steps.
+            match self.run_segment(config, &mut usage) {
+                SegmentEnd::Budget => {
+                    return Verdict::ResourceBound { steps: usage.steps, states: usage.states }
+                }
+                SegmentEnd::Error(verdict_steps, mk) => {
+                    let trace = self.reconstruct(&parents, fp, verdict_steps);
+                    return mk(trace);
+                }
+                SegmentEnd::Done => {}
+                SegmentEnd::Branch(steps, alternatives) => {
+                    for alt in alternatives {
+                        let afp = alt.fingerprint();
+                        if visited.insert(afp) {
+                            usage.states = visited.len();
+                            parents.insert(afp, (fp, steps.clone()));
+                            frontier.push_back((alt, afp));
+                        }
+                    }
+                }
+            }
+            if usage.exceeded(&self.budget) {
+                return Verdict::ResourceBound { steps: usage.steps, states: usage.states };
+            }
+        }
+        Verdict::Pass
+    }
+
+    fn reconstruct(
+        &self,
+        parents: &HashMap<(u64, u64), ((u64, u64), Vec<TraceStep>)>,
+        mut fp: (u64, u64),
+        tail: Vec<TraceStep>,
+    ) -> ErrorTrace {
+        let mut segments = vec![tail];
+        while let Some((parent, steps)) = parents.get(&fp) {
+            segments.push(steps.clone());
+            fp = *parent;
+        }
+        segments.reverse();
+        ErrorTrace { steps: segments.concat(), globals: Vec::new() }
+    }
+
+    /// Runs deterministically until the next NondetJump (returning the
+    /// successor configs), an error, an end, or the budget.
+    fn run_segment(&self, mut config: Config, usage: &mut Usage) -> SegmentEnd {
+        let mut steps: Vec<TraceStep> = Vec::new();
+        loop {
+            let Some(frame) = config.stack.last() else {
+                return SegmentEnd::Done;
+            };
+            usage.steps += 1;
+            if usage.steps > self.budget.max_steps {
+                return SegmentEnd::Budget;
+            }
+            let func = frame.func;
+            let pc = frame.pc;
+            let body = self.module.body(func);
+            let meta = body.meta[pc];
+            steps.push(TraceStep { func, pc, origin: meta.origin, span: meta.span });
+            let instr = body.instrs[pc].clone();
+            match instr {
+                Instr::Assign(place, rv) => {
+                    let mut env = SeqEnv { module: self.module, config: &mut config };
+                    if let Err(e) = eval::exec_assign(&mut env, &place, &rv) {
+                        return SegmentEnd::Error(
+                            steps,
+                            Box::new(move |t| Verdict::RuntimeError(e.clone(), t)),
+                        );
+                    }
+                    config.stack.last_mut().expect("nonempty").pc += 1;
+                }
+                Instr::Assert(cond) => {
+                    let env = SeqEnv { module: self.module, config: &mut config };
+                    match eval::eval_cond(&env, &cond) {
+                        Ok(true) => config.stack.last_mut().expect("nonempty").pc += 1,
+                        Ok(false) => return SegmentEnd::Error(steps, Box::new(Verdict::Fail)),
+                        Err(e) => {
+                            return SegmentEnd::Error(
+                                steps,
+                                Box::new(move |t| Verdict::RuntimeError(e.clone(), t)),
+                            )
+                        }
+                    }
+                }
+                Instr::Assume(cond) => {
+                    let env = SeqEnv { module: self.module, config: &mut config };
+                    match eval::eval_cond(&env, &cond) {
+                        Ok(true) => config.stack.last_mut().expect("nonempty").pc += 1,
+                        Ok(false) => return SegmentEnd::Done,
+                        Err(e) => {
+                            return SegmentEnd::Error(
+                                steps,
+                                Box::new(move |t| Verdict::RuntimeError(e.clone(), t)),
+                            )
+                        }
+                    }
+                }
+                Instr::Call { dest, target, args } => {
+                    let callee = {
+                        let env = SeqEnv { module: self.module, config: &mut config };
+                        match resolve_target(&env, target) {
+                            Ok(f) => f,
+                            Err(e) => {
+                                return SegmentEnd::Error(
+                                    steps,
+                                    Box::new(move |t| Verdict::RuntimeError(e.clone(), t)),
+                                )
+                            }
+                        }
+                    };
+                    let arg_vals: Vec<Value> = {
+                        let env = SeqEnv { module: self.module, config: &mut config };
+                        args.iter().map(|a| eval::eval_operand(&env, a)).collect()
+                    };
+                    config.stack.last_mut().expect("nonempty").pc += 1;
+                    config.stack.push(Frame::enter(self.module, callee, &arg_vals, dest));
+                }
+                Instr::Async { .. } => {
+                    let e = kiss_exec::ExecError::AsyncInSequential;
+                    return SegmentEnd::Error(
+                        steps,
+                        Box::new(move |t| Verdict::RuntimeError(e.clone(), t)),
+                    );
+                }
+                Instr::Return(op) => {
+                    let ret = {
+                        let env = SeqEnv { module: self.module, config: &mut config };
+                        op.map(|o| eval::eval_operand(&env, &o)).unwrap_or(Value::Null)
+                    };
+                    let finished = config.stack.pop().expect("nonempty");
+                    if config.stack.is_empty() {
+                        return SegmentEnd::Done;
+                    }
+                    if let Some(dest) = finished.dest {
+                        let mut env = SeqEnv { module: self.module, config: &mut config };
+                        match eval::place_addr(&env, &dest).and_then(|a| env.write_addr(a, ret)) {
+                            Ok(()) => {}
+                            Err(e) => {
+                                return SegmentEnd::Error(
+                                    steps,
+                                    Box::new(move |t| Verdict::RuntimeError(e.clone(), t)),
+                                )
+                            }
+                        }
+                    }
+                }
+                Instr::Jump(t) => {
+                    config.stack.last_mut().expect("nonempty").pc = t;
+                }
+                Instr::NondetJump(targets) => {
+                    let mut alts = Vec::with_capacity(targets.len());
+                    for t in targets {
+                        let mut alt = config.clone();
+                        alt.stack.last_mut().expect("nonempty").pc = t;
+                        alts.push(alt);
+                    }
+                    return SegmentEnd::Branch(steps, alts);
+                }
+                Instr::AtomicBegin | Instr::AtomicEnd => {
+                    config.stack.last_mut().expect("nonempty").pc += 1;
+                }
+            }
+        }
+    }
+}
+
+enum SegmentEnd {
+    /// Segment finished (termination or pruned assume).
+    Done,
+    /// Hit a nondeterministic branch: successor configurations.
+    Branch(Vec<TraceStep>, Vec<Config>),
+    /// An error; the closure builds the verdict from the full trace.
+    Error(Vec<TraceStep>, Box<dyn FnOnce(ErrorTrace) -> Verdict>),
+    /// Out of budget.
+    Budget,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::ExplicitChecker;
+    use kiss_lang::parse_and_lower;
+
+    fn module(src: &str) -> Module {
+        Module::lower(parse_and_lower(src).unwrap())
+    }
+
+    #[test]
+    fn agrees_with_dfs_on_verdicts() {
+        let corpus = [
+            ("int g; void main() { g = 1; assert g == 1; }", false),
+            ("int g; void main() { g = 1; assert g == 2; }", true),
+            ("int g; void main() { choice { g = 1; [] g = 2; } assert g == 1; }", true),
+            ("int g; void main() { iter { g = g + 1; assume g <= 3; } assert g <= 3; }", false),
+            ("int g; void main() { iter { g = g + 1; assume g <= 3; } assert g < 3; }", true),
+        ];
+        for (src, fails) in corpus {
+            let m = module(src);
+            let bfs = BfsChecker::new(&m).check();
+            let dfs = ExplicitChecker::new(&m).check();
+            assert_eq!(bfs.is_fail(), fails, "bfs on {src}: {bfs:?}");
+            assert_eq!(dfs.is_fail(), fails, "dfs on {src}: {dfs:?}");
+        }
+    }
+
+    #[test]
+    fn finds_a_trace_no_longer_than_dfs() {
+        // The bug is reachable immediately via the second branch, but a
+        // DFS taking first branches first wanders through the loop.
+        let src = "
+            int g;
+            void main() {
+                choice {
+                    iter { g = g + 1; assume g <= 30; }
+                    g = 99;
+                []
+                    g = 99;
+                }
+                assert g != 99;
+            }
+        ";
+        let m = module(src);
+        let Verdict::Fail(bfs_trace) = BfsChecker::new(&m).check() else { panic!("bfs") };
+        let Verdict::Fail(dfs_trace) = ExplicitChecker::new(&m).check() else { panic!("dfs") };
+        assert!(
+            bfs_trace.steps.len() <= dfs_trace.steps.len(),
+            "bfs {} vs dfs {}",
+            bfs_trace.steps.len(),
+            dfs_trace.steps.len()
+        );
+        // And the BFS trace is genuinely short: straight to the second
+        // branch.
+        assert!(bfs_trace.steps.len() < 12, "{}", bfs_trace.steps.len());
+    }
+
+    #[test]
+    fn reconstructed_trace_ends_at_the_assert() {
+        let src = "int g; void main() { choice { g = 1; [] g = 2; } assert g == 1; }";
+        let m = module(src);
+        let Verdict::Fail(trace) = BfsChecker::new(&m).check() else { panic!() };
+        let last = trace.steps.last().unwrap();
+        assert!(matches!(m.body(last.func).instrs[last.pc], Instr::Assert(_)));
+        // The trace starts at pc 0 of main.
+        assert_eq!(trace.steps.first().unwrap().pc, 0);
+    }
+
+    #[test]
+    fn budget_trips() {
+        let m = module("int g; void main() { iter { g = g + 1; } }");
+        let v = BfsChecker::new(&m).with_budget(Budget { max_steps: 5_000, max_states: 200 }).check();
+        assert!(v.is_inconclusive(), "{v:?}");
+    }
+
+    #[test]
+    fn works_through_calls() {
+        let src = "
+            int g;
+            int pick() { choice { return 1; [] return 2; } }
+            void main() { int x; x = pick(); g = x; assert g == 1; }
+        ";
+        let m = module(src);
+        assert!(BfsChecker::new(&m).check().is_fail());
+    }
+}

@@ -1,0 +1,74 @@
+//! Resource budgets.
+//!
+//! The paper runs each per-field race check under "a resource bound of
+//! 20 minutes of CPU time and 800MB of memory"; checks that exceed it
+//! are reported as inconclusive (neither "race" nor "no race" in
+//! Table 1). We bound steps and distinct visited states instead, which
+//! is deterministic and machine-independent.
+
+/// Execution budget for one check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum number of executed instructions across the whole search.
+    pub max_steps: u64,
+    /// Maximum number of distinct visited states.
+    pub max_states: usize,
+}
+
+impl Budget {
+    /// A budget large enough for all the bundled examples.
+    pub fn generous() -> Self {
+        Budget { max_steps: 50_000_000, max_states: 4_000_000 }
+    }
+
+    /// A small budget for unit tests.
+    pub fn small() -> Self {
+        Budget { max_steps: 100_000, max_states: 20_000 }
+    }
+
+    /// An unlimited budget (use only on known-finite programs).
+    pub fn unlimited() -> Self {
+        Budget { max_steps: u64::MAX, max_states: usize::MAX }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::generous()
+    }
+}
+
+/// Running totals checked against a [`Budget`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Usage {
+    /// Instructions executed.
+    pub steps: u64,
+    /// Distinct states recorded.
+    pub states: usize,
+}
+
+impl Usage {
+    /// Whether the usage exceeds the budget.
+    pub fn exceeded(&self, budget: &Budget) -> bool {
+        self.steps > budget.max_steps || self.states > budget.max_states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exceeded_checks_both_axes() {
+        let b = Budget { max_steps: 10, max_states: 5 };
+        assert!(!Usage { steps: 10, states: 5 }.exceeded(&b));
+        assert!(Usage { steps: 11, states: 0 }.exceeded(&b));
+        assert!(Usage { steps: 0, states: 6 }.exceeded(&b));
+    }
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(Budget::small().max_steps < Budget::generous().max_steps);
+        assert!(Budget::generous().max_steps < Budget::unlimited().max_steps);
+    }
+}

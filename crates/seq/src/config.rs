@@ -1,0 +1,233 @@
+//! The sequential execution configuration: shared memory plus a single
+//! call stack.
+
+use std::hash::{Hash, Hasher};
+
+use kiss_exec::{Addr, Env, ExecError, Memory, Module, Value};
+use kiss_lang::hir::{FuncId, LocalId, Place, VarRef};
+
+/// One stack frame.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Frame {
+    /// The executing function.
+    pub func: FuncId,
+    /// Program counter into the function's lowered body.
+    pub pc: usize,
+    /// Local variable values (parameters first).
+    pub locals: Vec<Value>,
+    /// Where the caller wants the return value stored (resolved in the
+    /// caller's frame after this one pops).
+    pub dest: Option<Place>,
+}
+
+impl Frame {
+    /// A frame entering `func` with the given arguments; remaining
+    /// locals are defaulted per their declared types.
+    pub fn enter(module: &Module, func: FuncId, args: &[Value], dest: Option<Place>) -> Frame {
+        let def = module.program.func(func);
+        let mut locals: Vec<Value> = Vec::with_capacity(def.locals.len());
+        for (i, l) in def.locals.iter().enumerate() {
+            if i < args.len() {
+                locals.push(args[i]);
+            } else {
+                locals.push(Value::default_for(l.ty.as_ref()));
+            }
+        }
+        Frame { func, pc: 0, locals, dest }
+    }
+}
+
+/// The whole sequential state: memory plus the call stack.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Config {
+    /// Globals and heap.
+    pub mem: Memory,
+    /// Call stack; the last frame is executing.
+    pub stack: Vec<Frame>,
+}
+
+impl Config {
+    /// The initial configuration: initialized globals, empty heap, one
+    /// frame entering `main`.
+    pub fn initial(module: &Module) -> Config {
+        Config {
+            mem: Memory::initial(&module.program),
+            stack: vec![Frame::enter(module, module.program.main, &[], None)],
+        }
+    }
+
+    /// A 128-bit fingerprint for visited-state hashing.
+    pub fn fingerprint(&self) -> (u64, u64) {
+        let mut h1 = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h1);
+        let mut h2 = std::collections::hash_map::DefaultHasher::new();
+        0xDEAD_BEEFu64.hash(&mut h2);
+        self.hash(&mut h2);
+        (h1.finish(), h2.finish())
+    }
+}
+
+/// [`Env`] implementation: a module plus a mutable configuration.
+pub struct SeqEnv<'a> {
+    /// The lowered program.
+    pub module: &'a Module,
+    /// The configuration being stepped.
+    pub config: &'a mut Config,
+}
+
+impl SeqEnv<'_> {
+    fn top(&self) -> &Frame {
+        self.config.stack.last().expect("empty stack")
+    }
+
+    fn top_mut(&mut self) -> &mut Frame {
+        self.config.stack.last_mut().expect("empty stack")
+    }
+}
+
+impl Env for SeqEnv<'_> {
+    fn read_var(&self, v: VarRef) -> Value {
+        match v {
+            VarRef::Global(g) => self.config.mem.globals[g.0 as usize],
+            VarRef::Local(LocalId(l)) => self.top().locals[l as usize],
+        }
+    }
+
+    fn write_var(&mut self, v: VarRef, val: Value) {
+        match v {
+            VarRef::Global(g) => self.config.mem.globals[g.0 as usize] = val,
+            VarRef::Local(LocalId(l)) => self.top_mut().locals[l as usize] = val,
+        }
+    }
+
+    fn read_addr(&self, a: Addr) -> Result<Value, ExecError> {
+        match a {
+            Addr::Global(g) => Ok(self.config.mem.globals[g.0 as usize]),
+            Addr::Heap { obj, field } => self
+                .config
+                .mem
+                .heap
+                .get(obj as usize)
+                .and_then(|o| o.fields.get(field as usize))
+                .copied()
+                .ok_or(ExecError::BadField),
+            Addr::Local { tid: _, frame, local } => self
+                .config
+                .stack
+                .get(frame as usize)
+                .and_then(|f| f.locals.get(local as usize))
+                .copied()
+                .ok_or(ExecError::DanglingLocal),
+        }
+    }
+
+    fn write_addr(&mut self, a: Addr, val: Value) -> Result<(), ExecError> {
+        match a {
+            Addr::Global(g) => {
+                self.config.mem.globals[g.0 as usize] = val;
+                Ok(())
+            }
+            Addr::Heap { obj, field } => {
+                let cell = self
+                    .config
+                    .mem
+                    .heap
+                    .get_mut(obj as usize)
+                    .and_then(|o| o.fields.get_mut(field as usize))
+                    .ok_or(ExecError::BadField)?;
+                *cell = val;
+                Ok(())
+            }
+            Addr::Local { tid: _, frame, local } => {
+                let cell = self
+                    .config
+                    .stack
+                    .get_mut(frame as usize)
+                    .and_then(|f| f.locals.get_mut(local as usize))
+                    .ok_or(ExecError::DanglingLocal)?;
+                *cell = val;
+                Ok(())
+            }
+        }
+    }
+
+    fn addr_of_var(&self, v: VarRef) -> Addr {
+        match v {
+            VarRef::Global(g) => Addr::Global(g),
+            VarRef::Local(LocalId(l)) => Addr::Local {
+                tid: 0,
+                frame: (self.config.stack.len() - 1) as u32,
+                local: l,
+            },
+        }
+    }
+
+    fn malloc(&mut self, sid: kiss_lang::hir::StructId) -> u32 {
+        self.config.mem.malloc(&self.module.program, sid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kiss_lang::parse_and_lower;
+
+    fn module(src: &str) -> Module {
+        Module::lower(parse_and_lower(src).unwrap())
+    }
+
+    #[test]
+    fn initial_config_enters_main() {
+        let m = module("int g = 7; void main() { int x; bool b; skip; }");
+        let c = Config::initial(&m);
+        assert_eq!(c.stack.len(), 1);
+        assert_eq!(c.stack[0].func, m.program.main);
+        assert_eq!(c.stack[0].locals, vec![Value::Int(0), Value::Bool(false)]);
+        assert_eq!(c.mem.globals, vec![Value::Int(7)]);
+    }
+
+    #[test]
+    fn frame_enter_binds_args_then_defaults() {
+        let m = module("void f(int a, bool b) { int c; skip; } void main() { f(1, true); }");
+        let f = m.program.func_by_name("f").unwrap();
+        let fr = Frame::enter(&m, f, &[Value::Int(9), Value::Bool(true)], None);
+        assert_eq!(fr.locals, vec![Value::Int(9), Value::Bool(true), Value::Int(0)]);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_configs() {
+        let m = module("int g; void main() { g = 1; }");
+        let c1 = Config::initial(&m);
+        let mut c2 = c1.clone();
+        assert_eq!(c1.fingerprint(), c2.fingerprint());
+        c2.mem.globals[0] = Value::Int(1);
+        assert_ne!(c1.fingerprint(), c2.fingerprint());
+        let mut c3 = c1.clone();
+        c3.stack[0].pc = 1;
+        assert_ne!(c1.fingerprint(), c3.fingerprint());
+    }
+
+    #[test]
+    fn env_reads_and_writes_locals_and_globals() {
+        let m = module("int g; void main() { int x; skip; }");
+        let mut c = Config::initial(&m);
+        let mut env = SeqEnv { module: &m, config: &mut c };
+        env.write_var(VarRef::Global(kiss_lang::GlobalId(0)), Value::Int(5));
+        env.write_var(VarRef::Local(LocalId(0)), Value::Int(6));
+        assert_eq!(env.read_var(VarRef::Global(kiss_lang::GlobalId(0))), Value::Int(5));
+        assert_eq!(env.read_var(VarRef::Local(LocalId(0))), Value::Int(6));
+        // Address-of local points at the top frame.
+        let a = env.addr_of_var(VarRef::Local(LocalId(0)));
+        assert_eq!(env.read_addr(a), Ok(Value::Int(6)));
+    }
+
+    #[test]
+    fn dangling_local_read_is_an_error() {
+        let m = module("void main() { int x; skip; }");
+        let mut c = Config::initial(&m);
+        let mut env = SeqEnv { module: &m, config: &mut c };
+        let bad = Addr::Local { tid: 0, frame: 7, local: 0 };
+        assert_eq!(env.read_addr(bad), Err(ExecError::DanglingLocal));
+        assert_eq!(env.write_addr(bad, Value::Int(1)), Err(ExecError::DanglingLocal));
+    }
+}

@@ -1,0 +1,504 @@
+//! Explicit-state sequential model checker.
+//!
+//! Depth-first search over whole configurations (globals + heap + call
+//! stack) with visited-state fingerprinting. Sound and complete for
+//! finite-state sequential programs; budget-bounded otherwise. This is
+//! the engine KISS feeds the sequentialized program to, playing the
+//! role SLAM plays in the paper's Figure 1.
+
+use std::collections::HashSet;
+
+use kiss_exec::{eval, Env, Instr, Module, Value};
+use kiss_lang::hir::{CallTarget, FuncId};
+
+use crate::budget::{Budget, Usage};
+use crate::config::{Config, Frame, SeqEnv};
+use crate::verdict::{ErrorTrace, TraceStep, Verdict};
+
+/// The explicit-state checker.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplicitChecker<'a> {
+    module: &'a Module,
+    budget: Budget,
+}
+
+/// Statistics for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Instructions executed.
+    pub steps: u64,
+    /// Distinct fingerprinted states.
+    pub states: usize,
+    /// Complete paths explored (ended by return-from-main, prune, or
+    /// revisit).
+    pub paths: u64,
+}
+
+impl<'a> ExplicitChecker<'a> {
+    /// Creates a checker over a lowered module.
+    pub fn new(module: &'a Module) -> Self {
+        ExplicitChecker { module, budget: Budget::default() }
+    }
+
+    /// Replaces the budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Runs the check to the first assertion failure, runtime error,
+    /// exhaustion of the state space, or budget trip.
+    pub fn check(&self) -> Verdict {
+        self.check_with_stats().0
+    }
+
+    /// Like [`ExplicitChecker::check`], also returning search
+    /// statistics.
+    pub fn check_with_stats(&self) -> (Verdict, Stats) {
+        let mut search = Search {
+            module: self.module,
+            budget: self.budget,
+            usage: Usage::default(),
+            visited: HashSet::new(),
+            trace: Vec::new(),
+            pending: vec![(Config::initial(self.module), 0)],
+            paths: 0,
+        };
+        let verdict = search.run();
+        let stats = Stats { steps: search.usage.steps, states: search.usage.states, paths: search.paths };
+        (verdict, stats)
+    }
+}
+
+struct Search<'a> {
+    module: &'a Module,
+    budget: Budget,
+    usage: Usage,
+    visited: HashSet<(u64, u64)>,
+    trace: Vec<TraceStep>,
+    pending: Vec<(Config, usize)>,
+    paths: u64,
+}
+
+enum PathEnd {
+    /// Path finished without error (termination, prune, or revisit).
+    Done,
+    /// An error ends the whole search.
+    Stop(Verdict),
+}
+
+impl Search<'_> {
+    fn run(&mut self) -> Verdict {
+        while let Some((config, trace_len)) = self.pending.pop() {
+            self.trace.truncate(trace_len);
+            match self.run_path(config) {
+                PathEnd::Done => self.paths += 1,
+                PathEnd::Stop(v) => return v,
+            }
+        }
+        Verdict::Pass
+    }
+
+    /// Records a state fingerprint; returns `false` if it was already
+    /// visited (path should be pruned).
+    fn record(&mut self, config: &Config) -> bool {
+        if self.visited.insert(config.fingerprint()) {
+            self.usage.states = self.visited.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn step_meta(&self, config: &Config) -> TraceStep {
+        let frame = config.stack.last().expect("caller checked stack");
+        let body = self.module.body(frame.func);
+        let meta = body.meta[frame.pc];
+        TraceStep { func: frame.func, pc: frame.pc, origin: meta.origin, span: meta.span }
+    }
+
+    /// Runs one path to completion, pushing alternatives onto
+    /// `self.pending` at nondeterministic branch points.
+    fn run_path(&mut self, mut config: Config) -> PathEnd {
+        loop {
+            let Some(frame) = config.stack.last() else {
+                return PathEnd::Done; // program finished
+            };
+            self.usage.steps += 1;
+            if self.usage.exceeded(&self.budget) {
+                return PathEnd::Stop(Verdict::ResourceBound {
+                    steps: self.usage.steps,
+                    states: self.usage.states,
+                });
+            }
+            let func = frame.func;
+            let pc = frame.pc;
+            let instr = self.module.body(func).instrs[pc].clone();
+            self.trace.push(self.step_meta(&config));
+
+            match instr {
+                Instr::Assign(place, rv) => {
+                    let mut env = SeqEnv { module: self.module, config: &mut config };
+                    if let Err(e) = eval::exec_assign(&mut env, &place, &rv) {
+                        return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config)));
+                    }
+                    config.stack.last_mut().expect("nonempty").pc += 1;
+                }
+                Instr::Assert(cond) => {
+                    let mut env = SeqEnv { module: self.module, config: &mut config };
+                    match eval::eval_cond(&mut env, &cond) {
+                        Ok(true) => config.stack.last_mut().expect("nonempty").pc += 1,
+                        Ok(false) => return PathEnd::Stop(Verdict::Fail(self.snapshot(&config))),
+                        Err(e) => return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config))),
+                    }
+                }
+                Instr::Assume(cond) => {
+                    let mut env = SeqEnv { module: self.module, config: &mut config };
+                    match eval::eval_cond(&mut env, &cond) {
+                        Ok(true) => config.stack.last_mut().expect("nonempty").pc += 1,
+                        Ok(false) => return PathEnd::Done, // pruned path
+                        Err(e) => return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config))),
+                    }
+                }
+                Instr::Call { dest, target, args } => {
+                    if !self.record(&config) {
+                        return PathEnd::Done;
+                    }
+                    let callee = {
+                        let env = SeqEnv { module: self.module, config: &mut config };
+                        match resolve_target(&env, target) {
+                            Ok(f) => f,
+                            Err(e) => return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config))),
+                        }
+                    };
+                    let def = self.module.program.func(callee);
+                    if def.param_count as usize != args.len() {
+                        let e = kiss_exec::ExecError::ArityMismatch {
+                            func: callee,
+                            expected: def.param_count,
+                            got: args.len() as u32,
+                        };
+                        return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config)));
+                    }
+                    let arg_vals: Vec<Value> = {
+                        let env = SeqEnv { module: self.module, config: &mut config };
+                        args.iter().map(|a| eval::eval_operand(&env, a)).collect()
+                    };
+                    // Advance the caller past the call before pushing.
+                    config.stack.last_mut().expect("nonempty").pc += 1;
+                    config.stack.push(Frame::enter(self.module, callee, &arg_vals, dest));
+                }
+                Instr::Async { .. } => {
+                    return PathEnd::Stop(Verdict::RuntimeError(
+                        kiss_exec::ExecError::AsyncInSequential,
+                        self.snapshot(&config),
+                    ));
+                }
+                Instr::Return(op) => {
+                    let ret_val = {
+                        let env = SeqEnv { module: self.module, config: &mut config };
+                        op.map(|o| eval::eval_operand(&env, &o)).unwrap_or(Value::Null)
+                    };
+                    let finished = config.stack.pop().expect("nonempty");
+                    if config.stack.is_empty() {
+                        return PathEnd::Done;
+                    }
+                    if let Some(dest) = finished.dest {
+                        let mut env = SeqEnv { module: self.module, config: &mut config };
+                        match eval::place_addr(&env, &dest) {
+                            Ok(addr) => {
+                                if let Err(e) = env.write_addr(addr, ret_val) {
+                                    return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config)));
+                                }
+                            }
+                            Err(e) => return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config))),
+                        }
+                    }
+                }
+                Instr::Jump(target) => {
+                    // No visited check here: every cycle in lowered code
+                    // passes through a NondetJump (the `iter` header) or
+                    // a Call, which record states.
+                    config.stack.last_mut().expect("nonempty").pc = target;
+                }
+                Instr::NondetJump(targets) => {
+                    if !self.record(&config) {
+                        return PathEnd::Done;
+                    }
+                    match targets.len() {
+                        0 => return PathEnd::Done, // no branch: dead end
+                        _ => {
+                            for &alt in targets.iter().skip(1).rev() {
+                                let mut alt_config = config.clone();
+                                alt_config.stack.last_mut().expect("nonempty").pc = alt;
+                                self.pending.push((alt_config, self.trace.len()));
+                            }
+                            config.stack.last_mut().expect("nonempty").pc = targets[0];
+                        }
+                    }
+                }
+                Instr::AtomicBegin | Instr::AtomicEnd => {
+                    // Atomicity is vacuous sequentially.
+                    config.stack.last_mut().expect("nonempty").pc += 1;
+                }
+            }
+        }
+    }
+
+    fn snapshot(&self, config: &Config) -> ErrorTrace {
+        ErrorTrace { steps: self.trace.clone(), globals: config.mem.globals.clone() }
+    }
+}
+
+/// Resolves a call target to a function id.
+pub(crate) fn resolve_target(env: &impl Env, target: CallTarget) -> Result<FuncId, kiss_exec::ExecError> {
+    match target {
+        CallTarget::Direct(f) => Ok(f),
+        CallTarget::Indirect(v) => match env.read_var(v) {
+            Value::Fn(f) => Ok(f),
+            other => Err(kiss_exec::ExecError::NotAFunction { found: other.type_name() }),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kiss_lang::parse_and_lower;
+
+    fn check(src: &str) -> Verdict {
+        let module = Module::lower(parse_and_lower(src).unwrap());
+        ExplicitChecker::new(&module).check()
+    }
+
+    #[test]
+    fn passing_program_passes() {
+        assert!(check("int g; void main() { g = 1; assert g == 1; }").is_pass());
+    }
+
+    #[test]
+    fn failing_assert_is_found() {
+        let v = check("int g; void main() { g = 1; assert g == 2; }");
+        assert!(v.is_fail(), "{v:?}");
+    }
+
+    #[test]
+    fn failure_hidden_behind_choice_is_found() {
+        let v = check("int g; void main() { choice { g = 1; [] g = 2; } assert g == 1; }");
+        assert!(v.is_fail());
+    }
+
+    #[test]
+    fn assume_prunes_paths() {
+        // Both branches assign, but the failing branch is pruned by an
+        // assume.
+        let v = check(
+            "int g; bool c; void main() { c = false; choice { assume c; g = 2; [] assume !c; g = 1; } assert g == 1; }",
+        );
+        assert!(v.is_pass(), "{v:?}");
+    }
+
+    #[test]
+    fn iter_explores_bounded_loops() {
+        // g can be incremented any number of times; assert g < 3 must
+        // fail on the path with 3 iterations.
+        let v = check("int g; void main() { iter { g = g + 1; assume g <= 3; } assert g < 3; }");
+        assert!(v.is_fail());
+    }
+
+    #[test]
+    fn revisited_states_are_pruned_so_infinite_loops_terminate() {
+        // Without state hashing this loop never terminates: g toggles
+        // between 0 and 1 forever.
+        let v = check("int g; void main() { iter { g = 1 - g; } assert g <= 1; }");
+        assert!(v.is_pass());
+    }
+
+    #[test]
+    fn calls_bind_parameters_and_return_values() {
+        let v = check(
+            "int add(int a, int b) { int r; r = a + b; return r; }
+             void main() { int x; x = add(2, 3); assert x == 5; }",
+        );
+        assert!(v.is_pass(), "{v:?}");
+    }
+
+    #[test]
+    fn recursion_terminates_via_state_hashing_or_fails() {
+        // Finite-state recursion: f flips g then recurses; states
+        // repeat, so the search terminates.
+        let v = check(
+            "bool g; void f() { g = !g; if (g) { f(); } }
+             void main() { f(); assert !g || g; }",
+        );
+        assert!(v.is_pass(), "{v:?}");
+    }
+
+    #[test]
+    fn indirect_calls_resolve_through_variables() {
+        let v = check(
+            "int g; void work() { g = 9; }
+             void main() { fn f; f = work; f(); assert g == 9; }",
+        );
+        assert!(v.is_pass(), "{v:?}");
+    }
+
+    #[test]
+    fn calling_null_is_a_runtime_error() {
+        let v = check("void main() { fn f; f(); }");
+        assert!(matches!(v, Verdict::RuntimeError(kiss_exec::ExecError::NotAFunction { .. }, _)), "{v:?}");
+    }
+
+    #[test]
+    fn async_is_rejected_sequentially() {
+        let v = check("void w() { skip; } void main() { async w(); }");
+        assert!(matches!(v, Verdict::RuntimeError(kiss_exec::ExecError::AsyncInSequential, _)));
+    }
+
+    #[test]
+    fn budget_trips_on_unbounded_counting() {
+        let module = Module::lower(
+            parse_and_lower("int g; void main() { iter { g = g + 1; } assert g >= 0; }").unwrap(),
+        );
+        let v = ExplicitChecker::new(&module)
+            .with_budget(Budget { max_steps: 10_000, max_states: 500 })
+            .check();
+        assert!(v.is_inconclusive(), "{v:?}");
+    }
+
+    #[test]
+    fn error_trace_leads_to_the_assert() {
+        let src = "int g; void main() { g = 1; g = 2; assert g == 1; }";
+        let module = Module::lower(parse_and_lower(src).unwrap());
+        let v = ExplicitChecker::new(&module).check();
+        let Verdict::Fail(trace) = v else { panic!("expected failure") };
+        // Last step is the assert itself.
+        let last = trace.steps.last().unwrap();
+        let body = module.body(module.program.main);
+        assert!(matches!(body.instrs[last.pc], Instr::Assert(_)));
+        // Trace contains both assignments before it.
+        assert!(trace.steps.len() >= 3);
+    }
+
+    #[test]
+    fn heap_state_is_part_of_the_search() {
+        let v = check(
+            "struct D { int x; }
+             void main() {
+                D *a;
+                D *b;
+                a = malloc(D);
+                b = malloc(D);
+                a->x = 1;
+                b->x = 2;
+                assert a->x == 1;
+                assert b->x == 2;
+             }",
+        );
+        assert!(v.is_pass(), "{v:?}");
+    }
+
+    #[test]
+    fn stats_count_steps_and_states() {
+        let module =
+            Module::lower(parse_and_lower("int g; void main() { choice { g = 1; [] g = 2; } }").unwrap());
+        let (v, stats) = ExplicitChecker::new(&module).check_with_stats();
+        assert!(v.is_pass());
+        assert!(stats.steps > 0);
+        assert!(stats.states > 0);
+        assert_eq!(stats.paths, 2);
+    }
+
+    #[test]
+    fn while_loop_with_condition_is_exact() {
+        let v = check(
+            "int g; void main() { int i; i = 0; while (i < 4) { i = i + 1; g = g + 2; } assert g == 8; }",
+        );
+        assert!(v.is_pass(), "{v:?}");
+    }
+
+    #[test]
+    fn dead_assume_after_while_exit() {
+        let v = check("void main() { int i; while (i < 2) { i = i + 1; } assert i == 2; }");
+        assert!(v.is_pass(), "{v:?}");
+    }
+}
+
+#[cfg(test)]
+mod pointer_tests {
+    use super::*;
+    use crate::budget::Budget;
+    use kiss_lang::parse_and_lower;
+
+    fn check(src: &str) -> Verdict {
+        let module = Module::lower(parse_and_lower(src).unwrap());
+        ExplicitChecker::new(&module).with_budget(Budget::small()).check()
+    }
+
+    #[test]
+    fn address_of_local_passed_to_callee_is_writable() {
+        // The callee writes through a pointer into the caller's frame.
+        let v = check(
+            "void set(int *p) { *p = 9; }
+             void main() { int x; int *q; q = &x; set(q); assert x == 9; }",
+        );
+        assert!(v.is_pass(), "{v:?}");
+    }
+
+    #[test]
+    fn pointer_into_popped_frame_is_dangling() {
+        // mk() returns the address of its own local; any later
+        // dereference is a runtime error, not silent garbage.
+        let v = check(
+            "int g;
+             int *mk() { int x; int *p; x = 5; p = &x; return p; }
+             void main() { int *q; int v; q = mk(); v = *q; g = v; }",
+        );
+        assert!(
+            matches!(v, Verdict::RuntimeError(kiss_exec::ExecError::DanglingLocal, _)),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn call_result_can_target_a_heap_field() {
+        let v = check(
+            "struct D { int x; }
+             int five() { return 5; }
+             void main() { D *e; e = malloc(D); e->x = five(); assert e->x == 5; }",
+        );
+        assert!(v.is_pass(), "{v:?}");
+    }
+
+    #[test]
+    fn deref_destination_of_call_result() {
+        let v = check(
+            "int g;
+             int five() { return 5; }
+             void main() { int *p; p = &g; *p = five(); assert g == 5; }",
+        );
+        assert!(v.is_pass(), "{v:?}");
+    }
+
+    #[test]
+    fn chained_function_pointers() {
+        let v = check(
+            "int g;
+             void a() { g = g + 1; }
+             void b() { g = g + 10; }
+             void main() {
+                fn f;
+                choice { f = a; [] f = b; }
+                f();
+                assert g == 1 || g == 10;
+             }",
+        );
+        assert!(v.is_pass(), "{v:?}");
+    }
+
+    #[test]
+    fn assume_on_nonbool_is_a_type_error() {
+        let v = check("int g; void main() { assume g; }");
+        assert!(matches!(v, Verdict::RuntimeError(kiss_exec::ExecError::TypeMismatch { .. }, _)), "{v:?}");
+    }
+}

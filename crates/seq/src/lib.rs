@@ -1,0 +1,34 @@
+//! # kiss-seq
+//!
+//! Sequential program checkers — the substrate the paper delegates to
+//! SLAM. KISS only needs *some* sound-and-complete assertion checker
+//! for sequential programs with finite data (the problem is decidable,
+//! paper refs [34, 37]); this crate provides two:
+//!
+//! * [`explicit::ExplicitChecker`] — whole-configuration depth-first
+//!   search with visited-state hashing and resource budgets. Produces
+//!   full error traces, which `kiss-core` maps back to concurrent
+//!   executions.
+//! * [`summary::SummaryChecker`] — a Sharir–Pnueli-style functional
+//!   interprocedural engine that memoizes per-function input/output
+//!   summaries (the Bebop analogue), trading trace detail for reuse
+//!   across call sites.
+//! * [`bfs::BfsChecker`] — breadth-first search over decision points,
+//!   returning minimal-depth counterexamples (short traces are what a
+//!   human debugging the concurrent program wants to read).
+//!
+//! Both agree on verdicts; an integration test checks this on a program
+//! corpus.
+
+pub mod bfs;
+pub mod budget;
+pub mod config;
+pub mod explicit;
+pub mod summary;
+pub mod verdict;
+
+pub use bfs::BfsChecker;
+pub use budget::Budget;
+pub use explicit::ExplicitChecker;
+pub use summary::SummaryChecker;
+pub use verdict::{ErrorTrace, TraceStep, Verdict};

@@ -1,0 +1,481 @@
+//! Summary-based interprocedural checker.
+//!
+//! The functional approach of Sharir–Pnueli / Reps–Horwitz–Sagiv (the
+//! paper's references [37, 34] for the decidability of sequential
+//! checking): for each function and each *entry state* (globals, heap,
+//! argument values) reached, compute the set of *exit states* (globals,
+//! heap, return value) once, and reuse it at every call site. This is
+//! the analogue of SLAM's Bebop engine for our explicit value domain.
+//!
+//! Recursive programs are handled by iterating the analysis to a
+//! fixpoint: summaries only ever grow, and the domain is finite for
+//! finite-state programs, so iteration terminates.
+//!
+//! Compared to [`crate::explicit`], this engine reports verdicts but
+//! not full traces, and it does not support pointers into a *caller's*
+//! stack frame (the explicit engine does).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+use kiss_exec::{eval, Addr, Env, ExecError, Instr, Memory, Module, Value};
+use kiss_lang::hir::{FuncId, LocalId, VarRef};
+
+use crate::budget::{Budget, Usage};
+use crate::verdict::{ErrorTrace, Verdict};
+
+/// A function entry state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    func: FuncId,
+    mem: Memory,
+    args: Vec<Value>,
+}
+
+/// A function exit state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Exit {
+    mem: Memory,
+    ret: Value,
+}
+
+/// The summary-based checker.
+#[derive(Debug, Clone, Copy)]
+pub struct SummaryChecker<'a> {
+    module: &'a Module,
+    budget: Budget,
+}
+
+/// Statistics for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Instructions executed (across all fixpoint rounds).
+    pub steps: u64,
+    /// Number of distinct (function, entry-state) summaries computed.
+    pub summaries: usize,
+    /// Fixpoint rounds taken.
+    pub rounds: u32,
+}
+
+enum Interrupt {
+    Fail,
+    Runtime(ExecError),
+    Budget,
+}
+
+impl<'a> SummaryChecker<'a> {
+    /// Creates a checker over a lowered module.
+    pub fn new(module: &'a Module) -> Self {
+        SummaryChecker { module, budget: Budget::default() }
+    }
+
+    /// Replaces the budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Runs the check.
+    pub fn check(&self) -> Verdict {
+        self.check_with_stats().0
+    }
+
+    /// Runs the check, also returning statistics.
+    pub fn check_with_stats(&self) -> (Verdict, Stats) {
+        let mut engine = Engine {
+            module: self.module,
+            budget: self.budget,
+            usage: Usage::default(),
+            summaries: HashMap::new(),
+            in_progress: Vec::new(),
+        };
+        let main_key = Key {
+            func: self.module.program.main,
+            mem: Memory::initial(&self.module.program),
+            args: Vec::new(),
+        };
+        let mut rounds = 0u32;
+        let verdict = loop {
+            rounds += 1;
+            let before: usize = engine.summaries.values().map(BTreeSet::len).sum();
+            match engine.analyze(main_key.clone()) {
+                Err(Interrupt::Fail) => break Verdict::Fail(ErrorTrace::default()),
+                Err(Interrupt::Runtime(e)) => break Verdict::RuntimeError(e, ErrorTrace::default()),
+                Err(Interrupt::Budget) => {
+                    break Verdict::ResourceBound {
+                        steps: engine.usage.steps,
+                        states: engine.summaries.len(),
+                    }
+                }
+                Ok(_) => {
+                    let after: usize = engine.summaries.values().map(BTreeSet::len).sum();
+                    if after == before {
+                        break Verdict::Pass;
+                    }
+                }
+            }
+        };
+        let stats =
+            Stats { steps: engine.usage.steps, summaries: engine.summaries.len(), rounds };
+        (verdict, stats)
+    }
+}
+
+struct Engine<'a> {
+    module: &'a Module,
+    budget: Budget,
+    usage: Usage,
+    summaries: HashMap<Key, BTreeSet<Exit>>,
+    /// Keys currently being analyzed (cycle detection for recursion).
+    in_progress: Vec<Key>,
+}
+
+/// Intra-function exploration state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    mem: Memory,
+    locals: Vec<Value>,
+    pc: usize,
+}
+
+struct LocalEnv<'a> {
+    module: &'a Module,
+    state: &'a mut State,
+}
+
+impl Env for LocalEnv<'_> {
+    fn read_var(&self, v: VarRef) -> Value {
+        match v {
+            VarRef::Global(g) => self.state.mem.globals[g.0 as usize],
+            VarRef::Local(LocalId(l)) => self.state.locals[l as usize],
+        }
+    }
+    fn write_var(&mut self, v: VarRef, val: Value) {
+        match v {
+            VarRef::Global(g) => self.state.mem.globals[g.0 as usize] = val,
+            VarRef::Local(LocalId(l)) => self.state.locals[l as usize] = val,
+        }
+    }
+    fn read_addr(&self, a: Addr) -> Result<Value, ExecError> {
+        match a {
+            Addr::Global(g) => Ok(self.state.mem.globals[g.0 as usize]),
+            Addr::Heap { obj, field } => self
+                .state
+                .mem
+                .heap
+                .get(obj as usize)
+                .and_then(|o| o.fields.get(field as usize))
+                .copied()
+                .ok_or(ExecError::BadField),
+            // The summary engine cannot resolve pointers into other
+            // frames: entry states abstract the caller's stack away.
+            Addr::Local { frame: 0, local, .. } => {
+                self.state.locals.get(local as usize).copied().ok_or(ExecError::DanglingLocal)
+            }
+            Addr::Local { .. } => Err(ExecError::DanglingLocal),
+        }
+    }
+    fn write_addr(&mut self, a: Addr, val: Value) -> Result<(), ExecError> {
+        match a {
+            Addr::Global(g) => {
+                self.state.mem.globals[g.0 as usize] = val;
+                Ok(())
+            }
+            Addr::Heap { obj, field } => {
+                *self
+                    .state
+                    .mem
+                    .heap
+                    .get_mut(obj as usize)
+                    .and_then(|o| o.fields.get_mut(field as usize))
+                    .ok_or(ExecError::BadField)? = val;
+                Ok(())
+            }
+            Addr::Local { frame: 0, local, .. } => {
+                *self.state.locals.get_mut(local as usize).ok_or(ExecError::DanglingLocal)? = val;
+                Ok(())
+            }
+            Addr::Local { .. } => Err(ExecError::DanglingLocal),
+        }
+    }
+    fn addr_of_var(&self, v: VarRef) -> Addr {
+        match v {
+            VarRef::Global(g) => Addr::Global(g),
+            VarRef::Local(LocalId(l)) => Addr::Local { tid: 0, frame: 0, local: l },
+        }
+    }
+    fn malloc(&mut self, sid: kiss_lang::hir::StructId) -> u32 {
+        self.state.mem.malloc(&self.module.program, sid)
+    }
+}
+
+impl Engine<'_> {
+    /// Computes (or reuses) the summary for a key, returning a snapshot
+    /// of the exit set.
+    fn analyze(&mut self, key: Key) -> Result<BTreeSet<Exit>, Interrupt> {
+        if self.in_progress.contains(&key) {
+            // Recursive cycle: use the current partial summary; the
+            // outer fixpoint loop re-runs until it stabilizes.
+            return Ok(self.summaries.get(&key).cloned().unwrap_or_default());
+        }
+        if let Some(done) = self.summaries.get(&key) {
+            // Reuse: also correct mid-fixpoint because results only grow
+            // and the outer loop re-runs until stable.
+            if !done.is_empty() {
+                return Ok(done.clone());
+            }
+        }
+        self.in_progress.push(key.clone());
+        let result = self.explore_body(&key);
+        self.in_progress.pop();
+        let exits = result?;
+        let entry = self.summaries.entry(key).or_default();
+        entry.extend(exits.iter().cloned());
+        Ok(entry.clone())
+    }
+
+    fn explore_body(&mut self, key: &Key) -> Result<BTreeSet<Exit>, Interrupt> {
+        let def = self.module.program.func(key.func);
+        let mut locals: Vec<Value> = Vec::with_capacity(def.locals.len());
+        for (i, l) in def.locals.iter().enumerate() {
+            if i < key.args.len() {
+                locals.push(key.args[i]);
+            } else {
+                locals.push(Value::default_for(l.ty.as_ref()));
+            }
+        }
+        let initial = State { mem: key.mem.clone(), locals, pc: 0 };
+
+        let mut exits = BTreeSet::new();
+        let mut visited: HashSet<(u64, u64)> = HashSet::new();
+        let mut pending: Vec<State> = vec![initial];
+        let body = self.module.body(key.func);
+
+        while let Some(mut state) = pending.pop() {
+            'path: loop {
+                self.usage.steps += 1;
+                if self.usage.steps > self.budget.max_steps
+                    || visited.len() > self.budget.max_states
+                {
+                    return Err(Interrupt::Budget);
+                }
+                let instr = body.instrs[state.pc].clone();
+                match instr {
+                    Instr::Assign(place, rv) => {
+                        let mut env = LocalEnv { module: self.module, state: &mut state };
+                        eval::exec_assign(&mut env, &place, &rv).map_err(Interrupt::Runtime)?;
+                        state.pc += 1;
+                    }
+                    Instr::Assert(cond) => {
+                        let env = LocalEnv { module: self.module, state: &mut state };
+                        match eval::eval_cond(&env, &cond).map_err(Interrupt::Runtime)? {
+                            true => state.pc += 1,
+                            false => return Err(Interrupt::Fail),
+                        }
+                    }
+                    Instr::Assume(cond) => {
+                        let env = LocalEnv { module: self.module, state: &mut state };
+                        match eval::eval_cond(&env, &cond).map_err(Interrupt::Runtime)? {
+                            true => state.pc += 1,
+                            false => break 'path,
+                        }
+                    }
+                    Instr::Call { dest, target, args } => {
+                        if !record(&mut visited, &state) {
+                            break 'path;
+                        }
+                        let callee = {
+                            let env = LocalEnv { module: self.module, state: &mut state };
+                            crate::explicit::resolve_target(&env, target).map_err(Interrupt::Runtime)?
+                        };
+                        let arg_vals: Vec<Value> = {
+                            let env = LocalEnv { module: self.module, state: &mut state };
+                            args.iter().map(|a| eval::eval_operand(&env, a)).collect()
+                        };
+                        let callee_def = self.module.program.func(callee);
+                        if callee_def.param_count as usize != arg_vals.len() {
+                            return Err(Interrupt::Runtime(ExecError::ArityMismatch {
+                                func: callee,
+                                expected: callee_def.param_count,
+                                got: arg_vals.len() as u32,
+                            }));
+                        }
+                        let call_key =
+                            Key { func: callee, mem: state.mem.clone(), args: arg_vals };
+                        let call_exits = self.analyze(call_key)?;
+                        if call_exits.is_empty() {
+                            // Callee never returns (or cycle not yet
+                            // resolved): path ends here this round.
+                            break 'path;
+                        }
+                        state.pc += 1;
+                        let mut it = call_exits.into_iter();
+                        let first = it.next().expect("nonempty checked");
+                        for exit in it {
+                            let mut alt = state.clone();
+                            apply_exit(self.module, &mut alt, &dest, exit)
+                                .map_err(Interrupt::Runtime)?;
+                            pending.push(alt);
+                        }
+                        apply_exit(self.module, &mut state, &dest, first)
+                            .map_err(Interrupt::Runtime)?;
+                    }
+                    Instr::Async { .. } => {
+                        return Err(Interrupt::Runtime(ExecError::AsyncInSequential));
+                    }
+                    Instr::Return(op) => {
+                        let env = LocalEnv { module: self.module, state: &mut state };
+                        let ret = op.map(|o| eval::eval_operand(&env, &o)).unwrap_or(Value::Null);
+                        exits.insert(Exit { mem: state.mem.clone(), ret });
+                        break 'path;
+                    }
+                    Instr::Jump(target) => {
+                        // Cycles always pass through a NondetJump or
+                        // Call, which record states; see explicit.rs.
+                        state.pc = target;
+                    }
+                    Instr::NondetJump(targets) => {
+                        if !record(&mut visited, &state) {
+                            break 'path;
+                        }
+                        if targets.is_empty() {
+                            break 'path;
+                        }
+                        for &alt in targets.iter().skip(1).rev() {
+                            let mut alt_state = state.clone();
+                            alt_state.pc = alt;
+                            pending.push(alt_state);
+                        }
+                        state.pc = targets[0];
+                    }
+                    Instr::AtomicBegin | Instr::AtomicEnd => state.pc += 1,
+                }
+            }
+        }
+        Ok(exits)
+    }
+}
+
+fn apply_exit(
+    module: &Module,
+    state: &mut State,
+    dest: &Option<kiss_lang::hir::Place>,
+    exit: Exit,
+) -> Result<(), ExecError> {
+    state.mem = exit.mem;
+    if let Some(dest) = dest {
+        let mut env = LocalEnv { module, state };
+        let addr = eval::place_addr(&env, dest)?;
+        env.write_addr(addr, exit.ret)?;
+    }
+    Ok(())
+}
+
+fn record(visited: &mut HashSet<(u64, u64)>, state: &State) -> bool {
+    let mut h1 = std::collections::hash_map::DefaultHasher::new();
+    state.hash(&mut h1);
+    let mut h2 = std::collections::hash_map::DefaultHasher::new();
+    0xC0FF_EE00u64.hash(&mut h2);
+    state.hash(&mut h2);
+    visited.insert((h1.finish(), h2.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::ExplicitChecker;
+    use kiss_lang::parse_and_lower;
+
+    fn check(src: &str) -> Verdict {
+        let module = Module::lower(parse_and_lower(src).unwrap());
+        SummaryChecker::new(&module).check()
+    }
+
+    #[test]
+    fn straightline_verdicts() {
+        assert!(check("int g; void main() { g = 1; assert g == 1; }").is_pass());
+        assert!(check("int g; void main() { g = 1; assert g == 2; }").is_fail());
+    }
+
+    #[test]
+    fn summaries_are_reused_across_call_sites() {
+        let src = "
+            int g;
+            void bump() { g = g + 1; }
+            void main() { bump(); bump(); bump(); assert g == 3; }
+        ";
+        let module = Module::lower(parse_and_lower(src).unwrap());
+        let (v, stats) = SummaryChecker::new(&module).check_with_stats();
+        assert!(v.is_pass(), "{v:?}");
+        // bump is entered with g = 0, 1, 2: three summaries plus main.
+        assert_eq!(stats.summaries, 4);
+    }
+
+    #[test]
+    fn choice_inside_callee_produces_multiple_exits() {
+        let v = check(
+            "int pick() { choice { return 1; [] return 2; } }
+             void main() { int x; x = pick(); assert x >= 1; assert x <= 2; }",
+        );
+        assert!(v.is_pass(), "{v:?}");
+        let v = check(
+            "int pick() { choice { return 1; [] return 2; } }
+             void main() { int x; x = pick(); assert x == 1; }",
+        );
+        assert!(v.is_fail());
+    }
+
+    #[test]
+    fn recursion_reaches_fixpoint() {
+        // Count down recursively; finite states.
+        let v = check(
+            "int dec(int n) { int r; if (n == 0) { return 0; } r = dec(n - 1); return r; }
+             void main() { int x; x = dec(3); assert x == 0; }",
+        );
+        assert!(v.is_pass(), "{v:?}");
+    }
+
+    #[test]
+    fn agrees_with_explicit_on_a_corpus() {
+        let corpus = [
+            "int g; void main() { g = 2 * 3; assert g == 6; }",
+            "int g; void main() { choice { g = 1; [] g = 2; } assert g != 3; }",
+            "int g; void main() { choice { g = 1; [] g = 2; } assert g == 1; }",
+            "int g; void main() { iter { g = g + 1; assume g <= 2; } assert g <= 2; }",
+            "int g; void main() { iter { g = g + 1; assume g <= 2; } assert g < 2; }",
+            "bool b; void flip() { b = !b; } void main() { flip(); flip(); assert !b; }",
+            "struct D { int x; } void main() { D *p; p = malloc(D); p->x = 4; assert p->x == 4; }",
+        ];
+        for src in corpus {
+            let module = Module::lower(parse_and_lower(src).unwrap());
+            let explicit = ExplicitChecker::new(&module).check();
+            let summary = SummaryChecker::new(&module).check();
+            assert_eq!(
+                explicit.is_fail(),
+                summary.is_fail(),
+                "engines disagree on: {src}\nexplicit={explicit:?} summary={summary:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_trips() {
+        let module = Module::lower(
+            parse_and_lower("int g; void main() { iter { g = g + 1; } }").unwrap(),
+        );
+        let v = SummaryChecker::new(&module)
+            .with_budget(Budget { max_steps: 5_000, max_states: 100_000 })
+            .check();
+        assert!(v.is_inconclusive(), "{v:?}");
+    }
+
+    #[test]
+    fn heap_growth_inside_callee_is_visible_to_caller() {
+        let v = check(
+            "struct D { int x; }
+             D *mk() { D *p; p = malloc(D); p->x = 11; return p; }
+             void main() { D *q; q = mk(); assert q->x == 11; }",
+        );
+        assert!(v.is_pass(), "{v:?}");
+    }
+}

@@ -1,0 +1,46 @@
+//! Paper §2.3 and §6: the reference-counting assertion violation in
+//! the Bluetooth driver. The bug needs the stopping thread to run *in
+//! the middle of* `BCSP_IoIncrement` — a suspend/resume the `ts`
+//! multiset can only simulate with `MAX >= 1`.
+//!
+//! ```text
+//! cargo run --example refcount_bug
+//! ```
+
+use kiss::drivers::bluetooth;
+use kiss::{Kiss, KissOutcome};
+
+fn main() {
+    let buggy = bluetooth::buggy();
+    println!("Figure 2 Bluetooth model: checking `assert !stopped`\n");
+
+    for max_ts in 0..=1 {
+        print!("MAX = {max_ts}: ");
+        match Kiss::new().with_max_ts(max_ts).check_assertions(&buggy) {
+            KissOutcome::NoErrorFound(stats) => {
+                println!("no error found ({} states) — as the paper predicts", stats.states);
+            }
+            KissOutcome::AssertionViolation(report) => {
+                println!("assertion violation!");
+                println!("  threads          : {}", report.mapped.thread_count);
+                println!("  schedule pattern : {:?}", report.mapped.pattern);
+                println!("  replay-validated : {:?}", report.validated);
+                println!("  concurrent trace:");
+                for step in &report.mapped.steps {
+                    println!("    thread {} @ line {}", step.tid, step.span);
+                }
+            }
+            other => println!("unexpected: {other:?}"),
+        }
+    }
+
+    println!("\nafter the driver quality team's fix (increment before flag check):");
+    let fixed = bluetooth::fixed();
+    for max_ts in 0..=2 {
+        let outcome = Kiss::new().with_max_ts(max_ts).check_assertions(&fixed);
+        println!(
+            "  MAX = {max_ts}: {}",
+            if outcome.is_clean() { "no error found" } else { "ERROR (unexpected)" }
+        );
+    }
+}

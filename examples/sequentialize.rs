@@ -1,0 +1,44 @@
+//! Shows the KISS transformation itself: a concurrent program and the
+//! sequential program `Check(s)` it becomes, pretty-printed as
+//! KISS-C (paper Figure 4).
+//!
+//! ```text
+//! cargo run --example sequentialize
+//! ```
+
+use kiss::{transform, TransformConfig};
+
+fn main() {
+    let src = r#"
+        int g;
+
+        void worker() {
+            g = g + 1;
+        }
+
+        void main() {
+            async worker();
+            assert g <= 1;
+        }
+    "#;
+    let program = kiss::parse(src).expect("valid KISS-C");
+
+    println!("=== original concurrent program ===\n");
+    println!("{}", kiss::lang::pretty::print_program(&program));
+
+    let t = transform(&program, &TransformConfig { max_ts: 1, ..Default::default() })
+        .expect("transform succeeds");
+
+    println!("=== sequential program Check(s), MAX = 1 ===\n");
+    println!("{}", kiss::lang::pretty::print_program(&t.program));
+
+    println!("=== what to look for ===");
+    println!("* `__raise` + the `choice {{ skip [] __raise = true; return; }}`");
+    println!("  prologue before every statement: nondeterministic thread");
+    println!("  termination (RAISE);");
+    println!("* `if (__raise) return` after calls: exception propagation;");
+    println!("* `__ts0_fn` / `__ts0_argc`: the ts multiset slot; the async");
+    println!("  becomes a store into the free slot, or an inline call when full;");
+    println!("* `__schedule()`: pops and runs pending threads at every point;");
+    println!("* `__kiss_main`: the Check(s) wrapper (init; [[main]]; schedule()).");
+}

@@ -1,0 +1,156 @@
+//! End-to-end integration tests across crates: frontend →
+//! transformation → both sequential engines → trace back-mapping →
+//! concurrent validation, plus printer round-trips of transformed
+//! programs.
+
+use kiss::exec::Module;
+use kiss::seq::{ExplicitChecker, SummaryChecker};
+use kiss::{transform, Engine, Kiss, KissOutcome, TransformConfig};
+
+const PROGRAMS: &[(&str, bool)] = &[
+    // (source, has_reachable_assertion_failure_under_kiss_max2)
+    (
+        "int g; void w() { g = 1; } void main() { async w(); assert g == 0; }",
+        true,
+    ),
+    (
+        "int g; void w() { g = 1; } void main() { async w(); assert g <= 1; }",
+        false,
+    ),
+    (
+        "int a; int b;
+         void w() { a = 1; b = 1; }
+         void main() { int t; async w(); t = b; if (t == 1) { assert a == 1; } }",
+        false, // b is written after a: seeing b==1 implies a==1 in every interleaving
+    ),
+    (
+        "int a; int b;
+         void w() { b = 1; a = 1; }
+         void main() { int t; async w(); t = b; if (t == 1) { assert a == 1; } }",
+        true, // order flipped: b==1 can be observed before a==1
+    ),
+    (
+        "int l; int g;
+         void w() { atomic { assume l == 0; l = 1; } g = g + 1; atomic { l = 0; } }
+         void main() { async w(); atomic { assume l == 0; l = 1; } g = g + 1; atomic { l = 0; } assert g <= 2; }",
+        false,
+    ),
+];
+
+#[test]
+fn explicit_and_summary_engines_agree_end_to_end() {
+    for (src, expect_fail) in PROGRAMS {
+        let program = kiss::parse(src).expect("valid program");
+        let explicit =
+            Kiss::new().with_max_ts(2).with_validation(false).check_assertions(&program);
+        let summary = Kiss::new()
+            .with_max_ts(2)
+            .with_validation(false)
+            .with_engine(Engine::Summary)
+            .check_assertions(&program);
+        assert_eq!(explicit.found_error(), *expect_fail, "explicit on {src}: {explicit:?}");
+        assert_eq!(summary.found_error(), *expect_fail, "summary on {src}: {summary:?}");
+    }
+}
+
+#[test]
+fn every_reported_error_validates_against_the_concurrent_program() {
+    for (src, expect_fail) in PROGRAMS {
+        if !expect_fail {
+            continue;
+        }
+        let program = kiss::parse(src).expect("valid program");
+        let outcome = Kiss::new().with_max_ts(2).check_assertions(&program);
+        let KissOutcome::AssertionViolation(report) = outcome else {
+            panic!("expected violation on {src}");
+        };
+        assert_eq!(report.validated, Some(true), "replay failed on {src}");
+        // The schedule is balanced (Theorem 1's simulated executions).
+        assert!(kiss::conc::is_balanced(&report.mapped.schedule));
+    }
+}
+
+#[test]
+fn transformed_programs_round_trip_through_the_printer() {
+    for (src, _) in PROGRAMS {
+        let program = kiss::parse(src).expect("valid program");
+        for max_ts in [0, 1, 2] {
+            let t = transform(&program, &TransformConfig { max_ts, ..Default::default() })
+                .expect("transform succeeds");
+            let text = kiss::lang::pretty::print_program(&t.program);
+            let reparsed = kiss::parse(&text)
+                .unwrap_or_else(|e| panic!("transformed output must reparse: {e}\n{text}"));
+            // Reparsed and original transformed program agree on
+            // verdicts.
+            let v1 = ExplicitChecker::new(&Module::lower(t.program.clone())).check();
+            let v2 = ExplicitChecker::new(&Module::lower(reparsed)).check();
+            assert_eq!(v1.is_fail(), v2.is_fail(), "printer changed behaviour on {src}");
+        }
+    }
+}
+
+#[test]
+fn direct_engine_use_matches_facade_outcomes() {
+    let (src, _) = PROGRAMS[0];
+    let program = kiss::parse(src).expect("valid program");
+    let t = transform(&program, &TransformConfig::default()).expect("ok");
+    let module = Module::lower(t.program);
+    let explicit = ExplicitChecker::new(&module).check();
+    let summary = SummaryChecker::new(&module).check();
+    assert!(explicit.is_fail());
+    assert!(summary.is_fail());
+}
+
+#[test]
+fn corpus_driver_end_to_end_sample() {
+    // One small driver through the whole Table-1 pipeline.
+    let spec = kiss::drivers::paper_table().into_iter().find(|d| d.name == "imca").unwrap();
+    let model = kiss::drivers::generate_driver(&spec);
+    let naive = kiss::drivers::check_driver(&model, false, kiss::drivers::table::default_budget());
+    assert_eq!(naive.races, spec.races_naive);
+    assert_eq!(naive.no_races, spec.no_races);
+    let refined = kiss::drivers::check_driver(&model, true, kiss::drivers::table::default_budget());
+    assert_eq!(refined.races, spec.races_refined);
+}
+
+#[test]
+fn race_reports_cite_two_distinct_sites() {
+    let src = "
+        struct D { int f; }
+        D *e;
+        void w() { e->f = 1; }
+        void rd() { int t; t = e->f; }
+        void main() { e = malloc(D); async w(); rd(); }
+    ";
+    let program = kiss::parse(src).expect("valid program");
+    let outcome = Kiss::new().check_race_spec(&program, "D.f").expect("spec resolves");
+    let KissOutcome::RaceDetected(report) = outcome else {
+        panic!("expected race, got {outcome:?}");
+    };
+    assert!(report.first.is_write != report.second.is_write, "read/write race");
+    assert_ne!(report.first.span.line, report.second.span.line);
+}
+
+#[test]
+fn alias_pruning_does_not_change_race_verdicts() {
+    let sources = [
+        "struct D { int f; int g; } D *e;
+         void w() { e->f = 1; e->g = 2; }
+         void rd() { int t; t = e->f; }
+         void main() { e = malloc(D); async w(); rd(); }",
+        "struct D { int f; int g; } D *e; int l;
+         void w() { atomic { assume l == 0; l = 1; } e->f = 1; atomic { l = 0; } }
+         void rd() { int t; atomic { assume l == 0; l = 1; } t = e->f; atomic { l = 0; } }
+         void main() { e = malloc(D); async w(); rd(); }",
+    ];
+    for src in sources {
+        let program = kiss::parse(src).expect("valid program");
+        let with = Kiss::new().with_alias_prune(true).check_race_spec(&program, "D.f").unwrap();
+        let without = Kiss::new().with_alias_prune(false).check_race_spec(&program, "D.f").unwrap();
+        assert_eq!(
+            matches!(with, KissOutcome::RaceDetected(_)),
+            matches!(without, KissOutcome::RaceDetected(_)),
+            "pruning changed the verdict on {src}"
+        );
+    }
+}

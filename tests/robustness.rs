@@ -1,0 +1,146 @@
+//! Robustness and soundness properties.
+//!
+//! * The frontend (lexer, parser, lowering, well-formedness) never
+//!   panics — it returns `Err` on malformed input, including arbitrary
+//!   bytes and mutated valid programs.
+//! * The alias analysis is sound with respect to actual execution: for
+//!   every (pointer, cell) pair it *clears*, an injected
+//!   `assert p != &cell` is proved by exhaustive sequential
+//!   exploration.
+
+use proptest::prelude::*;
+
+use kiss::alias::{AbsLoc, AliasAnalysis};
+use kiss::exec::Module;
+use kiss::seq::ExplicitChecker;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Arbitrary strings never panic the pipeline.
+    #[test]
+    fn frontend_never_panics_on_arbitrary_input(s in "\\PC*") {
+        let _ = kiss::parse(&s);
+    }
+
+    /// Arbitrary ASCII soups built from language tokens never panic.
+    #[test]
+    fn frontend_never_panics_on_token_soup(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "int", "bool", "void", "struct", "if", "else", "while", "choice", "iter",
+                "atomic", "assert", "assume", "async", "return", "skip", "malloc", "benign",
+                "{", "}", "(", ")", ";", ",", "=", "==", "!=", "[]", "->", "&", "*", "+",
+                "-", "!", "x", "y", "main", "f", "0", "1", "42",
+            ]),
+            0..60,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = kiss::parse(&src);
+    }
+
+    /// Mutating one byte of a valid program never panics the pipeline.
+    #[test]
+    fn frontend_never_panics_on_mutated_valid_program(pos in 0usize..400, byte in 0u8..128) {
+        let base = "
+            struct D { int f; }
+            D *e;
+            int g;
+            void w(D *p) { p->f = 1; }
+            void main() {
+                int t;
+                e = malloc(D);
+                async w(e);
+                t = e->f;
+                if (t == 1) { assert g == 0; }
+            }
+        ";
+        let mut bytes = base.as_bytes().to_vec();
+        if pos < bytes.len() {
+            bytes[pos] = byte;
+        }
+        if let Ok(src) = String::from_utf8(bytes) {
+            let _ = kiss::parse(&src);
+        }
+    }
+}
+
+/// For each async-free corpus program: every (global pointer, global
+/// target) pair the alias analysis clears is backed by an injected
+/// assertion proved by the exhaustive sequential checker. A wrong "no"
+/// claim would fail the assert and this test.
+#[test]
+fn alias_no_claims_are_sound_at_runtime() {
+    // (program body, where `main` ends before the closing brace)
+    let sources = [
+        "int r; int other; int *p; int *q;
+         void main() { p = &r; q = &other; *p = 1; *q = 2; INJECT }",
+        "int r; int s; int *p; int *q;
+         void main() { int c; choice { p = &r; [] p = &s; } q = p; INJECT }",
+        "int r; int s; int *p; int *q; int *z;
+         void pick() { choice { p = &r; [] q = &r; } }
+         void main() { z = &s; pick(); INJECT }",
+    ];
+    let mut total_claims = 0usize;
+    for template in sources {
+        let plain = template.replace("INJECT", "skip;");
+        let program = kiss::parse(&plain).unwrap();
+        let mut analysis = AliasAnalysis::run(&program);
+
+        // Find cleared (pointer global, target global) pairs among the
+        // declared pointer globals.
+        let mut checks = String::new();
+        let mut decls = String::new();
+        let mut n = 0usize;
+        for (pi, pdef) in program.globals.iter().enumerate() {
+            let is_ptr = matches!(pdef.ty, Some(kiss::lang::hir::Type::Ptr(_)));
+            if !is_ptr {
+                continue;
+            }
+            let pvar = kiss::lang::hir::VarRef::Global(kiss::lang::GlobalId(pi as u32));
+            for (ti, tdef) in program.globals.iter().enumerate() {
+                if pi == ti || matches!(tdef.ty, Some(kiss::lang::hir::Type::Ptr(_))) {
+                    continue;
+                }
+                let target = AbsLoc::Global(kiss::lang::GlobalId(ti as u32));
+                if !analysis.deref_may_touch(program.main, pvar, target) {
+                    // Injected proof obligation: p never holds &target.
+                    checks.push_str(&format!(
+                        "__chk{n} = &{t}; __ne{n} = {p} != __chk{n}; assert __ne{n};\n",
+                        t = tdef.name,
+                        p = pdef.name,
+                    ));
+                    decls.push_str(&format!("int *__chk{n};\nbool __ne{n};\n"));
+                    n += 1;
+                }
+            }
+        }
+        total_claims += n;
+        if n == 0 {
+            continue;
+        }
+        let injected = format!("{decls}{}", template.replace("INJECT", &checks));
+        let checked = kiss::parse(&injected)
+            .unwrap_or_else(|e| panic!("injected program invalid: {e}\n{injected}"));
+        let module = Module::lower(checked);
+        let verdict = ExplicitChecker::new(&module).check();
+        assert!(
+            verdict.is_pass(),
+            "alias analysis made an unsound `no` claim:\n{injected}\nverdict: {verdict:?}"
+        );
+    }
+    assert!(total_claims >= 3, "the corpus must exercise real `no` claims ({total_claims})");
+}
+
+/// The other direction, as a sanity check (not a soundness
+/// requirement): a pointer that plainly does alias must not be cleared.
+#[test]
+fn alias_does_not_clear_obvious_aliases() {
+    let src = "int r; int *p; void main() { p = &r; *p = 1; }";
+    let program = kiss::parse(src).unwrap();
+    let mut analysis = AliasAnalysis::run(&program);
+    let p = kiss::lang::hir::VarRef::Global(program.global_by_name("p").unwrap());
+    let r = AbsLoc::Global(program.global_by_name("r").unwrap());
+    assert!(analysis.deref_may_touch(program.main, p, r));
+}

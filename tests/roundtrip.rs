@@ -1,0 +1,71 @@
+//! Property test: pretty-printing a core program yields source that
+//! re-parses to a behaviourally identical program, and printing is
+//! idempotent after one round trip.
+
+use proptest::prelude::*;
+
+use kiss::exec::Module;
+use kiss::seq::ExplicitChecker;
+
+/// Statement fragments combined into random single-function programs.
+/// The fragments use globals `a`, `b` (ints), `c` (bool), a struct
+/// pointer `e`, and the local `t`.
+const FRAGMENTS: &[&str] = &[
+    "a = 1;",
+    "b = a + 2;",
+    "c = a == b;",
+    "t = a;",
+    "a = t - 1;",
+    "e = malloc(D);",
+    "e->x = a;",
+    "t = e->x;",
+    "if (c) { a = 2; } else { b = 3; }",
+    "while (a < 2) { a = a + 1; }",
+    "choice { a = 4; [] b = 5; }",
+    "iter { t = t + 1; assume t <= 2; }",
+    "atomic { a = a + 1; b = b - 1; }",
+    "assert a != 99;",
+    "assume a >= -100;",
+    "skip;",
+];
+
+fn program_from(indices: &[prop::sample::Index]) -> String {
+    let mut body = String::new();
+    for idx in indices {
+        body.push_str(FRAGMENTS[idx.index(FRAGMENTS.len())]);
+        body.push('\n');
+    }
+    format!(
+        "struct D {{ int x; }}\nint a;\nint b;\nbool c;\nD *e;\n\
+         void main() {{\nint t;\ne = malloc(D);\n{body}}}\n"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn print_parse_print_is_stable(indices in prop::collection::vec(any::<prop::sample::Index>(), 1..10)) {
+        let src = program_from(&indices);
+        let p1 = kiss::parse(&src).expect("fragment programs are valid");
+        let text1 = kiss::lang::pretty::print_program(&p1);
+        let p2 = kiss::parse(&text1)
+            .unwrap_or_else(|e| panic!("printed program must reparse: {e}\n{text1}"));
+        let text2 = kiss::lang::pretty::print_program(&p2);
+        let p3 = kiss::parse(&text2).expect("reparse of stable text");
+        let text3 = kiss::lang::pretty::print_program(&p3);
+        prop_assert_eq!(text2, text3, "printing must be idempotent after one round trip");
+    }
+
+    #[test]
+    fn round_trip_preserves_verdicts(indices in prop::collection::vec(any::<prop::sample::Index>(), 1..10)) {
+        let src = program_from(&indices);
+        let p1 = kiss::parse(&src).expect("fragment programs are valid");
+        let text = kiss::lang::pretty::print_program(&p1);
+        let p2 = kiss::parse(&text).expect("printed program must reparse");
+        let v1 = ExplicitChecker::new(&Module::lower(p1)).check();
+        let v2 = ExplicitChecker::new(&Module::lower(p2)).check();
+        prop_assert_eq!(v1.is_fail(), v2.is_fail());
+        prop_assert_eq!(v1.is_pass(), v2.is_pass());
+    }
+}
