@@ -182,12 +182,10 @@ impl Cx<'_> {
             StmtKind::Assign(place, rv) => self.assign(func, place, rv),
             StmtKind::Call { dest, target, args } => self.call(func, dest.as_ref(), *target, args),
             StmtKind::Async { target, args } => self.call(func, None, *target, args),
-            StmtKind::Return(op) => {
-                if let Some(op) = op {
-                    let v = self.operand_value(func, op);
-                    let r = self.node(AbsLoc::Ret(func));
-                    self.graph.unify(v, r);
-                }
+            StmtKind::Return(Some(op)) => {
+                let v = self.operand_value(func, op);
+                let r = self.node(AbsLoc::Ret(func));
+                self.graph.unify(v, r);
             }
             _ => {}
         }

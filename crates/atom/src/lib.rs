@@ -175,7 +175,7 @@ fn classify_lock_regions(module: &Module) -> HashMap<(FuncId, usize), Region> {
                 }
                 let region = match (&stores[..], has_assume) {
                     ([(Some(cell), c)], true)
-                        if one(c) && reads.iter().any(|r| *r == Some(*cell)) =>
+                        if one(c) && reads.contains(&Some(*cell)) =>
                     {
                         Region::Acquire(*cell)
                     }

@@ -4,14 +4,42 @@
 //! device-extension field, under a per-field resource bound.
 //!
 //! ```text
-//! cargo run --release -p kiss-bench --bin table1
+//! cargo run --release -p kiss-bench --bin table1 -- \
+//!     [--timeout <secs>] [--max-steps <n>] [--max-states <n>] \
+//!     [--mem-limit <mb>] [--retries <n>] [--journal <path>] [--resume]
 //! ```
+//!
+//! With `--journal`, every completed `(driver, field)` check is
+//! checkpointed; a killed run restarted with `--resume` skips the
+//! completed checks and reproduces the same totals.
 
-use kiss_drivers::table::{check_corpus, default_budget};
+use std::collections::HashMap;
+
+use kiss_bench::runner::RunOptions;
+use kiss_drivers::table::check_corpus_supervised;
 use kiss_drivers::{generate_corpus, paper_table};
 
 fn main() {
+    let opts = match RunOptions::parse(std::env::args().skip(1), "table1.journal") {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("table1: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut journal = match opts.open_journal() {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("table1: cannot open journal: {e}");
+            std::process::exit(2);
+        }
+    };
+    let supervisor = opts.supervisor();
+
     let specs = paper_table();
+    // One spec lookup table for the whole run; the progress callback
+    // fires per driver and must not rebuild the paper table each time.
+    let by_name: HashMap<&str, _> = specs.iter().map(|s| (s.name, s)).collect();
     let corpus = generate_corpus();
     println!("Table 1: race detection with the naive harness (MAX = 0)");
     println!(
@@ -19,8 +47,8 @@ fn main() {
         "Driver", "LOC", "Fields", "Races", "No Races", "Races", "No Races"
     );
     let t0 = std::time::Instant::now();
-    let results = check_corpus(&corpus, false, default_budget(), |r| {
-        let spec = paper_table().into_iter().find(|s| s.name == r.name).expect("spec exists");
+    let results = check_corpus_supervised(&corpus, false, &supervisor, journal.as_mut(), |r| {
+        let spec = by_name[r.name.as_str()];
         println!(
             "{:<18} {:>7} {:>7} {:>6} {:>9} | paper: {:>6} {:>9}{}",
             r.name,
@@ -38,14 +66,20 @@ fn main() {
     let total_races: usize = results.iter().map(|r| r.races).sum();
     let total_no: usize = results.iter().map(|r| r.no_races).sum();
     let total_inc: usize = results.iter().map(|r| r.inconclusive).sum();
+    let total_crashed: usize = results.iter().map(|r| r.crashed).sum();
+    let total_failed: usize = results.iter().map(|r| r.failed).sum();
     println!(
         "{:<18} {:>7} {:>7} {:>6} {:>9} | paper: {:>6} {:>9}",
         "Total", total_loc, total_fields, total_races, total_no, 71, 346
     );
     println!("(inconclusive within resource bound: {total_inc}; paper: 64)");
+    if total_crashed + total_failed > 0 {
+        println!("(crashed: {total_crashed}, failed: {total_failed} — isolated, run continued)");
+    }
     println!("elapsed: {:?}", t0.elapsed());
-    let specs_ok = results.iter().zip(&specs).all(|(r, s)| {
-        r.races == s.races_naive && r.no_races == s.no_races && r.inconclusive == s.inconclusive()
-    });
+    let specs_ok = results.len() == specs.len()
+        && results.iter().zip(&specs).all(|(r, s)| {
+            r.races == s.races_naive && r.no_races == s.no_races && r.inconclusive == s.inconclusive()
+        });
     println!("shape match vs paper: {}", if specs_ok { "EXACT" } else { "DIVERGES (see rows)" });
 }

@@ -8,27 +8,51 @@
 //! * kbfiltr/moufiltr — never two concurrent Ioctl IRPs.
 //!
 //! ```text
-//! cargo run --release -p kiss-bench --bin table2
+//! cargo run --release -p kiss-bench --bin table2 -- \
+//!     [--timeout <secs>] [--max-steps <n>] [--max-states <n>] \
+//!     [--mem-limit <mb>] [--retries <n>] [--journal <path>] [--resume]
 //! ```
 
-use kiss_drivers::table::{check_driver, default_budget};
+use kiss_bench::runner::RunOptions;
+use kiss_drivers::table::check_driver_supervised;
 use kiss_drivers::{generate_corpus, paper_table};
 
 fn main() {
+    let opts = match RunOptions::parse(std::env::args().skip(1), "table2.journal") {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("table2: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let mut journal = match opts.open_journal() {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("table2: cannot open journal: {e}");
+            std::process::exit(2);
+        }
+    };
+    let supervisor = opts.supervisor();
+
     let specs = paper_table();
     let corpus = generate_corpus();
     println!("Table 2: races remaining under the refined harness");
     println!("{:<18} {:>6} | paper: {:>6}", "Driver", "Races", "Races");
     let t0 = std::time::Instant::now();
     let mut total = 0usize;
+    let mut faults = 0usize;
     let mut all_ok = true;
     for (model, spec) in corpus.iter().zip(&specs) {
         // The paper re-ran only the drivers that reported races.
         if spec.races_naive == 0 {
             continue;
         }
-        let r = check_driver(model, true, default_budget());
+        if supervisor.cancel_token().is_cancelled() {
+            break;
+        }
+        let r = check_driver_supervised(model, true, &supervisor, journal.as_mut());
         total += r.races;
+        faults += r.crashed + r.failed;
         let ok = r.races == spec.races_refined;
         all_ok &= ok;
         println!(
@@ -40,6 +64,9 @@ fn main() {
         );
     }
     println!("{:<18} {:>6} | paper: {:>6}", "Total", total, 30);
+    if faults > 0 {
+        println!("(crashed or failed field checks: {faults} — isolated, run continued)");
+    }
     println!("elapsed: {:?}", t0.elapsed());
     println!("shape match vs paper: {}", if all_ok && total == 30 { "EXACT" } else { "DIVERGES" });
 }

@@ -1,1 +1,3 @@
 //! kiss-bench: benchmark harnesses (see bin/ and benches/).
+
+pub mod runner;

@@ -1,0 +1,177 @@
+//! Shared command-line handling for the table experiment binaries.
+//!
+//! `table1` and `table2` accept the same resource-bound and resumption
+//! knobs, mirroring the paper's per-check bound (20 minutes of CPU /
+//! 800 MB of memory, §6):
+//!
+//! ```text
+//! --timeout <secs>     wall-clock deadline per field check
+//! --max-steps <n>      step budget per field check
+//! --max-states <n>     state budget per field check
+//! --mem-limit <mb>     approximate memory cap per field check
+//! --retries <n>        escalating retries for inconclusive checks
+//! --journal <path>     journal completed (driver, field) checks here
+//! --resume             reuse the journal from a killed run
+//! ```
+//!
+//! `--resume` without `--journal` uses the binary's default journal
+//! path. `--journal` without `--resume` starts fresh, truncating any
+//! stale journal at that path first so old outcomes cannot leak into a
+//! new run.
+
+use std::time::Duration;
+
+use kiss_core::supervisor::Supervisor;
+use kiss_drivers::table::default_budget;
+use kiss_drivers::Journal;
+use kiss_seq::Budget;
+
+/// Parsed experiment options.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Per-field base budget after all flags are applied.
+    pub budget: Budget,
+    /// Escalating retries for inconclusive checks (0 = off).
+    pub retries: u32,
+    /// Journal path, if journaling was requested.
+    pub journal: Option<String>,
+    /// Whether to reuse an existing journal instead of truncating it.
+    pub resume: bool,
+}
+
+impl RunOptions {
+    /// Parses `args` (without the program name). `default_journal` is
+    /// the path `--resume` uses when `--journal` is absent. Returns a
+    /// usage message on malformed input.
+    pub fn parse(
+        args: impl IntoIterator<Item = String>,
+        default_journal: &str,
+    ) -> Result<RunOptions, String> {
+        let mut budget = default_budget();
+        let mut retries = 0u32;
+        let mut journal: Option<String> = None;
+        let mut resume = false;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--timeout" => {
+                    let secs: u64 = parse_value(&arg, args.next())?;
+                    budget = budget.with_deadline(Duration::from_secs(secs));
+                }
+                "--max-steps" => budget.max_steps = parse_value(&arg, args.next())?,
+                "--max-states" => budget.max_states = parse_value(&arg, args.next())?,
+                "--mem-limit" => {
+                    let mb: usize = parse_value(&arg, args.next())?;
+                    budget = budget.with_mem_limit(mb.saturating_mul(1 << 20));
+                }
+                "--retries" => retries = parse_value(&arg, args.next())?,
+                "--journal" => {
+                    journal =
+                        Some(args.next().ok_or_else(|| format!("{arg} needs a path"))?)
+                }
+                "--resume" => resume = true,
+                other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+            }
+        }
+        if resume && journal.is_none() {
+            journal = Some(default_journal.to_string());
+        }
+        Ok(RunOptions { budget, retries, journal, resume })
+    }
+
+    /// Builds the supervisor these options describe.
+    pub fn supervisor(&self) -> Supervisor {
+        Supervisor::new(self.budget).with_retries(self.retries)
+    }
+
+    /// Opens the journal these options describe, truncating a stale one
+    /// unless `--resume` asked to keep it. `None` when journaling is
+    /// off.
+    pub fn open_journal(&self) -> std::io::Result<Option<Journal>> {
+        let Some(path) = &self.journal else { return Ok(None) };
+        if !self.resume && std::path::Path::new(path).exists() {
+            std::fs::remove_file(path)?;
+        }
+        let journal = Journal::open(path)?;
+        if self.resume && !journal.is_empty() {
+            eprintln!("resuming: {} completed field checks found in {path}", journal.len());
+        }
+        Ok(Some(journal))
+    }
+}
+
+const USAGE: &str = "options: --timeout <secs> --max-steps <n> --max-states <n> \
+                     --mem-limit <mb> --retries <n> --journal <path> --resume";
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
+    let value = value.ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+    value.parse().map_err(|_| format!("{flag}: cannot parse `{value}`\n{USAGE}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<RunOptions, String> {
+        RunOptions::parse(args.iter().map(|s| s.to_string()), "default.journal")
+    }
+
+    #[test]
+    fn defaults_match_the_experiment_budget() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts.budget, default_budget());
+        assert_eq!(opts.retries, 0);
+        assert!(opts.journal.is_none());
+        assert!(!opts.resume);
+    }
+
+    #[test]
+    fn flags_shape_the_budget() {
+        let opts = parse(&[
+            "--timeout", "1200", "--max-steps", "42", "--max-states", "7", "--mem-limit", "800",
+            "--retries", "3",
+        ])
+        .unwrap();
+        assert_eq!(opts.budget.max_wall, Some(Duration::from_secs(1200)));
+        assert_eq!(opts.budget.max_steps, 42);
+        assert_eq!(opts.budget.max_states, 7);
+        assert_eq!(opts.budget.max_mem_bytes, Some(800 << 20));
+        assert_eq!(opts.retries, 3);
+    }
+
+    #[test]
+    fn resume_defaults_the_journal_path() {
+        let opts = parse(&["--resume"]).unwrap();
+        assert_eq!(opts.journal.as_deref(), Some("default.journal"));
+        assert!(opts.resume);
+        let opts = parse(&["--resume", "--journal", "mine.log"]).unwrap();
+        assert_eq!(opts.journal.as_deref(), Some("mine.log"));
+    }
+
+    #[test]
+    fn malformed_input_is_a_usage_error() {
+        assert!(parse(&["--timeout"]).is_err());
+        assert!(parse(&["--max-steps", "many"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn fresh_journal_truncates_stale_records() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("kiss-runner-test-{}.log", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        std::fs::write(&path, "v1\tdrv\t0\trace\n").unwrap();
+
+        let stale = RunOptions::parse(
+            ["--resume".to_string(), "--journal".to_string(), path_str.clone()],
+            "unused",
+        )
+        .unwrap();
+        assert_eq!(stale.open_journal().unwrap().unwrap().len(), 1);
+
+        let fresh =
+            RunOptions::parse(["--journal".to_string(), path_str], "unused").unwrap();
+        assert_eq!(fresh.open_journal().unwrap().unwrap().len(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! kissc check <file.kc> [--max-ts N] [--engine explicit|summary|bfs] [--no-validate]
+//!                       [--timeout S] [--max-steps N] [--max-states N] [--retries N]
 //! kissc race <file.kc> <target> [--max-ts N] [--no-prune]
+//!                       [--timeout S] [--max-steps N] [--max-states N] [--retries N]
 //! kissc transform <file.kc> [--max-ts N] [--race <target>]
 //! kissc explore <file.kc> [--balanced] [--context-bound K]
 //! kissc detectors <file.kc> <target> [--runs N]
@@ -10,15 +12,25 @@
 //!
 //! `<target>` is a global name or `Struct.field`. Exit code 0 means no
 //! error was found, 1 means an error was reported, 2 means usage or
-//! input problems, 3 means the check was inconclusive.
+//! input problems, 3 means the check was inconclusive (budget, deadline,
+//! or ^C), 4 means the check itself crashed (and was isolated).
+//!
+//! `check` and `race` run under the supervisor: `--timeout` adds a
+//! wall-clock deadline the engines poll cooperatively, `--retries`
+//! re-runs an inconclusive check under a doubled-then-quadrupled
+//! budget, a panic in the checker is reported as a crash instead of a
+//! backtrace, and SIGINT cancels the search cleanly.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use kiss_core::checker::{Engine, Kiss, KissOutcome};
 use kiss_core::report::render_trace;
+use kiss_core::supervisor::{Supervised, Supervisor};
 use kiss_core::transform::{transform, RaceTarget, TransformConfig};
 use kiss_exec::Module;
 use kiss_lang::Program;
+use kiss_seq::{BoundReason, Budget, CancelToken};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,7 +47,9 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   kissc check <file.kc> [--max-ts N] [--engine explicit|summary|bfs] [--no-validate]
+                        [--timeout S] [--max-steps N] [--max-states N] [--retries N]
   kissc race <file.kc> <target> [--max-ts N] [--no-prune]
+                        [--timeout S] [--max-steps N] [--max-states N] [--retries N]
   kissc transform <file.kc> [--max-ts N] [--race <target>]
   kissc explore <file.kc> [--balanced] [--context-bound K]
   kissc detectors <file.kc> <target> [--runs N]";
@@ -106,28 +120,43 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 other => return Err(format!("unknown engine `{other}`")),
             };
             let validate = !flags.flag("--no-validate");
+            let (budget, retries) = bound_flags(&mut flags)?;
             flags.finish()?;
             let program = load(file)?;
-            let outcome = Kiss::new()
-                .with_max_ts(max_ts)
-                .with_engine(engine)
-                .with_validation(validate)
-                .check_assertions(&program);
-            report_outcome(&program, outcome)
+            let supervisor = supervisor_with_sigint(budget, retries);
+            let run = supervisor.run(|b, token| {
+                Kiss::new()
+                    .with_max_ts(max_ts)
+                    .with_engine(engine)
+                    .with_validation(validate)
+                    .with_budget(b)
+                    .with_cancel(token)
+                    .check_assertions(&program)
+            });
+            report_supervised(&program, run.result)
         }
         "race" => {
             let file = flags.positional().ok_or("missing <file>")?;
             let target = flags.positional().ok_or("missing <target>")?;
             let max_ts: usize = parse_num(flags.value("--max-ts")?.unwrap_or("0"))?;
             let prune = !flags.flag("--no-prune");
+            let (budget, retries) = bound_flags(&mut flags)?;
             flags.finish()?;
             let program = load(file)?;
-            let outcome = Kiss::new()
-                .with_max_ts(max_ts)
-                .with_alias_prune(prune)
-                .check_race_spec(&program, target)
+            // Resolve the spec before supervising so a typo is a usage
+            // error (exit 2), not a supervised failure.
+            let resolved = RaceTarget::resolve(&program, target)
                 .ok_or_else(|| format!("unknown race target `{target}`"))?;
-            report_outcome(&program, outcome)
+            let supervisor = supervisor_with_sigint(budget, retries);
+            let run = supervisor.run(|b, token| {
+                Kiss::new()
+                    .with_max_ts(max_ts)
+                    .with_alias_prune(prune)
+                    .with_budget(b)
+                    .with_cancel(token)
+                    .check_race(&program, resolved)
+            });
+            report_supervised(&program, run.result)
         }
         "transform" => {
             let file = flags.positional().ok_or("missing <file>")?;
@@ -213,6 +242,78 @@ fn parse_num(s: &str) -> Result<usize, String> {
     s.parse().map_err(|_| format!("invalid number `{s}`"))
 }
 
+/// Parses the shared resource-bound flags of `check` and `race`.
+fn bound_flags(flags: &mut Flags) -> Result<(Budget, u32), String> {
+    let mut budget = Budget::default();
+    if let Some(s) = flags.value("--timeout")? {
+        budget = budget.with_deadline(Duration::from_secs(parse_num(s)? as u64));
+    }
+    if let Some(s) = flags.value("--max-steps")? {
+        budget.max_steps = parse_num(s)? as u64;
+    }
+    if let Some(s) = flags.value("--max-states")? {
+        budget.max_states = parse_num(s)?;
+    }
+    let retries = match flags.value("--retries")? {
+        Some(s) => parse_num(s)? as u32,
+        None => 0,
+    };
+    Ok((budget, retries))
+}
+
+/// Builds the supervisor for one CLI check, wiring SIGINT to its
+/// cancellation token so ^C winds the search down cleanly (the check
+/// reports `inconclusive: cancelled` and exits 3).
+fn supervisor_with_sigint(budget: Budget, retries: u32) -> Supervisor {
+    let cancel = CancelToken::new();
+    install_sigint(cancel.clone());
+    Supervisor::new(budget).with_retries(retries).with_cancel(cancel)
+}
+
+#[cfg(unix)]
+fn install_sigint(token: CancelToken) {
+    use std::sync::OnceLock;
+    static CANCEL: OnceLock<CancelToken> = OnceLock::new();
+    // The handler only flips the token's atomic flag — async-signal-safe
+    // and observed by the engines at their next budget poll.
+    extern "C" fn on_sigint(_: i32) {
+        if let Some(t) = CANCEL.get() {
+            t.cancel();
+        }
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    if CANCEL.set(token).is_ok() {
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+            // Rust ignores SIGPIPE by default, so `kissc ... | head`
+            // panics mid-print; restore the conventional silent exit.
+            signal(SIGPIPE, SIG_DFL);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint(_token: CancelToken) {}
+
+/// Reports a supervised run: a crash is isolated and mapped to its own
+/// exit code (4) so scripts can tell "the checker broke" from "the
+/// program has a bug" (1) and "the bound was hit" (3).
+fn report_supervised(program: &Program, result: Supervised) -> Result<ExitCode, String> {
+    match result {
+        Supervised::Completed(outcome) => report_outcome(program, outcome),
+        Supervised::Crashed { cause } => {
+            println!("CHECK CRASHED: {cause}");
+            println!("(the failure was isolated; the input program was not judged)");
+            Ok(ExitCode::from(4))
+        }
+    }
+}
+
 fn report_outcome(program: &Program, outcome: KissOutcome) -> Result<ExitCode, String> {
     match outcome {
         KissOutcome::NoErrorFound(stats) => {
@@ -248,8 +349,15 @@ fn report_outcome(program: &Program, outcome: KissOutcome) -> Result<ExitCode, S
             print!("{}", render_trace(program, &report.mapped));
             Ok(ExitCode::from(1))
         }
-        KissOutcome::Inconclusive { steps, states } => {
-            println!("inconclusive: resource bound exceeded ({steps} steps, {states} states)");
+        KissOutcome::Inconclusive { steps, states, reason } => {
+            if reason == BoundReason::Cancelled {
+                println!("inconclusive: cancelled ({steps} steps, {states} states)");
+            } else {
+                println!(
+                    "inconclusive: resource bound exceeded on {reason} \
+                     ({steps} steps, {states} states)"
+                );
+            }
             Ok(ExitCode::from(3))
         }
         KissOutcome::RuntimeError(e) => {

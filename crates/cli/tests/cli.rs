@@ -129,3 +129,112 @@ fn bad_race_target_is_a_usage_error() {
     assert_eq!(out.status.code(), Some(2), "{out:?}");
     std::fs::remove_file(path).ok();
 }
+
+// An unbounded counter: the state space never closes, so only a
+// resource bound (steps, deadline, ...) can end the check.
+const DIVERGENT: &str = "
+    int g;
+    void spin() { iter { g = g + 1; } }
+    void main() { async spin(); assert g >= 0; }
+";
+
+#[test]
+fn timeout_flag_reports_deadline_with_exit_3() {
+    let path = write_temp("timeout", DIVERGENT);
+    let out = kissc()
+        .args(["check"])
+        .arg(&path)
+        .args(["--timeout", "0"])
+        .output()
+        .expect("run kissc");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("inconclusive"), "{stdout}");
+    assert!(stdout.contains("deadline"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn max_steps_flag_reports_steps_with_exit_3() {
+    let path = write_temp("maxsteps", DIVERGENT);
+    let out = kissc()
+        .args(["check"])
+        .arg(&path)
+        .args(["--max-steps", "500"])
+        .output()
+        .expect("run kissc");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("resource bound exceeded on steps"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn retries_escalate_a_tight_budget_to_a_verdict() {
+    let path = write_temp("retries", CLEAN);
+    // 10 steps is too tight for this program (it needs ~50), but the
+    // doubling ladder reaches a budget that completes the check.
+    let args = ["--max-steps", "10", "--max-states", "1000000"];
+    let out = kissc().args(["check"]).arg(&path).args(args).output().expect("run kissc");
+    assert_eq!(out.status.code(), Some(3), "without retries: {out:?}");
+    let out = kissc()
+        .args(["check"])
+        .arg(&path)
+        .args(args)
+        .args(["--retries", "4"])
+        .output()
+        .expect("run kissc");
+    assert_eq!(out.status.code(), Some(0), "with retries: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no error found"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn race_subcommand_accepts_bound_flags() {
+    let path = write_temp("raceflags", RACY);
+    let out = kissc()
+        .args(["race"])
+        .arg(&path)
+        .args(["r", "--timeout", "600", "--max-steps", "1000000", "--retries", "1"])
+        .output()
+        .expect("run kissc");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("RACE CONDITION"));
+    std::fs::remove_file(path).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn sigint_cancels_the_check_with_exit_3() {
+    use std::time::{Duration, Instant};
+
+    let path = write_temp("sigint", DIVERGENT);
+    // A long deadline so only the signal can end the run this fast.
+    let mut child = kissc()
+        .args(["check"])
+        .arg(&path)
+        .args(["--timeout", "600"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn kissc");
+    std::thread::sleep(Duration::from_millis(300));
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("send SIGINT");
+    assert!(kill.success());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("poll child") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "kissc did not wind down after SIGINT");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(status.code(), Some(3), "{status:?}");
+    let mut stdout = String::new();
+    use std::io::Read as _;
+    child.stdout.take().unwrap().read_to_string(&mut stdout).expect("read stdout");
+    assert!(stdout.contains("cancelled"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}

@@ -13,7 +13,10 @@
 use kiss_exec::Module;
 use kiss_lang::hir::Origin;
 use kiss_lang::Program;
-use kiss_seq::{BfsChecker, Budget, ErrorTrace, ExplicitChecker, SummaryChecker, Verdict};
+use kiss_seq::{
+    BfsChecker, BoundReason, Budget, CancelToken, ErrorTrace, ExplicitChecker, SummaryChecker,
+    Verdict,
+};
 
 use crate::trace_map::{self, MappedTrace};
 use crate::transform::{transform, RaceSite, RaceTarget, TransformConfig, TransformError, Transformed};
@@ -87,6 +90,9 @@ pub enum KissOutcome {
         steps: u64,
         /// States recorded.
         states: usize,
+        /// Which budget axis ended the search (steps, states, deadline,
+        /// memory, or cancellation).
+        reason: BoundReason,
     },
     /// The program has a runtime error (ill-typed operation).
     RuntimeError(String),
@@ -111,6 +117,28 @@ impl KissOutcome {
     }
 }
 
+/// A check request that could not even start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// The race spec named no global or `Struct.field` in the program.
+    UnknownRaceSpec {
+        /// The spec as given.
+        spec: String,
+    },
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::UnknownRaceSpec { spec } => {
+                write!(f, "race spec `{spec}` names no global or Struct.field in the program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
 /// The KISS checker.
 #[derive(Debug, Clone)]
 pub struct Kiss {
@@ -120,6 +148,7 @@ pub struct Kiss {
     validate: bool,
     engine: Engine,
     optimize: bool,
+    cancel: CancelToken,
 }
 
 impl Default for Kiss {
@@ -139,6 +168,7 @@ impl Kiss {
             validate: true,
             engine: Engine::Explicit,
             optimize: false,
+            cancel: CancelToken::default(),
         }
     }
 
@@ -170,6 +200,15 @@ impl Kiss {
     /// Selects the sequential engine.
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Installs a cancellation token threaded through to the sequential
+    /// engine's inner loop. Cancelling mid-check yields
+    /// [`KissOutcome::Inconclusive`] with
+    /// [`BoundReason::Cancelled`].
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -205,6 +244,18 @@ impl Kiss {
         RaceTarget::resolve(program, spec).map(|t| self.check_race(program, t))
     }
 
+    /// Like [`Kiss::check_race_spec`], but an unresolvable spec is a
+    /// typed error instead of `None` — callers running corpora report
+    /// it per-field rather than aborting.
+    pub fn try_check_race_spec(
+        &self,
+        program: &Program,
+        spec: &str,
+    ) -> Result<KissOutcome, CheckError> {
+        self.check_race_spec(program, spec)
+            .ok_or_else(|| CheckError::UnknownRaceSpec { spec: spec.to_string() })
+    }
+
     fn run(&self, program: &Program, cfg: &TransformConfig) -> KissOutcome {
         let pruned;
         let input: &Program = if self.optimize {
@@ -225,7 +276,10 @@ impl Kiss {
         let module = Module::lower(info.program.clone());
         let (verdict, stats) = match self.engine {
             Engine::Explicit => {
-                let (v, s) = ExplicitChecker::new(&module).with_budget(self.budget).check_with_stats();
+                let (v, s) = ExplicitChecker::new(&module)
+                    .with_budget(self.budget)
+                    .with_cancel(self.cancel.clone())
+                    .check_with_stats();
                 (v, CheckStats {
                     steps: s.steps,
                     states: s.states,
@@ -234,7 +288,10 @@ impl Kiss {
                 })
             }
             Engine::Summary => {
-                let (v, s) = SummaryChecker::new(&module).with_budget(self.budget).check_with_stats();
+                let (v, s) = SummaryChecker::new(&module)
+                    .with_budget(self.budget)
+                    .with_cancel(self.cancel.clone())
+                    .check_with_stats();
                 (v, CheckStats {
                     steps: s.steps,
                     states: s.summaries,
@@ -243,7 +300,10 @@ impl Kiss {
                 })
             }
             Engine::Bfs => {
-                let v = BfsChecker::new(&module).with_budget(self.budget).check();
+                let v = BfsChecker::new(&module)
+                    .with_budget(self.budget)
+                    .with_cancel(self.cancel.clone())
+                    .check();
                 (v, CheckStats {
                     steps: 0,
                     states: 0,
@@ -254,7 +314,9 @@ impl Kiss {
         };
         match verdict {
             Verdict::Pass => KissOutcome::NoErrorFound(stats),
-            Verdict::ResourceBound { steps, states } => KissOutcome::Inconclusive { steps, states },
+            Verdict::ResourceBound { steps, states, reason } => {
+                KissOutcome::Inconclusive { steps, states, reason }
+            }
             Verdict::RuntimeError(e, _) => KissOutcome::RuntimeError(e.to_string()),
             Verdict::Fail(trace) => self.report(program, &module, &info, trace, stats),
         }
@@ -405,9 +467,34 @@ mod tests {
             void main() { async spin(); assert g >= 0; }
         ";
         let outcome = Kiss::new()
-            .with_budget(Budget { max_steps: 2_000, max_states: 200 })
+            .with_budget(Budget::steps_states(2_000, 200))
             .check_assertions(&prog(src));
         assert!(outcome.is_inconclusive(), "{outcome:?}");
+    }
+
+    #[test]
+    fn cancellation_surfaces_as_inconclusive() {
+        let src = "
+            int g;
+            void spin() { iter { g = g + 1; } }
+            void main() { async spin(); assert g >= 0; }
+        ";
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let outcome = Kiss::new().with_cancel(cancel).check_assertions(&prog(src));
+        let KissOutcome::Inconclusive { reason, .. } = outcome else {
+            panic!("expected inconclusive, got {outcome:?}");
+        };
+        assert_eq!(reason, BoundReason::Cancelled);
+    }
+
+    #[test]
+    fn try_check_race_spec_reports_unknown_specs_as_errors() {
+        let p = prog("int r; void main() { skip; }");
+        assert!(Kiss::new().try_check_race_spec(&p, "r").is_ok());
+        let err = Kiss::new().try_check_race_spec(&p, "nope").unwrap_err();
+        assert_eq!(err, CheckError::UnknownRaceSpec { spec: "nope".into() });
+        assert!(err.to_string().contains("nope"));
     }
 
     #[test]

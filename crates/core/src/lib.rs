@@ -19,7 +19,10 @@
 //!   concurrent explorer — witnessing the paper's "never reports false
 //!   errors" guarantee;
 //! * [`harness`] — the two-thread dispatch-routine harness used by the
-//!   driver experiments (Section 6).
+//!   driver experiments (Section 6);
+//! * [`supervisor`] — robust execution of many checks in sequence:
+//!   panic isolation, wall-clock deadlines, cooperative cancellation,
+//!   and bounded retry-with-escalation for inconclusive checks.
 //!
 //! ```
 //! use kiss_core::checker::{Kiss, KissOutcome};
@@ -37,8 +40,10 @@
 pub mod checker;
 pub mod harness;
 pub mod report;
+pub mod supervisor;
 pub mod trace_map;
 pub mod transform;
 
-pub use checker::{Kiss, KissOutcome};
+pub use checker::{CheckError, Kiss, KissOutcome};
+pub use supervisor::{Supervised, SupervisedRun, Supervisor};
 pub use transform::{RaceTarget, TransformConfig, Transformed};

@@ -1,0 +1,344 @@
+//! Supervised execution of individual checks.
+//!
+//! The paper's experiments run 481 field checks under a per-check
+//! resource bound (20 minutes / 800 MB), recording "resource bound
+//! exceeded" for the ones that do not finish — one divergent or crashing
+//! check must never take down the rest of the corpus. [`Supervisor`]
+//! provides that robustness layer for our reproduction:
+//!
+//! * **panic isolation** — the check closure runs under
+//!   [`std::panic::catch_unwind`]; a panic becomes
+//!   [`Supervised::Crashed`] with the panic payload as the cause,
+//!   instead of aborting the corpus run;
+//! * **retry with escalation** — an inconclusive check (budget tripped)
+//!   is retried under a doubled, then quadrupled budget (the ladder is
+//!   bounded by [`Supervisor::with_retries`]); a check cut short by
+//!   *cancellation* is never retried, because the supervisor itself is
+//!   being shut down;
+//! * **deadline and cancellation plumbing** — each attempt receives the
+//!   (escalated) [`Budget`] and the shared [`CancelToken`], which the
+//!   engines poll from their inner loops.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use kiss_seq::{BoundReason, Budget, CancelToken};
+
+use crate::checker::KissOutcome;
+
+/// How a supervised check ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Supervised {
+    /// The check ran to a verdict (possibly still inconclusive after
+    /// the whole escalation ladder).
+    Completed(KissOutcome),
+    /// The check panicked; the corpus run continues without it.
+    Crashed {
+        /// The panic payload, stringified.
+        cause: String,
+    },
+}
+
+impl Supervised {
+    /// `true` for [`Supervised::Crashed`].
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, Supervised::Crashed { .. })
+    }
+}
+
+/// One supervised run: the final result plus attempt accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisedRun {
+    /// The final result.
+    pub result: Supervised,
+    /// Attempts made (1 = no retry was needed or allowed).
+    pub attempts: u32,
+    /// The budget of the last attempt (base budget × 2^(attempts-1)
+    /// unless the run crashed or was cancelled earlier).
+    pub last_budget: Budget,
+}
+
+/// Runs check closures with panic isolation, cancellation, and a
+/// bounded retry-with-escalation ladder.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    budget: Budget,
+    retries: u32,
+    cancel: CancelToken,
+}
+
+impl Supervisor {
+    /// A supervisor granting each check `budget`, with the default
+    /// two-step escalation ladder (retry at 2× and 4×).
+    pub fn new(budget: Budget) -> Self {
+        Supervisor { budget, retries: 2, cancel: CancelToken::default() }
+    }
+
+    /// Sets how many escalating retries an inconclusive check gets
+    /// after its first attempt (0 disables retrying). Retry `i` runs
+    /// under `budget.scaled(2^i)`.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Shares a cancellation token with every attempt. Once cancelled,
+    /// running checks wind down and no further attempts start.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The base (unescalated) budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// The shared cancellation token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Runs `check` under supervision. The closure receives the budget
+    /// for the current attempt and the shared cancellation token; it is
+    /// called again with a scaled budget while it reports a *retryable*
+    /// inconclusive outcome and the ladder is not exhausted.
+    pub fn run<F>(&self, mut check: F) -> SupervisedRun
+    where
+        F: FnMut(Budget, CancelToken) -> KissOutcome,
+    {
+        let mut attempts = 0u32;
+        let mut budget = self.budget;
+        loop {
+            attempts += 1;
+            if self.cancel.is_cancelled() {
+                return SupervisedRun {
+                    result: Supervised::Completed(KissOutcome::Inconclusive {
+                        steps: 0,
+                        states: 0,
+                        reason: BoundReason::Cancelled,
+                    }),
+                    attempts,
+                    last_budget: budget,
+                };
+            }
+            let attempt = catch_unwind(AssertUnwindSafe(|| check(budget, self.cancel.clone())));
+            let outcome = match attempt {
+                Ok(outcome) => outcome,
+                Err(payload) => {
+                    return SupervisedRun {
+                        result: Supervised::Crashed { cause: panic_cause(payload) },
+                        attempts,
+                        last_budget: budget,
+                    }
+                }
+            };
+            let retryable = matches!(
+                outcome,
+                KissOutcome::Inconclusive { reason, .. } if reason.retryable()
+            );
+            if retryable && attempts <= self.retries {
+                budget = budget.scaled(2);
+                continue;
+            }
+            return SupervisedRun {
+                result: Supervised::Completed(outcome),
+                attempts,
+                last_budget: budget,
+            };
+        }
+    }
+}
+
+/// Stringifies a panic payload (`&str` and `String` payloads cover
+/// everything `panic!` and `unwrap` produce).
+fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{CheckStats, Kiss};
+    use kiss_seq::BoundReason;
+    use std::time::Duration;
+
+    fn small() -> Budget {
+        Budget::steps_states(1_000, 100)
+    }
+
+    fn no_error() -> KissOutcome {
+        KissOutcome::NoErrorFound(CheckStats::default())
+    }
+
+    fn inconclusive(reason: BoundReason) -> KissOutcome {
+        KissOutcome::Inconclusive { steps: 1, states: 1, reason }
+    }
+
+    #[test]
+    fn clean_check_takes_one_attempt() {
+        let run = Supervisor::new(small()).run(|_, _| no_error());
+        assert_eq!(run.attempts, 1);
+        assert_eq!(run.result, Supervised::Completed(no_error()));
+        assert_eq!(run.last_budget, small());
+    }
+
+    #[test]
+    fn escalation_ladder_doubles_then_caps() {
+        let mut budgets = Vec::new();
+        let run = Supervisor::new(small()).with_retries(2).run(|b, _| {
+            budgets.push(b);
+            inconclusive(BoundReason::Steps)
+        });
+        // 1×, 2×, 4× — then the ladder is exhausted.
+        assert_eq!(run.attempts, 3);
+        assert_eq!(budgets, vec![small(), small().scaled(2), small().scaled(4)]);
+        assert_eq!(run.result, Supervised::Completed(inconclusive(BoundReason::Steps)));
+        assert_eq!(run.last_budget, small().scaled(4));
+    }
+
+    #[test]
+    fn zero_retries_disables_the_ladder() {
+        let mut calls = 0;
+        let run = Supervisor::new(small()).with_retries(0).run(|_, _| {
+            calls += 1;
+            inconclusive(BoundReason::States)
+        });
+        assert_eq!(run.attempts, 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn success_on_retry_stops_the_ladder() {
+        let mut calls = 0;
+        let run = Supervisor::new(small()).with_retries(2).run(|_, _| {
+            calls += 1;
+            if calls == 1 {
+                inconclusive(BoundReason::Steps)
+            } else {
+                no_error()
+            }
+        });
+        assert_eq!(run.attempts, 2);
+        assert_eq!(run.result, Supervised::Completed(no_error()));
+    }
+
+    #[test]
+    fn panicking_check_is_isolated_as_crashed() {
+        let run = Supervisor::new(small()).run(|_, _| panic!("model exploded: field 7"));
+        assert_eq!(run.attempts, 1);
+        let Supervised::Crashed { cause } = run.result else { panic!("{:?}", run.result) };
+        assert!(cause.contains("model exploded"), "{cause}");
+    }
+
+    #[test]
+    fn formatted_panic_payloads_are_captured() {
+        let field = 9;
+        let run = Supervisor::new(small()).run(|_, _| panic!("bad field {field}"));
+        let Supervised::Crashed { cause } = run.result else { panic!() };
+        assert_eq!(cause, "bad field 9");
+    }
+
+    #[test]
+    fn crashes_are_not_retried() {
+        let mut calls = 0;
+        let run = Supervisor::new(small()).with_retries(5).run(|_, _| {
+            calls += 1;
+            panic!("boom")
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(run.attempts, 1);
+        assert!(run.result.is_crashed());
+    }
+
+    #[test]
+    fn cancellation_is_not_retried() {
+        let cancel = CancelToken::new();
+        let mut calls = 0;
+        let run = Supervisor::new(small()).with_retries(5).with_cancel(cancel.clone()).run(
+            |_, token| {
+                calls += 1;
+                // Simulates an engine observing mid-check cancellation.
+                cancel.cancel();
+                assert!(token.is_cancelled());
+                inconclusive(BoundReason::Cancelled)
+            },
+        );
+        assert_eq!(calls, 1);
+        assert_eq!(run.result, Supervised::Completed(inconclusive(BoundReason::Cancelled)));
+    }
+
+    #[test]
+    fn pre_cancelled_supervisor_skips_the_check_entirely() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let mut calls = 0;
+        let run = Supervisor::new(small()).with_cancel(cancel).run(|_, _| {
+            calls += 1;
+            no_error()
+        });
+        assert_eq!(calls, 0);
+        let Supervised::Completed(KissOutcome::Inconclusive { reason, .. }) = run.result else {
+            panic!("{:?}", run.result);
+        };
+        assert_eq!(reason, BoundReason::Cancelled);
+    }
+
+    #[test]
+    fn deadline_expiry_on_a_real_check_reports_deadline_through_the_ladder() {
+        // A zero deadline stays zero under scaling, so every rung of
+        // the ladder reports Deadline and the run ends inconclusive.
+        let src = "
+            int g;
+            void spin() { iter { g = g + 1; } }
+            void main() { async spin(); assert g >= 0; }
+        ";
+        let program = kiss_lang::parse_and_lower(src).unwrap();
+        let budget = Budget::generous().with_deadline(Duration::ZERO);
+        let run = Supervisor::new(budget)
+            .with_retries(1)
+            .run(|b, token| Kiss::new().with_budget(b).with_cancel(token).check_assertions(&program));
+        assert_eq!(run.attempts, 2);
+        let Supervised::Completed(KissOutcome::Inconclusive { reason, .. }) = run.result else {
+            panic!("{:?}", run.result);
+        };
+        assert_eq!(reason, BoundReason::Deadline);
+    }
+
+    #[test]
+    fn escalation_resolves_a_genuinely_tight_budget() {
+        // The check needs more steps than the base budget allows but
+        // fits in 4×: the ladder turns inconclusive into a verdict.
+        let src = "
+            int g;
+            void o() { g = 1; }
+            void main() { async o(); assert g <= 1; }
+        ";
+        let program = kiss_lang::parse_and_lower(src).unwrap();
+        let (_, full) = {
+            let module = kiss_exec::Module::lower(
+                crate::transform::transform(
+                    &program,
+                    &crate::transform::TransformConfig { max_ts: 0, race: None, alias_prune: true },
+                )
+                .unwrap()
+                .program,
+            );
+            kiss_seq::ExplicitChecker::new(&module).check_with_stats()
+        };
+        // Base budget covers a quarter of the needed steps (rounded
+        // up), so the first attempts trip and the 4× rung completes.
+        let base = Budget::steps_states(full.steps.div_ceil(4), usize::MAX);
+        let run = Supervisor::new(base)
+            .with_retries(2)
+            .run(|b, token| Kiss::new().with_budget(b).with_cancel(token).check_assertions(&program));
+        let Supervised::Completed(outcome) = &run.result else { panic!("{:?}", run.result) };
+        assert!(outcome.is_clean(), "{outcome:?}");
+        assert!(run.attempts > 1, "base budget should have tripped at least once");
+    }
+}

@@ -847,7 +847,7 @@ fn gen_schedule(slots: &[TsSlot], arities: &[usize], raise: GlobalId, max_arity:
     let arg_locals: Vec<LocalId> = (0..max_arity).map(|j| b.local(format!("__a{j}"))).collect();
 
     b.iter(|b| {
-        let branches: Vec<Box<dyn FnOnce(&mut FnBuilder) + '_>> = slots
+        let branches: Vec<build::BranchFn<'_>> = slots
             .iter()
             .map(|slot| {
                 let arg_locals = &arg_locals;
@@ -879,7 +879,7 @@ fn gen_schedule(slots: &[TsSlot], arities: &[usize], raise: GlobalId, max_arity:
                             b.origin(Origin::Sched);
                         }
                         many => {
-                            let arms: Vec<Box<dyn FnOnce(&mut FnBuilder) + '_>> = many
+                            let arms: Vec<build::BranchFn<'_>> = many
                                 .iter()
                                 .map(|&k| {
                                     let closure: Box<dyn FnOnce(&mut FnBuilder)> =

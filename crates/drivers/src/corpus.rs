@@ -294,7 +294,7 @@ impl<'a> Generator<'a> {
         } else {
             body.push(format!("t = ext->{f};"));
         }
-        body.push(format!("if (t == 0) {{ ext2 = ext; }}"));
+        body.push("if (t == 0) { ext2 = ext; }".to_string());
     }
 
     /// A field whose routine drags in a large state space, so the

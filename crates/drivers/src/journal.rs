@@ -1,0 +1,237 @@
+//! Append-only journal of per-field check outcomes.
+//!
+//! A full corpus run is hundreds of supervised checks; if the process
+//! is killed halfway (machine reclaimed, ^C, OOM), re-running from
+//! scratch wastes everything already computed. `table1`/`table2` (and
+//! any caller of
+//! [`crate::table::check_corpus_supervised`]) append one line per
+//! completed `(driver, field)` pair; `--resume` replays the journal and
+//! skips those pairs.
+//!
+//! The format is a deliberately trivial line-oriented text format —
+//! one record per line, tab-separated, versioned:
+//!
+//! ```text
+//! v1\t<driver>\t<field-index>\t<outcome>
+//! ```
+//!
+//! where `<outcome>` is `race`, `norace`, `inconclusive:<reason>`,
+//! `crashed:<cause>`, or `failed:<cause>`. Causes have control
+//! characters replaced by spaces so they stay single-line. A torn final
+//! line (the process died mid-write) is ignored on load, as is any
+//! line that fails to parse: a journal can only *under*-report
+//! completed work, never corrupt a resumed run.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use kiss_seq::BoundReason;
+
+use crate::table::FieldOutcome;
+
+/// A resumable record of completed per-field checks.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    completed: HashMap<(String, usize), FieldOutcome>,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` and loads every
+    /// well-formed record already in it.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let mut completed = HashMap::new();
+        if path.exists() {
+            let reader = BufReader::new(File::open(&path)?);
+            for line in reader.lines() {
+                let line = line?;
+                if let Some(((driver, field), outcome)) = parse_line(&line) {
+                    completed.insert((driver, field), outcome);
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal { path, file, completed })
+    }
+
+    /// The journal's location on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of completed `(driver, field)` records loaded or written.
+    pub fn len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Whether the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.completed.is_empty()
+    }
+
+    /// The recorded outcome for a `(driver, field)` pair, if any.
+    pub fn lookup(&self, driver: &str, field: usize) -> Option<FieldOutcome> {
+        self.completed.get(&(driver.to_string(), field)).cloned()
+    }
+
+    /// Appends a record and flushes it to disk immediately, so a kill
+    /// right after a slow check loses at most the in-flight field.
+    pub fn record(
+        &mut self,
+        driver: &str,
+        field: usize,
+        outcome: &FieldOutcome,
+    ) -> std::io::Result<()> {
+        writeln!(
+            self.file,
+            "v1\t{}\t{}\t{}",
+            sanitize(driver),
+            field,
+            encode_outcome(outcome)
+        )?;
+        self.file.flush()?;
+        self.completed.insert((driver.to_string(), field), outcome.clone());
+        Ok(())
+    }
+}
+
+/// Replaces tabs, newlines, and other control characters so arbitrary
+/// causes cannot break the line format.
+fn sanitize(s: &str) -> String {
+    s.chars().map(|c| if c.is_control() || c == '\t' { ' ' } else { c }).collect()
+}
+
+fn encode_outcome(outcome: &FieldOutcome) -> String {
+    match outcome {
+        FieldOutcome::Race => "race".to_string(),
+        FieldOutcome::NoRace => "norace".to_string(),
+        FieldOutcome::Inconclusive(reason) => format!("inconclusive:{}", reason.as_str()),
+        FieldOutcome::Crashed { cause } => format!("crashed:{}", sanitize(cause)),
+        FieldOutcome::Failed { cause } => format!("failed:{}", sanitize(cause)),
+    }
+}
+
+fn decode_outcome(s: &str) -> Option<FieldOutcome> {
+    if s == "race" {
+        return Some(FieldOutcome::Race);
+    }
+    if s == "norace" {
+        return Some(FieldOutcome::NoRace);
+    }
+    if let Some(reason) = s.strip_prefix("inconclusive:") {
+        return BoundReason::parse(reason).map(FieldOutcome::Inconclusive);
+    }
+    if let Some(cause) = s.strip_prefix("crashed:") {
+        return Some(FieldOutcome::Crashed { cause: cause.to_string() });
+    }
+    if let Some(cause) = s.strip_prefix("failed:") {
+        return Some(FieldOutcome::Failed { cause: cause.to_string() });
+    }
+    None
+}
+
+fn parse_line(line: &str) -> Option<((String, usize), FieldOutcome)> {
+    let mut parts = line.splitn(4, '\t');
+    if parts.next()? != "v1" {
+        return None;
+    }
+    let driver = parts.next()?.to_string();
+    let field: usize = parts.next()?.parse().ok()?;
+    let outcome = decode_outcome(parts.next()?)?;
+    Some(((driver, field), outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("kiss-journal-test-{}-{name}.log", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn all_outcomes() -> Vec<FieldOutcome> {
+        vec![
+            FieldOutcome::Race,
+            FieldOutcome::NoRace,
+            FieldOutcome::Inconclusive(BoundReason::Steps),
+            FieldOutcome::Inconclusive(BoundReason::Deadline),
+            FieldOutcome::Crashed { cause: "index out of bounds: len 3".to_string() },
+            FieldOutcome::Failed { cause: "race spec `x` did not resolve".to_string() },
+        ]
+    }
+
+    #[test]
+    fn outcomes_round_trip_through_reopen() {
+        let path = tmp_path("roundtrip");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            for (i, o) in all_outcomes().iter().enumerate() {
+                j.record("drv", i, o).unwrap();
+            }
+        }
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), all_outcomes().len());
+        for (i, o) in all_outcomes().iter().enumerate() {
+            assert_eq!(j.lookup("drv", i).as_ref(), Some(o), "field {i}");
+        }
+        assert_eq!(j.lookup("other", 0), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_and_garbage_lines_are_ignored() {
+        let path = tmp_path("torn");
+        std::fs::write(
+            &path,
+            "v1\tdrv\t0\trace\n\
+             not a journal line\n\
+             v0\tdrv\t1\tnorace\n\
+             v1\tdrv\tnot-a-number\trace\n\
+             v1\tdrv\t2\tinconclusive:bogus-reason\n\
+             v1\tdrv\t3\tnora",
+        )
+        .unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.lookup("drv", 0), Some(FieldOutcome::Race));
+        assert_eq!(j.lookup("drv", 3), None, "torn final line must not count");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn causes_with_control_characters_stay_single_line() {
+        let path = tmp_path("sanitize");
+        let nasty = FieldOutcome::Crashed { cause: "line1\nline2\ttabbed".to_string() };
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.record("drv", 0, &nasty).unwrap();
+            j.record("drv", 1, &FieldOutcome::Race).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "{text:?}");
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.lookup("drv", 0), Some(FieldOutcome::Crashed { cause: "line1 line2 tabbed".to_string() }));
+        assert_eq!(j.lookup("drv", 1), Some(FieldOutcome::Race));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn later_records_override_earlier_ones() {
+        let path = tmp_path("override");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.record("drv", 0, &FieldOutcome::Inconclusive(BoundReason::Steps)).unwrap();
+            j.record("drv", 0, &FieldOutcome::Race).unwrap();
+        }
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.lookup("drv", 0), Some(FieldOutcome::Race));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -25,10 +25,15 @@
 
 pub mod bluetooth;
 pub mod corpus;
+pub mod journal;
 pub mod table;
 pub mod os_model;
 pub mod spec;
 
 pub use corpus::{generate_corpus, generate_driver, generate_driver_annotated, DriverModel, FieldClass, FieldInfo, IrpCategory};
+pub use journal::Journal;
 pub use spec::{paper_table, DriverSpec};
-pub use table::{check_corpus, check_driver, DriverResult, FieldOutcome, FieldResult};
+pub use table::{
+    check_corpus, check_corpus_supervised, check_driver, check_driver_supervised,
+    supervised_field_outcome, DriverResult, FieldOutcome, FieldResult,
+};

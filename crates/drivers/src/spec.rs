@@ -58,7 +58,8 @@ impl DriverSpec {
 /// The paper's Table 1 + Table 2, one entry per driver.
 pub fn paper_table() -> Vec<DriverSpec> {
     // name, kloc, fields, races(T1), no-races(T1), races(T2), benign, ioctl?
-    let rows: [(&str, f64, usize, usize, usize, usize, usize, bool); 18] = [
+    type Row = (&'static str, f64, usize, usize, usize, usize, usize, bool);
+    let rows: [Row; 18] = [
         ("tracedrv", 0.5, 3, 0, 3, 0, 0, false),
         ("moufiltr", 1.0, 14, 7, 7, 0, 0, true),
         ("kbfiltr", 1.1, 15, 8, 7, 0, 0, true),

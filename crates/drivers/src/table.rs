@@ -10,23 +10,45 @@
 
 use kiss_core::checker::{Kiss, KissOutcome};
 use kiss_core::harness::dispatch_harness;
-use kiss_seq::Budget;
+use kiss_core::supervisor::{Supervised, Supervisor};
+use kiss_lang::Program;
+use kiss_seq::{BoundReason, Budget};
 
 use crate::corpus::{DriverModel, FieldClass};
+use crate::journal::Journal;
 
 /// Outcome of one per-field check.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FieldOutcome {
     /// A race was reported.
     Race,
     /// The check completed without reporting a race.
     NoRace,
-    /// The check exceeded the resource bound.
-    Inconclusive,
+    /// The check exceeded the resource bound on the recorded axis.
+    Inconclusive(BoundReason),
+    /// The check panicked; the supervisor isolated it and the corpus
+    /// run continued.
+    Crashed {
+        /// The panic payload.
+        cause: String,
+    },
+    /// The check could not run (malformed model, unresolvable harness
+    /// or race spec, runtime error in the generated program).
+    Failed {
+        /// What went wrong.
+        cause: String,
+    },
+}
+
+impl FieldOutcome {
+    /// `true` when the check produced a definite race/no-race answer.
+    pub fn is_definite(&self) -> bool {
+        matches!(self, FieldOutcome::Race | FieldOutcome::NoRace)
+    }
 }
 
 /// Result for one field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FieldResult {
     /// Field index within the extension struct.
     pub field: usize,
@@ -51,6 +73,10 @@ pub struct DriverResult {
     pub no_races: usize,
     /// Fields whose check exceeded the bound.
     pub inconclusive: usize,
+    /// Fields whose check panicked (isolated by the supervisor).
+    pub crashed: usize,
+    /// Fields whose check could not run at all.
+    pub failed: usize,
     /// Per-field details.
     pub results: Vec<FieldResult>,
 }
@@ -58,55 +84,137 @@ pub struct DriverResult {
 /// The default per-field budget (the analogue of the paper's
 /// 20 min / 800 MB bound).
 pub fn default_budget() -> Budget {
-    Budget { max_steps: 3_000_000, max_states: 60_000 }
+    Budget::steps_states(3_000_000, 60_000)
 }
 
-/// Checks every field of one driver.
-///
-/// # Panics
-///
-/// Panics if the generated source fails to parse (a generator bug,
-/// covered by tests).
+/// Checks every field of one driver. Never panics: a model that does
+/// not parse, a harness that cannot be built, or a spec that does not
+/// resolve yields per-field [`FieldOutcome::Failed`] results instead.
 pub fn check_driver(model: &DriverModel, refined: bool, budget: Budget) -> DriverResult {
-    let program = kiss_lang::parse_and_lower(&model.source)
-        .unwrap_or_else(|e| panic!("driver {} does not parse: {e}", model.name));
+    check_driver_supervised(model, refined, &Supervisor::new(budget).with_retries(0), None)
+}
+
+/// Like [`check_driver`], with the full robustness layer: each field
+/// check runs under `supervisor` (panic isolation, deadline,
+/// cancellation, retry-with-escalation), and completed fields are
+/// recorded in — and on resume skipped via — the optional `journal`.
+pub fn check_driver_supervised(
+    model: &DriverModel,
+    refined: bool,
+    supervisor: &Supervisor,
+    mut journal: Option<&mut Journal>,
+) -> DriverResult {
+    let program = match kiss_lang::parse_and_lower(&model.source) {
+        Ok(p) => p,
+        Err(e) => {
+            // The whole model is unusable; fail every field, but keep
+            // the row so corpus totals stay aligned with the spec.
+            let cause = format!("driver {} does not parse: {e}", model.name);
+            let results = model
+                .fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| FieldResult {
+                    field: i,
+                    class: f.class,
+                    outcome: FieldOutcome::Failed { cause: cause.clone() },
+                })
+                .collect();
+            return summarize(model, results);
+        }
+    };
     let mut results = Vec::with_capacity(model.fields.len());
     for (i, field) in model.fields.iter().enumerate() {
-        let pairs = model.field_pairs(i, refined);
-        let outcome = if pairs.is_empty() {
-            // No two routines may access this field concurrently: the
-            // refined OS model rules the race out without a search.
-            FieldOutcome::NoRace
-        } else {
-            let pair_refs: Vec<(&str, &str)> =
-                pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
-            let harnessed = dispatch_harness(&program, Some("DriverInit"), &pair_refs)
-                .expect("generated routines exist and take no parameters");
-            let spec = model.race_spec(i);
-            match Kiss::new().with_budget(budget).check_race_spec(&harnessed, &spec) {
-                Some(KissOutcome::RaceDetected(_)) => FieldOutcome::Race,
-                Some(KissOutcome::NoErrorFound(_)) => FieldOutcome::NoRace,
-                Some(KissOutcome::Inconclusive { .. }) => FieldOutcome::Inconclusive,
-                Some(other) => panic!("unexpected outcome for {}.{}: {other:?}", model.name, field.name),
-                None => panic!("race spec {spec} did not resolve"),
+        if let Some(done) = journal.as_ref().and_then(|j| j.lookup(&model.name, i)) {
+            results.push(FieldResult { field: i, class: field.class, outcome: done });
+            continue;
+        }
+        let outcome = check_field(model, &program, i, refined, supervisor);
+        // Cancellation is a shutdown artifact, not a result: leave it
+        // out of the journal so a resumed run re-checks the field.
+        let journalable = !matches!(outcome, FieldOutcome::Inconclusive(BoundReason::Cancelled));
+        if journalable {
+            if let Some(j) = journal.as_deref_mut() {
+                // A journal write failure must not kill the run; the
+                // check result itself is still good.
+                let _ = j.record(&model.name, i, &outcome);
             }
-        };
+        }
         results.push(FieldResult { field: i, class: field.class, outcome });
     }
     summarize(model, results)
 }
 
+/// Checks one field, resolving the harness and spec outside the
+/// supervised closure so setup errors surface as
+/// [`FieldOutcome::Failed`] rather than crashes.
+fn check_field(
+    model: &DriverModel,
+    program: &Program,
+    field: usize,
+    refined: bool,
+    supervisor: &Supervisor,
+) -> FieldOutcome {
+    let pairs = model.field_pairs(field, refined);
+    if pairs.is_empty() {
+        // No two routines may access this field concurrently: the
+        // refined OS model rules the race out without a search.
+        return FieldOutcome::NoRace;
+    }
+    let pair_refs: Vec<(&str, &str)> = pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+    let harnessed = match dispatch_harness(program, Some("DriverInit"), &pair_refs) {
+        Ok(h) => h,
+        Err(e) => return FieldOutcome::Failed { cause: format!("harness: {e}") },
+    };
+    let spec = model.race_spec(field);
+    let target = match kiss_core::RaceTarget::resolve(&harnessed, &spec) {
+        Some(t) => t,
+        None => {
+            return FieldOutcome::Failed { cause: format!("race spec `{spec}` did not resolve") }
+        }
+    };
+    supervised_field_outcome(supervisor, |budget, cancel| {
+        Kiss::new().with_budget(budget).with_cancel(cancel).check_race(&harnessed, target)
+    })
+}
+
+/// Runs one field-check closure under `supervisor` and maps the result
+/// into the [`FieldOutcome`] taxonomy. Public so integration tests can
+/// inject panicking or divergent checks without a generator hook.
+pub fn supervised_field_outcome(
+    supervisor: &Supervisor,
+    check: impl FnMut(Budget, kiss_seq::CancelToken) -> KissOutcome,
+) -> FieldOutcome {
+    match supervisor.run(check).result {
+        Supervised::Crashed { cause } => FieldOutcome::Crashed { cause },
+        Supervised::Completed(KissOutcome::RaceDetected(_)) => FieldOutcome::Race,
+        Supervised::Completed(KissOutcome::NoErrorFound(_)) => FieldOutcome::NoRace,
+        Supervised::Completed(KissOutcome::Inconclusive { reason, .. }) => {
+            FieldOutcome::Inconclusive(reason)
+        }
+        Supervised::Completed(KissOutcome::AssertionViolation(_)) => {
+            FieldOutcome::Failed { cause: "assertion violation in race harness".to_string() }
+        }
+        Supervised::Completed(KissOutcome::RuntimeError(e)) => {
+            FieldOutcome::Failed { cause: format!("runtime error: {e}") }
+        }
+        Supervised::Completed(KissOutcome::TransformFailed(e)) => {
+            FieldOutcome::Failed { cause: format!("transform failed: {e:?}") }
+        }
+    }
+}
+
 fn summarize(model: &DriverModel, results: Vec<FieldResult>) -> DriverResult {
-    let races = results.iter().filter(|r| r.outcome == FieldOutcome::Race).count();
-    let no_races = results.iter().filter(|r| r.outcome == FieldOutcome::NoRace).count();
-    let inconclusive = results.iter().filter(|r| r.outcome == FieldOutcome::Inconclusive).count();
+    let count = |f: fn(&FieldOutcome) -> bool| results.iter().filter(|r| f(&r.outcome)).count();
     DriverResult {
         name: model.name.clone(),
         loc: model.loc,
         fields: model.fields.len(),
-        races,
-        no_races,
-        inconclusive,
+        races: count(|o| matches!(o, FieldOutcome::Race)),
+        no_races: count(|o| matches!(o, FieldOutcome::NoRace)),
+        inconclusive: count(|o| matches!(o, FieldOutcome::Inconclusive(_))),
+        crashed: count(|o| matches!(o, FieldOutcome::Crashed { .. })),
+        failed: count(|o| matches!(o, FieldOutcome::Failed { .. })),
         results,
     }
 }
@@ -128,6 +236,31 @@ pub fn check_corpus(
         .collect()
 }
 
+/// Checks the whole corpus under a supervisor, journaling per-field
+/// outcomes so a killed run can resume where it stopped. Once the
+/// supervisor's cancellation token fires, remaining fields complete as
+/// [`FieldOutcome::Inconclusive`]`(Cancelled)` without being journaled
+/// (cancellation is not a result worth resuming *from*), and remaining
+/// drivers are skipped entirely.
+pub fn check_corpus_supervised(
+    models: &[DriverModel],
+    refined: bool,
+    supervisor: &Supervisor,
+    mut journal: Option<&mut Journal>,
+    mut progress: impl FnMut(&DriverResult),
+) -> Vec<DriverResult> {
+    let mut rows = Vec::with_capacity(models.len());
+    for m in models {
+        if supervisor.cancel_token().is_cancelled() {
+            break;
+        }
+        let r = check_driver_supervised(m, refined, supervisor, journal.as_deref_mut());
+        progress(&r);
+        rows.push(r);
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,7 +270,7 @@ mod tests {
     fn test_budget() -> Budget {
         // Small enough to keep tests quick, large enough for every
         // non-heavy field.
-        Budget { max_steps: 1_500_000, max_states: 25_000 }
+        Budget::steps_states(1_500_000, 25_000)
     }
 
     #[test]
@@ -178,12 +311,35 @@ mod tests {
         let model = generate_driver(&spec);
         let naive = check_driver(&model, false, test_budget());
         for r in &naive.results {
-            let expected = match r.class {
-                FieldClass::Spurious | FieldClass::Real | FieldClass::Benign => FieldOutcome::Race,
-                FieldClass::Heavy => FieldOutcome::Inconclusive,
-                FieldClass::Clean => FieldOutcome::NoRace,
+            let matches = match r.class {
+                FieldClass::Spurious | FieldClass::Real | FieldClass::Benign => {
+                    r.outcome == FieldOutcome::Race
+                }
+                FieldClass::Heavy => matches!(r.outcome, FieldOutcome::Inconclusive(_)),
+                FieldClass::Clean => r.outcome == FieldOutcome::NoRace,
             };
-            assert_eq!(r.outcome, expected, "field {} class {:?}", r.field, r.class);
+            assert!(matches, "field {} class {:?} got {:?}", r.field, r.class, r.outcome);
+        }
+    }
+
+    #[test]
+    fn heavy_fields_record_which_axis_tripped() {
+        let spec = paper_table().into_iter().find(|d| d.name == "mouser").unwrap();
+        let model = generate_driver(&spec);
+        // Heavy fields are built to exhaust any budget, so a tiny one
+        // keeps this fast; other fields' outcomes are irrelevant here.
+        let naive = check_driver(&model, false, Budget::steps_states(50_000, 5_000));
+        let heavy: Vec<_> =
+            naive.results.iter().filter(|r| r.class == FieldClass::Heavy).collect();
+        assert!(!heavy.is_empty());
+        for r in heavy {
+            let FieldOutcome::Inconclusive(reason) = &r.outcome else {
+                panic!("heavy field {} got {:?}", r.field, r.outcome);
+            };
+            assert!(
+                matches!(reason, kiss_seq::BoundReason::Steps | kiss_seq::BoundReason::States),
+                "{reason:?}"
+            );
         }
     }
 }
@@ -201,7 +357,7 @@ mod benign_annotation_tests {
     fn annotating_benign_reads_removes_their_table2_warnings() {
         let spec = paper_table().into_iter().find(|d| d.name == "fakemodem").unwrap();
         assert_eq!(spec.benign, 1);
-        let budget = Budget { max_steps: 1_500_000, max_states: 25_000 };
+        let budget = Budget::steps_states(1_500_000, 25_000);
         let plain = check_driver(&generate_driver(&spec), true, budget);
         assert_eq!(plain.races, spec.races_refined); // 6
         let annotated = check_driver(&generate_driver_annotated(&spec), true, budget);

@@ -1,0 +1,192 @@
+//! Integration tests for the supervised corpus runner: the acceptance
+//! scenario of the robustness work.
+//!
+//! * A corpus-style run with one deliberately panicking field and one
+//!   genuinely divergent field (under a wall-clock deadline) completes
+//!   every remaining check, recording exactly `Crashed` and
+//!   `Inconclusive(Deadline)` for the faulty fields.
+//! * A journaled run that is "killed" partway through and resumed with
+//!   the same journal reproduces identical totals without re-running
+//!   the completed fields.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use kiss_core::checker::Kiss;
+use kiss_core::supervisor::Supervisor;
+use kiss_drivers::{
+    check_corpus_supervised, generate_driver, paper_table, supervised_field_outcome,
+    DriverResult, FieldOutcome, Journal,
+};
+use kiss_seq::{BoundReason, Budget};
+
+fn tmp_journal(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("kiss-supervised-it-{}-{name}.log", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn small_models() -> Vec<kiss_drivers::DriverModel> {
+    // tracedrv (3 fields) and imca (5 fields): no heavy fields, so a
+    // moderate budget settles every check definitively and quickly.
+    paper_table()
+        .into_iter()
+        .filter(|d| d.name == "tracedrv" || d.name == "imca")
+        .map(|d| generate_driver(&d))
+        .collect()
+}
+
+fn totals(rows: &[DriverResult]) -> Vec<(String, usize, usize, usize, usize, usize)> {
+    rows.iter()
+        .map(|r| (r.name.clone(), r.races, r.no_races, r.inconclusive, r.crashed, r.failed))
+        .collect()
+}
+
+/// The acceptance scenario: three "fields" checked in sequence under
+/// one supervisor — a panicking one, a divergent one, and a clean one
+/// that must still run after both faults.
+#[test]
+fn corpus_run_survives_a_panicking_and_a_divergent_field() {
+    // Unlimited steps/states so the divergent field can only be stopped
+    // by the wall-clock deadline; clean checks finish long before it.
+    let budget = Budget::unlimited().with_deadline(Duration::from_millis(300));
+    let supervisor = Supervisor::new(budget).with_retries(0);
+
+    // Field 0: the check itself panics (an engine bug, in production).
+    let crashed = supervised_field_outcome(&supervisor, |_, _| panic!("injected fault: field 0"));
+
+    // Field 1: a genuinely divergent program — unbounded counter, so
+    // the state space never closes and only the deadline ends the run.
+    let divergent = kiss_lang::parse_and_lower(
+        "int g; void spin() { iter { g = g + 1; } } void main() { async spin(); assert g >= 0; }",
+    )
+    .expect("divergent model parses");
+    let deadline = supervised_field_outcome(&supervisor, |b, token| {
+        Kiss::new().with_budget(b).with_cancel(token).check_assertions(&divergent)
+    });
+
+    // Field 2: a clean check, proving the run continued past both.
+    let clean = kiss_lang::parse_and_lower(
+        "int g; void other() { g = 1; } void main() { async other(); assert g <= 1; }",
+    )
+    .expect("clean model parses");
+    let ok = supervised_field_outcome(&supervisor, |b, token| {
+        Kiss::new().with_budget(b).with_cancel(token).check_assertions(&clean)
+    });
+
+    let FieldOutcome::Crashed { cause } = &crashed else { panic!("{crashed:?}") };
+    assert!(cause.contains("injected fault"), "{cause}");
+    assert_eq!(deadline, FieldOutcome::Inconclusive(BoundReason::Deadline));
+    assert_eq!(ok, FieldOutcome::NoRace, "clean field must still complete");
+}
+
+/// A journaled corpus run killed partway through and resumed finishes
+/// only the missing fields and reproduces the full run's totals.
+#[test]
+fn killed_run_resumes_from_the_journal_without_rerunning() {
+    let models = small_models();
+    let field_count: usize = models.iter().map(|m| m.fields.len()).sum();
+    assert_eq!(field_count, 8);
+    let budget = Budget::steps_states(2_000_000, 50_000);
+
+    // Reference run: full corpus, journaling every field.
+    let full_path = tmp_journal("full");
+    let reference = {
+        let mut journal = Journal::open(&full_path).expect("open journal");
+        let rows = check_corpus_supervised(
+            &models,
+            true,
+            &Supervisor::new(budget).with_retries(0),
+            Some(&mut journal),
+            |_| {},
+        );
+        assert_eq!(journal.len(), field_count, "every field journaled");
+        rows
+    };
+    assert!(
+        reference.iter().all(|r| r.crashed == 0 && r.failed == 0),
+        "{reference:?}"
+    );
+
+    // Simulate a kill after the first 4 fields: keep a prefix of the
+    // journal, as if the process died mid-run.
+    let partial_path = tmp_journal("partial");
+    let full_text = std::fs::read_to_string(&full_path).expect("read journal");
+    let prefix: Vec<&str> = full_text.lines().take(4).collect();
+    std::fs::write(&partial_path, format!("{}\n", prefix.join("\n"))).expect("write prefix");
+
+    // Resume from the truncated journal with the same budget: the four
+    // journaled fields are skipped, the rest re-run, totals match.
+    let resumed = {
+        let mut journal = Journal::open(&partial_path).expect("reopen journal");
+        assert_eq!(journal.len(), 4);
+        check_corpus_supervised(
+            &models,
+            true,
+            &Supervisor::new(budget).with_retries(0),
+            Some(&mut journal),
+            |_| {},
+        )
+    };
+    assert_eq!(totals(&resumed), totals(&reference));
+
+    // Resume from the *complete* journal under an absurdly tiny budget:
+    // any field actually re-executed would now come back
+    // Inconclusive(Steps) and skew the totals, so matching totals prove
+    // every field was answered from the journal alone.
+    let replayed = {
+        let mut journal = Journal::open(&full_path).expect("reopen full journal");
+        check_corpus_supervised(
+            &models,
+            true,
+            &Supervisor::new(Budget::steps_states(1, 1)).with_retries(0),
+            Some(&mut journal),
+            |_| {},
+        )
+    };
+    assert_eq!(totals(&replayed), totals(&reference));
+    for (a, b) in replayed.iter().zip(reference.iter()) {
+        assert_eq!(a.results, b.results, "per-field outcomes must replay exactly");
+    }
+
+    let _ = std::fs::remove_file(&full_path);
+    let _ = std::fs::remove_file(&partial_path);
+}
+
+/// Cancellation stops the corpus loop between drivers and leaves no
+/// cancelled artifacts in the journal, so a resume re-checks them.
+#[test]
+fn cancellation_stops_the_corpus_and_stays_out_of_the_journal() {
+    let models = small_models();
+    let budget = Budget::steps_states(2_000_000, 50_000);
+    let supervisor = Supervisor::new(budget).with_retries(0);
+
+    // Pre-cancelled: nothing runs at all.
+    let cancelled = Supervisor::new(budget)
+        .with_cancel({
+            let t = kiss_seq::CancelToken::new();
+            t.cancel();
+            t
+        });
+    let rows = check_corpus_supervised(&models, true, &cancelled, None, |_| {});
+    assert!(rows.is_empty());
+
+    // Cancel after the first driver completes: the second is skipped,
+    // and only the first driver's fields land in the journal.
+    let path = tmp_journal("cancel");
+    let token = supervisor.cancel_token().clone();
+    let rows = {
+        let mut journal = Journal::open(&path).expect("open journal");
+        check_corpus_supervised(&models, true, &supervisor, Some(&mut journal), |_| {
+            token.cancel();
+        })
+    };
+    assert_eq!(rows.len(), 1);
+    let journal = Journal::open(&path).expect("reopen journal");
+    assert_eq!(journal.len(), models[0].fields.len());
+    for i in 0..models[1].fields.len() {
+        assert_eq!(journal.lookup(&models[1].name, i), None);
+    }
+    let _ = std::fs::remove_file(&path);
+}

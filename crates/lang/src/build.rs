@@ -43,6 +43,9 @@ pub fn fnref(f: FuncId) -> Operand {
     Operand::Const(Const::Fn(f))
 }
 
+/// A deferred branch body, as [`FnBuilder::choice`] consumes them.
+pub type BranchFn<'a> = Box<dyn FnOnce(&mut FnBuilder) + 'a>;
+
 /// Builds a function statement-by-statement.
 #[derive(Debug)]
 pub struct FnBuilder {
@@ -159,7 +162,7 @@ impl FnBuilder {
     }
 
     /// `choice { b1 [] b2 [] ... }` with each branch built by a closure.
-    pub fn choice(&mut self, branches: Vec<Box<dyn FnOnce(&mut Self) + '_>>) -> &mut Self {
+    pub fn choice(&mut self, branches: Vec<BranchFn<'_>>) -> &mut Self {
         let built: Vec<Stmt> = branches.into_iter().map(|b| self.sub(b)).collect();
         self.push(StmtKind::Choice(built))
     }

@@ -15,22 +15,28 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use kiss_exec::{eval, Env as _, Instr, Module, Value};
 
-use crate::budget::{Budget, Usage};
+use crate::budget::{BoundReason, Budget, Meter};
+use crate::cancel::CancelToken;
 use crate::config::{Config, Frame, SeqEnv};
 use crate::explicit::resolve_target;
 use crate::verdict::{ErrorTrace, TraceStep, Verdict};
 
+/// Parent map over decision points: child fingerprint ->
+/// (parent fingerprint, steps taken between them).
+type ParentMap = HashMap<(u64, u64), ((u64, u64), Vec<TraceStep>)>;
+
 /// The breadth-first checker.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BfsChecker<'a> {
     module: &'a Module,
     budget: Budget,
+    cancel: CancelToken,
 }
 
 impl<'a> BfsChecker<'a> {
     /// Creates a checker over a lowered module.
     pub fn new(module: &'a Module) -> Self {
-        BfsChecker { module, budget: Budget::default() }
+        BfsChecker { module, budget: Budget::default(), cancel: CancelToken::default() }
     }
 
     /// Replaces the budget.
@@ -39,13 +45,19 @@ impl<'a> BfsChecker<'a> {
         self
     }
 
+    /// Installs a cancellation token polled from the search loop.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
     /// Runs the check; a `Fail` verdict carries a minimal-depth trace.
     pub fn check(&self) -> Verdict {
-        let mut usage = Usage::default();
+        // The frontier stores whole configurations; charge a coarse
+        // per-state estimate well above a bare fingerprint.
+        let mut meter = Meter::new(self.budget, self.cancel.clone()).with_state_size(256);
         let mut visited: HashSet<(u64, u64)> = HashSet::new();
-        // Parent map over decision points: child fingerprint →
-        // (parent fingerprint, steps taken between them).
-        let mut parents: HashMap<(u64, u64), ((u64, u64), Vec<TraceStep>)> = HashMap::new();
+        let mut parents: ParentMap = HashMap::new();
         let root = Config::initial(self.module);
         let root_fp = root.fingerprint();
         visited.insert(root_fp);
@@ -55,9 +67,13 @@ impl<'a> BfsChecker<'a> {
         while let Some((config, fp)) = frontier.pop_front() {
             // Run the segment to the next decision point (or to an
             // end), collecting its steps.
-            match self.run_segment(config, &mut usage) {
-                SegmentEnd::Budget => {
-                    return Verdict::ResourceBound { steps: usage.steps, states: usage.states }
+            match self.run_segment(config, &mut meter) {
+                SegmentEnd::Budget(reason) => {
+                    return Verdict::ResourceBound {
+                        steps: meter.usage.steps,
+                        states: meter.usage.states,
+                        reason,
+                    }
                 }
                 SegmentEnd::Error(verdict_steps, mk) => {
                     let trace = self.reconstruct(&parents, fp, verdict_steps);
@@ -68,15 +84,19 @@ impl<'a> BfsChecker<'a> {
                     for alt in alternatives {
                         let afp = alt.fingerprint();
                         if visited.insert(afp) {
-                            usage.states = visited.len();
+                            meter.note_states(visited.len());
                             parents.insert(afp, (fp, steps.clone()));
                             frontier.push_back((alt, afp));
                         }
                     }
                 }
             }
-            if usage.exceeded(&self.budget) {
-                return Verdict::ResourceBound { steps: usage.steps, states: usage.states };
+            if let Some(reason) = meter.usage.violation(meter.budget()) {
+                return Verdict::ResourceBound {
+                    steps: meter.usage.steps,
+                    states: meter.usage.states,
+                    reason,
+                };
             }
         }
         Verdict::Pass
@@ -84,7 +104,7 @@ impl<'a> BfsChecker<'a> {
 
     fn reconstruct(
         &self,
-        parents: &HashMap<(u64, u64), ((u64, u64), Vec<TraceStep>)>,
+        parents: &ParentMap,
         mut fp: (u64, u64),
         tail: Vec<TraceStep>,
     ) -> ErrorTrace {
@@ -99,15 +119,14 @@ impl<'a> BfsChecker<'a> {
 
     /// Runs deterministically until the next NondetJump (returning the
     /// successor configs), an error, an end, or the budget.
-    fn run_segment(&self, mut config: Config, usage: &mut Usage) -> SegmentEnd {
+    fn run_segment(&self, mut config: Config, meter: &mut Meter) -> SegmentEnd {
         let mut steps: Vec<TraceStep> = Vec::new();
         loop {
             let Some(frame) = config.stack.last() else {
                 return SegmentEnd::Done;
             };
-            usage.steps += 1;
-            if usage.steps > self.budget.max_steps {
-                return SegmentEnd::Budget;
+            if let Err(reason) = meter.tick() {
+                return SegmentEnd::Budget(reason);
             }
             let func = frame.func;
             let pc = frame.pc;
@@ -228,8 +247,8 @@ enum SegmentEnd {
     Branch(Vec<TraceStep>, Vec<Config>),
     /// An error; the closure builds the verdict from the full trace.
     Error(Vec<TraceStep>, Box<dyn FnOnce(ErrorTrace) -> Verdict>),
-    /// Out of budget.
-    Budget,
+    /// Out of budget, with the axis that tripped.
+    Budget(BoundReason),
 }
 
 #[cfg(test)]
@@ -304,8 +323,27 @@ mod tests {
     #[test]
     fn budget_trips() {
         let m = module("int g; void main() { iter { g = g + 1; } }");
-        let v = BfsChecker::new(&m).with_budget(Budget { max_steps: 5_000, max_states: 200 }).check();
+        let v = BfsChecker::new(&m).with_budget(Budget::steps_states(5_000, 200)).check();
         assert!(v.is_inconclusive(), "{v:?}");
+    }
+
+    #[test]
+    fn cancellation_is_observed() {
+        let m = module("int g; void main() { iter { g = g + 1; } }");
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let v = BfsChecker::new(&m).with_cancel(cancel).check();
+        let Verdict::ResourceBound { reason, .. } = v else { panic!("{v:?}") };
+        assert_eq!(reason, BoundReason::Cancelled);
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline() {
+        let m = module("int g; void main() { iter { g = g + 1; } }");
+        let budget = Budget::generous().with_deadline(std::time::Duration::ZERO);
+        let v = BfsChecker::new(&m).with_budget(budget).check();
+        let Verdict::ResourceBound { reason, .. } = v else { panic!("{v:?}") };
+        assert_eq!(reason, BoundReason::Deadline);
     }
 
     #[test]

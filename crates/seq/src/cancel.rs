@@ -1,0 +1,76 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a cheap, clonable flag shared between a
+//! supervisor (CLI signal handler, corpus runner, test harness) and the
+//! search engines. Engines poll it from their inner loops (via
+//! [`crate::budget::Meter`]) and wind down with a
+//! [`crate::Verdict::ResourceBound`] verdict carrying
+//! [`crate::budget::BoundReason::Cancelled`] instead of being killed
+//! mid-search — so partial statistics and journals stay intact.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag.
+///
+/// Cloning the token shares the underlying flag: cancelling any clone
+/// cancels them all. The default token is never cancelled unless
+/// [`CancelToken::cancel`] is called.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_visible_to_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        a.cancel();
+        assert!(b.is_cancelled());
+        // Idempotent.
+        b.cancel();
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn independent_tokens_do_not_interfere() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_crosses_threads() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        std::thread::spawn(move || remote.cancel()).join().unwrap();
+        assert!(token.is_cancelled());
+    }
+}

@@ -11,15 +11,17 @@ use std::collections::HashSet;
 use kiss_exec::{eval, Env, Instr, Module, Value};
 use kiss_lang::hir::{CallTarget, FuncId};
 
-use crate::budget::{Budget, Usage};
+use crate::budget::{Budget, Meter};
+use crate::cancel::CancelToken;
 use crate::config::{Config, Frame, SeqEnv};
 use crate::verdict::{ErrorTrace, TraceStep, Verdict};
 
 /// The explicit-state checker.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExplicitChecker<'a> {
     module: &'a Module,
     budget: Budget,
+    cancel: CancelToken,
 }
 
 /// Statistics for one run.
@@ -37,12 +39,18 @@ pub struct Stats {
 impl<'a> ExplicitChecker<'a> {
     /// Creates a checker over a lowered module.
     pub fn new(module: &'a Module) -> Self {
-        ExplicitChecker { module, budget: Budget::default() }
+        ExplicitChecker { module, budget: Budget::default(), cancel: CancelToken::default() }
     }
 
     /// Replaces the budget.
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Installs a cancellation token polled from the search loop.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -57,23 +65,22 @@ impl<'a> ExplicitChecker<'a> {
     pub fn check_with_stats(&self) -> (Verdict, Stats) {
         let mut search = Search {
             module: self.module,
-            budget: self.budget,
-            usage: Usage::default(),
+            meter: Meter::new(self.budget, self.cancel.clone()),
             visited: HashSet::new(),
             trace: Vec::new(),
             pending: vec![(Config::initial(self.module), 0)],
             paths: 0,
         };
         let verdict = search.run();
-        let stats = Stats { steps: search.usage.steps, states: search.usage.states, paths: search.paths };
+        let usage = search.meter.usage;
+        let stats = Stats { steps: usage.steps, states: usage.states, paths: search.paths };
         (verdict, stats)
     }
 }
 
 struct Search<'a> {
     module: &'a Module,
-    budget: Budget,
-    usage: Usage,
+    meter: Meter,
     visited: HashSet<(u64, u64)>,
     trace: Vec<TraceStep>,
     pending: Vec<(Config, usize)>,
@@ -103,7 +110,7 @@ impl Search<'_> {
     /// visited (path should be pruned).
     fn record(&mut self, config: &Config) -> bool {
         if self.visited.insert(config.fingerprint()) {
-            self.usage.states = self.visited.len();
+            self.meter.note_states(self.visited.len());
             true
         } else {
             false
@@ -124,11 +131,11 @@ impl Search<'_> {
             let Some(frame) = config.stack.last() else {
                 return PathEnd::Done; // program finished
             };
-            self.usage.steps += 1;
-            if self.usage.exceeded(&self.budget) {
+            if let Err(reason) = self.meter.tick() {
                 return PathEnd::Stop(Verdict::ResourceBound {
-                    steps: self.usage.steps,
-                    states: self.usage.states,
+                    steps: self.meter.usage.steps,
+                    states: self.meter.usage.states,
+                    reason,
                 });
             }
             let func = frame.func;
@@ -145,16 +152,16 @@ impl Search<'_> {
                     config.stack.last_mut().expect("nonempty").pc += 1;
                 }
                 Instr::Assert(cond) => {
-                    let mut env = SeqEnv { module: self.module, config: &mut config };
-                    match eval::eval_cond(&mut env, &cond) {
+                    let env = SeqEnv { module: self.module, config: &mut config };
+                    match eval::eval_cond(&env, &cond) {
                         Ok(true) => config.stack.last_mut().expect("nonempty").pc += 1,
                         Ok(false) => return PathEnd::Stop(Verdict::Fail(self.snapshot(&config))),
                         Err(e) => return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config))),
                     }
                 }
                 Instr::Assume(cond) => {
-                    let mut env = SeqEnv { module: self.module, config: &mut config };
-                    match eval::eval_cond(&mut env, &cond) {
+                    let env = SeqEnv { module: self.module, config: &mut config };
+                    match eval::eval_cond(&env, &cond) {
                         Ok(true) => config.stack.last_mut().expect("nonempty").pc += 1,
                         Ok(false) => return PathEnd::Done, // pruned path
                         Err(e) => return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config))),
@@ -361,9 +368,36 @@ mod tests {
             parse_and_lower("int g; void main() { iter { g = g + 1; } assert g >= 0; }").unwrap(),
         );
         let v = ExplicitChecker::new(&module)
-            .with_budget(Budget { max_steps: 10_000, max_states: 500 })
+            .with_budget(Budget::steps_states(10_000, 500))
             .check();
         assert!(v.is_inconclusive(), "{v:?}");
+        let Verdict::ResourceBound { reason, .. } = v else { panic!("{v:?}") };
+        assert!(matches!(reason, crate::budget::BoundReason::Steps | crate::budget::BoundReason::States));
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_searching() {
+        let module = Module::lower(
+            parse_and_lower("int g; void main() { iter { g = g + 1; } assert g >= 0; }").unwrap(),
+        );
+        let cancel = crate::cancel::CancelToken::new();
+        cancel.cancel();
+        let (v, stats) = ExplicitChecker::new(&module).with_cancel(cancel).check_with_stats();
+        let Verdict::ResourceBound { reason, .. } = v else { panic!("{v:?}") };
+        assert_eq!(reason, crate::budget::BoundReason::Cancelled);
+        // The very first tick observes the flag.
+        assert_eq!(stats.steps, 1);
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline() {
+        let module = Module::lower(
+            parse_and_lower("int g; void main() { iter { g = g + 1; } assert g >= 0; }").unwrap(),
+        );
+        let budget = Budget::generous().with_deadline(std::time::Duration::ZERO);
+        let v = ExplicitChecker::new(&module).with_budget(budget).check();
+        let Verdict::ResourceBound { reason, .. } = v else { panic!("{v:?}") };
+        assert_eq!(reason, crate::budget::BoundReason::Deadline);
     }
 
     #[test]

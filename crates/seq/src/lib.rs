@@ -22,13 +22,15 @@
 
 pub mod bfs;
 pub mod budget;
+pub mod cancel;
 pub mod config;
 pub mod explicit;
 pub mod summary;
 pub mod verdict;
 
 pub use bfs::BfsChecker;
-pub use budget::Budget;
+pub use budget::{BoundReason, Budget, Meter, Usage};
+pub use cancel::CancelToken;
 pub use explicit::ExplicitChecker;
 pub use summary::SummaryChecker;
 pub use verdict::{ErrorTrace, TraceStep, Verdict};

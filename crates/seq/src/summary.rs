@@ -21,7 +21,8 @@ use std::hash::{Hash, Hasher};
 use kiss_exec::{eval, Addr, Env, ExecError, Instr, Memory, Module, Value};
 use kiss_lang::hir::{FuncId, LocalId, VarRef};
 
-use crate::budget::{Budget, Usage};
+use crate::budget::{BoundReason, Budget, Meter};
+use crate::cancel::CancelToken;
 use crate::verdict::{ErrorTrace, Verdict};
 
 /// A function entry state.
@@ -40,10 +41,11 @@ struct Exit {
 }
 
 /// The summary-based checker.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SummaryChecker<'a> {
     module: &'a Module,
     budget: Budget,
+    cancel: CancelToken,
 }
 
 /// Statistics for one run.
@@ -60,18 +62,24 @@ pub struct Stats {
 enum Interrupt {
     Fail,
     Runtime(ExecError),
-    Budget,
+    Budget(BoundReason),
 }
 
 impl<'a> SummaryChecker<'a> {
     /// Creates a checker over a lowered module.
     pub fn new(module: &'a Module) -> Self {
-        SummaryChecker { module, budget: Budget::default() }
+        SummaryChecker { module, budget: Budget::default(), cancel: CancelToken::default() }
     }
 
     /// Replaces the budget.
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Installs a cancellation token polled from the analysis loop.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -84,8 +92,7 @@ impl<'a> SummaryChecker<'a> {
     pub fn check_with_stats(&self) -> (Verdict, Stats) {
         let mut engine = Engine {
             module: self.module,
-            budget: self.budget,
-            usage: Usage::default(),
+            meter: Meter::new(self.budget, self.cancel.clone()),
             summaries: HashMap::new(),
             in_progress: Vec::new(),
         };
@@ -101,10 +108,11 @@ impl<'a> SummaryChecker<'a> {
             match engine.analyze(main_key.clone()) {
                 Err(Interrupt::Fail) => break Verdict::Fail(ErrorTrace::default()),
                 Err(Interrupt::Runtime(e)) => break Verdict::RuntimeError(e, ErrorTrace::default()),
-                Err(Interrupt::Budget) => {
+                Err(Interrupt::Budget(reason)) => {
                     break Verdict::ResourceBound {
-                        steps: engine.usage.steps,
+                        steps: engine.meter.usage.steps,
                         states: engine.summaries.len(),
+                        reason,
                     }
                 }
                 Ok(_) => {
@@ -116,15 +124,14 @@ impl<'a> SummaryChecker<'a> {
             }
         };
         let stats =
-            Stats { steps: engine.usage.steps, summaries: engine.summaries.len(), rounds };
+            Stats { steps: engine.meter.usage.steps, summaries: engine.summaries.len(), rounds };
         (verdict, stats)
     }
 }
 
 struct Engine<'a> {
     module: &'a Module,
-    budget: Budget,
-    usage: Usage,
+    meter: Meter,
     summaries: HashMap<Key, BTreeSet<Exit>>,
     /// Keys currently being analyzed (cycle detection for recursion).
     in_progress: Vec<Key>,
@@ -253,11 +260,9 @@ impl Engine<'_> {
 
         while let Some(mut state) = pending.pop() {
             'path: loop {
-                self.usage.steps += 1;
-                if self.usage.steps > self.budget.max_steps
-                    || visited.len() > self.budget.max_states
-                {
-                    return Err(Interrupt::Budget);
+                self.meter.tick().map_err(Interrupt::Budget)?;
+                if visited.len() > self.meter.budget().max_states {
+                    return Err(Interrupt::Budget(BoundReason::States));
                 }
                 let instr = body.instrs[state.pc].clone();
                 match instr {
@@ -464,9 +469,32 @@ mod tests {
             parse_and_lower("int g; void main() { iter { g = g + 1; } }").unwrap(),
         );
         let v = SummaryChecker::new(&module)
-            .with_budget(Budget { max_steps: 5_000, max_states: 100_000 })
+            .with_budget(Budget::steps_states(5_000, 100_000))
             .check();
         assert!(v.is_inconclusive(), "{v:?}");
+    }
+
+    #[test]
+    fn cancellation_is_observed() {
+        let module = Module::lower(
+            parse_and_lower("int g; void main() { iter { g = g + 1; } }").unwrap(),
+        );
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let v = SummaryChecker::new(&module).with_cancel(cancel).check();
+        let Verdict::ResourceBound { reason, .. } = v else { panic!("{v:?}") };
+        assert_eq!(reason, BoundReason::Cancelled);
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline() {
+        let module = Module::lower(
+            parse_and_lower("int g; void main() { iter { g = g + 1; } }").unwrap(),
+        );
+        let budget = Budget::generous().with_deadline(std::time::Duration::ZERO);
+        let v = SummaryChecker::new(&module).with_budget(budget).check();
+        let Verdict::ResourceBound { reason, .. } = v else { panic!("{v:?}") };
+        assert_eq!(reason, BoundReason::Deadline);
     }
 
     #[test]

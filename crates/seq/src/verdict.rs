@@ -4,6 +4,8 @@ use kiss_exec::ExecError;
 use kiss_lang::hir::{FuncId, Origin};
 use kiss_lang::Span;
 
+use crate::budget::BoundReason;
+
 /// One executed instruction in an error trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceStep {
@@ -52,6 +54,8 @@ pub enum Verdict {
         steps: u64,
         /// Distinct states recorded when the budget tripped.
         states: usize,
+        /// Which budget axis tripped.
+        reason: BoundReason,
     },
 }
 
@@ -78,8 +82,8 @@ impl std::fmt::Display for Verdict {
             Verdict::Pass => write!(f, "pass"),
             Verdict::Fail(t) => write!(f, "assertion failure after {} step(s)", t.steps.len()),
             Verdict::RuntimeError(e, _) => write!(f, "runtime error: {e}"),
-            Verdict::ResourceBound { steps, states } => {
-                write!(f, "resource bound exceeded ({steps} steps, {states} states)")
+            Verdict::ResourceBound { steps, states, reason } => {
+                write!(f, "resource bound exceeded: {reason} ({steps} steps, {states} states)")
             }
         }
     }
@@ -93,7 +97,8 @@ mod tests {
     fn predicates_match_variants() {
         assert!(Verdict::Pass.is_pass());
         assert!(Verdict::Fail(ErrorTrace::default()).is_fail());
-        assert!(Verdict::ResourceBound { steps: 1, states: 1 }.is_inconclusive());
+        let rb = Verdict::ResourceBound { steps: 1, states: 1, reason: BoundReason::Steps };
+        assert!(rb.is_inconclusive());
         assert!(!Verdict::Pass.is_fail());
     }
 
@@ -110,6 +115,8 @@ mod tests {
     #[test]
     fn display_summarizes() {
         assert_eq!(Verdict::Pass.to_string(), "pass");
-        assert!(Verdict::ResourceBound { steps: 5, states: 2 }.to_string().contains("5 steps"));
+        let rb = Verdict::ResourceBound { steps: 5, states: 2, reason: BoundReason::Deadline };
+        assert!(rb.to_string().contains("5 steps"));
+        assert!(rb.to_string().contains("deadline"));
     }
 }

@@ -1,0 +1,541 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no access to the crates.io registry, so the
+//! workspace patches `proptest` to this local implementation (see
+//! `[patch.crates-io]` in the root `Cargo.toml`). It implements the
+//! subset of the proptest API the workspace's property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map` and `prop_recursive`;
+//! * strategies for integer ranges, tuples, `bool`/integer `any`,
+//!   [`Just`], string regex literals (interpreted loosely as "some
+//!   printable string"), `collection::vec`, `sample::Index`, and
+//!   `sample::select`;
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`,
+//!   `prop_assert!`, `prop_assert_eq!`, and `prop_assume!`.
+//!
+//! Differences from real proptest: generation is **deterministic** per
+//! test (a fixed seed mixed with the case index) and there is **no
+//! shrinking** — a failing case panics with the debug-printed inputs.
+
+use std::fmt::Debug;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Deterministic generator used for value generation (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator for one test case: a fixed base seed mixed with the
+    /// test name hash and the case index, so runs are reproducible.
+    pub fn for_case(name_hash: u64, case: u64) -> Self {
+        let mut sm = 0x5EED_CAFE_F00D_D00Du64 ^ name_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// A uniform index in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// How one generated case ended.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: skip this case.
+    Reject(String),
+    /// `prop_assert!` failed: the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection (see [`TestCaseError::Reject`]).
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+
+    /// A failure (see [`TestCaseError::Fail`]).
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Result type the `proptest!` body desugars to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A value generator (subset of proptest's `Strategy`).
+///
+/// Unlike real proptest there is no intermediate `ValueTree`; a
+/// strategy directly produces values and failing inputs are not shrunk.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O + 'static>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: 'static,
+    {
+        let inner = self.boxed();
+        BoxedStrategy::new(move |rng| f(inner.generate(rng)))
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf, and `recurse`
+    /// wraps an inner strategy into a composite, up to `depth` levels.
+    /// (`_desired_size` and `_expected_branch_size` are accepted for
+    /// API compatibility and ignored.)
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strat = self.boxed();
+        for _ in 0..depth {
+            strat = recurse(strat).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy::new(move |rng| self.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { gen: Rc::clone(&self.gen) }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a generation function.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+impl<T> Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BoxedStrategy")
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128 + self.start as i128;
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A/a);
+impl_tuple_strategy!(A/a, B/b);
+impl_tuple_strategy!(A/a, B/b, C/c);
+impl_tuple_strategy!(A/a, B/b, C/c, D/d);
+impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e);
+impl_tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f);
+
+/// A string literal used as a strategy stands for its regex in real
+/// proptest; here it loosely generates printable strings (ASCII mixed
+/// with some multi-byte characters), which is what the workspace's
+/// fuzz-style tests need from patterns like `"\\PC*"`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = rng.below(64);
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            let c = match rng.below(8) {
+                0..=5 => char::from(32 + rng.below(95) as u8), // printable ASCII
+                6 => char::from_u32(0xA1 + rng.below(0xFF) as u32).unwrap_or('ß'),
+                _ => ['λ', 'Ж', '中', '🦀', 'ß', 'ç'][rng.below(6)],
+            };
+            out.push(c);
+        }
+        out
+    }
+}
+
+/// Values generatable via [`any`].
+pub trait Arbitrary: Debug + Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any value of an [`Arbitrary`] type.
+#[derive(Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Bound on consecutive `prop_assume!` rejections.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 1024, max_global_rejects: 65536 }
+    }
+}
+
+/// Strategy collections (`prop::collection`).
+pub mod collection {
+    use super::{BoxedStrategy, Strategy, TestRng};
+
+    /// A `Vec` whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy + 'static>(
+        element: S,
+        len: std::ops::Range<usize>,
+    ) -> BoxedStrategy<Vec<S::Value>> {
+        BoxedStrategy::new(move |rng: &mut TestRng| {
+            let n = len.clone().generate(rng);
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    use super::{Arbitrary, BoxedStrategy, TestRng};
+    use std::fmt::Debug;
+
+    /// An index into a collection whose size is only known later.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// This index reduced into `0..len`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+
+    /// Uniformly selects one element of `options`.
+    pub fn select<T: Clone + Debug + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "cannot select from no options");
+        BoxedStrategy::new(move |rng: &mut TestRng| options[rng.below(options.len())].clone())
+    }
+}
+
+/// The `proptest::prelude` the tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+
+    /// The `prop::` module alias used as `prop::collection::vec` etc.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Runs one property test: generates up to `config.cases` accepted
+/// cases, skipping `prop_assume!` rejections, and panics on failure.
+/// This is the runtime behind the [`proptest!`] macro.
+pub fn run_property_test<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let name_hash = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    });
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut stream = 0u64;
+    while accepted < config.cases {
+        let mut rng = TestRng::for_case(name_hash, stream);
+        stream += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "property `{name}`: too many prop_assume! rejections \
+                         ({rejected} rejects for {accepted} accepted cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed at case #{accepted}: {msg}");
+            }
+        }
+    }
+}
+
+/// The `proptest!` macro: one or more `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (@config ($config:expr)) => {};
+    (@config ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_property_test(stringify!($name), &config, |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+        $crate::proptest!(@config ($config) $($rest)*);
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@config ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(
+                format!("{}\n  left: `{:?}`\n right: `{:?}`", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Picks one of several strategies per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let strats = vec![$($crate::Strategy::boxed($strat)),+];
+        $crate::BoxedStrategy::new(move |rng: &mut $crate::TestRng| {
+            let i = rng.below(strats.len());
+            $crate::Strategy::generate(&strats[i], rng)
+        })
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::TestRng::for_case(1, 1);
+        for _ in 0..200 {
+            let v = crate::Strategy::generate(&(-2i8..3), &mut rng);
+            assert!((-2..3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = crate::TestRng::for_case(2, 2);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[crate::Strategy::generate(&strat, &mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf(u8),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 1,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = any::<u8>().prop_map(T::Leaf).prop_recursive(3, 12, 2, |inner| {
+            prop_oneof![
+                inner.clone(),
+                (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b))),
+            ]
+        });
+        let mut rng = crate::TestRng::for_case(3, 3);
+        for _ in 0..50 {
+            assert!(depth(&crate::Strategy::generate(&strat, &mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 0usize..50, v in prop::collection::vec(any::<bool>(), 0..4)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50);
+            prop_assert_eq!(v.len() <= 3, true);
+        }
+    }
+}
