@@ -15,7 +15,7 @@ use kiss_drivers::bluetooth;
 fn describe(outcome: &KissOutcome) -> String {
     match outcome {
         KissOutcome::NoErrorFound(stats) => {
-            format!("no error found ({} steps, {} states)", stats.steps, stats.states)
+            format!("no error found ({} steps, {} states)", stats.steps(), stats.states())
         }
         KissOutcome::AssertionViolation(r) => format!(
             "ASSERTION VIOLATION — {} threads, schedule pattern {:?}, {} context switches, replay-validated: {:?}",

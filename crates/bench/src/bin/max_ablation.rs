@@ -48,8 +48,8 @@ fn main() {
             let outcome =
                 Kiss::new().with_max_ts(max_ts).with_validation(false).check_assertions(&program);
             let (mark, steps) = match outcome {
-                KissOutcome::AssertionViolation(r) => ("FOUND ", r.stats.steps),
-                KissOutcome::NoErrorFound(s) => ("miss  ", s.steps),
+                KissOutcome::AssertionViolation(r) => ("FOUND ", r.stats.steps()),
+                KissOutcome::NoErrorFound(s) => ("miss  ", s.steps()),
                 other => panic!("unexpected: {other:?}"),
             };
             row.push_str(&format!("d{depth}:{mark} "));

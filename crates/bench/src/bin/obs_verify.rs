@@ -1,0 +1,259 @@
+//! Consistency checker for observability artifacts: validates that a
+//! JSONL event trace (from `--trace-out`) parses and is internally
+//! consistent, and that the `--metrics` report agrees with the trace's
+//! final `run_summary` event.
+//!
+//! ```text
+//! cargo run -p kiss-bench --bin obs_verify -- <trace.jsonl> [metrics.json]
+//! ```
+//!
+//! Checks performed:
+//!
+//! * every line is a JSON object whose `event` field is a known kind;
+//! * every check label is started exactly once and finished exactly
+//!   once, and every per-check event names a started check;
+//! * the sum of per-check `retries` equals the number of
+//!   `retry_escalated` events;
+//! * exactly one `run_summary` event exists, it is the last line, and
+//!   its report covers at least every non-cancelled finished check
+//!   (more only when the report merges resumed sessions);
+//! * the metrics file, when given, parses as a `RunReport` whose
+//!   deterministic counts match the trace's summary report.
+//!
+//! Exits 0 when consistent, 1 on any inconsistency, 2 on usage or I/O
+//! problems.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use kiss_obs::json::Json;
+use kiss_obs::RunReport;
+
+const KINDS: [&str; 6] = [
+    "check_started",
+    "engine_tick",
+    "retry_escalated",
+    "budget_violated",
+    "check_finished",
+    "run_summary",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace_path, metrics_path) = match args.as_slice() {
+        [t] => (t.as_str(), None),
+        [t, m] => (t.as_str(), Some(m.as_str())),
+        _ => {
+            eprintln!("usage: obs_verify <trace.jsonl> [metrics.json]");
+            return ExitCode::from(2);
+        }
+    };
+    let trace = match std::fs::read_to_string(trace_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("obs_verify: cannot read `{trace_path}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let metrics = match metrics_path.map(std::fs::read_to_string) {
+        None => None,
+        Some(Ok(s)) => Some(s),
+        Some(Err(e)) => {
+            eprintln!("obs_verify: cannot read metrics file: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match verify(&trace, metrics.as_deref()) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("obs_verify: INCONSISTENT: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
+    let mut kind_counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut started: BTreeMap<String, u64> = BTreeMap::new();
+    let mut finished: BTreeMap<String, u64> = BTreeMap::new();
+    let mut finished_retries = 0u64;
+    let mut cancelled = 0u64;
+    let mut summary: Option<(usize, RunReport)> = None;
+    let mut lines = 0usize;
+
+    for (i, line) in trace.lines().enumerate() {
+        let n = i + 1;
+        lines = n;
+        let v = Json::parse(line).ok_or(format!("line {n}: not valid JSON"))?;
+        let kind = v
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or(format!("line {n}: missing `event` field"))?;
+        if !KINDS.contains(&kind) {
+            return Err(format!("line {n}: unknown event kind `{kind}`"));
+        }
+        *kind_counts.entry(kind.to_string()).or_insert(0) += 1;
+        let check = v.get("check").and_then(Json::as_str);
+        match kind {
+            "check_started" => {
+                let check = check.ok_or(format!("line {n}: check_started without check"))?;
+                *started.entry(check.to_string()).or_insert(0) += 1;
+            }
+            "check_finished" => {
+                let check = check.ok_or(format!("line {n}: check_finished without check"))?;
+                if !started.contains_key(check) {
+                    return Err(format!("line {n}: `{check}` finished but never started"));
+                }
+                *finished.entry(check.to_string()).or_insert(0) += 1;
+                finished_retries += v
+                    .get("retries")
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("line {n}: check_finished without retries"))?;
+                if v.get("bound_reason").and_then(Json::as_str) == Some("cancelled") {
+                    cancelled += 1;
+                }
+            }
+            "engine_tick" | "budget_violated" | "retry_escalated" => {
+                let check = check.ok_or(format!("line {n}: {kind} without check"))?;
+                if !started.contains_key(check) {
+                    return Err(format!("line {n}: {kind} for unstarted check `{check}`"));
+                }
+            }
+            "run_summary" => {
+                if summary.is_some() {
+                    return Err(format!("line {n}: second run_summary"));
+                }
+                let report = v
+                    .get("report")
+                    .and_then(RunReport::from_value)
+                    .ok_or(format!("line {n}: run_summary report does not parse"))?;
+                summary = Some((n, report));
+            }
+            _ => unreachable!("kind was validated against KINDS"),
+        }
+    }
+
+    if let Some((check, count)) = started.iter().find(|(_, c)| **c != 1) {
+        return Err(format!("`{check}` started {count} times"));
+    }
+    if let Some((check, count)) = finished.iter().find(|(_, c)| **c != 1) {
+        return Err(format!("`{check}` finished {count} times"));
+    }
+    if started.len() != finished.len() {
+        let open: Vec<&str> = started
+            .keys()
+            .filter(|c| !finished.contains_key(*c))
+            .map(String::as_str)
+            .collect();
+        return Err(format!("{} check(s) never finished: {}", open.len(), open.join(", ")));
+    }
+    let escalations = kind_counts.get("retry_escalated").copied().unwrap_or(0);
+    if finished_retries != escalations {
+        return Err(format!(
+            "finished checks report {finished_retries} retries but the trace has \
+             {escalations} retry_escalated event(s)"
+        ));
+    }
+    let (summary_line, report) =
+        summary.ok_or("no run_summary event".to_string())?;
+    if summary_line != lines {
+        return Err(format!("run_summary at line {summary_line} is not the last line ({lines})"));
+    }
+    let counted = finished.len() as u64 - cancelled;
+    if report.checks < counted {
+        return Err(format!(
+            "summary report covers {} checks but the trace finished {counted} \
+             (excluding {cancelled} cancelled)",
+            report.checks
+        ));
+    }
+    let histogram: u64 = report.outcomes.values().sum();
+    if histogram != report.checks {
+        return Err(format!(
+            "summary outcome histogram sums to {histogram} but reports {} checks",
+            report.checks
+        ));
+    }
+
+    if let Some(text) = metrics {
+        let from_file = RunReport::from_json(text.trim())
+            .ok_or("metrics file does not parse as a RunReport".to_string())?;
+        if !from_file.counts_match(&report) {
+            return Err("metrics file disagrees with the trace's run_summary".to_string());
+        }
+    }
+
+    let counts: Vec<String> =
+        kind_counts.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    Ok(format!(
+        "trace OK: {lines} events ({}), {} check(s), summary covers {} check(s){}",
+        counts.join(" "),
+        finished.len(),
+        report.checks,
+        if metrics.is_some() { ", metrics file matches" } else { "" },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::verify;
+    use kiss_obs::{Aggregator, CheckMetrics, Event, Obs};
+
+    fn trace_of(events: &[Event]) -> (String, String) {
+        let agg = Aggregator::new();
+        let obs = Obs::new(agg.clone());
+        for e in events {
+            obs.emit(|_| e.clone());
+        }
+        let report = agg.report();
+        let mut trace: String =
+            events.iter().map(|e| format!("{}\n", e.to_json())).collect();
+        trace.push_str(&format!(
+            "{}\n",
+            Event::RunSummary { report: report.clone() }.to_json()
+        ));
+        (trace, format!("{}\n", report.to_json()))
+    }
+
+    fn lifecycle(check: &str, verdict: &str) -> [Event; 2] {
+        [
+            Event::CheckStarted { check: check.to_string() },
+            Event::CheckFinished {
+                metrics: CheckMetrics {
+                    check: check.to_string(),
+                    verdict: verdict.to_string(),
+                    ..CheckMetrics::default()
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn a_consistent_trace_verifies() {
+        let mut events = lifecycle("a/0", "pass").to_vec();
+        events.extend(lifecycle("a/1", "race"));
+        let (trace, metrics) = trace_of(&events);
+        verify(&trace, Some(&metrics)).unwrap();
+    }
+
+    #[test]
+    fn inconsistencies_are_reported() {
+        assert!(verify("not json\n", None).is_err());
+        // Finished without started.
+        let [_, finish] = lifecycle("a/0", "pass");
+        let (trace, _) = trace_of(&[finish]);
+        assert!(verify(&trace, None).unwrap_err().contains("never started"));
+        // Started without finished.
+        let [start, _] = lifecycle("a/0", "pass");
+        let (trace, _) = trace_of(&[start]);
+        assert!(verify(&trace, None).unwrap_err().contains("never finished"));
+        // Metrics file disagreeing with the summary.
+        let (trace, _) = trace_of(&lifecycle("a/0", "pass"));
+        let (_, other) = trace_of(&lifecycle("b/0", "race"));
+        assert!(verify(&trace, Some(&other)).unwrap_err().contains("disagrees"));
+    }
+}

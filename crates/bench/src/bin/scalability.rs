@@ -82,8 +82,8 @@ fn main() {
             "{:>8} {:>16} {:>14} {:>12} {:>9.1}x {:>12}{growth}",
             n + 1, // including main
             explorer_states,
-            kstats.states,
-            kstats.steps,
+            kstats.states(),
+            kstats.steps(),
             after as f64 / before as f64,
             format!("+{extra_globals}"),
         );

@@ -7,6 +7,7 @@
 //! cargo run --release -p kiss-bench --bin table1 -- \
 //!     [--timeout <secs>] [--max-steps <n>] [--max-states <n>] \
 //!     [--mem-limit <mb>] [--retries <n>] [--journal <path>] [--resume]
+//!     [--trace-out <path>] [--metrics <path>] [--progress]
 //! ```
 //!
 //! With `--journal`, every completed `(driver, field)` check is
@@ -34,7 +35,14 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let supervisor = opts.supervisor();
+    let (obs, agg) = match opts.build_obs() {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("table1: cannot set up observability: {e}");
+            std::process::exit(2);
+        }
+    };
+    let supervisor = opts.supervisor(obs.clone());
 
     let specs = paper_table();
     // One spec lookup table for the whole run; the progress callback
@@ -77,6 +85,11 @@ fn main() {
         println!("(crashed: {total_crashed}, failed: {total_failed} — isolated, run continued)");
     }
     println!("elapsed: {:?}", t0.elapsed());
+    match opts.finish_observed(&obs, agg.as_ref(), journal.as_mut()) {
+        Ok(Some(report)) => print!("{}", report.render()),
+        Ok(None) => {}
+        Err(e) => eprintln!("table1: cannot record metrics: {e}"),
+    }
     let specs_ok = results.len() == specs.len()
         && results.iter().zip(&specs).all(|(r, s)| {
             r.races == s.races_naive && r.no_races == s.no_races && r.inconclusive == s.inconclusive()

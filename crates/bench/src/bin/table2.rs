@@ -11,6 +11,7 @@
 //! cargo run --release -p kiss-bench --bin table2 -- \
 //!     [--timeout <secs>] [--max-steps <n>] [--max-states <n>] \
 //!     [--mem-limit <mb>] [--retries <n>] [--journal <path>] [--resume]
+//!     [--trace-out <path>] [--metrics <path>] [--progress]
 //! ```
 
 use kiss_bench::runner::RunOptions;
@@ -32,7 +33,14 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let supervisor = opts.supervisor();
+    let (obs, agg) = match opts.build_obs() {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("table2: cannot set up observability: {e}");
+            std::process::exit(2);
+        }
+    };
+    let supervisor = opts.supervisor(obs.clone());
 
     let specs = paper_table();
     let corpus = generate_corpus();
@@ -68,5 +76,10 @@ fn main() {
         println!("(crashed or failed field checks: {faults} — isolated, run continued)");
     }
     println!("elapsed: {:?}", t0.elapsed());
+    match opts.finish_observed(&obs, agg.as_ref(), journal.as_mut()) {
+        Ok(Some(report)) => print!("{}", report.render()),
+        Ok(None) => {}
+        Err(e) => eprintln!("table2: cannot record metrics: {e}"),
+    }
     println!("shape match vs paper: {}", if all_ok && total == 30 { "EXACT" } else { "DIVERGES" });
 }

@@ -12,19 +12,26 @@
 //! --retries <n>        escalating retries for inconclusive checks
 //! --journal <path>     journal completed (driver, field) checks here
 //! --resume             reuse the journal from a killed run
+//! --trace-out <path>   write a JSONL event trace of the whole run
+//! --metrics <path>     write the aggregated run report as JSON
+//! --progress           render a throttled heartbeat on stderr
 //! ```
 //!
 //! `--resume` without `--journal` uses the binary's default journal
 //! path. `--journal` without `--resume` starts fresh, truncating any
 //! stale journal at that path first so old outcomes cannot leak into a
-//! new run.
+//! new run. With both `--journal` and `--metrics`, each session's
+//! report is appended to the journal and the metrics file holds the
+//! *merged* report, so a `--resume`d run reports whole-corpus totals.
 
 use std::time::Duration;
 
+use kiss_core::sigint::install_sigint_cancel;
 use kiss_core::supervisor::Supervisor;
 use kiss_drivers::table::default_budget;
 use kiss_drivers::Journal;
-use kiss_seq::Budget;
+use kiss_obs::{Aggregator, Event, Heartbeat, JsonlSink, Obs, Observer, RunReport};
+use kiss_seq::{Budget, CancelToken};
 
 /// Parsed experiment options.
 #[derive(Debug, Clone)]
@@ -37,6 +44,12 @@ pub struct RunOptions {
     pub journal: Option<String>,
     /// Whether to reuse an existing journal instead of truncating it.
     pub resume: bool,
+    /// JSONL event-trace path, if requested.
+    pub trace_out: Option<String>,
+    /// Run-report path, if requested.
+    pub metrics: Option<String>,
+    /// Whether to render a heartbeat on stderr.
+    pub progress: bool,
 }
 
 impl RunOptions {
@@ -51,6 +64,9 @@ impl RunOptions {
         let mut retries = 0u32;
         let mut journal: Option<String> = None;
         let mut resume = false;
+        let mut trace_out: Option<String> = None;
+        let mut metrics: Option<String> = None;
+        let mut progress = false;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -70,18 +86,83 @@ impl RunOptions {
                         Some(args.next().ok_or_else(|| format!("{arg} needs a path"))?)
                 }
                 "--resume" => resume = true,
+                "--trace-out" => {
+                    trace_out =
+                        Some(args.next().ok_or_else(|| format!("{arg} needs a path"))?)
+                }
+                "--metrics" => {
+                    metrics =
+                        Some(args.next().ok_or_else(|| format!("{arg} needs a path"))?)
+                }
+                "--progress" => progress = true,
                 other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
             }
         }
         if resume && journal.is_none() {
             journal = Some(default_journal.to_string());
         }
-        Ok(RunOptions { budget, retries, journal, resume })
+        Ok(RunOptions { budget, retries, journal, resume, trace_out, metrics, progress })
     }
 
-    /// Builds the supervisor these options describe.
-    pub fn supervisor(&self) -> Supervisor {
-        Supervisor::new(self.budget).with_retries(self.retries)
+    /// Builds the supervisor these options describe: SIGINT is wired to
+    /// its cancellation token (so ^C finishes the current field check,
+    /// then winds down through the journal/report paths) and `obs`
+    /// receives the per-check lifecycle events.
+    pub fn supervisor(&self, obs: Obs) -> Supervisor {
+        let cancel = CancelToken::new();
+        install_sigint_cancel(cancel.clone());
+        Supervisor::new(self.budget)
+            .with_retries(self.retries)
+            .with_cancel(cancel)
+            .with_observer(obs)
+    }
+
+    /// Builds the observer pipeline these options describe. Returns
+    /// `Obs::off()` (engine hooks compile to no-ops) when no
+    /// observability flag was given; otherwise an [`Aggregator`] always
+    /// rides along so the run can be summarised.
+    pub fn build_obs(&self) -> std::io::Result<(Obs, Option<Aggregator>)> {
+        if self.trace_out.is_none() && self.metrics.is_none() && !self.progress {
+            return Ok((Obs::off(), None));
+        }
+        let mut sinks: Vec<Box<dyn Observer>> = Vec::new();
+        if let Some(path) = &self.trace_out {
+            sinks.push(Box::new(JsonlSink::create(path)?));
+        }
+        let agg = Aggregator::new();
+        sinks.push(Box::new(agg.clone()));
+        if self.progress {
+            sinks.push(Box::new(Heartbeat::stderr()));
+        }
+        Ok((Obs::multi(sinks), Some(agg)))
+    }
+
+    /// Finishes an observed run: merges this session's report with any
+    /// earlier sessions stored in the journal, appends this session's
+    /// report to the journal (cancelled checks are excluded, so a
+    /// `--resume`d run counts them exactly once), writes the merged
+    /// report to `--metrics`, and emits the final `RunSummary` event.
+    /// Returns the merged report, or `None` when observability is off.
+    pub fn finish_observed(
+        &self,
+        obs: &Obs,
+        agg: Option<&Aggregator>,
+        journal: Option<&mut Journal>,
+    ) -> std::io::Result<Option<RunReport>> {
+        let Some(agg) = agg else { return Ok(None) };
+        let session = agg.resumable_report();
+        let merged = match &journal {
+            Some(j) => j.merged_report(&session),
+            None => session.clone(),
+        };
+        if let Some(j) = journal {
+            j.record_report(&session)?;
+        }
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, format!("{}\n", merged.to_json()))?;
+        }
+        obs.emit(|_| Event::RunSummary { report: merged.clone() });
+        Ok(Some(merged))
     }
 
     /// Opens the journal these options describe, truncating a stale one
@@ -101,7 +182,8 @@ impl RunOptions {
 }
 
 const USAGE: &str = "options: --timeout <secs> --max-steps <n> --max-states <n> \
-                     --mem-limit <mb> --retries <n> --journal <path> --resume";
+                     --mem-limit <mb> --retries <n> --journal <path> --resume \
+                     --trace-out <path> --metrics <path> --progress";
 
 fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
     let value = value.ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
@@ -146,6 +228,19 @@ mod tests {
         assert!(opts.resume);
         let opts = parse(&["--resume", "--journal", "mine.log"]).unwrap();
         assert_eq!(opts.journal.as_deref(), Some("mine.log"));
+    }
+
+    #[test]
+    fn observability_flags_parse_and_default_off() {
+        let off = parse(&[]).unwrap();
+        assert!(off.trace_out.is_none() && off.metrics.is_none() && !off.progress);
+        let (obs, agg) = off.build_obs().unwrap();
+        assert!(!obs.is_enabled() && agg.is_none());
+
+        let on = parse(&["--trace-out", "t.jsonl", "--metrics", "m.json", "--progress"]).unwrap();
+        assert_eq!(on.trace_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(on.metrics.as_deref(), Some("m.json"));
+        assert!(on.progress);
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! ```text
 //! kissc check <file.kc> [--max-ts N] [--engine explicit|summary|bfs] [--no-validate]
 //!                       [--timeout S] [--max-steps N] [--max-states N] [--retries N]
+//!                       [--stats] [--trace-out PATH] [--metrics PATH] [--progress]
 //! kissc race <file.kc> <target> [--max-ts N] [--no-prune]
 //!                       [--timeout S] [--max-steps N] [--max-states N] [--retries N]
+//!                       [--stats] [--trace-out PATH] [--metrics PATH] [--progress]
 //! kissc transform <file.kc> [--max-ts N] [--race <target>]
 //! kissc explore <file.kc> [--balanced] [--context-bound K]
 //! kissc detectors <file.kc> <target> [--runs N]
@@ -20,19 +22,27 @@
 //! re-runs an inconclusive check under a doubled-then-quadrupled
 //! budget, a panic in the checker is reported as a crash instead of a
 //! backtrace, and SIGINT cancels the search cleanly.
+//!
+//! Observability: `--stats` prints an engine-statistics line after the
+//! verdict, `--trace-out` writes a JSONL event trace, `--metrics`
+//! writes the aggregated `RunReport` as JSON, and `--progress` renders
+//! a throttled heartbeat on stderr.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use kiss_core::checker::{Engine, Kiss, KissOutcome};
 use kiss_core::report::render_trace;
-use kiss_core::supervisor::{Supervised, Supervisor};
+use kiss_core::sigint::{install_sigint_cancel, restore_sigpipe_default};
+use kiss_core::supervisor::{Supervised, SupervisedRun, Supervisor};
 use kiss_core::transform::{transform, RaceTarget, TransformConfig};
 use kiss_exec::Module;
 use kiss_lang::Program;
+use kiss_obs::{Aggregator, Event, Heartbeat, JsonlSink, Obs, Observer};
 use kiss_seq::{BoundReason, Budget, CancelToken};
 
 fn main() -> ExitCode {
+    restore_sigpipe_default();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(code) => code,
@@ -48,11 +58,26 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   kissc check <file.kc> [--max-ts N] [--engine explicit|summary|bfs] [--no-validate]
                         [--timeout S] [--max-steps N] [--max-states N] [--retries N]
+                        [--stats] [--trace-out PATH] [--metrics PATH] [--progress]
   kissc race <file.kc> <target> [--max-ts N] [--no-prune]
                         [--timeout S] [--max-steps N] [--max-states N] [--retries N]
+                        [--stats] [--trace-out PATH] [--metrics PATH] [--progress]
   kissc transform <file.kc> [--max-ts N] [--race <target>]
   kissc explore <file.kc> [--balanced] [--context-bound K]
-  kissc detectors <file.kc> <target> [--runs N]";
+  kissc detectors <file.kc> <target> [--runs N]
+
+observability (check, race):
+  --stats           print an engine-statistics line after the verdict
+  --trace-out PATH  write a JSONL event trace (one event per line)
+  --metrics PATH    write the aggregated run report as JSON
+  --progress        render a throttled progress heartbeat on stderr
+
+exit codes:
+  0  no error found
+  1  an error was reported (assertion violation, race, runtime error)
+  2  usage or input problem
+  3  inconclusive (budget, deadline, or ^C)
+  4  the check itself crashed (isolated by the supervisor)";
 
 /// Minimal flag scanner: `--name value` and boolean `--name`.
 struct Flags<'a> {
@@ -108,6 +133,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = args.first() else {
         return Err("missing subcommand".into());
     };
+    if matches!(cmd.as_str(), "--help" | "-h" | "help") {
+        println!("{USAGE}");
+        return Ok(ExitCode::SUCCESS);
+    }
     let mut flags = Flags::new(&args[1..]);
     match cmd.as_str() {
         "check" => {
@@ -121,19 +150,23 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             };
             let validate = !flags.flag("--no-validate");
             let (budget, retries) = bound_flags(&mut flags)?;
+            let obs_opts = obs_flags(&mut flags)?;
             flags.finish()?;
             let program = load(file)?;
-            let supervisor = supervisor_with_sigint(budget, retries);
-            let run = supervisor.run(|b, token| {
+            let (obs, agg) = build_obs(&obs_opts)?;
+            let supervisor = supervisor_with_sigint(budget, retries).with_observer(obs.clone());
+            let run = supervisor.run_scoped(file, |b, token, check_obs| {
                 Kiss::new()
                     .with_max_ts(max_ts)
                     .with_engine(engine)
                     .with_validation(validate)
                     .with_budget(b)
                     .with_cancel(token)
+                    .with_observer(check_obs.clone())
                     .check_assertions(&program)
             });
-            report_supervised(&program, run.result)
+            finish_observed(&obs, agg.as_ref(), &obs_opts)?;
+            report_supervised(&program, run, obs_opts.stats)
         }
         "race" => {
             let file = flags.positional().ok_or("missing <file>")?;
@@ -141,22 +174,27 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let max_ts: usize = parse_num(flags.value("--max-ts")?.unwrap_or("0"))?;
             let prune = !flags.flag("--no-prune");
             let (budget, retries) = bound_flags(&mut flags)?;
+            let obs_opts = obs_flags(&mut flags)?;
             flags.finish()?;
             let program = load(file)?;
             // Resolve the spec before supervising so a typo is a usage
             // error (exit 2), not a supervised failure.
             let resolved = RaceTarget::resolve(&program, target)
                 .ok_or_else(|| format!("unknown race target `{target}`"))?;
-            let supervisor = supervisor_with_sigint(budget, retries);
-            let run = supervisor.run(|b, token| {
+            let (obs, agg) = build_obs(&obs_opts)?;
+            let supervisor = supervisor_with_sigint(budget, retries).with_observer(obs.clone());
+            let label = format!("{file}:{target}");
+            let run = supervisor.run_scoped(&label, |b, token, check_obs| {
                 Kiss::new()
                     .with_max_ts(max_ts)
                     .with_alias_prune(prune)
                     .with_budget(b)
                     .with_cancel(token)
+                    .with_observer(check_obs.clone())
                     .check_race(&program, resolved)
             });
-            report_supervised(&program, run.result)
+            finish_observed(&obs, agg.as_ref(), &obs_opts)?;
+            report_supervised(&program, run, obs_opts.stats)
         }
         "transform" => {
             let file = flags.positional().ok_or("missing <file>")?;
@@ -261,51 +299,90 @@ fn bound_flags(flags: &mut Flags) -> Result<(Budget, u32), String> {
     Ok((budget, retries))
 }
 
+/// Parses the shared observability flags of `check` and `race`.
+fn obs_flags(flags: &mut Flags) -> Result<ObsOpts, String> {
+    Ok(ObsOpts {
+        stats: flags.flag("--stats"),
+        trace_out: flags.value("--trace-out")?.map(str::to_string),
+        metrics: flags.value("--metrics")?.map(str::to_string),
+        progress: flags.flag("--progress"),
+    })
+}
+
+struct ObsOpts {
+    stats: bool,
+    trace_out: Option<String>,
+    metrics: Option<String>,
+    progress: bool,
+}
+
+/// Builds the observer pipeline for one CLI check. Returns `Obs::off()`
+/// (which compiles the engine hooks to no-ops) when no observability
+/// flag was given; otherwise an aggregator always rides along so the
+/// final `RunSummary` event carries a complete report.
+fn build_obs(opts: &ObsOpts) -> Result<(Obs, Option<Aggregator>), String> {
+    if opts.trace_out.is_none() && opts.metrics.is_none() && !opts.progress {
+        return Ok((Obs::off(), None));
+    }
+    let mut sinks: Vec<Box<dyn Observer>> = Vec::new();
+    if let Some(path) = &opts.trace_out {
+        let sink = JsonlSink::create(path)
+            .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
+        sinks.push(Box::new(sink));
+    }
+    let agg = Aggregator::new();
+    sinks.push(Box::new(agg.clone()));
+    if opts.progress {
+        sinks.push(Box::new(Heartbeat::stderr()));
+    }
+    Ok((Obs::multi(sinks), Some(agg)))
+}
+
+/// Emits the final `RunSummary` event and writes the `--metrics` file.
+fn finish_observed(obs: &Obs, agg: Option<&Aggregator>, opts: &ObsOpts) -> Result<(), String> {
+    let Some(agg) = agg else { return Ok(()) };
+    let report = agg.report();
+    if let Some(path) = &opts.metrics {
+        std::fs::write(path, format!("{}\n", report.to_json()))
+            .map_err(|e| format!("cannot write metrics file `{path}`: {e}"))?;
+    }
+    obs.emit(|_| Event::RunSummary { report: report.clone() });
+    Ok(())
+}
+
 /// Builds the supervisor for one CLI check, wiring SIGINT to its
 /// cancellation token so ^C winds the search down cleanly (the check
 /// reports `inconclusive: cancelled` and exits 3).
 fn supervisor_with_sigint(budget: Budget, retries: u32) -> Supervisor {
     let cancel = CancelToken::new();
-    install_sigint(cancel.clone());
+    install_sigint_cancel(cancel.clone());
     Supervisor::new(budget).with_retries(retries).with_cancel(cancel)
 }
-
-#[cfg(unix)]
-fn install_sigint(token: CancelToken) {
-    use std::sync::OnceLock;
-    static CANCEL: OnceLock<CancelToken> = OnceLock::new();
-    // The handler only flips the token's atomic flag — async-signal-safe
-    // and observed by the engines at their next budget poll.
-    extern "C" fn on_sigint(_: i32) {
-        if let Some(t) = CANCEL.get() {
-            t.cancel();
-        }
-    }
-    extern "C" {
-        fn signal(signum: i32, handler: usize) -> usize;
-    }
-    const SIGINT: i32 = 2;
-    const SIGPIPE: i32 = 13;
-    const SIG_DFL: usize = 0;
-    if CANCEL.set(token).is_ok() {
-        unsafe {
-            signal(SIGINT, on_sigint as *const () as usize);
-            // Rust ignores SIGPIPE by default, so `kissc ... | head`
-            // panics mid-print; restore the conventional silent exit.
-            signal(SIGPIPE, SIG_DFL);
-        }
-    }
-}
-
-#[cfg(not(unix))]
-fn install_sigint(_token: CancelToken) {}
 
 /// Reports a supervised run: a crash is isolated and mapped to its own
 /// exit code (4) so scripts can tell "the checker broke" from "the
 /// program has a bug" (1) and "the bound was hit" (3).
-fn report_supervised(program: &Program, result: Supervised) -> Result<ExitCode, String> {
-    match result {
-        Supervised::Completed(outcome) => report_outcome(program, outcome),
+fn report_supervised(
+    program: &Program,
+    run: SupervisedRun,
+    show_stats: bool,
+) -> Result<ExitCode, String> {
+    match run.result {
+        Supervised::Completed(outcome) => {
+            if show_stats {
+                if let Some(stats) = outcome.stats() {
+                    println!(
+                        "stats: engine={} {} emitted={} pruned={} attempts={}",
+                        stats.engine.name(),
+                        stats.seq.render(),
+                        stats.checks_emitted,
+                        stats.checks_pruned,
+                        run.attempts
+                    );
+                }
+            }
+            report_outcome(program, outcome)
+        }
         Supervised::Crashed { cause } => {
             println!("CHECK CRASHED: {cause}");
             println!("(the failure was isolated; the input program was not judged)");
@@ -317,7 +394,11 @@ fn report_supervised(program: &Program, result: Supervised) -> Result<ExitCode, 
 fn report_outcome(program: &Program, outcome: KissOutcome) -> Result<ExitCode, String> {
     match outcome {
         KissOutcome::NoErrorFound(stats) => {
-            println!("no error found ({} steps, {} states explored)", stats.steps, stats.states);
+            println!(
+                "no error found ({} steps, {} states explored)",
+                stats.steps(),
+                stats.states()
+            );
             Ok(ExitCode::SUCCESS)
         }
         KissOutcome::AssertionViolation(report) => {
@@ -349,7 +430,8 @@ fn report_outcome(program: &Program, outcome: KissOutcome) -> Result<ExitCode, S
             print!("{}", render_trace(program, &report.mapped));
             Ok(ExitCode::from(1))
         }
-        KissOutcome::Inconclusive { steps, states, reason } => {
+        KissOutcome::Inconclusive { stats, reason } => {
+            let (steps, states) = (stats.steps(), stats.states());
             if reason == BoundReason::Cancelled {
                 println!("inconclusive: cancelled ({steps} steps, {states} states)");
             } else {

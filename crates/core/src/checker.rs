@@ -13,9 +13,10 @@
 use kiss_exec::Module;
 use kiss_lang::hir::Origin;
 use kiss_lang::Program;
+use kiss_obs::Obs;
 use kiss_seq::{
-    BfsChecker, BoundReason, Budget, CancelToken, ErrorTrace, ExplicitChecker, SummaryChecker,
-    Verdict,
+    BfsChecker, BoundReason, Budget, CancelToken, EngineStats, ErrorTrace, ExplicitChecker,
+    SummaryChecker, Verdict,
 };
 
 use crate::trace_map::{self, MappedTrace};
@@ -33,17 +34,40 @@ pub enum Engine {
     Bfs,
 }
 
+impl Engine {
+    /// A stable lowercase name (used in events and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Explicit => "explicit",
+            Engine::Summary => "summary",
+            Engine::Bfs => "bfs",
+        }
+    }
+}
+
 /// Search statistics for one check.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CheckStats {
-    /// Instructions executed by the sequential engine.
-    pub steps: u64,
-    /// Distinct states recorded.
-    pub states: usize,
+    /// The engine that produced these statistics.
+    pub engine: Engine,
+    /// The engine's own counters (steps, states, frontier peak, …).
+    pub seq: EngineStats,
     /// Race checks emitted after pruning (race mode).
     pub checks_emitted: usize,
     /// Race checks removed by the alias analysis (race mode).
     pub checks_pruned: usize,
+}
+
+impl CheckStats {
+    /// Instructions executed by the sequential engine.
+    pub fn steps(&self) -> u64 {
+        self.seq.steps
+    }
+
+    /// Distinct states recorded (summaries for the summary engine).
+    pub fn states(&self) -> usize {
+        self.seq.states
+    }
 }
 
 /// A confirmed assertion violation.
@@ -86,10 +110,8 @@ pub enum KissOutcome {
     /// The search exceeded its budget — the paper's "resource bound
     /// exceeded" bucket in Table 1.
     Inconclusive {
-        /// Steps executed.
-        steps: u64,
-        /// States recorded.
-        states: usize,
+        /// Statistics at the point the budget tripped.
+        stats: CheckStats,
         /// Which budget axis ended the search (steps, states, deadline,
         /// memory, or cancellation).
         reason: BoundReason,
@@ -114,6 +136,30 @@ impl KissOutcome {
     /// `true` for [`KissOutcome::Inconclusive`].
     pub fn is_inconclusive(&self) -> bool {
         matches!(self, KissOutcome::Inconclusive { .. })
+    }
+
+    /// The engine statistics, when the check got far enough to have
+    /// any.
+    pub fn stats(&self) -> Option<&CheckStats> {
+        match self {
+            KissOutcome::NoErrorFound(stats) => Some(stats),
+            KissOutcome::AssertionViolation(report) => Some(&report.stats),
+            KissOutcome::RaceDetected(report) => Some(&report.stats),
+            KissOutcome::Inconclusive { stats, .. } => Some(stats),
+            KissOutcome::RuntimeError(_) | KissOutcome::TransformFailed(_) => None,
+        }
+    }
+
+    /// A stable lowercase verdict name (used in events and reports).
+    pub fn verdict_str(&self) -> &'static str {
+        match self {
+            KissOutcome::NoErrorFound(_) => "pass",
+            KissOutcome::AssertionViolation(_) => "assertion",
+            KissOutcome::RaceDetected(_) => "race",
+            KissOutcome::Inconclusive { .. } => "inconclusive",
+            KissOutcome::RuntimeError(_) => "runtime_error",
+            KissOutcome::TransformFailed(_) => "transform_failed",
+        }
     }
 }
 
@@ -149,6 +195,7 @@ pub struct Kiss {
     engine: Engine,
     optimize: bool,
     cancel: CancelToken,
+    obs: Obs,
 }
 
 impl Default for Kiss {
@@ -169,6 +216,7 @@ impl Kiss {
             engine: Engine::Explicit,
             optimize: false,
             cancel: CancelToken::default(),
+            obs: Obs::off(),
         }
     }
 
@@ -209,6 +257,14 @@ impl Kiss {
     /// [`BoundReason::Cancelled`].
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Attaches an observer; the sequential engine emits throttled
+    /// progress and budget-violation events through it. The default
+    /// observer is off and costs nothing.
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -274,49 +330,32 @@ impl Kiss {
             kiss_lang::opt::simplify(&mut info.program);
         }
         let module = Module::lower(info.program.clone());
-        let (verdict, stats) = match self.engine {
-            Engine::Explicit => {
-                let (v, s) = ExplicitChecker::new(&module)
-                    .with_budget(self.budget)
-                    .with_cancel(self.cancel.clone())
-                    .check_with_stats();
-                (v, CheckStats {
-                    steps: s.steps,
-                    states: s.states,
-                    checks_emitted: info.checks_emitted,
-                    checks_pruned: info.checks_pruned,
-                })
-            }
-            Engine::Summary => {
-                let (v, s) = SummaryChecker::new(&module)
-                    .with_budget(self.budget)
-                    .with_cancel(self.cancel.clone())
-                    .check_with_stats();
-                (v, CheckStats {
-                    steps: s.steps,
-                    states: s.summaries,
-                    checks_emitted: info.checks_emitted,
-                    checks_pruned: info.checks_pruned,
-                })
-            }
-            Engine::Bfs => {
-                let v = BfsChecker::new(&module)
-                    .with_budget(self.budget)
-                    .with_cancel(self.cancel.clone())
-                    .check();
-                (v, CheckStats {
-                    steps: 0,
-                    states: 0,
-                    checks_emitted: info.checks_emitted,
-                    checks_pruned: info.checks_pruned,
-                })
-            }
+        let (verdict, seq) = match self.engine {
+            Engine::Explicit => ExplicitChecker::new(&module)
+                .with_budget(self.budget)
+                .with_cancel(self.cancel.clone())
+                .with_observer(self.obs.clone())
+                .check_with_stats(),
+            Engine::Summary => SummaryChecker::new(&module)
+                .with_budget(self.budget)
+                .with_cancel(self.cancel.clone())
+                .with_observer(self.obs.clone())
+                .check_with_stats(),
+            Engine::Bfs => BfsChecker::new(&module)
+                .with_budget(self.budget)
+                .with_cancel(self.cancel.clone())
+                .with_observer(self.obs.clone())
+                .check_with_stats(),
+        };
+        let stats = CheckStats {
+            engine: self.engine,
+            seq,
+            checks_emitted: info.checks_emitted,
+            checks_pruned: info.checks_pruned,
         };
         match verdict {
             Verdict::Pass => KissOutcome::NoErrorFound(stats),
-            Verdict::ResourceBound { steps, states, reason } => {
-                KissOutcome::Inconclusive { steps, states, reason }
-            }
+            Verdict::ResourceBound { reason, .. } => KissOutcome::Inconclusive { stats, reason },
             Verdict::RuntimeError(e, _) => KissOutcome::RuntimeError(e.to_string()),
             Verdict::Fail(trace) => self.report(program, &module, &info, trace, stats),
         }
@@ -380,7 +419,8 @@ mod tests {
         };
         assert_eq!(report.validated, Some(true), "mapped schedule must replay");
         assert_eq!(report.mapped.thread_count, 2);
-        assert!(report.stats.steps > 0);
+        assert!(report.stats.steps() > 0);
+        assert_eq!(report.stats.engine, Engine::Explicit);
     }
 
     #[test]
@@ -747,6 +787,6 @@ mod optimize_tests {
         // Exploration cost is dominated by reachable code, so steps are
         // similar; the win is in transformation/lowering size. Assert
         // the verdict costs did not grow.
-        assert!(opt.steps <= plain.steps, "opt {} vs plain {}", opt.steps, plain.steps);
+        assert!(opt.steps() <= plain.steps(), "opt {} vs plain {}", opt.steps(), plain.steps());
     }
 }

@@ -40,6 +40,7 @@
 pub mod checker;
 pub mod harness;
 pub mod report;
+pub mod sigint;
 pub mod supervisor;
 pub mod trace_map;
 pub mod transform;

@@ -1,0 +1,58 @@
+//! SIGINT-to-cancellation plumbing, shared by `kissc` and the corpus
+//! binaries (`table1`, `table2`).
+//!
+//! ^C must not lose a half-finished corpus run: the handler only flips
+//! a [`CancelToken`]'s atomic flag, which the engines observe at their
+//! next budget poll, so the process winds down through the normal
+//! journal/report paths instead of dying mid-write.
+
+use kiss_seq::CancelToken;
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Installs a SIGINT handler that cancels `token`. Only the first
+/// installation takes effect (the handler is process-global); later
+/// calls are no-ops. Also restores default SIGPIPE handling so piping
+/// output into `head` exits quietly instead of panicking.
+#[cfg(unix)]
+pub fn install_sigint_cancel(token: CancelToken) {
+    use std::sync::OnceLock;
+    static CANCEL: OnceLock<CancelToken> = OnceLock::new();
+    // The handler only flips the token's atomic flag — async-signal-safe
+    // and observed by the engines at their next budget poll.
+    extern "C" fn on_sigint(_: i32) {
+        if let Some(t) = CANCEL.get() {
+            t.cancel();
+        }
+    }
+    const SIGINT: i32 = 2;
+    if CANCEL.set(token).is_ok() {
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+        restore_sigpipe_default();
+    }
+}
+
+/// Rust ignores SIGPIPE by default, so `kissc ... | head` panics
+/// mid-print; this restores the conventional silent exit. Call early
+/// in `main` — the binaries here are pipeline citizens first.
+#[cfg(unix)]
+pub fn restore_sigpipe_default() {
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+/// No-op on non-unix targets: ^C kills the process the default way.
+#[cfg(not(unix))]
+pub fn install_sigint_cancel(_token: CancelToken) {}
+
+/// No-op on non-unix targets: there is no SIGPIPE.
+#[cfg(not(unix))]
+pub fn restore_sigpipe_default() {}

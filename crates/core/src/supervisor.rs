@@ -20,10 +20,12 @@
 //!   engines poll from their inner loops.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
+use kiss_obs::{CheckMetrics, Event, Obs};
 use kiss_seq::{BoundReason, Budget, CancelToken};
 
-use crate::checker::KissOutcome;
+use crate::checker::{CheckStats, KissOutcome};
 
 /// How a supervised check ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,13 +66,14 @@ pub struct Supervisor {
     budget: Budget,
     retries: u32,
     cancel: CancelToken,
+    obs: Obs,
 }
 
 impl Supervisor {
     /// A supervisor granting each check `budget`, with the default
     /// two-step escalation ladder (retry at 2× and 4×).
     pub fn new(budget: Budget) -> Self {
-        Supervisor { budget, retries: 2, cancel: CancelToken::default() }
+        Supervisor { budget, retries: 2, cancel: CancelToken::default(), obs: Obs::off() }
     }
 
     /// Sets how many escalating retries an inconclusive check gets
@@ -98,55 +101,145 @@ impl Supervisor {
         &self.cancel
     }
 
+    /// Attaches an observer. [`Supervisor::run_scoped`] relabels it per
+    /// check and emits lifecycle events (`check_started`,
+    /// `retry_escalated`, `check_finished`) through it.
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached observer (disabled by default).
+    pub fn observer(&self) -> &Obs {
+        &self.obs
+    }
+
     /// Runs `check` under supervision. The closure receives the budget
     /// for the current attempt and the shared cancellation token; it is
     /// called again with a scaled budget while it reports a *retryable*
     /// inconclusive outcome and the ladder is not exhausted.
+    ///
+    /// No events are emitted: callers that want the check's lifecycle
+    /// observed use [`Supervisor::run_scoped`].
     pub fn run<F>(&self, mut check: F) -> SupervisedRun
     where
         F: FnMut(Budget, CancelToken) -> KissOutcome,
     {
+        self.run_inner(&Obs::off(), |budget, cancel, _| check(budget, cancel))
+    }
+
+    /// Like [`Supervisor::run`], but relabels the attached observer
+    /// with `label`, passes it to the closure (for
+    /// [`crate::checker::Kiss::with_observer`]), and emits the check's
+    /// lifecycle events around the attempts.
+    pub fn run_scoped<F>(&self, label: &str, check: F) -> SupervisedRun
+    where
+        F: FnMut(Budget, CancelToken, &Obs) -> KissOutcome,
+    {
+        self.run_inner(&self.obs.with_label(label), check)
+    }
+
+    fn run_inner<F>(&self, obs: &Obs, mut check: F) -> SupervisedRun
+    where
+        F: FnMut(Budget, CancelToken, &Obs) -> KissOutcome,
+    {
+        obs.emit(|label| Event::CheckStarted { check: label.to_string() });
+        let started = Instant::now();
         let mut attempts = 0u32;
         let mut budget = self.budget;
         loop {
             attempts += 1;
             if self.cancel.is_cancelled() {
-                return SupervisedRun {
-                    result: Supervised::Completed(KissOutcome::Inconclusive {
-                        steps: 0,
-                        states: 0,
-                        reason: BoundReason::Cancelled,
-                    }),
-                    attempts,
-                    last_budget: budget,
-                };
+                return self.finish(
+                    obs,
+                    started,
+                    SupervisedRun {
+                        result: Supervised::Completed(KissOutcome::Inconclusive {
+                            stats: CheckStats::default(),
+                            reason: BoundReason::Cancelled,
+                        }),
+                        attempts,
+                        last_budget: budget,
+                    },
+                );
             }
-            let attempt = catch_unwind(AssertUnwindSafe(|| check(budget, self.cancel.clone())));
+            let attempt =
+                catch_unwind(AssertUnwindSafe(|| check(budget, self.cancel.clone(), obs)));
             let outcome = match attempt {
                 Ok(outcome) => outcome,
                 Err(payload) => {
-                    return SupervisedRun {
-                        result: Supervised::Crashed { cause: panic_cause(payload) },
-                        attempts,
-                        last_budget: budget,
-                    }
+                    return self.finish(
+                        obs,
+                        started,
+                        SupervisedRun {
+                            result: Supervised::Crashed { cause: panic_cause(payload) },
+                            attempts,
+                            last_budget: budget,
+                        },
+                    )
                 }
             };
-            let retryable = matches!(
-                outcome,
-                KissOutcome::Inconclusive { reason, .. } if reason.retryable()
-            );
-            if retryable && attempts <= self.retries {
-                budget = budget.scaled(2);
-                continue;
-            }
-            return SupervisedRun {
-                result: Supervised::Completed(outcome),
-                attempts,
-                last_budget: budget,
+            let retry_reason = match &outcome {
+                KissOutcome::Inconclusive { reason, .. } if reason.retryable() => Some(*reason),
+                _ => None,
             };
+            if let Some(reason) = retry_reason {
+                if attempts <= self.retries {
+                    budget = budget.scaled(2);
+                    obs.emit(|label| Event::RetryEscalated {
+                        check: label.to_string(),
+                        attempt: u64::from(attempts) + 1,
+                        reason: reason.as_str().to_string(),
+                    });
+                    continue;
+                }
+            }
+            return self.finish(
+                obs,
+                started,
+                SupervisedRun {
+                    result: Supervised::Completed(outcome),
+                    attempts,
+                    last_budget: budget,
+                },
+            );
         }
     }
+
+    fn finish(&self, obs: &Obs, started: Instant, run: SupervisedRun) -> SupervisedRun {
+        obs.emit(|label| Event::CheckFinished {
+            metrics: metrics_for(label, &run, started.elapsed().as_millis() as u64),
+        });
+        run
+    }
+}
+
+/// Builds the [`CheckMetrics`] record for one finished supervised run.
+fn metrics_for(label: &str, run: &SupervisedRun, wall_ms: u64) -> CheckMetrics {
+    let mut m = CheckMetrics {
+        check: label.to_string(),
+        wall_ms,
+        retries: u64::from(run.attempts.saturating_sub(1)),
+        ..CheckMetrics::default()
+    };
+    match &run.result {
+        Supervised::Crashed { .. } => m.verdict = "crashed".to_string(),
+        Supervised::Completed(outcome) => {
+            m.verdict = outcome.verdict_str().to_string();
+            if let KissOutcome::Inconclusive { reason, .. } = outcome {
+                m.bound_reason = Some(reason.as_str().to_string());
+            }
+            if let Some(stats) = outcome.stats() {
+                m.engine = stats.engine.name().to_string();
+                m.steps = stats.seq.steps;
+                m.states = stats.seq.states as u64;
+                m.frontier_peak = stats.seq.frontier_peak as u64;
+                m.summaries = stats.seq.summaries as u64;
+                m.rounds = u64::from(stats.seq.rounds);
+            }
+        }
+    }
+    m
 }
 
 /// Stringifies a panic payload (`&str` and `String` payloads cover
@@ -177,7 +270,7 @@ mod tests {
     }
 
     fn inconclusive(reason: BoundReason) -> KissOutcome {
-        KissOutcome::Inconclusive { steps: 1, states: 1, reason }
+        KissOutcome::Inconclusive { stats: CheckStats::default(), reason }
     }
 
     #[test]
@@ -308,6 +401,38 @@ mod tests {
             panic!("{:?}", run.result);
         };
         assert_eq!(reason, BoundReason::Deadline);
+    }
+
+    #[test]
+    fn run_scoped_emits_lifecycle_events() {
+        let agg = kiss_obs::Aggregator::new();
+        let sup = Supervisor::new(small()).with_retries(1).with_observer(Obs::new(agg.clone()));
+        let mut calls = 0;
+        let run = sup.run_scoped("drv/0", |_, _, _| {
+            calls += 1;
+            if calls == 1 {
+                inconclusive(BoundReason::Steps)
+            } else {
+                no_error()
+            }
+        });
+        assert_eq!(run.attempts, 2);
+        let counts = agg.event_counts();
+        assert_eq!(counts.get("check_started"), Some(&1), "{counts:?}");
+        assert_eq!(counts.get("retry_escalated"), Some(&1), "{counts:?}");
+        assert_eq!(counts.get("check_finished"), Some(&1), "{counts:?}");
+        let report = agg.report();
+        assert_eq!(report.checks, 1);
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.outcomes.get("pass"), Some(&1));
+    }
+
+    #[test]
+    fn plain_run_emits_nothing() {
+        let agg = kiss_obs::Aggregator::new();
+        let sup = Supervisor::new(small()).with_observer(Obs::new(agg.clone()));
+        sup.run(|_, _| no_error());
+        assert!(agg.event_counts().is_empty());
     }
 
     #[test]

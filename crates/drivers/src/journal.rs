@@ -21,12 +21,25 @@
 //! line (the process died mid-write) is ignored on load, as is any
 //! line that fails to parse: a journal can only *under*-report
 //! completed work, never corrupt a resumed run.
+//!
+//! A second record type carries observability state across sessions:
+//!
+//! ```text
+//! v1report\t<RunReport as one-line JSON>
+//! ```
+//!
+//! Each session of a corpus run appends the
+//! [`RunReport`] covering the checks *it* performed;
+//! a resumed run merges the stored reports with its own so the final
+//! metrics match an uninterrupted run. Parsers that only know `v1`
+//! skip these lines (the tag differs), and vice versa.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 
+use kiss_obs::RunReport;
 use kiss_seq::BoundReason;
 
 use crate::table::FieldOutcome;
@@ -37,6 +50,7 @@ pub struct Journal {
     path: PathBuf,
     file: File,
     completed: HashMap<(String, usize), FieldOutcome>,
+    reports: Vec<RunReport>,
 }
 
 impl Journal {
@@ -45,17 +59,22 @@ impl Journal {
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Journal> {
         let path = path.as_ref().to_path_buf();
         let mut completed = HashMap::new();
+        let mut reports = Vec::new();
         if path.exists() {
             let reader = BufReader::new(File::open(&path)?);
             for line in reader.lines() {
                 let line = line?;
-                if let Some(((driver, field), outcome)) = parse_line(&line) {
+                if let Some(json) = line.strip_prefix("v1report\t") {
+                    // A malformed report line is dropped like any other
+                    // garbage: metrics under-report, results stay intact.
+                    reports.extend(RunReport::from_json(json));
+                } else if let Some(((driver, field), outcome)) = parse_line(&line) {
                     completed.insert((driver, field), outcome);
                 }
             }
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Journal { path, file, completed })
+        Ok(Journal { path, file, completed, reports })
     }
 
     /// The journal's location on disk.
@@ -96,6 +115,35 @@ impl Journal {
         self.file.flush()?;
         self.completed.insert((driver.to_string(), field), outcome.clone());
         Ok(())
+    }
+
+    /// Appends one session's [`RunReport`] and flushes it, so a
+    /// `--resume` of a later session can account for this session's
+    /// checks in its merged metrics.
+    pub fn record_report(&mut self, report: &RunReport) -> std::io::Result<()> {
+        writeln!(self.file, "v1report\t{}", report.to_json())?;
+        self.file.flush()?;
+        self.reports.push(report.clone());
+        Ok(())
+    }
+
+    /// The per-session reports loaded from (or written to) the journal,
+    /// in order.
+    pub fn reports(&self) -> &[RunReport] {
+        &self.reports
+    }
+
+    /// All stored reports merged with `current` — the metrics of the
+    /// whole (possibly multi-session) run. Only reports loaded at
+    /// [`Journal::open`] are merged, so record `current` *after*
+    /// asking for the merge.
+    pub fn merged_report(&self, current: &RunReport) -> RunReport {
+        let mut merged = RunReport::default();
+        for r in &self.reports {
+            merged.merge(r);
+        }
+        merged.merge(current);
+        merged
     }
 }
 
@@ -219,6 +267,46 @@ mod tests {
         let j = Journal::open(&path).unwrap();
         assert_eq!(j.lookup("drv", 0), Some(FieldOutcome::Crashed { cause: "line1 line2 tabbed".to_string() }));
         assert_eq!(j.lookup("drv", 1), Some(FieldOutcome::Race));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reports_round_trip_and_merge_across_reopen() {
+        let path = tmp_path("reports");
+        let mut session1 = RunReport::default();
+        session1.observe(&kiss_obs::CheckMetrics {
+            check: "drv/0".into(),
+            engine: "explicit".into(),
+            verdict: "pass".into(),
+            steps: 100,
+            states: 40,
+            wall_ms: 3,
+            ..kiss_obs::CheckMetrics::default()
+        });
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.record("drv", 0, &FieldOutcome::NoRace).unwrap();
+            j.record_report(&session1).unwrap();
+        }
+        let j = Journal::open(&path).unwrap();
+        // Report lines do not leak into field records, and vice versa.
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.reports(), &[session1.clone()]);
+        let mut session2 = RunReport::default();
+        session2.observe(&kiss_obs::CheckMetrics {
+            check: "drv/1".into(),
+            engine: "explicit".into(),
+            verdict: "race".into(),
+            steps: 50,
+            states: 20,
+            wall_ms: 2,
+            ..kiss_obs::CheckMetrics::default()
+        });
+        let merged = j.merged_report(&session2);
+        assert_eq!(merged.checks, 2);
+        assert_eq!(merged.outcomes["pass"], 1);
+        assert_eq!(merged.outcomes["race"], 1);
+        assert_eq!(merged.engines["explicit"].steps, 150);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -12,6 +12,7 @@ use kiss_core::checker::{Kiss, KissOutcome};
 use kiss_core::harness::dispatch_harness;
 use kiss_core::supervisor::{Supervised, Supervisor};
 use kiss_lang::Program;
+use kiss_obs::{CheckMetrics, Event, Obs};
 use kiss_seq::{BoundReason, Budget};
 
 use crate::corpus::{DriverModel, FieldClass};
@@ -114,10 +115,17 @@ pub fn check_driver_supervised(
                 .fields
                 .iter()
                 .enumerate()
-                .map(|(i, f)| FieldResult {
-                    field: i,
-                    class: f.class,
-                    outcome: FieldOutcome::Failed { cause: cause.clone() },
+                .map(|(i, f)| {
+                    emit_searchless(
+                        supervisor.observer(),
+                        &format!("{}/{}", model.name, i),
+                        "failed",
+                    );
+                    FieldResult {
+                        field: i,
+                        class: f.class,
+                        outcome: FieldOutcome::Failed { cause: cause.clone() },
+                    }
                 })
                 .collect();
             return summarize(model, results);
@@ -155,27 +163,55 @@ fn check_field(
     refined: bool,
     supervisor: &Supervisor,
 ) -> FieldOutcome {
+    let label = format!("{}/{}", model.name, field);
     let pairs = model.field_pairs(field, refined);
     if pairs.is_empty() {
         // No two routines may access this field concurrently: the
         // refined OS model rules the race out without a search.
+        emit_searchless(supervisor.observer(), &label, "pass");
         return FieldOutcome::NoRace;
     }
     let pair_refs: Vec<(&str, &str)> = pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
     let harnessed = match dispatch_harness(program, Some("DriverInit"), &pair_refs) {
         Ok(h) => h,
-        Err(e) => return FieldOutcome::Failed { cause: format!("harness: {e}") },
+        Err(e) => {
+            emit_searchless(supervisor.observer(), &label, "failed");
+            return FieldOutcome::Failed { cause: format!("harness: {e}") };
+        }
     };
     let spec = model.race_spec(field);
     let target = match kiss_core::RaceTarget::resolve(&harnessed, &spec) {
         Some(t) => t,
         None => {
-            return FieldOutcome::Failed { cause: format!("race spec `{spec}` did not resolve") }
+            emit_searchless(supervisor.observer(), &label, "failed");
+            return FieldOutcome::Failed { cause: format!("race spec `{spec}` did not resolve") };
         }
     };
-    supervised_field_outcome(supervisor, |budget, cancel| {
-        Kiss::new().with_budget(budget).with_cancel(cancel).check_race(&harnessed, target)
-    })
+    let run = supervisor.run_scoped(&label, |budget, cancel, obs| {
+        Kiss::new()
+            .with_budget(budget)
+            .with_cancel(cancel)
+            .with_observer(obs.clone())
+            .check_race(&harnessed, target)
+    });
+    field_outcome(run.result)
+}
+
+/// Emits a synthetic `check_started`/`check_finished` pair for a field
+/// decided (or abandoned) without running a search, so trace consumers
+/// can rely on started == finished and the outcome histogram covering
+/// *every* field.
+fn emit_searchless(obs: &Obs, label: &str, verdict: &str) {
+    let obs = obs.with_label(label);
+    obs.emit(|check| Event::CheckStarted { check: check.to_string() });
+    obs.emit(|check| Event::CheckFinished {
+        metrics: CheckMetrics {
+            check: check.to_string(),
+            engine: "none".to_string(),
+            verdict: verdict.to_string(),
+            ..CheckMetrics::default()
+        },
+    });
 }
 
 /// Runs one field-check closure under `supervisor` and maps the result
@@ -185,7 +221,11 @@ pub fn supervised_field_outcome(
     supervisor: &Supervisor,
     check: impl FnMut(Budget, kiss_seq::CancelToken) -> KissOutcome,
 ) -> FieldOutcome {
-    match supervisor.run(check).result {
+    field_outcome(supervisor.run(check).result)
+}
+
+fn field_outcome(result: Supervised) -> FieldOutcome {
+    match result {
         Supervised::Crashed { cause } => FieldOutcome::Crashed { cause },
         Supervised::Completed(KissOutcome::RaceDetected(_)) => FieldOutcome::Race,
         Supervised::Completed(KissOutcome::NoErrorFound(_)) => FieldOutcome::NoRace,

@@ -1,0 +1,104 @@
+//! Integration tests for the observability layer over corpus runs:
+//! the acceptance scenarios of the metrics work.
+//!
+//! * Running the same corpus twice yields identical event counts and
+//!   outcome histograms (timing excluded) — the trace is deterministic.
+//! * A run cancelled partway and `--resume`d produces a merged
+//!   [`RunReport`] whose totals match an uninterrupted run's.
+
+use std::path::PathBuf;
+
+use kiss_core::supervisor::Supervisor;
+use kiss_drivers::{check_corpus_supervised, generate_driver, paper_table, Journal};
+use kiss_obs::{Aggregator, Obs, RunReport};
+use kiss_seq::{Budget, CancelToken};
+
+fn tmp_journal(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("kiss-obs-it-{}-{name}.log", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn small_models() -> Vec<kiss_drivers::DriverModel> {
+    // tracedrv (3 clean fields) and imca (5 mixed fields): fast, with
+    // pair-free, racy, clean, and heavy-inconclusive outcomes all
+    // represented.
+    paper_table()
+        .into_iter()
+        .filter(|d| d.name == "tracedrv" || d.name == "imca")
+        .map(|d| generate_driver(&d))
+        .collect()
+}
+
+fn budget() -> Budget {
+    Budget::steps_states(400_000, 20_000)
+}
+
+/// One full observed corpus run; returns (aggregator, report).
+fn observed_run(cancel: Option<CancelToken>, journal: Option<&mut Journal>) -> (Aggregator, RunReport) {
+    let agg = Aggregator::new();
+    let mut supervisor =
+        Supervisor::new(budget()).with_retries(1).with_observer(Obs::new(agg.clone()));
+    let mut on_driver: Box<dyn FnMut()> = Box::new(|| {});
+    if let Some(token) = cancel {
+        supervisor = supervisor.with_cancel(token.clone());
+        // Simulate a ^C between the first and second driver.
+        on_driver = Box::new(move || token.cancel());
+    }
+    check_corpus_supervised(&small_models(), false, &supervisor, journal, |_| on_driver());
+    let report = agg.resumable_report();
+    (agg, report)
+}
+
+#[test]
+fn identical_runs_produce_identical_counts() {
+    let (agg1, report1) = observed_run(None, None);
+    let (agg2, report2) = observed_run(None, None);
+
+    assert!(report1.counts_match(&report2), "{report1:?}\nvs\n{report2:?}");
+    assert_eq!(agg1.event_counts(), agg2.event_counts());
+
+    // Internal consistency: every field produced a started/finished
+    // pair, and the histogram covers every finished check.
+    let counts = agg1.event_counts();
+    let fields: usize = small_models().iter().map(|m| m.fields.len()).sum();
+    assert_eq!(counts["check_started"], fields as u64);
+    assert_eq!(counts["check_finished"], fields as u64);
+    assert_eq!(report1.checks, fields as u64);
+    assert_eq!(report1.outcomes.values().sum::<u64>(), fields as u64);
+    assert_eq!(report1.retries, counts.get("retry_escalated").copied().unwrap_or(0));
+}
+
+#[test]
+fn resumed_run_report_matches_uninterrupted_run() {
+    let (_, uninterrupted) = observed_run(None, None);
+
+    // Session 1: cancelled after the first driver; journal what
+    // completed, plus this session's report.
+    let path = tmp_journal("resume");
+    let session1 = {
+        let mut journal = Journal::open(&path).unwrap();
+        let (_, report) = observed_run(Some(CancelToken::new()), Some(&mut journal));
+        journal.record_report(&report).unwrap();
+        report
+    };
+    assert!(session1.checks > 0, "first driver must have been checked");
+    assert!(
+        session1.checks < uninterrupted.checks,
+        "cancellation must have cut the run short: {session1:?}"
+    );
+
+    // Session 2: resume with the same journal; completed fields are
+    // skipped (emitting nothing), the rest run now.
+    let mut journal = Journal::open(&path).unwrap();
+    let (_, session2) = observed_run(None, Some(&mut journal));
+    let merged = journal.merged_report(&session2);
+    journal.record_report(&session2).unwrap();
+
+    assert!(
+        merged.counts_match(&uninterrupted),
+        "merged:\n{merged:?}\nuninterrupted:\n{uninterrupted:?}"
+    );
+    std::fs::remove_file(&path).unwrap();
+}

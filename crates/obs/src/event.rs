@@ -1,0 +1,252 @@
+//! Structured events and per-check metrics.
+
+use crate::json::quoted;
+use crate::report::RunReport;
+
+/// Everything measured about one supervised check, attached to
+/// [`Event::CheckFinished`] and aggregated into a
+/// [`RunReport`].
+///
+/// `steps`/`states` describe the *final* attempt; retried attempts'
+/// partial work is visible through [`Event::EngineTick`] and
+/// [`Event::BudgetViolated`] but is not double-counted here.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckMetrics {
+    /// Check label, e.g. `diskperf/3` for field 3 of driver diskperf.
+    pub check: String,
+    /// Engine kind (`explicit`, `summary`, `bfs`; `none` when a check
+    /// was decided without a search; empty when unknown, e.g. crashes).
+    pub engine: String,
+    /// Final verdict: `pass`, `assertion`, `race`, `inconclusive`,
+    /// `runtime_error`, `transform_failed`, or `crashed`.
+    pub verdict: String,
+    /// Instructions executed by the final attempt.
+    pub steps: u64,
+    /// Distinct states recorded by the final attempt.
+    pub states: u64,
+    /// Peak frontier/pending size (DFS stack or BFS queue).
+    pub frontier_peak: u64,
+    /// Function summaries computed (summary engine only).
+    pub summaries: u64,
+    /// Fixpoint rounds taken (summary engine only).
+    pub rounds: u64,
+    /// Wall-clock time for the whole supervised run, all attempts.
+    pub wall_ms: u64,
+    /// Which budget axis ended an inconclusive check.
+    pub bound_reason: Option<String>,
+    /// Retries the escalation ladder spent (attempts - 1).
+    pub retries: u64,
+}
+
+impl CheckMetrics {
+    /// Serializes the fields *without* surrounding braces, so callers
+    /// can splice them into an enclosing object.
+    fn json_fields(&self, out: &mut String) {
+        out.push_str(&format!(
+            "\"check\":{},\"engine\":{},\"verdict\":{},\"steps\":{},\"states\":{},\
+             \"frontier_peak\":{},\"summaries\":{},\"rounds\":{},\"wall_ms\":{},\
+             \"bound_reason\":{},\"retries\":{}",
+            quoted(&self.check),
+            quoted(&self.engine),
+            quoted(&self.verdict),
+            self.steps,
+            self.states,
+            self.frontier_peak,
+            self.summaries,
+            self.rounds,
+            self.wall_ms,
+            match &self.bound_reason {
+                Some(r) => quoted(r),
+                None => "null".to_string(),
+            },
+            self.retries,
+        ));
+    }
+}
+
+/// One structured observation, emitted through
+/// [`crate::Obs::emit`] and consumed by [`crate::Observer`] sinks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A supervised check is starting (attempt 1).
+    CheckStarted {
+        /// Check label.
+        check: String,
+    },
+    /// Periodic engine progress (throttled inside the engines' meters,
+    /// roughly every 2^18 steps).
+    EngineTick {
+        /// Check label.
+        check: String,
+        /// Engine kind.
+        engine: &'static str,
+        /// Steps so far in the current attempt.
+        steps: u64,
+        /// Distinct states so far in the current attempt.
+        states: u64,
+    },
+    /// The supervisor is re-running an inconclusive check with an
+    /// escalated budget.
+    RetryEscalated {
+        /// Check label.
+        check: String,
+        /// The attempt about to start (2 = first retry).
+        attempt: u64,
+        /// The bound that tripped the previous attempt.
+        reason: String,
+    },
+    /// A budget axis tripped inside an engine.
+    BudgetViolated {
+        /// Check label.
+        check: String,
+        /// Engine kind.
+        engine: &'static str,
+        /// The axis that tripped.
+        reason: String,
+        /// Steps at the trip point.
+        steps: u64,
+        /// Distinct states at the trip point.
+        states: u64,
+    },
+    /// A supervised check ended (all attempts done).
+    CheckFinished {
+        /// The full metrics record; its `check` field is the label.
+        metrics: CheckMetrics,
+    },
+    /// End-of-run summary.
+    RunSummary {
+        /// The aggregated report.
+        report: RunReport,
+    },
+}
+
+impl Event {
+    /// Stable event-kind name, matching the `"event"` field of
+    /// [`Event::to_json`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::CheckStarted { .. } => "check_started",
+            Event::EngineTick { .. } => "engine_tick",
+            Event::RetryEscalated { .. } => "retry_escalated",
+            Event::BudgetViolated { .. } => "budget_violated",
+            Event::CheckFinished { .. } => "check_finished",
+            Event::RunSummary { .. } => "run_summary",
+        }
+    }
+
+    /// The check label, for every per-check event kind.
+    pub fn check(&self) -> Option<&str> {
+        match self {
+            Event::CheckStarted { check }
+            | Event::EngineTick { check, .. }
+            | Event::RetryEscalated { check, .. }
+            | Event::BudgetViolated { check, .. } => Some(check),
+            Event::CheckFinished { metrics } => Some(&metrics.check),
+            Event::RunSummary { .. } => None,
+        }
+    }
+
+    /// One-line JSON encoding (no trailing newline) — the JSONL trace
+    /// format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"event\":");
+        out.push_str(&quoted(self.kind()));
+        match self {
+            Event::CheckStarted { check } => {
+                out.push_str(&format!(",\"check\":{}", quoted(check)));
+            }
+            Event::EngineTick { check, engine, steps, states } => {
+                out.push_str(&format!(
+                    ",\"check\":{},\"engine\":{},\"steps\":{steps},\"states\":{states}",
+                    quoted(check),
+                    quoted(engine),
+                ));
+            }
+            Event::RetryEscalated { check, attempt, reason } => {
+                out.push_str(&format!(
+                    ",\"check\":{},\"attempt\":{attempt},\"reason\":{}",
+                    quoted(check),
+                    quoted(reason),
+                ));
+            }
+            Event::BudgetViolated { check, engine, reason, steps, states } => {
+                out.push_str(&format!(
+                    ",\"check\":{},\"engine\":{},\"reason\":{},\"steps\":{steps},\"states\":{states}",
+                    quoted(check),
+                    quoted(engine),
+                    quoted(reason),
+                ));
+            }
+            Event::CheckFinished { metrics } => {
+                out.push(',');
+                metrics.json_fields(&mut out);
+            }
+            Event::RunSummary { report } => {
+                out.push_str(",\"report\":");
+                out.push_str(&report.to_json());
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn events_serialize_to_parseable_json_with_matching_kind() {
+        let events = [
+            Event::CheckStarted { check: "drv/0".into() },
+            Event::EngineTick { check: "drv/0".into(), engine: "explicit", steps: 5, states: 2 },
+            Event::RetryEscalated { check: "drv/0".into(), attempt: 2, reason: "steps".into() },
+            Event::BudgetViolated {
+                check: "drv/0".into(),
+                engine: "bfs",
+                reason: "memory".into(),
+                steps: 10,
+                states: 4,
+            },
+            Event::CheckFinished {
+                metrics: CheckMetrics {
+                    check: "drv/0".into(),
+                    engine: "explicit".into(),
+                    verdict: "pass".into(),
+                    steps: 100,
+                    ..CheckMetrics::default()
+                },
+            },
+            Event::RunSummary { report: RunReport::default() },
+        ];
+        for e in events {
+            let parsed = Json::parse(&e.to_json()).expect("event must be valid JSON");
+            assert_eq!(parsed.get("event").and_then(Json::as_str), Some(e.kind()));
+            assert_eq!(parsed.get("check").and_then(Json::as_str), e.check());
+        }
+    }
+
+    #[test]
+    fn finished_event_carries_all_metric_fields() {
+        let m = CheckMetrics {
+            check: "d\"x/1".into(),
+            engine: "summary".into(),
+            verdict: "inconclusive".into(),
+            steps: 7,
+            states: 3,
+            frontier_peak: 2,
+            summaries: 5,
+            rounds: 2,
+            wall_ms: 12,
+            bound_reason: Some("deadline".into()),
+            retries: 1,
+        };
+        let parsed = Json::parse(&Event::CheckFinished { metrics: m }.to_json()).unwrap();
+        assert_eq!(parsed.get("check").and_then(Json::as_str), Some("d\"x/1"));
+        assert_eq!(parsed.get("summaries").and_then(Json::as_u64), Some(5));
+        assert_eq!(parsed.get("bound_reason").and_then(Json::as_str), Some("deadline"));
+        assert_eq!(parsed.get("retries").and_then(Json::as_u64), Some(1));
+    }
+}

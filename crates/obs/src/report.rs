@@ -1,0 +1,342 @@
+//! The aggregated run report: what a whole corpus run (or a single
+//! `kissc` invocation) did, in numbers.
+
+use std::collections::BTreeMap;
+
+use crate::event::CheckMetrics;
+use crate::json::{quoted, Json};
+
+/// Per-engine totals inside a [`RunReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineTotals {
+    /// Checks whose final attempt ran on this engine.
+    pub checks: u64,
+    /// Steps executed (final attempts).
+    pub steps: u64,
+    /// Distinct states recorded (final attempts).
+    pub states: u64,
+    /// Wall-clock milliseconds spent.
+    pub wall_ms: u64,
+}
+
+/// Aggregated metrics over many checks. Built incrementally by
+/// [`RunReport::observe`], merged across resumed sessions by
+/// [`RunReport::merge`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Checks finished.
+    pub checks: u64,
+    /// Total escalation retries spent.
+    pub retries: u64,
+    /// Verdict histogram (`pass`, `race`, `inconclusive`, ...).
+    pub outcomes: BTreeMap<String, u64>,
+    /// Which budget axis ended each inconclusive check.
+    pub bound_reasons: BTreeMap<String, u64>,
+    /// Totals per engine kind.
+    pub engines: BTreeMap<String, EngineTotals>,
+    /// Summed per-check wall time in milliseconds. (Not elapsed run
+    /// time: checks may overlap in a future parallel executor.)
+    pub wall_ms: u64,
+    /// Every check's wall time, for percentiles. Unsorted.
+    pub durations_ms: Vec<u64>,
+}
+
+impl RunReport {
+    /// Folds one finished check into the report.
+    pub fn observe(&mut self, m: &CheckMetrics) {
+        self.checks += 1;
+        self.retries += m.retries;
+        *self.outcomes.entry(m.verdict.clone()).or_default() += 1;
+        if let Some(reason) = &m.bound_reason {
+            *self.bound_reasons.entry(reason.clone()).or_default() += 1;
+        }
+        let engine = self.engines.entry(m.engine.clone()).or_default();
+        engine.checks += 1;
+        engine.steps += m.steps;
+        engine.states += m.states;
+        engine.wall_ms += m.wall_ms;
+        self.wall_ms += m.wall_ms;
+        self.durations_ms.push(m.wall_ms);
+    }
+
+    /// Adds `other`'s totals into `self` — used by `--resume` to
+    /// combine the reports of earlier sessions with the current one.
+    pub fn merge(&mut self, other: &RunReport) {
+        self.checks += other.checks;
+        self.retries += other.retries;
+        for (k, v) in &other.outcomes {
+            *self.outcomes.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.bound_reasons {
+            *self.bound_reasons.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.engines {
+            let e = self.engines.entry(k.clone()).or_default();
+            e.checks += v.checks;
+            e.steps += v.steps;
+            e.states += v.states;
+            e.wall_ms += v.wall_ms;
+        }
+        self.wall_ms += other.wall_ms;
+        self.durations_ms.extend_from_slice(&other.durations_ms);
+    }
+
+    /// Steps summed across engines.
+    pub fn total_steps(&self) -> u64 {
+        self.engines.values().map(|e| e.steps).sum()
+    }
+
+    /// States summed across engines.
+    pub fn total_states(&self) -> u64 {
+        self.engines.values().map(|e| e.states).sum()
+    }
+
+    /// Aggregate search throughput in states per second; `None` when no
+    /// measurable time was spent.
+    pub fn states_per_sec(&self) -> Option<f64> {
+        if self.wall_ms == 0 {
+            return None;
+        }
+        Some(self.total_states() as f64 * 1000.0 / self.wall_ms as f64)
+    }
+
+    /// Nearest-rank duration percentile (`p` in 0..=100) in
+    /// milliseconds; `None` when no checks were recorded.
+    pub fn percentile_ms(&self, p: u32) -> Option<u64> {
+        if self.durations_ms.is_empty() {
+            return None;
+        }
+        let mut sorted = self.durations_ms.clone();
+        sorted.sort_unstable();
+        let rank = (p.min(100) as usize * sorted.len()).div_ceil(100);
+        Some(sorted[rank.saturating_sub(1)])
+    }
+
+    /// Whether two runs did the same *deterministic* work: identical
+    /// check counts, retry counts, outcome histograms, bound reasons,
+    /// and per-engine step/state totals. Timing fields (wall clock,
+    /// durations, throughput) are deliberately excluded.
+    pub fn counts_match(&self, other: &RunReport) -> bool {
+        self.checks == other.checks
+            && self.retries == other.retries
+            && self.outcomes == other.outcomes
+            && self.bound_reasons == other.bound_reasons
+            && self.engines.len() == other.engines.len()
+            && self.engines.iter().all(|(k, e)| {
+                other.engines.get(k).is_some_and(|o| {
+                    e.checks == o.checks && e.steps == o.steps && e.states == o.states
+                })
+            })
+    }
+
+    /// JSON encoding, parseable by [`RunReport::from_json`].
+    pub fn to_json(&self) -> String {
+        let map = |m: &BTreeMap<String, u64>| {
+            let fields: Vec<String> =
+                m.iter().map(|(k, v)| format!("{}:{v}", quoted(k))).collect();
+            format!("{{{}}}", fields.join(","))
+        };
+        let engines: Vec<String> = self
+            .engines
+            .iter()
+            .map(|(k, e)| {
+                format!(
+                    "{}:{{\"checks\":{},\"steps\":{},\"states\":{},\"wall_ms\":{}}}",
+                    quoted(k),
+                    e.checks,
+                    e.steps,
+                    e.states,
+                    e.wall_ms,
+                )
+            })
+            .collect();
+        let durations: Vec<String> = self.durations_ms.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"checks\":{},\"retries\":{},\"outcomes\":{},\"bound_reasons\":{},\
+             \"engines\":{{{}}},\"wall_ms\":{},\"durations_ms\":[{}]}}",
+            self.checks,
+            self.retries,
+            map(&self.outcomes),
+            map(&self.bound_reasons),
+            engines.join(","),
+            self.wall_ms,
+            durations.join(","),
+        )
+    }
+
+    /// Parses [`RunReport::to_json`] output; `None` on malformed input.
+    pub fn from_json(text: &str) -> Option<RunReport> {
+        let v = Json::parse(text)?;
+        Self::from_value(&v)
+    }
+
+    /// Builds a report from an already-parsed JSON value (e.g. the
+    /// `report` member of a `run_summary` trace event).
+    pub fn from_value(v: &Json) -> Option<RunReport> {
+        let counts = |key: &str| -> Option<BTreeMap<String, u64>> {
+            v.get(key)?
+                .as_obj()?
+                .iter()
+                .map(|(k, n)| Some((k.clone(), n.as_u64()?)))
+                .collect()
+        };
+        let engines = v
+            .get("engines")?
+            .as_obj()?
+            .iter()
+            .map(|(k, e)| {
+                Some((
+                    k.clone(),
+                    EngineTotals {
+                        checks: e.get("checks")?.as_u64()?,
+                        steps: e.get("steps")?.as_u64()?,
+                        states: e.get("states")?.as_u64()?,
+                        wall_ms: e.get("wall_ms")?.as_u64()?,
+                    },
+                ))
+            })
+            .collect::<Option<BTreeMap<_, _>>>()?;
+        Some(RunReport {
+            checks: v.get("checks")?.as_u64()?,
+            retries: v.get("retries")?.as_u64()?,
+            outcomes: counts("outcomes")?,
+            bound_reasons: counts("bound_reasons")?,
+            engines,
+            wall_ms: v.get("wall_ms")?.as_u64()?,
+            durations_ms: v
+                .get("durations_ms")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_u64)
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+
+    /// Multi-line human rendering for end-of-run output.
+    pub fn render(&self) -> String {
+        let hist = |m: &BTreeMap<String, u64>| {
+            m.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(" ")
+        };
+        let mut out = format!(
+            "run report: {} checks, {} retries, {} ms checking time\n",
+            self.checks, self.retries, self.wall_ms
+        );
+        out.push_str(&format!("  outcomes  : {}\n", hist(&self.outcomes)));
+        if !self.bound_reasons.is_empty() {
+            out.push_str(&format!("  bounds    : {}\n", hist(&self.bound_reasons)));
+        }
+        for (name, e) in &self.engines {
+            out.push_str(&format!(
+                "  engine    : {name}: {} checks, {} steps, {} states, {} ms\n",
+                e.checks, e.steps, e.states, e.wall_ms
+            ));
+        }
+        if let Some(sps) = self.states_per_sec() {
+            out.push_str(&format!("  throughput: {sps:.0} states/s\n"));
+        }
+        if let (Some(p50), Some(p90), Some(p99)) =
+            (self.percentile_ms(50), self.percentile_ms(90), self.percentile_ms(99))
+        {
+            out.push_str(&format!("  durations : p50={p50}ms p90={p90}ms p99={p99}ms\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(verdict: &str, engine: &str, steps: u64, wall_ms: u64) -> CheckMetrics {
+        CheckMetrics {
+            check: "drv/0".into(),
+            engine: engine.into(),
+            verdict: verdict.into(),
+            steps,
+            states: steps / 2,
+            wall_ms,
+            bound_reason: (verdict == "inconclusive").then(|| "steps".to_string()),
+            ..CheckMetrics::default()
+        }
+    }
+
+    #[test]
+    fn observe_accumulates_histograms_and_engine_totals() {
+        let mut r = RunReport::default();
+        r.observe(&metric("pass", "explicit", 100, 4));
+        r.observe(&metric("race", "explicit", 50, 2));
+        r.observe(&metric("inconclusive", "summary", 10, 1));
+        assert_eq!(r.checks, 3);
+        assert_eq!(r.outcomes["pass"], 1);
+        assert_eq!(r.outcomes["race"], 1);
+        assert_eq!(r.bound_reasons["steps"], 1);
+        assert_eq!(r.engines["explicit"].checks, 2);
+        assert_eq!(r.engines["explicit"].steps, 150);
+        assert_eq!(r.total_steps(), 160);
+        assert_eq!(r.wall_ms, 7);
+    }
+
+    #[test]
+    fn merge_equals_observing_everything_in_one_report() {
+        let ms = [
+            metric("pass", "explicit", 100, 4),
+            metric("race", "bfs", 30, 9),
+            metric("inconclusive", "summary", 7, 1),
+        ];
+        let mut whole = RunReport::default();
+        ms.iter().for_each(|m| whole.observe(m));
+        let mut first = RunReport::default();
+        first.observe(&ms[0]);
+        let mut rest = RunReport::default();
+        rest.observe(&ms[1]);
+        rest.observe(&ms[2]);
+        first.merge(&rest);
+        assert_eq!(first, whole);
+        assert!(first.counts_match(&whole));
+    }
+
+    #[test]
+    fn counts_match_ignores_timing_but_not_work() {
+        let mut a = RunReport::default();
+        a.observe(&metric("pass", "explicit", 100, 4));
+        let mut b = RunReport::default();
+        b.observe(&metric("pass", "explicit", 100, 900)); // same work, slower
+        assert!(a.counts_match(&b));
+        let mut c = RunReport::default();
+        c.observe(&metric("pass", "explicit", 101, 4)); // different work
+        assert!(!a.counts_match(&c));
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let mut r = RunReport::default();
+        r.observe(&metric("pass", "explicit", 100, 4));
+        r.observe(&metric("inconclusive", "summary", 10, 11));
+        let back = RunReport::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(back, r);
+        assert_eq!(RunReport::from_json("not json"), None);
+        assert_eq!(RunReport::from_json("{\"checks\":1}"), None);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut r = RunReport::default();
+        for ms in [10u64, 20, 30, 40] {
+            r.observe(&metric("pass", "explicit", 1, ms));
+        }
+        assert_eq!(r.percentile_ms(50), Some(20));
+        assert_eq!(r.percentile_ms(100), Some(40));
+        assert_eq!(r.percentile_ms(0), Some(10));
+        assert_eq!(RunReport::default().percentile_ms(50), None);
+    }
+
+    #[test]
+    fn throughput_needs_measurable_time() {
+        let mut r = RunReport::default();
+        r.observe(&metric("pass", "explicit", 100, 0));
+        assert_eq!(r.states_per_sec(), None);
+        r.observe(&metric("pass", "explicit", 100, 100));
+        assert_eq!(r.states_per_sec(), Some(1000.0));
+        assert!(r.render().contains("throughput"));
+    }
+}

@@ -1,0 +1,345 @@
+//! Event consumers: JSONL trace writer, in-memory aggregator, and the
+//! throttled human heartbeat.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::event::{CheckMetrics, Event};
+use crate::report::RunReport;
+
+/// An event consumer. Implementations must tolerate any event order —
+/// sinks are decoupled from emitters, and a crash can cut a stream
+/// short.
+pub trait Observer: Send {
+    /// Consumes one event.
+    fn on_event(&mut self, event: &Event);
+}
+
+/// Broadcasts each event to several observers in order.
+pub struct Fanout(pub Vec<Box<dyn Observer>>);
+
+impl Observer for Fanout {
+    fn on_event(&mut self, event: &Event) {
+        for obs in &mut self.0 {
+            obs.on_event(event);
+        }
+    }
+}
+
+/// Writes each event as one JSON line. Buffered; flushed on the events
+/// that matter for crash forensics (check finished, run summary) so a
+/// killed run's trace still ends on a record boundary.
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) a trace file at `path`.
+    pub fn create(path: &str) -> io::Result<Self> {
+        Ok(JsonlSink { out: BufWriter::new(File::create(path)?) })
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps any writer.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out }
+    }
+}
+
+impl<W: Write + Send> Observer for JsonlSink<W> {
+    fn on_event(&mut self, event: &Event) {
+        // A full disk must not kill the run the trace is describing.
+        let _ = writeln!(self.out, "{}", event.to_json());
+        if matches!(event, Event::CheckFinished { .. } | Event::RunSummary { .. }) {
+            let _ = self.out.flush();
+        }
+    }
+}
+
+#[derive(Default)]
+struct AggState {
+    metrics: Vec<CheckMetrics>,
+    event_counts: BTreeMap<&'static str, u64>,
+}
+
+/// In-memory aggregation. Clonable handle: register one clone as a
+/// sink, keep another to extract the [`RunReport`] afterwards.
+#[derive(Clone, Default)]
+pub struct Aggregator {
+    state: Arc<Mutex<AggState>>,
+}
+
+impl Aggregator {
+    /// A fresh, empty aggregator.
+    pub fn new() -> Self {
+        Aggregator::default()
+    }
+
+    /// The report over every finished check seen so far.
+    pub fn report(&self) -> RunReport {
+        let mut report = RunReport::default();
+        for m in &self.state.lock().expect("aggregator lock").metrics {
+            report.observe(m);
+        }
+        report
+    }
+
+    /// Like [`Aggregator::report`], excluding checks that ended in
+    /// cancellation. A resumed run re-checks those fields, so storing
+    /// them in a journal's report record would double-count them.
+    pub fn resumable_report(&self) -> RunReport {
+        let mut report = RunReport::default();
+        for m in &self.state.lock().expect("aggregator lock").metrics {
+            if m.bound_reason.as_deref() != Some("cancelled") {
+                report.observe(m);
+            }
+        }
+        report
+    }
+
+    /// How many of each event kind were observed.
+    pub fn event_counts(&self) -> BTreeMap<&'static str, u64> {
+        self.state.lock().expect("aggregator lock").event_counts.clone()
+    }
+}
+
+impl Observer for Aggregator {
+    fn on_event(&mut self, event: &Event) {
+        let mut state = self.state.lock().expect("aggregator lock");
+        *state.event_counts.entry(event.kind()).or_default() += 1;
+        if let Event::CheckFinished { metrics } = event {
+            state.metrics.push(metrics.clone());
+        }
+    }
+}
+
+/// Throttled single-line progress renderer for humans watching a long
+/// corpus run. Renders at most once per `interval` (plus once at the
+/// final summary), so hot engine loops can emit ticks freely.
+pub struct Heartbeat<W: Write + Send> {
+    out: W,
+    interval: Duration,
+    started: Instant,
+    last_render: Option<Instant>,
+    finished: u64,
+    outcomes: BTreeMap<String, u64>,
+    /// Steps/states of finished checks, so live tick deltas stack on a
+    /// stable base.
+    base_steps: u64,
+    base_states: u64,
+    live_steps: u64,
+    live_states: u64,
+    current: String,
+}
+
+impl Heartbeat<io::Stderr> {
+    /// A heartbeat on stderr, rendering at most once a second.
+    pub fn stderr() -> Self {
+        Heartbeat::new(io::stderr(), Duration::from_secs(1))
+    }
+}
+
+impl<W: Write + Send> Heartbeat<W> {
+    /// A heartbeat on any writer with an explicit interval
+    /// (`Duration::ZERO` renders every event — useful in tests).
+    pub fn new(out: W, interval: Duration) -> Self {
+        Heartbeat {
+            out,
+            interval,
+            started: Instant::now(),
+            last_render: None,
+            finished: 0,
+            outcomes: BTreeMap::new(),
+            base_steps: 0,
+            base_states: 0,
+            live_steps: 0,
+            live_states: 0,
+            current: String::new(),
+        }
+    }
+
+    fn due(&self) -> bool {
+        match self.last_render {
+            None => true,
+            Some(at) => at.elapsed() >= self.interval,
+        }
+    }
+
+    fn render(&mut self, done: bool) {
+        self.last_render = Some(Instant::now());
+        let outcomes = self
+            .outcomes
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let steps = self.base_steps + self.live_steps;
+        let states = self.base_states + self.live_states;
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 { steps as f64 / elapsed } else { 0.0 };
+        let tail = if done {
+            "done".to_string()
+        } else if self.current.is_empty() {
+            "starting".to_string()
+        } else {
+            format!("now: {}", self.current)
+        };
+        let _ = writeln!(
+            self.out,
+            "[kiss] {} checks ({outcomes}) · {steps} steps · {states} states · {rate:.0} steps/s · {tail}",
+            self.finished,
+        );
+    }
+}
+
+impl<W: Write + Send> Observer for Heartbeat<W> {
+    fn on_event(&mut self, event: &Event) {
+        match event {
+            Event::CheckStarted { check } => {
+                self.current = check.clone();
+                self.live_steps = 0;
+                self.live_states = 0;
+            }
+            Event::EngineTick { steps, states, .. } => {
+                self.live_steps = *steps;
+                self.live_states = *states;
+                if self.due() {
+                    self.render(false);
+                }
+            }
+            Event::RetryEscalated { .. } | Event::BudgetViolated { .. } => {}
+            Event::CheckFinished { metrics } => {
+                self.finished += 1;
+                *self.outcomes.entry(metrics.verdict.clone()).or_default() += 1;
+                self.base_steps += metrics.steps;
+                self.base_states += metrics.states;
+                self.live_steps = 0;
+                self.live_states = 0;
+                if self.due() {
+                    self.render(false);
+                }
+            }
+            Event::RunSummary { .. } => self.render(true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A clonable in-memory writer so tests can read back what a sink
+    /// wrote after handing it ownership.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn finished(check: &str, verdict: &str) -> Event {
+        Event::CheckFinished {
+            metrics: CheckMetrics {
+                check: check.into(),
+                engine: "explicit".into(),
+                verdict: verdict.into(),
+                steps: 10,
+                bound_reason: (verdict == "inconclusive").then(|| "cancelled".to_string()),
+                ..CheckMetrics::default()
+            },
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_parseable_line_per_event() {
+        let buf = SharedBuf::default();
+        let mut sink = JsonlSink::new(buf.clone());
+        sink.on_event(&Event::CheckStarted { check: "a/0".into() });
+        sink.on_event(&finished("a/0", "pass"));
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(crate::json::Json::parse(line).is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn aggregator_counts_events_and_builds_reports() {
+        let agg = Aggregator::new();
+        let mut sink: Box<dyn Observer> = Box::new(agg.clone());
+        sink.on_event(&Event::CheckStarted { check: "a/0".into() });
+        sink.on_event(&finished("a/0", "pass"));
+        sink.on_event(&finished("a/1", "race"));
+        sink.on_event(&finished("a/2", "inconclusive")); // cancelled
+        let counts = agg.event_counts();
+        assert_eq!(counts["check_started"], 1);
+        assert_eq!(counts["check_finished"], 3);
+        assert_eq!(agg.report().checks, 3);
+        // The cancelled check drops out of the resumable view.
+        let resumable = agg.resumable_report();
+        assert_eq!(resumable.checks, 2);
+        assert!(!resumable.outcomes.contains_key("inconclusive"));
+    }
+
+    #[test]
+    fn heartbeat_throttles_and_always_renders_the_summary() {
+        let buf = SharedBuf::default();
+        // Infinite interval: only the RunSummary may render.
+        let mut hb = Heartbeat::new(buf.clone(), Duration::from_secs(3600));
+        hb.on_event(&Event::CheckStarted { check: "a/0".into() });
+        hb.on_event(&finished("a/0", "pass"));
+        hb.on_event(&finished("a/1", "pass"));
+        let first_render = buf.contents();
+        // The first event rendered once (no prior render), then the
+        // throttle held.
+        assert_eq!(first_render.lines().count(), 1);
+        hb.on_event(&Event::RunSummary { report: RunReport::default() });
+        let text = buf.contents();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("pass=2"), "{text}");
+        assert!(text.ends_with("done\n"), "{text}");
+    }
+
+    #[test]
+    fn heartbeat_with_zero_interval_tracks_live_ticks() {
+        let buf = SharedBuf::default();
+        let mut hb = Heartbeat::new(buf.clone(), Duration::ZERO);
+        hb.on_event(&Event::CheckStarted { check: "a/0".into() });
+        hb.on_event(&Event::EngineTick {
+            check: "a/0".into(),
+            engine: "explicit",
+            steps: 500,
+            states: 9,
+        });
+        let text = buf.contents();
+        assert!(text.contains("500 steps"), "{text}");
+        assert!(text.contains("now: a/0"), "{text}");
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = Aggregator::new();
+        let b = Aggregator::new();
+        let mut fan = Fanout(vec![Box::new(a.clone()), Box::new(b.clone())]);
+        fan.on_event(&finished("x/0", "pass"));
+        assert_eq!(a.report().checks, 1);
+        assert_eq!(b.report().checks, 1);
+    }
+}

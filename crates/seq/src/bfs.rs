@@ -14,11 +14,13 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use kiss_exec::{eval, Env as _, Instr, Module, Value};
+use kiss_obs::Obs;
 
 use crate::budget::{BoundReason, Budget, Meter};
 use crate::cancel::CancelToken;
 use crate::config::{Config, Frame, SeqEnv};
 use crate::explicit::resolve_target;
+use crate::stats::EngineStats;
 use crate::verdict::{ErrorTrace, TraceStep, Verdict};
 
 /// Parent map over decision points: child fingerprint ->
@@ -31,12 +33,18 @@ pub struct BfsChecker<'a> {
     module: &'a Module,
     budget: Budget,
     cancel: CancelToken,
+    obs: Obs,
 }
 
 impl<'a> BfsChecker<'a> {
     /// Creates a checker over a lowered module.
     pub fn new(module: &'a Module) -> Self {
-        BfsChecker { module, budget: Budget::default(), cancel: CancelToken::default() }
+        BfsChecker {
+            module,
+            budget: Budget::default(),
+            cancel: CancelToken::default(),
+            obs: Obs::off(),
+        }
     }
 
     /// Replaces the budget.
@@ -51,33 +59,60 @@ impl<'a> BfsChecker<'a> {
         self
     }
 
+    /// Attaches an observer; the search emits throttled progress and
+    /// budget-violation events through it.
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Runs the check; a `Fail` verdict carries a minimal-depth trace.
     pub fn check(&self) -> Verdict {
+        self.check_with_stats().0
+    }
+
+    /// Runs the check, also returning statistics.
+    pub fn check_with_stats(&self) -> (Verdict, EngineStats) {
         // The frontier stores whole configurations; charge a coarse
         // per-state estimate well above a bare fingerprint.
-        let mut meter = Meter::new(self.budget, self.cancel.clone()).with_state_size(256);
+        let mut meter = Meter::new(self.budget, self.cancel.clone())
+            .with_state_size(256)
+            .with_observer(self.obs.clone(), "bfs");
         let mut visited: HashSet<(u64, u64)> = HashSet::new();
         let mut parents: ParentMap = HashMap::new();
+        let mut frontier_peak = 1usize;
         let root = Config::initial(self.module);
         let root_fp = root.fingerprint();
         visited.insert(root_fp);
         let mut frontier: VecDeque<(Config, (u64, u64))> = VecDeque::new();
         frontier.push_back((root, root_fp));
 
+        let stats = |meter: &Meter, visited: &HashSet<(u64, u64)>, frontier_peak: usize| {
+            EngineStats {
+                steps: meter.usage.steps,
+                states: visited.len(),
+                frontier_peak,
+                ..EngineStats::default()
+            }
+        };
+
         while let Some((config, fp)) = frontier.pop_front() {
             // Run the segment to the next decision point (or to an
             // end), collecting its steps.
             match self.run_segment(config, &mut meter) {
                 SegmentEnd::Budget(reason) => {
-                    return Verdict::ResourceBound {
-                        steps: meter.usage.steps,
-                        states: meter.usage.states,
-                        reason,
-                    }
+                    return (
+                        Verdict::ResourceBound {
+                            steps: meter.usage.steps,
+                            states: meter.usage.states,
+                            reason,
+                        },
+                        stats(&meter, &visited, frontier_peak),
+                    )
                 }
                 SegmentEnd::Error(verdict_steps, mk) => {
                     let trace = self.reconstruct(&parents, fp, verdict_steps);
-                    return mk(trace);
+                    return (mk(trace), stats(&meter, &visited, frontier_peak));
                 }
                 SegmentEnd::Done => {}
                 SegmentEnd::Branch(steps, alternatives) => {
@@ -89,17 +124,21 @@ impl<'a> BfsChecker<'a> {
                             frontier.push_back((alt, afp));
                         }
                     }
+                    frontier_peak = frontier_peak.max(frontier.len());
                 }
             }
-            if let Some(reason) = meter.usage.violation(meter.budget()) {
-                return Verdict::ResourceBound {
-                    steps: meter.usage.steps,
-                    states: meter.usage.states,
-                    reason,
-                };
+            if let Some(reason) = meter.over_budget() {
+                return (
+                    Verdict::ResourceBound {
+                        steps: meter.usage.steps,
+                        states: meter.usage.states,
+                        reason,
+                    },
+                    stats(&meter, &visited, frontier_peak),
+                );
             }
         }
-        Verdict::Pass
+        (Verdict::Pass, stats(&meter, &visited, frontier_peak))
     }
 
     fn reconstruct(

@@ -13,6 +13,8 @@
 
 use std::time::{Duration, Instant};
 
+use kiss_obs::{Event, Obs};
+
 use crate::cancel::CancelToken;
 
 /// Execution budget for one check.
@@ -185,9 +187,16 @@ pub struct Meter {
     cancel: CancelToken,
     started: Instant,
     bytes_per_state: usize,
+    obs: Obs,
+    engine: &'static str,
     /// Running totals, readable by the engine for statistics.
     pub usage: Usage,
 }
+
+/// Progress events are emitted every `TICK_EVENT_MASK + 1` steps — a
+/// power of two so the test is a mask, nested inside the 1024-step
+/// slow-path window.
+const TICK_EVENT_MASK: u64 = (1 << 18) - 1;
 
 impl Meter {
     /// Starts metering against `budget`; the deadline clock starts now.
@@ -197,6 +206,8 @@ impl Meter {
             cancel,
             started: Instant::now(),
             bytes_per_state: BYTES_PER_FINGERPRINT,
+            obs: Obs::off(),
+            engine: "",
             usage: Usage::default(),
         }
     }
@@ -205,6 +216,15 @@ impl Meter {
     /// configurations rather than fingerprints pass a larger number).
     pub fn with_state_size(mut self, bytes_per_state: usize) -> Self {
         self.bytes_per_state = bytes_per_state;
+        self
+    }
+
+    /// Attaches an observer: the meter emits throttled
+    /// `EngineTick` progress events and a `BudgetViolated` event when
+    /// any axis trips. `engine` names the engine in those events.
+    pub fn with_observer(mut self, obs: Obs, engine: &'static str) -> Self {
+        self.obs = obs;
+        self.engine = engine;
         self
     }
 
@@ -220,13 +240,28 @@ impl Meter {
     pub fn tick(&mut self) -> Result<(), BoundReason> {
         self.usage.steps += 1;
         if let Some(reason) = self.usage.violation(&self.budget) {
+            self.emit_violation(reason);
             return Err(reason);
         }
         if self.usage.steps & 1023 == 1 {
-            self.poll()
+            self.slow_tick()
         } else {
             Ok(())
         }
+    }
+
+    /// The infrequent part of [`Meter::tick`]: clock + cancellation,
+    /// plus (even less frequently) a progress event.
+    fn slow_tick(&mut self) -> Result<(), BoundReason> {
+        if self.usage.steps & TICK_EVENT_MASK == 1 {
+            self.obs.emit(|check| Event::EngineTick {
+                check: check.to_string(),
+                engine: self.engine,
+                steps: self.usage.steps,
+                states: self.usage.states as u64,
+            });
+        }
+        self.poll()
     }
 
     /// Records the current distinct-state count (and the derived memory
@@ -240,12 +275,35 @@ impl Meter {
     /// regardless of the step count.
     pub fn poll(&self) -> Result<(), BoundReason> {
         if self.cancel.is_cancelled() {
+            self.emit_violation(BoundReason::Cancelled);
             return Err(BoundReason::Cancelled);
         }
         if self.budget.max_wall.is_some_and(|w| self.started.elapsed() > w) {
+            self.emit_violation(BoundReason::Deadline);
             return Err(BoundReason::Deadline);
         }
         Ok(())
+    }
+
+    /// Re-checks the deterministic axes without counting a step — for
+    /// engines that grow state in bulk between ticks (the BFS frontier
+    /// expansion).
+    pub fn over_budget(&self) -> Option<BoundReason> {
+        let violation = self.usage.violation(&self.budget);
+        if let Some(reason) = violation {
+            self.emit_violation(reason);
+        }
+        violation
+    }
+
+    pub(crate) fn emit_violation(&self, reason: BoundReason) {
+        self.obs.emit(|check| Event::BudgetViolated {
+            check: check.to_string(),
+            engine: self.engine,
+            reason: reason.as_str().to_string(),
+            steps: self.usage.steps,
+            states: self.usage.states as u64,
+        });
     }
 }
 
@@ -362,5 +420,58 @@ mod tests {
         assert!(m.tick().is_ok());
         m.note_states(11);
         assert_eq!(m.tick(), Err(BoundReason::Memory));
+    }
+
+    // --- violation-ordering guarantees ------------------------------
+    //
+    // Downstream consumers (retry ladder, reports) rely on `tick`
+    // checking the deterministic axes in a fixed order before ever
+    // touching the clock, so identical runs always report the same
+    // `BoundReason`.
+
+    #[test]
+    fn tick_reports_memory_before_deadline() {
+        // Memory and deadline are both violated; the deterministic axis
+        // must win, or the verdict would depend on machine speed.
+        let budget = Budget::generous()
+            .with_mem_limit(BYTES_PER_FINGERPRINT)
+            .with_deadline(Duration::ZERO);
+        let mut m = Meter::new(budget, CancelToken::new());
+        m.note_states(2);
+        assert_eq!(m.tick(), Err(BoundReason::Memory));
+    }
+
+    #[test]
+    fn tick_reports_steps_before_states_and_memory() {
+        let budget = Budget::steps_states(0, 0).with_mem_limit(0);
+        let mut m = Meter::new(budget, CancelToken::new());
+        m.note_states(5);
+        assert_eq!(m.tick(), Err(BoundReason::Steps));
+
+        // With steps still in budget, states wins over memory.
+        let budget = Budget::steps_states(1000, 0).with_mem_limit(0);
+        let mut m = Meter::new(budget, CancelToken::new());
+        m.note_states(5);
+        assert_eq!(m.tick(), Err(BoundReason::States));
+    }
+
+    #[test]
+    fn poll_reports_cancellation_before_deadline() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let m = Meter::new(Budget::generous().with_deadline(Duration::ZERO), cancel);
+        assert_eq!(m.poll(), Err(BoundReason::Cancelled));
+    }
+
+    #[test]
+    fn meter_emits_tick_and_violation_events() {
+        let agg = kiss_obs::Aggregator::new();
+        let obs = Obs::new(agg.clone()).with_label("t");
+        let mut m =
+            Meter::new(Budget::steps_states(5, 100), CancelToken::new()).with_observer(obs, "x");
+        while m.tick().is_ok() {}
+        let counts = agg.event_counts();
+        assert_eq!(counts.get("engine_tick"), Some(&1), "{counts:?}");
+        assert_eq!(counts.get("budget_violated"), Some(&1), "{counts:?}");
     }
 }

@@ -10,10 +10,12 @@ use std::collections::HashSet;
 
 use kiss_exec::{eval, Env, Instr, Module, Value};
 use kiss_lang::hir::{CallTarget, FuncId};
+use kiss_obs::Obs;
 
 use crate::budget::{Budget, Meter};
 use crate::cancel::CancelToken;
 use crate::config::{Config, Frame, SeqEnv};
+use crate::stats::EngineStats;
 use crate::verdict::{ErrorTrace, TraceStep, Verdict};
 
 /// The explicit-state checker.
@@ -22,24 +24,18 @@ pub struct ExplicitChecker<'a> {
     module: &'a Module,
     budget: Budget,
     cancel: CancelToken,
-}
-
-/// Statistics for one run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Stats {
-    /// Instructions executed.
-    pub steps: u64,
-    /// Distinct fingerprinted states.
-    pub states: usize,
-    /// Complete paths explored (ended by return-from-main, prune, or
-    /// revisit).
-    pub paths: u64,
+    obs: Obs,
 }
 
 impl<'a> ExplicitChecker<'a> {
     /// Creates a checker over a lowered module.
     pub fn new(module: &'a Module) -> Self {
-        ExplicitChecker { module, budget: Budget::default(), cancel: CancelToken::default() }
+        ExplicitChecker {
+            module,
+            budget: Budget::default(),
+            cancel: CancelToken::default(),
+            obs: Obs::off(),
+        }
     }
 
     /// Replaces the budget.
@@ -54,6 +50,13 @@ impl<'a> ExplicitChecker<'a> {
         self
     }
 
+    /// Attaches an observer; the search emits throttled progress and
+    /// budget-violation events through it.
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Runs the check to the first assertion failure, runtime error,
     /// exhaustion of the state space, or budget trip.
     pub fn check(&self) -> Verdict {
@@ -62,18 +65,26 @@ impl<'a> ExplicitChecker<'a> {
 
     /// Like [`ExplicitChecker::check`], also returning search
     /// statistics.
-    pub fn check_with_stats(&self) -> (Verdict, Stats) {
+    pub fn check_with_stats(&self) -> (Verdict, EngineStats) {
         let mut search = Search {
             module: self.module,
-            meter: Meter::new(self.budget, self.cancel.clone()),
+            meter: Meter::new(self.budget, self.cancel.clone())
+                .with_observer(self.obs.clone(), "explicit"),
             visited: HashSet::new(),
             trace: Vec::new(),
             pending: vec![(Config::initial(self.module), 0)],
             paths: 0,
+            frontier_peak: 1,
         };
         let verdict = search.run();
         let usage = search.meter.usage;
-        let stats = Stats { steps: usage.steps, states: usage.states, paths: search.paths };
+        let stats = EngineStats {
+            steps: usage.steps,
+            states: usage.states,
+            paths: search.paths,
+            frontier_peak: search.frontier_peak,
+            ..EngineStats::default()
+        };
         (verdict, stats)
     }
 }
@@ -85,6 +96,7 @@ struct Search<'a> {
     trace: Vec<TraceStep>,
     pending: Vec<(Config, usize)>,
     paths: u64,
+    frontier_peak: usize,
 }
 
 enum PathEnd {
@@ -240,6 +252,7 @@ impl Search<'_> {
                                 alt_config.stack.last_mut().expect("nonempty").pc = alt;
                                 self.pending.push((alt_config, self.trace.len()));
                             }
+                            self.frontier_peak = self.frontier_peak.max(self.pending.len() + 1);
                             config.stack.last_mut().expect("nonempty").pc = targets[0];
                         }
                     }

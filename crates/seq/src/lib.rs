@@ -25,6 +25,7 @@ pub mod budget;
 pub mod cancel;
 pub mod config;
 pub mod explicit;
+pub mod stats;
 pub mod summary;
 pub mod verdict;
 
@@ -32,5 +33,6 @@ pub use bfs::BfsChecker;
 pub use budget::{BoundReason, Budget, Meter, Usage};
 pub use cancel::CancelToken;
 pub use explicit::ExplicitChecker;
+pub use stats::EngineStats;
 pub use summary::SummaryChecker;
 pub use verdict::{ErrorTrace, TraceStep, Verdict};

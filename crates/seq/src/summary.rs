@@ -20,9 +20,11 @@ use std::hash::{Hash, Hasher};
 
 use kiss_exec::{eval, Addr, Env, ExecError, Instr, Memory, Module, Value};
 use kiss_lang::hir::{FuncId, LocalId, VarRef};
+use kiss_obs::Obs;
 
 use crate::budget::{BoundReason, Budget, Meter};
 use crate::cancel::CancelToken;
+use crate::stats::EngineStats;
 use crate::verdict::{ErrorTrace, Verdict};
 
 /// A function entry state.
@@ -46,17 +48,7 @@ pub struct SummaryChecker<'a> {
     module: &'a Module,
     budget: Budget,
     cancel: CancelToken,
-}
-
-/// Statistics for one run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Stats {
-    /// Instructions executed (across all fixpoint rounds).
-    pub steps: u64,
-    /// Number of distinct (function, entry-state) summaries computed.
-    pub summaries: usize,
-    /// Fixpoint rounds taken.
-    pub rounds: u32,
+    obs: Obs,
 }
 
 enum Interrupt {
@@ -68,7 +60,12 @@ enum Interrupt {
 impl<'a> SummaryChecker<'a> {
     /// Creates a checker over a lowered module.
     pub fn new(module: &'a Module) -> Self {
-        SummaryChecker { module, budget: Budget::default(), cancel: CancelToken::default() }
+        SummaryChecker {
+            module,
+            budget: Budget::default(),
+            cancel: CancelToken::default(),
+            obs: Obs::off(),
+        }
     }
 
     /// Replaces the budget.
@@ -83,16 +80,24 @@ impl<'a> SummaryChecker<'a> {
         self
     }
 
+    /// Attaches an observer; the analysis emits throttled progress and
+    /// budget-violation events through it.
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Runs the check.
     pub fn check(&self) -> Verdict {
         self.check_with_stats().0
     }
 
     /// Runs the check, also returning statistics.
-    pub fn check_with_stats(&self) -> (Verdict, Stats) {
+    pub fn check_with_stats(&self) -> (Verdict, EngineStats) {
         let mut engine = Engine {
             module: self.module,
-            meter: Meter::new(self.budget, self.cancel.clone()),
+            meter: Meter::new(self.budget, self.cancel.clone())
+                .with_observer(self.obs.clone(), "summary"),
             summaries: HashMap::new(),
             in_progress: Vec::new(),
         };
@@ -123,8 +128,13 @@ impl<'a> SummaryChecker<'a> {
                 }
             }
         };
-        let stats =
-            Stats { steps: engine.meter.usage.steps, summaries: engine.summaries.len(), rounds };
+        let stats = EngineStats {
+            steps: engine.meter.usage.steps,
+            states: engine.summaries.len(),
+            summaries: engine.summaries.len(),
+            rounds,
+            ..EngineStats::default()
+        };
         (verdict, stats)
     }
 }
@@ -262,6 +272,7 @@ impl Engine<'_> {
             'path: loop {
                 self.meter.tick().map_err(Interrupt::Budget)?;
                 if visited.len() > self.meter.budget().max_states {
+                    self.meter.emit_violation(BoundReason::States);
                     return Err(Interrupt::Budget(BoundReason::States));
                 }
                 let instr = body.instrs[state.pc].clone();

@@ -50,7 +50,7 @@ fn main() {
     .expect("valid KISS-C");
     match Kiss::new().check_assertions(&fixed) {
         KissOutcome::NoErrorFound(stats) => {
-            println!("\nfixed program: no error found ({} states explored)", stats.states);
+            println!("\nfixed program: no error found ({} states explored)", stats.states());
         }
         other => println!("unexpected outcome: {other:?}"),
     }

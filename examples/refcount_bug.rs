@@ -18,7 +18,7 @@ fn main() {
         print!("MAX = {max_ts}: ");
         match Kiss::new().with_max_ts(max_ts).check_assertions(&buggy) {
             KissOutcome::NoErrorFound(stats) => {
-                println!("no error found ({} states) — as the paper predicts", stats.states);
+                println!("no error found ({} states) — as the paper predicts", stats.states());
             }
             KissOutcome::AssertionViolation(report) => {
                 println!("assertion violation!");

@@ -1,0 +1,55 @@
+//! Property tests for the stable string encoding of
+//! [`BoundReason`] — the journal and the observability layer both
+//! round-trip bound reasons through `as_str`/`parse`, so the encoding
+//! must be total, injective, and stable.
+
+use proptest::prelude::*;
+
+use kiss::seq::BoundReason;
+
+const ALL: [BoundReason; 5] = [
+    BoundReason::Steps,
+    BoundReason::States,
+    BoundReason::Deadline,
+    BoundReason::Memory,
+    BoundReason::Cancelled,
+];
+
+/// Strings `parse` must accept, in the same order as [`ALL`].
+const NAMES: [&str; 5] = ["steps", "states", "deadline", "memory", "cancelled"];
+
+/// Candidate inputs biased toward interesting near-misses: every valid
+/// name plus casing, whitespace, truncation, and extension variants.
+const CANDIDATES: &[&str] = &[
+    "steps", "states", "deadline", "memory", "cancelled", "Steps", "STATES", " deadline",
+    "memory ", "cancel", "cancelledd", "step", "state", "", "stePs", "dead-line",
+];
+
+#[test]
+fn every_reason_round_trips() {
+    for (reason, name) in ALL.iter().zip(NAMES) {
+        assert_eq!(reason.as_str(), name);
+        assert_eq!(BoundReason::parse(name), Some(*reason));
+        // Display and as_str agree: journals use both interchangeably.
+        assert_eq!(reason.to_string(), name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// `parse` is exactly the inverse of `as_str`: it accepts a string
+    /// iff it is one of the five stable names, and maps it back to the
+    /// variant that produced it.
+    #[test]
+    fn parse_inverts_as_str(s in "\\PC*", pick in any::<prop::sample::Index>()) {
+        // Biased candidates exercise the `Some` branch every run; the
+        // random string mostly exercises the `None` branch.
+        for input in [CANDIDATES[pick.index(CANDIDATES.len())], s.as_str()] {
+            match BoundReason::parse(input) {
+                Some(reason) => prop_assert_eq!(reason.as_str(), input),
+                None => prop_assert!(!NAMES.contains(&input)),
+            }
+        }
+    }
+}
