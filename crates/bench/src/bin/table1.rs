@@ -6,18 +6,20 @@
 //! ```text
 //! cargo run --release -p kiss-bench --bin table1 -- \
 //!     [--timeout <secs>] [--max-steps <n>] [--max-states <n>] \
-//!     [--mem-limit <mb>] [--retries <n>] [--journal <path>] [--resume]
-//!     [--trace-out <path>] [--metrics <path>] [--progress]
+//!     [--mem-limit <mb>] [--retries <n>] [--jobs <n>] [--journal <path>]
+//!     [--resume] [--trace-out <path>] [--metrics <path>] [--progress]
 //! ```
 //!
 //! With `--journal`, every completed `(driver, field)` check is
 //! checkpointed; a killed run restarted with `--resume` skips the
-//! completed checks and reproduces the same totals.
+//! completed checks and reproduces the same totals. `--jobs N` checks
+//! each driver's fields on N worker threads (default: all cores) with
+//! byte-identical output.
 
 use std::collections::HashMap;
 
 use kiss_bench::runner::RunOptions;
-use kiss_drivers::table::check_corpus_supervised;
+use kiss_drivers::table::check_corpus_parallel;
 use kiss_drivers::{generate_corpus, paper_table};
 
 fn main() {
@@ -55,7 +57,7 @@ fn main() {
         "Driver", "LOC", "Fields", "Races", "No Races", "Races", "No Races"
     );
     let t0 = std::time::Instant::now();
-    let results = check_corpus_supervised(&corpus, false, &supervisor, journal.as_mut(), |r| {
+    let results = check_corpus_parallel(&corpus, false, &supervisor, journal.as_mut(), opts.jobs, |r| {
         let spec = by_name[r.name.as_str()];
         println!(
             "{:<18} {:>7} {:>7} {:>6} {:>9} | paper: {:>6} {:>9}{}",

@@ -10,12 +10,12 @@
 //! ```text
 //! cargo run --release -p kiss-bench --bin table2 -- \
 //!     [--timeout <secs>] [--max-steps <n>] [--max-states <n>] \
-//!     [--mem-limit <mb>] [--retries <n>] [--journal <path>] [--resume]
-//!     [--trace-out <path>] [--metrics <path>] [--progress]
+//!     [--mem-limit <mb>] [--retries <n>] [--jobs <n>] [--journal <path>]
+//!     [--resume] [--trace-out <path>] [--metrics <path>] [--progress]
 //! ```
 
 use kiss_bench::runner::RunOptions;
-use kiss_drivers::table::check_driver_supervised;
+use kiss_drivers::table::check_driver_jobs;
 use kiss_drivers::{generate_corpus, paper_table};
 
 fn main() {
@@ -58,7 +58,7 @@ fn main() {
         if supervisor.cancel_token().is_cancelled() {
             break;
         }
-        let r = check_driver_supervised(model, true, &supervisor, journal.as_mut());
+        let r = check_driver_jobs(model, true, &supervisor, journal.as_mut(), opts.jobs);
         total += r.races;
         faults += r.crashed + r.failed;
         let ok = r.races == spec.races_refined;

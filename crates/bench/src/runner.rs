@@ -10,6 +10,7 @@
 //! --max-states <n>     state budget per field check
 //! --mem-limit <mb>     approximate memory cap per field check
 //! --retries <n>        escalating retries for inconclusive checks
+//! --jobs <n>           worker threads for field checks (default: all cores)
 //! --journal <path>     journal completed (driver, field) checks here
 //! --resume             reuse the journal from a killed run
 //! --trace-out <path>   write a JSONL event trace of the whole run
@@ -40,6 +41,8 @@ pub struct RunOptions {
     pub budget: Budget,
     /// Escalating retries for inconclusive checks (0 = off).
     pub retries: u32,
+    /// Worker threads for field checks (1 = serial).
+    pub jobs: usize,
     /// Journal path, if journaling was requested.
     pub journal: Option<String>,
     /// Whether to reuse an existing journal instead of truncating it.
@@ -62,6 +65,7 @@ impl RunOptions {
     ) -> Result<RunOptions, String> {
         let mut budget = default_budget();
         let mut retries = 0u32;
+        let mut jobs = default_jobs();
         let mut journal: Option<String> = None;
         let mut resume = false;
         let mut trace_out: Option<String> = None;
@@ -81,6 +85,12 @@ impl RunOptions {
                     budget = budget.with_mem_limit(mb.saturating_mul(1 << 20));
                 }
                 "--retries" => retries = parse_value(&arg, args.next())?,
+                "--jobs" => {
+                    jobs = parse_value(&arg, args.next())?;
+                    if jobs == 0 {
+                        return Err(format!("--jobs needs at least 1\n{USAGE}"));
+                    }
+                }
                 "--journal" => {
                     journal =
                         Some(args.next().ok_or_else(|| format!("{arg} needs a path"))?)
@@ -101,7 +111,7 @@ impl RunOptions {
         if resume && journal.is_none() {
             journal = Some(default_journal.to_string());
         }
-        Ok(RunOptions { budget, retries, journal, resume, trace_out, metrics, progress })
+        Ok(RunOptions { budget, retries, jobs, journal, resume, trace_out, metrics, progress })
     }
 
     /// Builds the supervisor these options describe: SIGINT is wired to
@@ -182,8 +192,13 @@ impl RunOptions {
 }
 
 const USAGE: &str = "options: --timeout <secs> --max-steps <n> --max-states <n> \
-                     --mem-limit <mb> --retries <n> --journal <path> --resume \
-                     --trace-out <path> --metrics <path> --progress";
+                     --mem-limit <mb> --retries <n> --jobs <n> --journal <path> \
+                     --resume --trace-out <path> --metrics <path> --progress";
+
+/// The default for `--jobs`: every available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
 
 fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, String> {
     let value = value.ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
@@ -248,6 +263,16 @@ mod tests {
         assert!(parse(&["--timeout"]).is_err());
         assert!(parse(&["--max-steps", "many"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn jobs_defaults_to_available_parallelism_and_rejects_zero() {
+        assert_eq!(parse(&[]).unwrap().jobs, default_jobs());
+        assert!(default_jobs() >= 1);
+        assert_eq!(parse(&["--jobs", "4"]).unwrap().jobs, 4);
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "several"]).is_err());
     }
 
     #[test]

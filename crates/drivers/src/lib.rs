@@ -34,6 +34,7 @@ pub use corpus::{generate_corpus, generate_driver, generate_driver_annotated, Dr
 pub use journal::Journal;
 pub use spec::{paper_table, DriverSpec};
 pub use table::{
-    check_corpus, check_corpus_supervised, check_driver, check_driver_supervised,
-    supervised_field_outcome, DriverResult, FieldOutcome, FieldResult,
+    check_corpus, check_corpus_parallel, check_corpus_supervised, check_driver,
+    check_driver_jobs, check_driver_supervised, supervised_field_outcome, DriverResult,
+    FieldOutcome, FieldResult,
 };

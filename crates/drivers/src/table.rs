@@ -8,11 +8,14 @@
 //! for a field runs the dispatch routines that access it, paired
 //! according to the naive or refined OS model.
 
+use std::collections::VecDeque;
+use std::sync::{mpsc, Mutex};
+
 use kiss_core::checker::{Kiss, KissOutcome};
 use kiss_core::harness::dispatch_harness;
 use kiss_core::supervisor::{Supervised, Supervisor};
 use kiss_lang::Program;
-use kiss_obs::{CheckMetrics, Event, Obs};
+use kiss_obs::{ChannelSink, CheckMetrics, Event, Obs};
 use kiss_seq::{BoundReason, Budget};
 
 use crate::corpus::{DriverModel, FieldClass};
@@ -107,29 +110,7 @@ pub fn check_driver_supervised(
 ) -> DriverResult {
     let program = match kiss_lang::parse_and_lower(&model.source) {
         Ok(p) => p,
-        Err(e) => {
-            // The whole model is unusable; fail every field, but keep
-            // the row so corpus totals stay aligned with the spec.
-            let cause = format!("driver {} does not parse: {e}", model.name);
-            let results = model
-                .fields
-                .iter()
-                .enumerate()
-                .map(|(i, f)| {
-                    emit_searchless(
-                        supervisor.observer(),
-                        &format!("{}/{}", model.name, i),
-                        "failed",
-                    );
-                    FieldResult {
-                        field: i,
-                        class: f.class,
-                        outcome: FieldOutcome::Failed { cause: cause.clone() },
-                    }
-                })
-                .collect();
-            return summarize(model, results);
-        }
+        Err(e) => return fail_all_fields(model, supervisor, &e.to_string()),
     };
     let mut results = Vec::with_capacity(model.fields.len());
     for (i, field) in model.fields.iter().enumerate() {
@@ -150,6 +131,143 @@ pub fn check_driver_supervised(
         }
         results.push(FieldResult { field: i, class: field.class, outcome });
     }
+    summarize(model, results)
+}
+
+/// The whole model is unusable (it does not parse); fail every field,
+/// but keep the row so corpus totals stay aligned with the spec.
+fn fail_all_fields(model: &DriverModel, supervisor: &Supervisor, error: &str) -> DriverResult {
+    let cause = format!("driver {} does not parse: {error}", model.name);
+    let results = model
+        .fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            emit_searchless(supervisor.observer(), &format!("{}/{}", model.name, i), "failed");
+            FieldResult {
+                field: i,
+                class: f.class,
+                outcome: FieldOutcome::Failed { cause: cause.clone() },
+            }
+        })
+        .collect();
+    summarize(model, results)
+}
+
+/// Messages the worker pool pushes through its shared channel:
+/// forwarded observability events multiplexed with completed field
+/// results (std's mpsc has no `select`, so one channel carries both).
+enum WorkerMsg {
+    Event(Event),
+    Done(usize, FieldOutcome),
+}
+
+impl From<Event> for WorkerMsg {
+    fn from(event: Event) -> Self {
+        WorkerMsg::Event(event)
+    }
+}
+
+/// Like [`check_driver_supervised`], checking fields on `jobs` worker
+/// threads (`jobs <= 1` is exactly the serial path).
+///
+/// The pool is a [`std::thread::scope`] over a shared
+/// `Mutex<VecDeque>` work queue with heavy fields scheduled first, so
+/// the longest checks never straggle behind an almost-drained queue.
+/// The run is observably identical to a serial one:
+///
+/// * **results** are collected into per-field slots and summarized in
+///   field order, so the table row is byte-identical;
+/// * **journal records** are written by the single draining thread in
+///   field-index order (the decided prefix), so an uninterrupted
+///   parallel run's journal is byte-identical to a serial run's — and
+///   an interrupted one can only under-report completed work;
+/// * **events** from workers are funneled through one channel and
+///   replayed into the real sink by the draining thread, so
+///   single-threaded sinks need no changes; per-check event streams
+///   interleave across checks exactly as concurrent wall-clock does;
+/// * **cancellation** fans out through the supervisor's shared
+///   [`kiss_seq::CancelToken`]: workers keep draining the queue, but
+///   every remaining check completes immediately as
+///   `Inconclusive(Cancelled)` (never journaled).
+pub fn check_driver_jobs(
+    model: &DriverModel,
+    refined: bool,
+    supervisor: &Supervisor,
+    mut journal: Option<&mut Journal>,
+    jobs: usize,
+) -> DriverResult {
+    if jobs <= 1 {
+        return check_driver_supervised(model, refined, supervisor, journal);
+    }
+    let program = match kiss_lang::parse_and_lower(&model.source) {
+        Ok(p) => p,
+        Err(e) => return fail_all_fields(model, supervisor, &e.to_string()),
+    };
+    let n = model.fields.len();
+    let mut slots: Vec<Option<FieldResult>> = vec![None; n];
+    let mut from_journal = vec![false; n];
+    let mut todo: Vec<usize> = Vec::new();
+    for (i, field) in model.fields.iter().enumerate() {
+        if let Some(done) = journal.as_ref().and_then(|j| j.lookup(&model.name, i)) {
+            slots[i] = Some(FieldResult { field: i, class: field.class, outcome: done });
+            from_journal[i] = true;
+        } else {
+            todo.push(i);
+        }
+    }
+    // Longest-first schedule; ties keep field order.
+    todo.sort_by_key(|&i| (model.fields[i].class != FieldClass::Heavy, i));
+    let workers = jobs.min(todo.len());
+    let queue = Mutex::new(VecDeque::from(todo));
+    let (tx, rx) = mpsc::channel::<WorkerMsg>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let worker =
+                supervisor.clone().with_observer(Obs::new(ChannelSink(tx.clone())));
+            let queue = &queue;
+            let program = &program;
+            s.spawn(move || loop {
+                let next = queue.lock().expect("work queue lock").pop_front();
+                let Some(i) = next else { break };
+                let outcome = check_field(model, program, i, refined, &worker);
+                let _ = tx.send(WorkerMsg::Done(i, outcome));
+            });
+        }
+        // Close the drain loop's own sender; `rx` ends when the last
+        // worker finishes.
+        drop(tx);
+        let obs = supervisor.observer();
+        let mut next_journal = 0usize;
+        for msg in rx {
+            match msg {
+                WorkerMsg::Event(event) => obs.forward(&event),
+                WorkerMsg::Done(i, outcome) => {
+                    slots[i] =
+                        Some(FieldResult { field: i, class: model.fields[i].class, outcome });
+                    // Journal the decided prefix, in field order.
+                    while next_journal < n {
+                        let Some(r) = &slots[next_journal] else { break };
+                        let journalable = !from_journal[next_journal]
+                            && !matches!(
+                                r.outcome,
+                                FieldOutcome::Inconclusive(BoundReason::Cancelled)
+                            );
+                        if journalable {
+                            if let Some(j) = journal.as_deref_mut() {
+                                // A journal write failure must not kill
+                                // the run; the result itself is good.
+                                let _ = j.record(&model.name, next_journal, &r.outcome);
+                            }
+                        }
+                        next_journal += 1;
+                    }
+                }
+            }
+        }
+    });
+    let results = slots.into_iter().map(|r| r.expect("every field checked")).collect();
     summarize(model, results)
 }
 
@@ -286,7 +404,22 @@ pub fn check_corpus_supervised(
     models: &[DriverModel],
     refined: bool,
     supervisor: &Supervisor,
+    journal: Option<&mut Journal>,
+    progress: impl FnMut(&DriverResult),
+) -> Vec<DriverResult> {
+    check_corpus_parallel(models, refined, supervisor, journal, 1, progress)
+}
+
+/// Like [`check_corpus_supervised`], with each driver's fields checked
+/// on `jobs` worker threads (see [`check_driver_jobs`]). Drivers still
+/// run one at a time, so `progress` fires in corpus order and rendered
+/// rows stream exactly as in a serial run.
+pub fn check_corpus_parallel(
+    models: &[DriverModel],
+    refined: bool,
+    supervisor: &Supervisor,
     mut journal: Option<&mut Journal>,
+    jobs: usize,
     mut progress: impl FnMut(&DriverResult),
 ) -> Vec<DriverResult> {
     let mut rows = Vec::with_capacity(models.len());
@@ -294,7 +427,7 @@ pub fn check_corpus_supervised(
         if supervisor.cancel_token().is_cancelled() {
             break;
         }
-        let r = check_driver_supervised(m, refined, supervisor, journal.as_deref_mut());
+        let r = check_driver_jobs(m, refined, supervisor, journal.as_deref_mut(), jobs);
         progress(&r);
         rows.push(r);
     }

@@ -1,0 +1,205 @@
+//! Integration tests for the parallel field scheduler: the acceptance
+//! scenario of the `--jobs` work.
+//!
+//! * A `jobs = 4` run over a mixed corpus (including a heavy,
+//!   budget-exhausting field) renders byte-identical table rows, a
+//!   byte-identical journal, and a `RunReport` whose counts match the
+//!   serial run exactly.
+//! * A parallel run cancelled mid-corpus and resumed from its journal
+//!   merges to the same totals and the same report counts as an
+//!   uninterrupted run.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use kiss_core::supervisor::Supervisor;
+use kiss_drivers::{
+    check_corpus_parallel, generate_driver, paper_table, DriverModel, DriverResult, Journal,
+};
+use kiss_obs::{Aggregator, Event, Obs, Observer, RunReport};
+use kiss_seq::{Budget, CancelToken};
+
+fn tmp_journal(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("kiss-parallel-it-{}-{name}.log", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn models() -> Vec<DriverModel> {
+    // tracedrv (3 fields, all clean), imca (5 fields, mixed verdicts),
+    // and mouclass (34 fields including one heavy budget-exhauster, so
+    // the heavy-first schedule actually reorders the queue).
+    paper_table()
+        .into_iter()
+        .filter(|d| matches!(d.name, "tracedrv" | "imca" | "mouclass"))
+        .map(|d| generate_driver(&d))
+        .collect()
+}
+
+fn budget() -> Budget {
+    // Settles every non-heavy field definitively; the heavy field trips
+    // the step/state bound deterministically.
+    Budget::steps_states(1_500_000, 25_000)
+}
+
+/// Renders rows exactly as the `table1` binary does, so string equality
+/// here is byte-identity of the user-visible table.
+fn render_rows(rows: &[DriverResult]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>7} {:>7} {:>6} {:>9}\n",
+            r.name, r.loc, r.fields, r.races, r.no_races
+        ));
+    }
+    out
+}
+
+#[test]
+fn jobs4_run_is_byte_identical_to_serial() {
+    let models = models();
+
+    let run = |jobs: usize, journal_path: &PathBuf| -> (Vec<DriverResult>, RunReport) {
+        let agg = Aggregator::new();
+        let supervisor = Supervisor::new(budget())
+            .with_retries(0)
+            .with_observer(Obs::new(agg.clone()));
+        let mut journal = Journal::open(journal_path).expect("open journal");
+        let rows = check_corpus_parallel(
+            &models,
+            false,
+            &supervisor,
+            Some(&mut journal),
+            jobs,
+            |_| {},
+        );
+        (rows, agg.report())
+    };
+
+    let serial_path = tmp_journal("serial");
+    let parallel_path = tmp_journal("jobs4");
+    let (serial_rows, serial_report) = run(1, &serial_path);
+    let (parallel_rows, parallel_report) = run(4, &parallel_path);
+
+    // Byte-identical rendered table.
+    assert_eq!(render_rows(&parallel_rows), render_rows(&serial_rows));
+    // ...because the per-field outcomes are identical.
+    for (a, b) in parallel_rows.iter().zip(&serial_rows) {
+        assert_eq!(a.results, b.results, "driver {}", a.name);
+    }
+    // Byte-identical journal: same records, same order.
+    let serial_journal = std::fs::read_to_string(&serial_path).expect("read serial journal");
+    let parallel_journal =
+        std::fs::read_to_string(&parallel_path).expect("read parallel journal");
+    assert_eq!(parallel_journal, serial_journal);
+    assert!(!serial_journal.is_empty());
+    // The aggregated reports describe the same deterministic work.
+    assert!(
+        parallel_report.counts_match(&serial_report),
+        "parallel:\n{}\nserial:\n{}",
+        parallel_report.render(),
+        serial_report.render()
+    );
+    assert_eq!(parallel_report.checks, models.iter().map(|m| m.fields.len() as u64).sum());
+
+    let _ = std::fs::remove_file(&serial_path);
+    let _ = std::fs::remove_file(&parallel_path);
+}
+
+/// Cancels the shared token once `after` checks have finished —
+/// simulating ^C landing mid-way through a parallel corpus run.
+struct CancelAfter {
+    token: CancelToken,
+    after: usize,
+    seen: Arc<AtomicUsize>,
+}
+
+impl Observer for CancelAfter {
+    fn on_event(&mut self, event: &Event) {
+        if let Event::CheckFinished { .. } = event {
+            if self.seen.fetch_add(1, Ordering::SeqCst) + 1 >= self.after {
+                self.token.cancel();
+            }
+        }
+    }
+}
+
+#[test]
+fn cancelled_then_resumed_parallel_run_merges_to_the_same_totals() {
+    let models = models();
+    let total_fields: usize = models.iter().map(|m| m.fields.len()).sum();
+
+    // Reference: one uninterrupted parallel run.
+    let reference_report = {
+        let agg = Aggregator::new();
+        let supervisor = Supervisor::new(budget())
+            .with_retries(0)
+            .with_observer(Obs::new(agg.clone()));
+        let rows = check_corpus_parallel(&models, false, &supervisor, None, 4, |_| {});
+        assert_eq!(rows.len(), models.len());
+        agg.resumable_report()
+    };
+    assert_eq!(reference_report.checks, total_fields as u64);
+
+    // Session 1: cancelled after 5 finished checks (mid-corpus, and —
+    // with 4 workers — mid-driver, so in-flight checks wind down as
+    // cancelled and must stay out of the journal).
+    let path = tmp_journal("resume");
+    let session1 = {
+        let token = CancelToken::new();
+        let agg = Aggregator::new();
+        let cancel_sink = CancelAfter {
+            token: token.clone(),
+            after: 5,
+            seen: Arc::new(AtomicUsize::new(0)),
+        };
+        let supervisor = Supervisor::new(budget())
+            .with_retries(0)
+            .with_cancel(token)
+            .with_observer(Obs::multi(vec![
+                Box::new(agg.clone()),
+                Box::new(cancel_sink),
+            ]));
+        let mut journal = Journal::open(&path).expect("open journal");
+        let rows =
+            check_corpus_parallel(&models, false, &supervisor, Some(&mut journal), 4, |_| {});
+        assert!(rows.len() < models.len() || rows.iter().any(|r| r.inconclusive > 0));
+        let report = agg.resumable_report();
+        journal.record_report(&report).expect("record session report");
+        report
+    };
+    assert!(session1.checks < total_fields as u64, "cancellation must cut the run short");
+
+    // No cancelled artifacts may have been journaled.
+    {
+        let journal = Journal::open(&path).expect("reopen journal");
+        assert_eq!(journal.len() as u64, session1.checks, "journal = completed checks");
+    }
+
+    // Session 2: resume with a fresh supervisor; journaled fields are
+    // skipped, the rest re-run in parallel.
+    let merged = {
+        let agg = Aggregator::new();
+        let supervisor = Supervisor::new(budget())
+            .with_retries(0)
+            .with_observer(Obs::new(agg.clone()));
+        let mut journal = Journal::open(&path).expect("reopen journal");
+        let rows =
+            check_corpus_parallel(&models, false, &supervisor, Some(&mut journal), 4, |_| {});
+        assert_eq!(rows.len(), models.len());
+        journal.merged_report(&agg.resumable_report())
+    };
+
+    // The merged two-session report covers each field exactly once and
+    // matches the uninterrupted run.
+    assert!(
+        merged.counts_match(&reference_report),
+        "merged:\n{}\nreference:\n{}",
+        merged.render(),
+        reference_report.render()
+    );
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -24,7 +24,7 @@ pub mod sinks;
 
 pub use event::{CheckMetrics, Event};
 pub use report::{EngineTotals, RunReport};
-pub use sinks::{Aggregator, Fanout, Heartbeat, JsonlSink, Observer};
+pub use sinks::{Aggregator, ChannelSink, Fanout, Heartbeat, JsonlSink, Observer};
 
 use std::sync::{Arc, Mutex};
 
@@ -96,6 +96,18 @@ impl Obs {
         if let Some(sink) = &self.sink {
             let event = make(&self.label);
             sink.lock().expect("observer lock").on_event(&event);
+        }
+    }
+
+    /// Forwards an already-built event to the sink, ignoring this
+    /// handle's label (events carry their own check identity). This is
+    /// the re-emission half of a channel funnel: worker threads emit
+    /// into a [`sinks::ChannelSink`], and the draining thread forwards
+    /// each received event into the real sink through this method.
+    #[inline]
+    pub fn forward(&self, event: &Event) {
+        if let Some(sink) = &self.sink {
+            sink.lock().expect("observer lock").on_event(event);
         }
     }
 }

@@ -18,6 +18,25 @@ pub trait Observer: Send {
     fn on_event(&mut self, event: &Event);
 }
 
+/// Forwards every event into an [`std::sync::mpsc`] channel. This is
+/// the thread-safe funnel for parallel runs: each worker thread gets an
+/// [`crate::Obs`] wrapping its own `ChannelSink` clone of the sender,
+/// and a single draining thread receives the merged stream and replays
+/// it into the real (single-threaded) sink via [`crate::Obs::forward`].
+///
+/// Generic over the channel's message type so callers can multiplex
+/// events with their own messages on one channel (no `select` in std's
+/// mpsc); `ChannelSink<Event>` is the plain case. A closed channel
+/// drops events silently — the run outlives its observers, never the
+/// other way around.
+pub struct ChannelSink<T: From<Event> + Send = Event>(pub std::sync::mpsc::Sender<T>);
+
+impl<T: From<Event> + Send> Observer for ChannelSink<T> {
+    fn on_event(&mut self, event: &Event) {
+        let _ = self.0.send(T::from(event.clone()));
+    }
+}
+
 /// Broadcasts each event to several observers in order.
 pub struct Fanout(pub Vec<Box<dyn Observer>>);
 
@@ -331,6 +350,41 @@ mod tests {
         let text = buf.contents();
         assert!(text.contains("500 steps"), "{text}");
         assert!(text.contains("now: a/0"), "{text}");
+    }
+
+    #[test]
+    fn channel_sink_funnels_worker_events_into_one_sink() {
+        use crate::Obs;
+        let (tx, rx) = std::sync::mpsc::channel::<Event>();
+        // Two "workers", each with its own handle on the same channel.
+        let worker_a = Obs::new(ChannelSink(tx.clone())).with_label("drv/0");
+        let worker_b = Obs::new(ChannelSink(tx.clone())).with_label("drv/1");
+        std::thread::scope(|s| {
+            s.spawn(move || worker_a.emit(|c| Event::CheckStarted { check: c.to_string() }));
+            s.spawn(move || worker_b.emit(|c| Event::CheckStarted { check: c.to_string() }));
+        });
+        drop(tx);
+        // The draining side forwards into the real sink.
+        let agg = Aggregator::new();
+        let main_obs = Obs::new(agg.clone());
+        let mut checks: Vec<String> = Vec::new();
+        for event in rx {
+            if let Event::CheckStarted { check } = &event {
+                checks.push(check.clone());
+            }
+            main_obs.forward(&event);
+        }
+        checks.sort();
+        assert_eq!(checks, vec!["drv/0".to_string(), "drv/1".to_string()]);
+        assert_eq!(agg.event_counts()["check_started"], 2);
+    }
+
+    #[test]
+    fn closed_channel_drops_events_without_panicking() {
+        let (tx, rx) = std::sync::mpsc::channel::<Event>();
+        drop(rx);
+        let mut sink = ChannelSink(tx);
+        sink.on_event(&Event::CheckStarted { check: "a/0".into() });
     }
 
     #[test]

@@ -158,8 +158,13 @@ impl<'a> BfsChecker<'a> {
 
     /// Runs deterministically until the next NondetJump (returning the
     /// successor configs), an error, an end, or the budget.
+    ///
+    /// Like the DFS engine, instructions are borrowed from the module
+    /// body instead of cloned per executed step — `Call` argument lists
+    /// and `NondetJump` target vectors are heap-backed.
     fn run_segment(&self, mut config: Config, meter: &mut Meter) -> SegmentEnd {
-        let mut steps: Vec<TraceStep> = Vec::new();
+        let module = self.module;
+        let mut steps: Vec<TraceStep> = Vec::with_capacity(64);
         loop {
             let Some(frame) = config.stack.last() else {
                 return SegmentEnd::Done;
@@ -169,77 +174,80 @@ impl<'a> BfsChecker<'a> {
             }
             let func = frame.func;
             let pc = frame.pc;
-            let body = self.module.body(func);
+            let body = module.body(func);
             let meta = body.meta[pc];
             steps.push(TraceStep { func, pc, origin: meta.origin, span: meta.span });
-            let instr = body.instrs[pc].clone();
-            match instr {
+            match &body.instrs[pc] {
                 Instr::Assign(place, rv) => {
-                    let mut env = SeqEnv { module: self.module, config: &mut config };
-                    if let Err(e) = eval::exec_assign(&mut env, &place, &rv) {
+                    let mut env = SeqEnv { module, config: &mut config };
+                    if let Err(e) = eval::exec_assign(&mut env, place, rv) {
                         return SegmentEnd::Error(
                             steps,
-                            Box::new(move |t| Verdict::RuntimeError(e.clone(), t)),
+                            Box::new(move |t| Verdict::RuntimeError(e, t)),
                         );
                     }
                     config.stack.last_mut().expect("nonempty").pc += 1;
                 }
                 Instr::Assert(cond) => {
-                    let env = SeqEnv { module: self.module, config: &mut config };
-                    match eval::eval_cond(&env, &cond) {
+                    let env = SeqEnv { module, config: &mut config };
+                    match eval::eval_cond(&env, cond) {
                         Ok(true) => config.stack.last_mut().expect("nonempty").pc += 1,
                         Ok(false) => return SegmentEnd::Error(steps, Box::new(Verdict::Fail)),
                         Err(e) => {
                             return SegmentEnd::Error(
                                 steps,
-                                Box::new(move |t| Verdict::RuntimeError(e.clone(), t)),
+                                Box::new(move |t| Verdict::RuntimeError(e, t)),
                             )
                         }
                     }
                 }
                 Instr::Assume(cond) => {
-                    let env = SeqEnv { module: self.module, config: &mut config };
-                    match eval::eval_cond(&env, &cond) {
+                    let env = SeqEnv { module, config: &mut config };
+                    match eval::eval_cond(&env, cond) {
                         Ok(true) => config.stack.last_mut().expect("nonempty").pc += 1,
                         Ok(false) => return SegmentEnd::Done,
                         Err(e) => {
                             return SegmentEnd::Error(
                                 steps,
-                                Box::new(move |t| Verdict::RuntimeError(e.clone(), t)),
+                                Box::new(move |t| Verdict::RuntimeError(e, t)),
                             )
                         }
                     }
                 }
                 Instr::Call { dest, target, args } => {
-                    let callee = {
-                        let env = SeqEnv { module: self.module, config: &mut config };
-                        match resolve_target(&env, target) {
-                            Ok(f) => f,
-                            Err(e) => {
-                                return SegmentEnd::Error(
-                                    steps,
-                                    Box::new(move |t| Verdict::RuntimeError(e.clone(), t)),
-                                )
-                            }
+                    // One env borrow resolves the callee and evaluates
+                    // the arguments together.
+                    let resolved = {
+                        let env = SeqEnv { module, config: &mut config };
+                        resolve_target(&env, *target).map(|callee| {
+                            let arg_vals: Vec<Value> =
+                                args.iter().map(|a| eval::eval_operand(&env, a)).collect();
+                            (callee, arg_vals)
+                        })
+                    };
+                    match resolved {
+                        Ok((callee, arg_vals)) => {
+                            config.stack.last_mut().expect("nonempty").pc += 1;
+                            config.stack.push(Frame::enter(module, callee, &arg_vals, *dest));
                         }
-                    };
-                    let arg_vals: Vec<Value> = {
-                        let env = SeqEnv { module: self.module, config: &mut config };
-                        args.iter().map(|a| eval::eval_operand(&env, a)).collect()
-                    };
-                    config.stack.last_mut().expect("nonempty").pc += 1;
-                    config.stack.push(Frame::enter(self.module, callee, &arg_vals, dest));
+                        Err(e) => {
+                            return SegmentEnd::Error(
+                                steps,
+                                Box::new(move |t| Verdict::RuntimeError(e, t)),
+                            )
+                        }
+                    }
                 }
                 Instr::Async { .. } => {
                     let e = kiss_exec::ExecError::AsyncInSequential;
                     return SegmentEnd::Error(
                         steps,
-                        Box::new(move |t| Verdict::RuntimeError(e.clone(), t)),
+                        Box::new(move |t| Verdict::RuntimeError(e, t)),
                     );
                 }
                 Instr::Return(op) => {
                     let ret = {
-                        let env = SeqEnv { module: self.module, config: &mut config };
+                        let env = SeqEnv { module, config: &mut config };
                         op.map(|o| eval::eval_operand(&env, &o)).unwrap_or(Value::Null)
                     };
                     let finished = config.stack.pop().expect("nonempty");
@@ -247,24 +255,24 @@ impl<'a> BfsChecker<'a> {
                         return SegmentEnd::Done;
                     }
                     if let Some(dest) = finished.dest {
-                        let mut env = SeqEnv { module: self.module, config: &mut config };
+                        let mut env = SeqEnv { module, config: &mut config };
                         match eval::place_addr(&env, &dest).and_then(|a| env.write_addr(a, ret)) {
                             Ok(()) => {}
                             Err(e) => {
                                 return SegmentEnd::Error(
                                     steps,
-                                    Box::new(move |t| Verdict::RuntimeError(e.clone(), t)),
+                                    Box::new(move |t| Verdict::RuntimeError(e, t)),
                                 )
                             }
                         }
                     }
                 }
                 Instr::Jump(t) => {
-                    config.stack.last_mut().expect("nonempty").pc = t;
+                    config.stack.last_mut().expect("nonempty").pc = *t;
                 }
                 Instr::NondetJump(targets) => {
                     let mut alts = Vec::with_capacity(targets.len());
-                    for t in targets {
+                    for &t in targets {
                         let mut alt = config.clone();
                         alt.stack.last_mut().expect("nonempty").pc = t;
                         alts.push(alt);

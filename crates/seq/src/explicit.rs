@@ -71,8 +71,13 @@ impl<'a> ExplicitChecker<'a> {
             meter: Meter::new(self.budget, self.cancel.clone())
                 .with_observer(self.obs.clone(), "explicit"),
             visited: HashSet::new(),
-            trace: Vec::new(),
-            pending: vec![(Config::initial(self.module), 0)],
+            trace: Vec::with_capacity(256),
+            pending: {
+                let mut pending = Vec::with_capacity(32);
+                pending.push((Config::initial(self.module), 0));
+                pending
+            },
+            arg_scratch: Vec::new(),
             paths: 0,
             frontier_peak: 1,
         };
@@ -95,6 +100,9 @@ struct Search<'a> {
     visited: HashSet<(u64, u64)>,
     trace: Vec<TraceStep>,
     pending: Vec<(Config, usize)>,
+    /// Reusable buffer for evaluated call arguments, so dispatching a
+    /// call does not allocate a fresh vector per instruction.
+    arg_scratch: Vec<Value>,
     paths: u64,
     frontier_peak: usize,
 }
@@ -129,16 +137,15 @@ impl Search<'_> {
         }
     }
 
-    fn step_meta(&self, config: &Config) -> TraceStep {
-        let frame = config.stack.last().expect("caller checked stack");
-        let body = self.module.body(frame.func);
-        let meta = body.meta[frame.pc];
-        TraceStep { func: frame.func, pc: frame.pc, origin: meta.origin, span: meta.span }
-    }
-
     /// Runs one path to completion, pushing alternatives onto
     /// `self.pending` at nondeterministic branch points.
+    ///
+    /// Instructions are **borrowed** from the module body rather than
+    /// cloned per executed step: `Call` argument lists and `NondetJump`
+    /// target vectors are heap-backed, and the per-step clone showed up
+    /// as the single largest line in the interpreter profile.
     fn run_path(&mut self, mut config: Config) -> PathEnd {
+        let module = self.module;
         loop {
             let Some(frame) = config.stack.last() else {
                 return PathEnd::Done; // program finished
@@ -152,28 +159,29 @@ impl Search<'_> {
             }
             let func = frame.func;
             let pc = frame.pc;
-            let instr = self.module.body(func).instrs[pc].clone();
-            self.trace.push(self.step_meta(&config));
+            let body = module.body(func);
+            let meta = body.meta[pc];
+            self.trace.push(TraceStep { func, pc, origin: meta.origin, span: meta.span });
 
-            match instr {
+            match &body.instrs[pc] {
                 Instr::Assign(place, rv) => {
-                    let mut env = SeqEnv { module: self.module, config: &mut config };
-                    if let Err(e) = eval::exec_assign(&mut env, &place, &rv) {
+                    let mut env = SeqEnv { module, config: &mut config };
+                    if let Err(e) = eval::exec_assign(&mut env, place, rv) {
                         return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config)));
                     }
                     config.stack.last_mut().expect("nonempty").pc += 1;
                 }
                 Instr::Assert(cond) => {
-                    let env = SeqEnv { module: self.module, config: &mut config };
-                    match eval::eval_cond(&env, &cond) {
+                    let env = SeqEnv { module, config: &mut config };
+                    match eval::eval_cond(&env, cond) {
                         Ok(true) => config.stack.last_mut().expect("nonempty").pc += 1,
                         Ok(false) => return PathEnd::Stop(Verdict::Fail(self.snapshot(&config))),
                         Err(e) => return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config))),
                     }
                 }
                 Instr::Assume(cond) => {
-                    let env = SeqEnv { module: self.module, config: &mut config };
-                    match eval::eval_cond(&env, &cond) {
+                    let env = SeqEnv { module, config: &mut config };
+                    match eval::eval_cond(&env, cond) {
                         Ok(true) => config.stack.last_mut().expect("nonempty").pc += 1,
                         Ok(false) => return PathEnd::Done, // pruned path
                         Err(e) => return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config))),
@@ -183,29 +191,34 @@ impl Search<'_> {
                     if !self.record(&config) {
                         return PathEnd::Done;
                     }
-                    let callee = {
-                        let env = SeqEnv { module: self.module, config: &mut config };
-                        match resolve_target(&env, target) {
-                            Ok(f) => f,
-                            Err(e) => return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config))),
-                        }
+                    // One env borrow per dispatch: resolve the callee,
+                    // check arity, and evaluate the arguments into the
+                    // reusable scratch buffer under a single borrow.
+                    self.arg_scratch.clear();
+                    let resolved = {
+                        let env = SeqEnv { module, config: &mut config };
+                        resolve_target(&env, *target).and_then(|callee| {
+                            let def = module.program.func(callee);
+                            if def.param_count as usize != args.len() {
+                                return Err(kiss_exec::ExecError::ArityMismatch {
+                                    func: callee,
+                                    expected: def.param_count,
+                                    got: args.len() as u32,
+                                });
+                            }
+                            self.arg_scratch
+                                .extend(args.iter().map(|a| eval::eval_operand(&env, a)));
+                            Ok(callee)
+                        })
                     };
-                    let def = self.module.program.func(callee);
-                    if def.param_count as usize != args.len() {
-                        let e = kiss_exec::ExecError::ArityMismatch {
-                            func: callee,
-                            expected: def.param_count,
-                            got: args.len() as u32,
-                        };
-                        return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config)));
-                    }
-                    let arg_vals: Vec<Value> = {
-                        let env = SeqEnv { module: self.module, config: &mut config };
-                        args.iter().map(|a| eval::eval_operand(&env, a)).collect()
+                    let callee = match resolved {
+                        Ok(f) => f,
+                        Err(e) => return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config))),
                     };
                     // Advance the caller past the call before pushing.
                     config.stack.last_mut().expect("nonempty").pc += 1;
-                    config.stack.push(Frame::enter(self.module, callee, &arg_vals, dest));
+                    let frame = Frame::enter(module, callee, &self.arg_scratch, *dest);
+                    config.stack.push(frame);
                 }
                 Instr::Async { .. } => {
                     return PathEnd::Stop(Verdict::RuntimeError(
@@ -215,7 +228,7 @@ impl Search<'_> {
                 }
                 Instr::Return(op) => {
                     let ret_val = {
-                        let env = SeqEnv { module: self.module, config: &mut config };
+                        let env = SeqEnv { module, config: &mut config };
                         op.map(|o| eval::eval_operand(&env, &o)).unwrap_or(Value::Null)
                     };
                     let finished = config.stack.pop().expect("nonempty");
@@ -223,14 +236,11 @@ impl Search<'_> {
                         return PathEnd::Done;
                     }
                     if let Some(dest) = finished.dest {
-                        let mut env = SeqEnv { module: self.module, config: &mut config };
-                        match eval::place_addr(&env, &dest) {
-                            Ok(addr) => {
-                                if let Err(e) = env.write_addr(addr, ret_val) {
-                                    return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config)));
-                                }
-                            }
-                            Err(e) => return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config))),
+                        let mut env = SeqEnv { module, config: &mut config };
+                        if let Err(e) = eval::place_addr(&env, &dest)
+                            .and_then(|addr| env.write_addr(addr, ret_val))
+                        {
+                            return PathEnd::Stop(Verdict::RuntimeError(e, self.snapshot(&config)));
                         }
                     }
                 }
@@ -238,22 +248,23 @@ impl Search<'_> {
                     // No visited check here: every cycle in lowered code
                     // passes through a NondetJump (the `iter` header) or
                     // a Call, which record states.
-                    config.stack.last_mut().expect("nonempty").pc = target;
+                    config.stack.last_mut().expect("nonempty").pc = *target;
                 }
                 Instr::NondetJump(targets) => {
                     if !self.record(&config) {
                         return PathEnd::Done;
                     }
-                    match targets.len() {
-                        0 => return PathEnd::Done, // no branch: dead end
-                        _ => {
-                            for &alt in targets.iter().skip(1).rev() {
+                    match targets.split_first() {
+                        None => return PathEnd::Done, // no branch: dead end
+                        Some((&first, rest)) => {
+                            self.pending.reserve(rest.len());
+                            for &alt in rest.iter().rev() {
                                 let mut alt_config = config.clone();
                                 alt_config.stack.last_mut().expect("nonempty").pc = alt;
                                 self.pending.push((alt_config, self.trace.len()));
                             }
                             self.frontier_peak = self.frontier_peak.max(self.pending.len() + 1);
-                            config.stack.last_mut().expect("nonempty").pc = targets[0];
+                            config.stack.last_mut().expect("nonempty").pc = first;
                         }
                     }
                 }

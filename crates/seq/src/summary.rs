@@ -275,23 +275,24 @@ impl Engine<'_> {
                     self.meter.emit_violation(BoundReason::States);
                     return Err(Interrupt::Budget(BoundReason::States));
                 }
-                let instr = body.instrs[state.pc].clone();
-                match instr {
+                // Borrowed, not cloned: see explicit.rs — per-step
+                // clones of Call/NondetJump payloads are hot-loop cost.
+                match &body.instrs[state.pc] {
                     Instr::Assign(place, rv) => {
                         let mut env = LocalEnv { module: self.module, state: &mut state };
-                        eval::exec_assign(&mut env, &place, &rv).map_err(Interrupt::Runtime)?;
+                        eval::exec_assign(&mut env, place, rv).map_err(Interrupt::Runtime)?;
                         state.pc += 1;
                     }
                     Instr::Assert(cond) => {
                         let env = LocalEnv { module: self.module, state: &mut state };
-                        match eval::eval_cond(&env, &cond).map_err(Interrupt::Runtime)? {
+                        match eval::eval_cond(&env, cond).map_err(Interrupt::Runtime)? {
                             true => state.pc += 1,
                             false => return Err(Interrupt::Fail),
                         }
                     }
                     Instr::Assume(cond) => {
                         let env = LocalEnv { module: self.module, state: &mut state };
-                        match eval::eval_cond(&env, &cond).map_err(Interrupt::Runtime)? {
+                        match eval::eval_cond(&env, cond).map_err(Interrupt::Runtime)? {
                             true => state.pc += 1,
                             false => break 'path,
                         }
@@ -300,13 +301,15 @@ impl Engine<'_> {
                         if !record(&mut visited, &state) {
                             break 'path;
                         }
-                        let callee = {
+                        // One env borrow resolves the callee and
+                        // evaluates the arguments together.
+                        let (callee, arg_vals) = {
                             let env = LocalEnv { module: self.module, state: &mut state };
-                            crate::explicit::resolve_target(&env, target).map_err(Interrupt::Runtime)?
-                        };
-                        let arg_vals: Vec<Value> = {
-                            let env = LocalEnv { module: self.module, state: &mut state };
-                            args.iter().map(|a| eval::eval_operand(&env, a)).collect()
+                            let callee = crate::explicit::resolve_target(&env, *target)
+                                .map_err(Interrupt::Runtime)?;
+                            let arg_vals: Vec<Value> =
+                                args.iter().map(|a| eval::eval_operand(&env, a)).collect();
+                            (callee, arg_vals)
                         };
                         let callee_def = self.module.program.func(callee);
                         if callee_def.param_count as usize != arg_vals.len() {
@@ -329,11 +332,11 @@ impl Engine<'_> {
                         let first = it.next().expect("nonempty checked");
                         for exit in it {
                             let mut alt = state.clone();
-                            apply_exit(self.module, &mut alt, &dest, exit)
+                            apply_exit(self.module, &mut alt, dest, exit)
                                 .map_err(Interrupt::Runtime)?;
                             pending.push(alt);
                         }
-                        apply_exit(self.module, &mut state, &dest, first)
+                        apply_exit(self.module, &mut state, dest, first)
                             .map_err(Interrupt::Runtime)?;
                     }
                     Instr::Async { .. } => {
@@ -348,7 +351,7 @@ impl Engine<'_> {
                     Instr::Jump(target) => {
                         // Cycles always pass through a NondetJump or
                         // Call, which record states; see explicit.rs.
-                        state.pc = target;
+                        state.pc = *target;
                     }
                     Instr::NondetJump(targets) => {
                         if !record(&mut visited, &state) {
