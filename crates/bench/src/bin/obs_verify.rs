@@ -17,6 +17,9 @@
 //! * exactly one `run_summary` event exists, it is the last line, and
 //!   its report covers at least every non-cancelled finished check
 //!   (more only when the report merges resumed sessions);
+//! * when the report covers exactly the trace's checks (no merged
+//!   sessions), each engine's summed `store_bytes` in the report equals
+//!   the sum over that engine's `check_finished` events;
 //! * the metrics file, when given, parses as a `RunReport` whose
 //!   deterministic counts match the trace's summary report.
 //!
@@ -82,6 +85,7 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
     let mut finished: BTreeMap<String, u64> = BTreeMap::new();
     let mut finished_retries = 0u64;
     let mut cancelled = 0u64;
+    let mut store_by_engine: BTreeMap<String, u64> = BTreeMap::new();
     let mut summary: Option<(usize, RunReport)> = None;
     let mut lines = 0usize;
 
@@ -115,6 +119,12 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
                     .ok_or(format!("line {n}: check_finished without retries"))?;
                 if v.get("bound_reason").and_then(Json::as_str) == Some("cancelled") {
                     cancelled += 1;
+                }
+                // Pre-gauge traces lack the field; they sum to 0 and the
+                // summary comparison below is skipped for merged reports.
+                let bytes = v.get("store_bytes").and_then(Json::as_u64).unwrap_or(0);
+                if let Some(engine) = v.get("engine").and_then(Json::as_str) {
+                    *store_by_engine.entry(engine.to_string()).or_insert(0) += bytes;
                 }
             }
             "engine_tick" | "budget_violated" | "retry_escalated" => {
@@ -178,6 +188,22 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
             report.checks
         ));
     }
+    // The store gauges are additive, so when the report covers exactly
+    // this trace's checks, each engine's total must equal the sum over
+    // its check_finished events. A merged or resumable report covers a
+    // different check set, so the equality does not apply there.
+    if report.checks == finished.len() as u64 {
+        for (engine, totals) in &report.engines {
+            let traced = store_by_engine.get(engine).copied().unwrap_or(0);
+            if totals.store_bytes != traced {
+                return Err(format!(
+                    "engine {engine}: summary reports {} store bytes but the trace's \
+                     check_finished events sum to {traced}",
+                    totals.store_bytes
+                ));
+            }
+        }
+    }
 
     if let Some(text) = metrics {
         let from_file = RunReport::from_json(text.trim())
@@ -238,6 +264,35 @@ mod tests {
         events.extend(lifecycle("a/1", "race"));
         let (trace, metrics) = trace_of(&events);
         verify(&trace, Some(&metrics)).unwrap();
+    }
+
+    #[test]
+    fn store_gauges_must_sum_across_the_trace() {
+        let mut m = CheckMetrics {
+            check: "a/0".to_string(),
+            engine: "bfs".to_string(),
+            verdict: "pass".to_string(),
+            store_bytes: 64,
+            ..CheckMetrics::default()
+        };
+        // Consistent: the summary observed exactly the traced check.
+        let (trace, _) = trace_of(&[
+            Event::CheckStarted { check: "a/0".to_string() },
+            Event::CheckFinished { metrics: m.clone() },
+        ]);
+        verify(&trace, None).unwrap();
+        // Tampered: the summary claims double the traced store bytes.
+        let mut report = kiss_obs::RunReport::default();
+        m.store_bytes = 128;
+        report.observe(&m);
+        m.store_bytes = 64;
+        let trace = format!(
+            "{}\n{}\n{}\n",
+            Event::CheckStarted { check: "a/0".to_string() }.to_json(),
+            Event::CheckFinished { metrics: m }.to_json(),
+            Event::RunSummary { report }.to_json(),
+        );
+        assert!(verify(&trace, None).unwrap_err().contains("store bytes"));
     }
 
     #[test]

@@ -11,35 +11,42 @@
 //!
 //! * **engines** — each sequential engine (`explicit`, `bfs`,
 //!   `summary`) checks the whole `kiss-samples` suite through the KISS
-//!   pipeline; wall-clock is the median of `--iters` iterations and
-//!   steps/sec divides the (deterministic) step total by it.
+//!   pipeline (the suite is parsed once, outside the timed region);
+//!   wall-clock is the median of `--iters` iterations and steps/sec
+//!   divides the (deterministic) step total by it.
 //! * **table1** — an end-to-end corpus run at a reduced per-field
 //!   budget, once with `jobs = 1` and once with `--jobs` workers, so
 //!   the serial/parallel ratio is recorded alongside the raw numbers.
+//! * **memory** — one BFS pass over the samples recording the state
+//!   store's gauges: states stored, store bytes, and the peak frontier.
 //!
 //! `--quick` shrinks the iteration count and the table budget for CI
 //! smoke use. `--compare <path>` reads a previously written baseline
 //! and exits 1 if any engine's steps/sec regressed more than 30%
-//! against it — engine throughput is workload-independent across
-//! modes, so a `--quick` run may be compared against a full baseline
-//! (the table numbers are informational and never gated).
+//! against it, or if the BFS store-bytes footprint grew more than 50%
+//! (the latter only when the baseline records a memory section) —
+//! engine throughput and store footprint are workload-independent
+//! across modes, so a `--quick` run may be compared against a full
+//! baseline (the table numbers are informational and never gated).
 
 use std::time::Instant;
 
 use kiss_bench::runner::default_jobs;
 use kiss_core::checker::{Engine, Kiss};
+use kiss_core::StoreKind;
 use kiss_drivers::table::check_corpus_parallel;
 use kiss_core::supervisor::Supervisor;
 use kiss_obs::json::Json;
 use kiss_seq::Budget;
 
 const USAGE: &str =
-    "options: --quick --iters <n> --jobs <n> --out <path> --compare <path>";
+    "options: --quick --iters <n> --jobs <n> --store legacy|cow --out <path> --compare <path>";
 
 struct Options {
     quick: bool,
     iters: usize,
     jobs: usize,
+    store: StoreKind,
     out: String,
     compare: Option<String>,
 }
@@ -49,6 +56,7 @@ fn parse_args() -> Result<Options, String> {
         quick: false,
         iters: 0,
         jobs: default_jobs(),
+        store: StoreKind::default(),
         out: "BENCH_seq.json".to_string(),
         compare: None,
     };
@@ -56,6 +64,11 @@ fn parse_args() -> Result<Options, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => opts.quick = true,
+            "--store" => {
+                let v = args.next().ok_or_else(|| format!("{arg} needs a value\n{USAGE}"))?;
+                opts.store =
+                    StoreKind::parse(&v).ok_or_else(|| format!("unknown store `{v}`\n{USAGE}"))?;
+            }
             "--iters" => {
                 let v = args.next().ok_or_else(|| format!("{arg} needs a value\n{USAGE}"))?;
                 opts.iters = v.parse().map_err(|_| format!("{arg}: cannot parse `{v}`"))?;
@@ -86,16 +99,25 @@ fn parse_args() -> Result<Options, String> {
 /// `reps` engine passes over the whole samples suite; returns the
 /// summed step count (deterministic across iterations). One suite pass
 /// is under two milliseconds, so repetitions stretch each timed
-/// iteration far enough above scheduler noise for a ±30% gate.
-fn run_suite(engine: Engine, samples: &[kiss_samples::Sample], reps: usize) -> u64 {
+/// iteration far enough above scheduler noise for a ±30% gate. The
+/// suite is parsed once, outside the timed region: the measurement
+/// tracks the checking pipeline (transform, lowering, search), not the
+/// front end.
+fn run_suite(
+    engine: Engine,
+    store: StoreKind,
+    programs: &[kiss_lang::hir::Program],
+    reps: usize,
+) -> u64 {
     let mut steps = 0u64;
     for _ in 0..reps {
-        for s in samples {
+        for p in programs {
             let outcome = Kiss::new()
                 .with_engine(engine)
+                .with_store(store)
                 .with_validation(false)
                 .with_budget(Budget::steps_states(2_000_000, 60_000))
-                .check_assertions(&s.program());
+                .check_assertions(p);
             steps += outcome.stats().map_or(0, |st| st.steps());
         }
     }
@@ -105,6 +127,27 @@ fn run_suite(engine: Engine, samples: &[kiss_samples::Sample], reps: usize) -> u
 fn median(mut xs: Vec<u64>) -> u64 {
     xs.sort_unstable();
     xs[xs.len() / 2]
+}
+
+/// One BFS pass over the samples suite collecting the state-store
+/// gauges: total entries stored, total store bytes, and the largest
+/// frontier any sample reached. The counts are deterministic, so one
+/// pass suffices.
+fn measure_memory(programs: &[kiss_lang::hir::Program]) -> (u64, u64, u64) {
+    let (mut stored, mut bytes, mut frontier) = (0u64, 0u64, 0u64);
+    for p in programs {
+        let outcome = Kiss::new()
+            .with_engine(Engine::Bfs)
+            .with_validation(false)
+            .with_budget(Budget::steps_states(2_000_000, 60_000))
+            .check_assertions(p);
+        if let Some(st) = outcome.stats() {
+            stored += st.seq.states_stored as u64;
+            bytes += st.seq.store_bytes as u64;
+            frontier = frontier.max(st.seq.frontier_peak as u64);
+        }
+    }
+    (stored, bytes, frontier)
 }
 
 /// End-to-end corpus run at `budget`, returning wall-clock
@@ -122,7 +165,9 @@ fn steps_per_sec(steps: u64, wall_us: u64) -> u64 {
     (steps as f64 * 1_000_000.0 / wall_us.max(1) as f64) as u64
 }
 
-/// Returns the engines that regressed >30% in steps/sec vs `baseline`.
+/// Returns the gates that failed vs `baseline`: any engine that
+/// regressed >30% in steps/sec, and — when the baseline records a
+/// memory section — a BFS store-bytes footprint that grew >50%.
 fn regressions(current: &str, baseline: &str) -> Result<Vec<String>, String> {
     let cur = Json::parse(current).ok_or("current result does not parse")?;
     let base = Json::parse(baseline).ok_or("baseline does not parse")?;
@@ -145,6 +190,25 @@ fn regressions(current: &str, baseline: &str) -> Result<Vec<String>, String> {
             failed.push(name.clone());
         }
     }
+    // Older baselines predate the memory section; the gate only arms
+    // once a baseline carrying it is checked in.
+    let base_bytes = base.get("memory").and_then(|m| m.get("bfs_store_bytes")).and_then(Json::as_u64);
+    if let Some(b_bytes) = base_bytes {
+        let c_bytes = cur
+            .get("memory")
+            .and_then(|m| m.get("bfs_store_bytes"))
+            .and_then(Json::as_u64)
+            .ok_or("current run has no memory section")?;
+        let ceiling = (b_bytes as f64) * 1.50;
+        println!(
+            "compare memory: current {c_bytes} bfs store bytes vs baseline {b_bytes} \
+             (ceiling {})",
+            ceiling as u64
+        );
+        if (c_bytes as f64) > ceiling {
+            failed.push("bfs store bytes".to_string());
+        }
+    }
     Ok(failed)
 }
 
@@ -157,6 +221,7 @@ fn main() {
         }
     };
     let samples = kiss_samples::all();
+    let programs: Vec<_> = samples.iter().map(|s| s.program()).collect();
     let reps = if opts.quick { 8 } else { 20 };
 
     let mut engine_json = Vec::new();
@@ -166,7 +231,7 @@ fn main() {
         let mut steps = 0u64;
         for _ in 0..opts.iters {
             let t0 = Instant::now();
-            steps = run_suite(engine, &samples, reps);
+            steps = run_suite(engine, opts.store, &programs, reps);
             walls.push(t0.elapsed().as_micros() as u64);
         }
         let wall_us = median(walls);
@@ -192,10 +257,18 @@ fn main() {
         budget.max_steps, budget.max_states, opts.jobs
     );
 
+    let (stored, store_bytes, frontier_peak) = measure_memory(&programs);
+    println!(
+        "memory (bfs over samples): {stored} states stored, {store_bytes} store bytes, \
+         frontier peak {frontier_peak}"
+    );
+
     let json = format!(
         "{{\"version\":1,\"quick\":{},\"iters\":{},\"engines\":{{{}}},\
          \"table1\":{{\"budget_max_steps\":{},\"budget_max_states\":{},\
-         \"serial_wall_us\":{serial_us},\"parallel_wall_us\":{parallel_us},\"jobs\":{}}}}}\n",
+         \"serial_wall_us\":{serial_us},\"parallel_wall_us\":{parallel_us},\"jobs\":{}}},\
+         \"memory\":{{\"bfs_states_stored\":{stored},\"bfs_store_bytes\":{store_bytes},\
+         \"bfs_frontier_peak\":{frontier_peak}}}}}\n",
         opts.quick,
         opts.iters,
         engine_json.join(","),

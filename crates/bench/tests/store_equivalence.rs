@@ -1,0 +1,84 @@
+//! Legacy-vs-cow state-store equivalence over the full sample corpus.
+//!
+//! The copy-on-write store changes *how* states are remembered, never
+//! *which* states the engines visit: for every sample and every engine,
+//! both store modes must produce the same verdict, execute the same
+//! number of steps, record the same number of states, and reconstruct
+//! the same error trace. Store *byte* gauges are the one legitimate
+//! difference between modes, so whole outcomes are compared field by
+//! field rather than with one `assert_eq!`.
+
+use kiss_core::checker::{Engine, Kiss, KissOutcome};
+use kiss_core::StoreKind;
+use kiss_seq::Budget;
+
+fn outcome(sample: &kiss_samples::Sample, engine: Engine, store: StoreKind) -> KissOutcome {
+    Kiss::new()
+        .with_engine(engine)
+        .with_store(store)
+        .with_validation(false)
+        .with_budget(Budget::steps_states(2_000_000, 60_000))
+        .check_assertions(&sample.program())
+}
+
+/// The error trace, when the outcome carries one, as comparable
+/// `(thread, func, pc)` triples.
+fn trace_of(outcome: &KissOutcome) -> Option<Vec<String>> {
+    match outcome {
+        KissOutcome::AssertionViolation(report) => Some(
+            report
+                .mapped
+                .steps
+                .iter()
+                .map(|s| format!("{s:?}"))
+                .collect(),
+        ),
+        _ => None,
+    }
+}
+
+#[test]
+fn every_engine_explores_identically_under_both_stores() {
+    for sample in kiss_samples::all() {
+        for engine in [Engine::Explicit, Engine::Bfs, Engine::Summary] {
+            let legacy = outcome(&sample, engine, StoreKind::Legacy);
+            let cow = outcome(&sample, engine, StoreKind::Cow);
+            let label = format!("{} under {}", sample.name, engine.name());
+            assert_eq!(
+                legacy.verdict_str(),
+                cow.verdict_str(),
+                "verdicts diverge for {label}"
+            );
+            let (ls, cs) = (legacy.stats(), cow.stats());
+            assert_eq!(
+                ls.map(|s| s.steps()),
+                cs.map(|s| s.steps()),
+                "steps diverge for {label}"
+            );
+            assert_eq!(
+                ls.map(|s| s.states()),
+                cs.map(|s| s.states()),
+                "states diverge for {label}"
+            );
+            assert_eq!(
+                ls.map(|s| s.seq.paths),
+                cs.map(|s| s.seq.paths),
+                "paths diverge for {label}"
+            );
+            assert_eq!(trace_of(&legacy), trace_of(&cow), "traces diverge for {label}");
+        }
+    }
+}
+
+#[test]
+fn cow_is_the_default_store() {
+    // A sample checked with an explicit `cow` store matches the
+    // builder's default, so existing callers get the new store.
+    let sample = kiss_samples::all().into_iter().next().expect("non-empty suite");
+    let default = Kiss::new()
+        .with_validation(false)
+        .with_budget(Budget::steps_states(2_000_000, 60_000))
+        .check_assertions(&sample.program());
+    let cow = outcome(&sample, Engine::Explicit, StoreKind::Cow);
+    assert_eq!(default, cow);
+}

@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! kissc check <file.kc> [--max-ts N] [--engine explicit|summary|bfs] [--no-validate]
+//!                       [--store legacy|cow]
 //!                       [--timeout S] [--max-steps N] [--max-states N] [--retries N]
 //!                       [--stats] [--trace-out PATH] [--metrics PATH] [--progress]
-//! kissc race <file.kc> <target> [--max-ts N] [--no-prune]
+//! kissc race <file.kc> <target> [--max-ts N] [--no-prune] [--store legacy|cow]
 //!                       [--timeout S] [--max-steps N] [--max-states N] [--retries N]
 //!                       [--stats] [--trace-out PATH] [--metrics PATH] [--progress]
 //! kissc transform <file.kc> [--max-ts N] [--race <target>]
@@ -33,6 +34,7 @@ use std::time::Duration;
 
 use kiss_core::checker::{Engine, Kiss, KissOutcome};
 use kiss_core::report::render_trace;
+use kiss_core::StoreKind;
 use kiss_core::sigint::{install_sigint_cancel, restore_sigpipe_default};
 use kiss_core::supervisor::{Supervised, SupervisedRun, Supervisor};
 use kiss_core::transform::{transform, RaceTarget, TransformConfig};
@@ -57,14 +59,20 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   kissc check <file.kc> [--max-ts N] [--engine explicit|summary|bfs] [--no-validate]
+                        [--store legacy|cow]
                         [--timeout S] [--max-steps N] [--max-states N] [--retries N]
                         [--stats] [--trace-out PATH] [--metrics PATH] [--progress]
-  kissc race <file.kc> <target> [--max-ts N] [--no-prune]
+  kissc race <file.kc> <target> [--max-ts N] [--no-prune] [--store legacy|cow]
                         [--timeout S] [--max-steps N] [--max-states N] [--retries N]
                         [--stats] [--trace-out PATH] [--metrics PATH] [--progress]
   kissc transform <file.kc> [--max-ts N] [--race <target>]
   kissc explore <file.kc> [--balanced] [--context-bound K]
   kissc detectors <file.kc> <target> [--runs N]
+
+state store (check, race):
+  --store legacy|cow  visited-state representation: `cow` (default) is the
+                      interned fingerprint table with copy-on-write memory
+                      snapshots; `legacy` is the original hash-set store
 
 observability (check, race):
   --stats           print an engine-statistics line after the verdict
@@ -148,6 +156,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 "bfs" => Engine::Bfs,
                 other => return Err(format!("unknown engine `{other}`")),
             };
+            let store = store_flag(&mut flags)?;
             let validate = !flags.flag("--no-validate");
             let (budget, retries) = bound_flags(&mut flags)?;
             let obs_opts = obs_flags(&mut flags)?;
@@ -159,6 +168,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 Kiss::new()
                     .with_max_ts(max_ts)
                     .with_engine(engine)
+                    .with_store(store)
                     .with_validation(validate)
                     .with_budget(b)
                     .with_cancel(token)
@@ -173,6 +183,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let target = flags.positional().ok_or("missing <target>")?;
             let max_ts: usize = parse_num(flags.value("--max-ts")?.unwrap_or("0"))?;
             let prune = !flags.flag("--no-prune");
+            let store = store_flag(&mut flags)?;
             let (budget, retries) = bound_flags(&mut flags)?;
             let obs_opts = obs_flags(&mut flags)?;
             flags.finish()?;
@@ -188,6 +199,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 Kiss::new()
                     .with_max_ts(max_ts)
                     .with_alias_prune(prune)
+                    .with_store(store)
                     .with_budget(b)
                     .with_cancel(token)
                     .with_observer(check_obs.clone())
@@ -278,6 +290,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
 fn parse_num(s: &str) -> Result<usize, String> {
     s.parse().map_err(|_| format!("invalid number `{s}`"))
+}
+
+/// Parses the shared `--store` flag of `check` and `race`.
+fn store_flag(flags: &mut Flags) -> Result<StoreKind, String> {
+    match flags.value("--store")? {
+        None => Ok(StoreKind::default()),
+        Some(s) => StoreKind::parse(s).ok_or_else(|| format!("unknown store `{s}`")),
+    }
 }
 
 /// Parses the shared resource-bound flags of `check` and `race`.

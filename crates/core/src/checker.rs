@@ -16,7 +16,7 @@ use kiss_lang::Program;
 use kiss_obs::Obs;
 use kiss_seq::{
     BfsChecker, BoundReason, Budget, CancelToken, EngineStats, ErrorTrace, ExplicitChecker,
-    SummaryChecker, Verdict,
+    StoreKind, SummaryChecker, Verdict,
 };
 
 use crate::trace_map::{self, MappedTrace};
@@ -196,6 +196,7 @@ pub struct Kiss {
     optimize: bool,
     cancel: CancelToken,
     obs: Obs,
+    store: StoreKind,
 }
 
 impl Default for Kiss {
@@ -217,6 +218,7 @@ impl Kiss {
             optimize: false,
             cancel: CancelToken::default(),
             obs: Obs::off(),
+            store: StoreKind::default(),
         }
     }
 
@@ -248,6 +250,14 @@ impl Kiss {
     /// Selects the sequential engine.
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Selects the sequential engines' state-storage implementation
+    /// (`--store legacy|cow`); the legacy store is the equivalence
+    /// oracle for the interned one.
+    pub fn with_store(mut self, store: StoreKind) -> Self {
+        self.store = store;
         self
     }
 
@@ -329,22 +339,27 @@ impl Kiss {
         if self.optimize {
             kiss_lang::opt::simplify(&mut info.program);
         }
-        let module = Module::lower(info.program.clone());
+        // `lower` keeps the program inside the module, so hand it over
+        // instead of cloning; `report` only reads the id/slot fields.
+        let module = Module::lower(std::mem::take(&mut info.program));
         let (verdict, seq) = match self.engine {
             Engine::Explicit => ExplicitChecker::new(&module)
                 .with_budget(self.budget)
                 .with_cancel(self.cancel.clone())
                 .with_observer(self.obs.clone())
+                .with_store(self.store)
                 .check_with_stats(),
             Engine::Summary => SummaryChecker::new(&module)
                 .with_budget(self.budget)
                 .with_cancel(self.cancel.clone())
                 .with_observer(self.obs.clone())
+                .with_store(self.store)
                 .check_with_stats(),
             Engine::Bfs => BfsChecker::new(&module)
                 .with_budget(self.budget)
                 .with_cancel(self.cancel.clone())
                 .with_observer(self.obs.clone())
+                .with_store(self.store)
                 .check_with_stats(),
         };
         let stats = CheckStats {

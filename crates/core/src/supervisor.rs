@@ -234,6 +234,8 @@ fn metrics_for(label: &str, run: &SupervisedRun, wall_ms: u64) -> CheckMetrics {
                 m.steps = stats.seq.steps;
                 m.states = stats.seq.states as u64;
                 m.frontier_peak = stats.seq.frontier_peak as u64;
+                m.states_stored = stats.seq.states_stored as u64;
+                m.store_bytes = stats.seq.store_bytes as u64;
                 m.summaries = stats.seq.summaries as u64;
                 m.rounds = u64::from(stats.seq.rounds);
             }

@@ -169,7 +169,10 @@ impl From<Event> for WorkerMsg {
 }
 
 /// Like [`check_driver_supervised`], checking fields on `jobs` worker
-/// threads (`jobs <= 1` is exactly the serial path).
+/// threads (`jobs <= 1` is exactly the serial path). `jobs` is a cap,
+/// not a demand: the pool never exceeds the remaining fields or the
+/// machine's hardware threads, and degenerates to the serial path when
+/// only one worker would run.
 ///
 /// The pool is a [`std::thread::scope`] over a shared
 /// `Mutex<VecDeque>` work queue with heavy fields scheduled first, so
@@ -218,14 +221,26 @@ pub fn check_driver_jobs(
     }
     // Longest-first schedule; ties keep field order.
     todo.sort_by_key(|&i| (model.fields[i].class != FieldClass::Heavy, i));
-    let workers = jobs.min(todo.len());
+    // More workers than hardware threads only adds scheduler churn:
+    // every check is CPU-bound, so clamp to the machine, and fall back
+    // to the serial path when only one worker would actually run.
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let workers = jobs.min(todo.len()).min(cores);
+    if workers <= 1 {
+        // The serial path redoes the journal lookups itself.
+        return check_driver_supervised(model, refined, supervisor, journal);
+    }
+    let obs_on = supervisor.observer().is_enabled();
     let queue = Mutex::new(VecDeque::from(todo));
     let (tx, rx) = mpsc::channel::<WorkerMsg>();
     std::thread::scope(|s| {
         for _ in 0..workers {
             let tx = tx.clone();
-            let worker =
-                supervisor.clone().with_observer(Obs::new(ChannelSink(tx.clone())));
+            // When observability is off, forwarding every event through
+            // the channel is pure overhead; give workers a dead sink.
+            let worker_obs =
+                if obs_on { Obs::new(ChannelSink(tx.clone())) } else { Obs::off() };
+            let worker = supervisor.clone().with_observer(worker_obs);
             let queue = &queue;
             let program = &program;
             s.spawn(move || loop {

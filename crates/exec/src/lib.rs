@@ -12,11 +12,13 @@
 //! completeness theorem (paper Theorem 1) empirically testable.
 
 pub mod cfg;
+pub mod cow;
 pub mod error;
 pub mod eval;
 pub mod value;
 
 pub use cfg::{FuncBody, Instr, InstrMeta, Module};
+pub use cow::CowVec;
 pub use error::ExecError;
 pub use eval::{eval_operand, eval_rvalue, exec_assign, place_addr, Env};
 pub use value::{Addr, HeapObj, Memory, Value};

@@ -7,6 +7,8 @@
 use kiss_lang::hir::{Const, FuncId, GlobalId, StructId};
 use kiss_lang::Program;
 
+use crate::cow::CowVec;
+
 /// The address of a memory cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Addr {
@@ -105,12 +107,16 @@ pub struct HeapObj {
 
 /// Shared memory: globals plus the heap. Thread stacks live in the
 /// engines' own configurations.
+///
+/// Both stores are [`CowVec`]s: cloning a `Memory` into a frontier or
+/// branch alternative bumps per-chunk reference counts, and the first
+/// write through [`CowVec::get_mut`] copies only the touched chunk.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct Memory {
     /// One value per global.
-    pub globals: Vec<Value>,
+    pub globals: CowVec<Value>,
     /// Allocated objects, in allocation order.
-    pub heap: Vec<HeapObj>,
+    pub heap: CowVec<HeapObj>,
 }
 
 impl Memory {
@@ -125,7 +131,7 @@ impl Memory {
                 None => Value::default_for(gd.ty.as_ref()),
             })
             .collect();
-        Memory { globals, heap: Vec::new() }
+        Memory { globals, heap: CowVec::new() }
     }
 
     /// Allocates a struct instance with all fields defaulted, returning

@@ -26,6 +26,11 @@ pub struct CheckMetrics {
     pub states: u64,
     /// Peak frontier/pending size (DFS stack or BFS queue).
     pub frontier_peak: u64,
+    /// Entries held by the state store (visited fingerprints).
+    pub states_stored: u64,
+    /// Bytes held by the state store (visited table, parent arenas,
+    /// interned trace segments).
+    pub store_bytes: u64,
     /// Function summaries computed (summary engine only).
     pub summaries: u64,
     /// Fixpoint rounds taken (summary engine only).
@@ -44,7 +49,8 @@ impl CheckMetrics {
     fn json_fields(&self, out: &mut String) {
         out.push_str(&format!(
             "\"check\":{},\"engine\":{},\"verdict\":{},\"steps\":{},\"states\":{},\
-             \"frontier_peak\":{},\"summaries\":{},\"rounds\":{},\"wall_ms\":{},\
+             \"frontier_peak\":{},\"states_stored\":{},\"store_bytes\":{},\
+             \"summaries\":{},\"rounds\":{},\"wall_ms\":{},\
              \"bound_reason\":{},\"retries\":{}",
             quoted(&self.check),
             quoted(&self.engine),
@@ -52,6 +58,8 @@ impl CheckMetrics {
             self.steps,
             self.states,
             self.frontier_peak,
+            self.states_stored,
+            self.store_bytes,
             self.summaries,
             self.rounds,
             self.wall_ms,
@@ -237,6 +245,8 @@ mod tests {
             steps: 7,
             states: 3,
             frontier_peak: 2,
+            states_stored: 3,
+            store_bytes: 144,
             summaries: 5,
             rounds: 2,
             wall_ms: 12,
@@ -246,6 +256,8 @@ mod tests {
         let parsed = Json::parse(&Event::CheckFinished { metrics: m }.to_json()).unwrap();
         assert_eq!(parsed.get("check").and_then(Json::as_str), Some("d\"x/1"));
         assert_eq!(parsed.get("summaries").and_then(Json::as_u64), Some(5));
+        assert_eq!(parsed.get("states_stored").and_then(Json::as_u64), Some(3));
+        assert_eq!(parsed.get("store_bytes").and_then(Json::as_u64), Some(144));
         assert_eq!(parsed.get("bound_reason").and_then(Json::as_str), Some("deadline"));
         assert_eq!(parsed.get("retries").and_then(Json::as_u64), Some(1));
     }

@@ -15,6 +15,10 @@ pub struct EngineTotals {
     pub steps: u64,
     /// Distinct states recorded (final attempts).
     pub states: u64,
+    /// Bytes held by the engines' state stores (final attempts,
+    /// summed). Parses as 0 from reports written before the gauge
+    /// existed.
+    pub store_bytes: u64,
     /// Wall-clock milliseconds spent.
     pub wall_ms: u64,
 }
@@ -54,6 +58,7 @@ impl RunReport {
         engine.checks += 1;
         engine.steps += m.steps;
         engine.states += m.states;
+        engine.store_bytes += m.store_bytes;
         engine.wall_ms += m.wall_ms;
         self.wall_ms += m.wall_ms;
         self.durations_ms.push(m.wall_ms);
@@ -75,6 +80,7 @@ impl RunReport {
             e.checks += v.checks;
             e.steps += v.steps;
             e.states += v.states;
+            e.store_bytes += v.store_bytes;
             e.wall_ms += v.wall_ms;
         }
         self.wall_ms += other.wall_ms;
@@ -141,11 +147,13 @@ impl RunReport {
             .iter()
             .map(|(k, e)| {
                 format!(
-                    "{}:{{\"checks\":{},\"steps\":{},\"states\":{},\"wall_ms\":{}}}",
+                    "{}:{{\"checks\":{},\"steps\":{},\"states\":{},\
+                     \"store_bytes\":{},\"wall_ms\":{}}}",
                     quoted(k),
                     e.checks,
                     e.steps,
                     e.states,
+                    e.store_bytes,
                     e.wall_ms,
                 )
             })
@@ -191,6 +199,12 @@ impl RunReport {
                         checks: e.get("checks")?.as_u64()?,
                         steps: e.get("steps")?.as_u64()?,
                         states: e.get("states")?.as_u64()?,
+                        // Tolerate reports from before the store gauge
+                        // existed (resumed journals, old traces).
+                        store_bytes: e
+                            .get("store_bytes")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(0),
                         wall_ms: e.get("wall_ms")?.as_u64()?,
                     },
                 ))
@@ -227,8 +241,9 @@ impl RunReport {
         }
         for (name, e) in &self.engines {
             out.push_str(&format!(
-                "  engine    : {name}: {} checks, {} steps, {} states, {} ms\n",
-                e.checks, e.steps, e.states, e.wall_ms
+                "  engine    : {name}: {} checks, {} steps, {} states, \
+                 {} store bytes, {} ms\n",
+                e.checks, e.steps, e.states, e.store_bytes, e.wall_ms
             ));
         }
         if let Some(sps) = self.states_per_sec() {
@@ -316,6 +331,32 @@ mod tests {
         assert_eq!(back, r);
         assert_eq!(RunReport::from_json("not json"), None);
         assert_eq!(RunReport::from_json("{\"checks\":1}"), None);
+    }
+
+    #[test]
+    fn reports_without_store_bytes_still_parse() {
+        // Journals written before the store gauge existed lack the
+        // field; resumed runs must still merge them.
+        let old = "{\"checks\":1,\"retries\":0,\"outcomes\":{\"pass\":1},\
+                   \"bound_reasons\":{},\"engines\":{\"explicit\":{\"checks\":1,\
+                   \"steps\":7,\"states\":3,\"wall_ms\":2}},\"wall_ms\":2,\
+                   \"durations_ms\":[2]}";
+        let r = RunReport::from_json(old).expect("old report must parse");
+        assert_eq!(r.engines["explicit"].store_bytes, 0);
+        assert_eq!(r.engines["explicit"].steps, 7);
+    }
+
+    #[test]
+    fn store_bytes_accumulate_per_engine() {
+        let mut r = RunReport::default();
+        let mut m = metric("pass", "bfs", 100, 4);
+        m.store_bytes = 1024;
+        r.observe(&m);
+        r.observe(&m);
+        assert_eq!(r.engines["bfs"].store_bytes, 2048);
+        assert!(r.render().contains("store bytes"));
+        let back = RunReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.engines["bfs"].store_bytes, 2048);
     }
 
     #[test]

@@ -10,22 +10,88 @@
 //!
 //! The BFS frontier stores whole configurations, so it trades memory
 //! for trace quality; prefer the DFS engine for pure verdicts.
+//!
+//! State bookkeeping lives behind [`StoreKind`]: the default `cow`
+//! store keys an open-addressing [`VisitedTable`] on **split
+//! fingerprints** (the shared part of a branch's alternatives is hashed
+//! once, each alternative finishes in O(1)), indexes the parent map by
+//! dense [`StateId`]s, and interns the per-edge trace segments — the
+//! `schedule()` preambles repeat heavily, so the historical owned
+//! `Vec<TraceStep>` clone per edge stored the same steps once per edge
+//! instead of once per distinct segment. `legacy` keeps the historical
+//! `HashSet` + owned-clone storage as the equivalence oracle.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use kiss_exec::{eval, Env as _, Instr, Module, Value};
 use kiss_obs::Obs;
 
-use crate::budget::{BoundReason, Budget, Meter};
+use crate::budget::{BoundReason, Budget, Meter, BYTES_PER_FINGERPRINT};
 use crate::cancel::CancelToken;
 use crate::config::{Config, Frame, SeqEnv};
 use crate::explicit::resolve_target;
 use crate::stats::EngineStats;
+use crate::store::{SegId, SegmentInterner, StateId, StoreKind, VisitedTable};
 use crate::verdict::{ErrorTrace, TraceStep, Verdict};
 
 /// Parent map over decision points: child fingerprint ->
 /// (parent fingerprint, steps taken between them).
 type ParentMap = HashMap<(u64, u64), ((u64, u64), Vec<TraceStep>)>;
+
+/// A frontier node's handle into the active store.
+#[derive(Clone, Copy)]
+enum NodeKey {
+    /// Legacy store: the node's full fingerprint.
+    Fp(u64, u64),
+    /// Cow store: the node's dense id in the visited table.
+    Id(StateId),
+}
+
+/// The per-run state storage, selected by [`StoreKind`].
+enum BfsStore {
+    Legacy {
+        visited: HashSet<(u64, u64)>,
+        parents: ParentMap,
+    },
+    Cow {
+        visited: VisitedTable,
+        /// Indexed by [`StateId`]; the root is its own parent.
+        parents: Vec<(StateId, SegId)>,
+        interner: SegmentInterner,
+    },
+}
+
+impl BfsStore {
+    fn len(&self) -> usize {
+        match self {
+            BfsStore::Legacy { visited, .. } => visited.len(),
+            BfsStore::Cow { visited, .. } => visited.len(),
+        }
+    }
+
+    /// Bytes held by visited + parent storage: exact for the cow
+    /// store, the historical estimate plus owned-segment sizes for
+    /// legacy.
+    fn bytes(&self) -> usize {
+        match self {
+            BfsStore::Legacy { visited, parents } => {
+                visited.len() * BYTES_PER_FINGERPRINT
+                    + parents
+                        .values()
+                        .map(|(_, steps)| {
+                            BYTES_PER_FINGERPRINT
+                                + steps.capacity() * std::mem::size_of::<TraceStep>()
+                        })
+                        .sum::<usize>()
+            }
+            BfsStore::Cow { visited, parents, interner } => {
+                visited.bytes()
+                    + parents.capacity() * std::mem::size_of::<(StateId, SegId)>()
+                    + interner.bytes()
+            }
+        }
+    }
+}
 
 /// The breadth-first checker.
 #[derive(Debug, Clone)]
@@ -34,6 +100,7 @@ pub struct BfsChecker<'a> {
     budget: Budget,
     cancel: CancelToken,
     obs: Obs,
+    store: StoreKind,
 }
 
 impl<'a> BfsChecker<'a> {
@@ -44,7 +111,14 @@ impl<'a> BfsChecker<'a> {
             budget: Budget::default(),
             cancel: CancelToken::default(),
             obs: Obs::off(),
+            store: StoreKind::default(),
         }
+    }
+
+    /// Selects the state-storage implementation.
+    pub fn with_store(mut self, store: StoreKind) -> Self {
+        self.store = store;
+        self
     }
 
     /// Replaces the budget.
@@ -78,28 +152,48 @@ impl<'a> BfsChecker<'a> {
         let mut meter = Meter::new(self.budget, self.cancel.clone())
             .with_state_size(256)
             .with_observer(self.obs.clone(), "bfs");
-        let mut visited: HashSet<(u64, u64)> = HashSet::new();
-        let mut parents: ParentMap = HashMap::new();
         let mut frontier_peak = 1usize;
         let root = Config::initial(self.module);
-        let root_fp = root.fingerprint();
-        visited.insert(root_fp);
-        let mut frontier: VecDeque<(Config, (u64, u64))> = VecDeque::new();
-        frontier.push_back((root, root_fp));
-
-        let stats = |meter: &Meter, visited: &HashSet<(u64, u64)>, frontier_peak: usize| {
-            EngineStats {
-                steps: meter.usage.steps,
-                states: visited.len(),
-                frontier_peak,
-                ..EngineStats::default()
+        let mut frontier: VecDeque<(Config, NodeKey)> = VecDeque::new();
+        let mut store = match self.store {
+            StoreKind::Legacy => {
+                let root_fp = root.fingerprint();
+                let mut visited = HashSet::new();
+                visited.insert(root_fp);
+                frontier.push_back((root, NodeKey::Fp(root_fp.0, root_fp.1)));
+                BfsStore::Legacy { visited, parents: HashMap::new() }
+            }
+            StoreKind::Cow => {
+                let root_fp = root.fingerprint_base().with_pc(root.top_pc());
+                let mut visited = VisitedTable::new();
+                let (root_id, _) = visited.insert(root_fp);
+                frontier.push_back((root, NodeKey::Id(root_id)));
+                BfsStore::Cow {
+                    visited,
+                    // The root is its own parent — the reconstruction
+                    // walk's termination sentinel.
+                    parents: vec![(root_id, SegId::EMPTY)],
+                    interner: SegmentInterner::new(),
+                }
             }
         };
 
-        while let Some((config, fp)) = frontier.pop_front() {
+        let stats = |meter: &Meter, store: &BfsStore, frontier_peak: usize| EngineStats {
+            steps: meter.usage.steps,
+            states: store.len(),
+            frontier_peak,
+            states_stored: store.len(),
+            store_bytes: store.bytes(),
+            ..EngineStats::default()
+        };
+
+        // Segment steps accumulate into one scratch buffer reused
+        // across segments instead of a fresh allocation per segment.
+        let mut steps: Vec<TraceStep> = Vec::with_capacity(64);
+        while let Some((config, key)) = frontier.pop_front() {
             // Run the segment to the next decision point (or to an
             // end), collecting its steps.
-            match self.run_segment(config, &mut meter) {
+            match self.run_segment(config, &mut meter, &mut steps) {
                 SegmentEnd::Budget(reason) => {
                     return (
                         Verdict::ResourceBound {
@@ -107,21 +201,72 @@ impl<'a> BfsChecker<'a> {
                             states: meter.usage.states,
                             reason,
                         },
-                        stats(&meter, &visited, frontier_peak),
+                        stats(&meter, &store, frontier_peak),
                     )
                 }
-                SegmentEnd::Error(verdict_steps, mk) => {
-                    let trace = self.reconstruct(&parents, fp, verdict_steps);
-                    return (mk(trace), stats(&meter, &visited, frontier_peak));
+                SegmentEnd::Error(mk) => {
+                    let trace = Self::reconstruct(&store, key, std::mem::take(&mut steps));
+                    return (mk(trace), stats(&meter, &store, frontier_peak));
                 }
                 SegmentEnd::Done => {}
-                SegmentEnd::Branch(steps, alternatives) => {
-                    for alt in alternatives {
-                        let afp = alt.fingerprint();
-                        if visited.insert(afp) {
-                            meter.note_states(visited.len());
-                            parents.insert(afp, (fp, steps.clone()));
-                            frontier.push_back((alt, afp));
+                SegmentEnd::Branch(mut config) => {
+                    // The config is parked on its NondetJump; the
+                    // alternatives differ only in the top pc, so each
+                    // is fingerprinted *before* it exists — by steering
+                    // the parked config's pc — and only genuinely new
+                    // states pay for a clone.
+                    let frame = config.stack.last().expect("nonempty at a branch");
+                    let body = self.module.body(frame.func);
+                    let Instr::NondetJump(targets) = &body.instrs[frame.pc] else {
+                        unreachable!("Branch ends only at a NondetJump")
+                    };
+                    match &mut store {
+                        BfsStore::Legacy { visited, parents } => {
+                            let NodeKey::Fp(f0, f1) = key else {
+                                unreachable!("legacy store hands out Fp keys")
+                            };
+                            for &t in targets {
+                                config.stack.last_mut().expect("nonempty").pc = t;
+                                let afp = config.fingerprint();
+                                if visited.insert(afp) {
+                                    meter.note_states(visited.len());
+                                    parents.insert(afp, ((f0, f1), steps.clone()));
+                                    frontier
+                                        .push_back((config.clone(), NodeKey::Fp(afp.0, afp.1)));
+                                }
+                            }
+                        }
+                        BfsStore::Cow { visited, parents, interner } => {
+                            let NodeKey::Id(parent_id) = key else {
+                                unreachable!("cow store hands out Id keys")
+                            };
+                            // Hash the shared part once; intern the edge
+                            // segment only when some alternative is new.
+                            // The last new alternative inherits the
+                            // parked config instead of cloning it.
+                            let base = config.fingerprint_base();
+                            let mut seg = None;
+                            let mut pending = None;
+                            for &t in targets {
+                                let afp = base.with_pc(t);
+                                let (id, new) = visited.insert(afp);
+                                if new {
+                                    meter.note_states(visited.len());
+                                    debug_assert_eq!(parents.len(), id.0 as usize);
+                                    let seg =
+                                        *seg.get_or_insert_with(|| interner.intern(&steps));
+                                    parents.push((parent_id, seg));
+                                    if let Some((pt, pid)) = pending.replace((t, id)) {
+                                        let mut c = config.clone();
+                                        c.stack.last_mut().expect("nonempty").pc = pt;
+                                        frontier.push_back((c, NodeKey::Id(pid)));
+                                    }
+                                }
+                            }
+                            if let Some((pt, pid)) = pending {
+                                config.stack.last_mut().expect("nonempty").pc = pt;
+                                frontier.push_back((config, NodeKey::Id(pid)));
+                            }
                         }
                     }
                     frontier_peak = frontier_peak.max(frontier.len());
@@ -134,37 +279,68 @@ impl<'a> BfsChecker<'a> {
                         states: meter.usage.states,
                         reason,
                     },
-                    stats(&meter, &visited, frontier_peak),
+                    stats(&meter, &store, frontier_peak),
                 );
             }
         }
-        (Verdict::Pass, stats(&meter, &visited, frontier_peak))
+        (Verdict::Pass, stats(&meter, &store, frontier_peak))
     }
 
-    fn reconstruct(
-        &self,
-        parents: &ParentMap,
-        mut fp: (u64, u64),
-        tail: Vec<TraceStep>,
-    ) -> ErrorTrace {
-        let mut segments = vec![tail];
-        while let Some((parent, steps)) = parents.get(&fp) {
-            segments.push(steps.clone());
-            fp = *parent;
-        }
-        segments.reverse();
-        ErrorTrace { steps: segments.concat(), globals: Vec::new() }
+    /// Rebuilds the full trace for the node at `key` by walking parent
+    /// edges back to the root — lazily, only when a violation is
+    /// actually reported.
+    fn reconstruct(store: &BfsStore, key: NodeKey, tail: Vec<TraceStep>) -> ErrorTrace {
+        let steps = match (store, key) {
+            (BfsStore::Legacy { parents, .. }, NodeKey::Fp(f0, f1)) => {
+                let mut fp = (f0, f1);
+                let mut segments = vec![tail];
+                while let Some((parent, steps)) = parents.get(&fp) {
+                    segments.push(steps.clone());
+                    fp = *parent;
+                }
+                segments.reverse();
+                segments.concat()
+            }
+            (BfsStore::Cow { parents, interner, .. }, NodeKey::Id(mut id)) => {
+                let mut segments: Vec<SegId> = Vec::new();
+                loop {
+                    let (parent, seg) = parents[id.0 as usize];
+                    if parent == id {
+                        break;
+                    }
+                    segments.push(seg);
+                    id = parent;
+                }
+                let total: usize =
+                    segments.iter().map(|&s| interner.get(s).len()).sum();
+                let mut steps = Vec::with_capacity(total + tail.len());
+                for &seg in segments.iter().rev() {
+                    steps.extend_from_slice(interner.get(seg));
+                }
+                steps.extend(tail);
+                steps
+            }
+            _ => unreachable!("store and key kinds always match"),
+        };
+        ErrorTrace { steps, globals: Vec::new() }
     }
 
     /// Runs deterministically until the next NondetJump (returning the
-    /// successor configs), an error, an end, or the budget.
+    /// successor configs), an error, an end, or the budget. The
+    /// executed steps land in `steps` (cleared first), which the caller
+    /// reuses across segments.
     ///
     /// Like the DFS engine, instructions are borrowed from the module
     /// body instead of cloned per executed step — `Call` argument lists
     /// and `NondetJump` target vectors are heap-backed.
-    fn run_segment(&self, mut config: Config, meter: &mut Meter) -> SegmentEnd {
+    fn run_segment(
+        &self,
+        mut config: Config,
+        meter: &mut Meter,
+        steps: &mut Vec<TraceStep>,
+    ) -> SegmentEnd {
         let module = self.module;
-        let mut steps: Vec<TraceStep> = Vec::with_capacity(64);
+        steps.clear();
         loop {
             let Some(frame) = config.stack.last() else {
                 return SegmentEnd::Done;
@@ -182,7 +358,6 @@ impl<'a> BfsChecker<'a> {
                     let mut env = SeqEnv { module, config: &mut config };
                     if let Err(e) = eval::exec_assign(&mut env, place, rv) {
                         return SegmentEnd::Error(
-                            steps,
                             Box::new(move |t| Verdict::RuntimeError(e, t)),
                         );
                     }
@@ -192,10 +367,9 @@ impl<'a> BfsChecker<'a> {
                     let env = SeqEnv { module, config: &mut config };
                     match eval::eval_cond(&env, cond) {
                         Ok(true) => config.stack.last_mut().expect("nonempty").pc += 1,
-                        Ok(false) => return SegmentEnd::Error(steps, Box::new(Verdict::Fail)),
+                        Ok(false) => return SegmentEnd::Error(Box::new(Verdict::Fail)),
                         Err(e) => {
                             return SegmentEnd::Error(
-                                steps,
                                 Box::new(move |t| Verdict::RuntimeError(e, t)),
                             )
                         }
@@ -208,7 +382,6 @@ impl<'a> BfsChecker<'a> {
                         Ok(false) => return SegmentEnd::Done,
                         Err(e) => {
                             return SegmentEnd::Error(
-                                steps,
                                 Box::new(move |t| Verdict::RuntimeError(e, t)),
                             )
                         }
@@ -232,7 +405,6 @@ impl<'a> BfsChecker<'a> {
                         }
                         Err(e) => {
                             return SegmentEnd::Error(
-                                steps,
                                 Box::new(move |t| Verdict::RuntimeError(e, t)),
                             )
                         }
@@ -241,7 +413,6 @@ impl<'a> BfsChecker<'a> {
                 Instr::Async { .. } => {
                     let e = kiss_exec::ExecError::AsyncInSequential;
                     return SegmentEnd::Error(
-                        steps,
                         Box::new(move |t| Verdict::RuntimeError(e, t)),
                     );
                 }
@@ -260,7 +431,6 @@ impl<'a> BfsChecker<'a> {
                             Ok(()) => {}
                             Err(e) => {
                                 return SegmentEnd::Error(
-                                    steps,
                                     Box::new(move |t| Verdict::RuntimeError(e, t)),
                                 )
                             }
@@ -270,14 +440,10 @@ impl<'a> BfsChecker<'a> {
                 Instr::Jump(t) => {
                     config.stack.last_mut().expect("nonempty").pc = *t;
                 }
-                Instr::NondetJump(targets) => {
-                    let mut alts = Vec::with_capacity(targets.len());
-                    for &t in targets {
-                        let mut alt = config.clone();
-                        alt.stack.last_mut().expect("nonempty").pc = t;
-                        alts.push(alt);
-                    }
-                    return SegmentEnd::Branch(steps, alts);
+                Instr::NondetJump(_) => {
+                    // Hand the parked config back; the caller steers its
+                    // pc through the targets, cloning only new states.
+                    return SegmentEnd::Branch(config);
                 }
                 Instr::AtomicBegin | Instr::AtomicEnd => {
                     config.stack.last_mut().expect("nonempty").pc += 1;
@@ -290,10 +456,13 @@ impl<'a> BfsChecker<'a> {
 enum SegmentEnd {
     /// Segment finished (termination or pruned assume).
     Done,
-    /// Hit a nondeterministic branch: successor configurations.
-    Branch(Vec<TraceStep>, Vec<Config>),
-    /// An error; the closure builds the verdict from the full trace.
-    Error(Vec<TraceStep>, Box<dyn FnOnce(ErrorTrace) -> Verdict>),
+    /// Hit a nondeterministic branch: the configuration parked on its
+    /// `NondetJump`. The segment's steps are in the caller's scratch
+    /// buffer.
+    Branch(Config),
+    /// An error; the closure builds the verdict from the full trace
+    /// (whose tail is the caller's scratch buffer).
+    Error(Box<dyn FnOnce(ErrorTrace) -> Verdict>),
     /// Out of budget, with the axis that tripped.
     Budget(BoundReason),
 }
@@ -323,6 +492,35 @@ mod tests {
             let dfs = ExplicitChecker::new(&m).check();
             assert_eq!(bfs.is_fail(), fails, "bfs on {src}: {bfs:?}");
             assert_eq!(dfs.is_fail(), fails, "dfs on {src}: {dfs:?}");
+        }
+    }
+
+    #[test]
+    fn legacy_and_cow_stores_explore_identically() {
+        let corpus = [
+            "int g; void main() { g = 1; assert g == 1; }",
+            "int g; void main() { g = 1; assert g == 2; }",
+            "int g; void main() { choice { g = 1; [] g = 2; } assert g == 1; }",
+            "int g; void main() { iter { g = g + 1; assume g <= 3; } assert g <= 3; }",
+            "int g; void main() { iter { g = g + 1; assume g <= 3; } assert g < 3; }",
+            "int g;
+             int pick() { choice { return 1; [] return 2; } }
+             void main() { int x; x = pick(); g = x; assert g == 1; }",
+        ];
+        for src in corpus {
+            let m = module(src);
+            let (lv, ls) =
+                BfsChecker::new(&m).with_store(StoreKind::Legacy).check_with_stats();
+            let (cv, cs) = BfsChecker::new(&m).with_store(StoreKind::Cow).check_with_stats();
+            // Everything the search *observes* is identical; only the
+            // store's byte accounting may differ between the two
+            // representations.
+            assert_eq!(lv, cv, "verdicts diverge on {src}");
+            assert_eq!(ls.steps, cs.steps, "steps diverge on {src}");
+            assert_eq!(ls.states, cs.states, "states diverge on {src}");
+            assert_eq!(ls.paths, cs.paths, "paths diverge on {src}");
+            assert_eq!(ls.frontier_peak, cs.frontier_peak, "frontier diverges on {src}");
+            assert_eq!(ls.states_stored, cs.states_stored, "stored diverge on {src}");
         }
     }
 

@@ -72,6 +72,74 @@ impl Config {
         self.hash(&mut h);
         h.finish_pair()
     }
+
+    /// The incremental half of a **split fingerprint**: hashes the
+    /// whole configuration *except* the top frame's program counter.
+    ///
+    /// On a nondeterministic branch every alternative shares memory,
+    /// stack and locals with its siblings and differs only in the top
+    /// pc, so the BFS store hashes the common part once and derives
+    /// each alternative's fingerprint with [`FpBase::with_pc`] — one
+    /// traversal plus N O(1) finishes instead of N full traversals.
+    ///
+    /// Split fingerprints hash their writes in a different order than
+    /// [`Config::fingerprint`], so the two schemes must not be mixed
+    /// within one visited table.
+    pub fn fingerprint_base(&self) -> FpBase {
+        let mut h = TwoLaneHasher::new();
+        // Memory goes in through the cached per-chunk digests: chunks
+        // shared with sibling states were already digested once, so a
+        // branch re-hashes only the chunks this path actually wrote.
+        self.mem.globals.hash_cached(&mut h);
+        self.mem.heap.hash_cached(&mut h);
+        h.write_usize(self.stack.len());
+        let top = self.stack.len().wrapping_sub(1);
+        for (i, frame) in self.stack.iter().enumerate() {
+            frame.func.hash(&mut h);
+            if i != top {
+                frame.pc.hash(&mut h);
+            }
+            frame.locals.hash(&mut h);
+            frame.dest.hash(&mut h);
+        }
+        FpBase { h }
+    }
+
+    /// The top frame's program counter — the part a split fingerprint
+    /// defers; panics on an empty stack (never fingerprinted).
+    pub fn top_pc(&self) -> usize {
+        self.stack.last().expect("fingerprinted config has a frame").pc
+    }
+}
+
+/// A partially computed [`Config`] fingerprint: everything but the top
+/// frame's pc is already mixed in. `Copy`, so deriving a sibling's
+/// fingerprint copies two lane states and finishes.
+#[derive(Clone, Copy)]
+pub struct FpBase {
+    h: TwoLaneHasher,
+}
+
+impl FpBase {
+    /// Completes the fingerprint for the alternative whose top frame
+    /// sits at `pc`.
+    #[inline]
+    pub fn with_pc(&self, pc: usize) -> (u64, u64) {
+        let mut h = self.h;
+        h.write_usize(pc);
+        h.finish_pair()
+    }
+}
+
+/// A 128-bit single-pass fingerprint of any hashable value, using the
+/// same two-lane scheme as [`Config::fingerprint`]. The summary engine
+/// keys its per-body visited tables on interprocedural `State`s rather
+/// than `Config`s, and this saves it the historical double
+/// `DefaultHasher` traversal.
+pub fn fingerprint_of<T: Hash>(value: &T) -> (u64, u64) {
+    let mut h = TwoLaneHasher::new();
+    value.hash(&mut h);
+    h.finish_pair()
 }
 
 /// One fingerprint lane: xor-multiply-rotate over 64-bit words with a
@@ -103,6 +171,7 @@ impl Lane {
 /// A [`Hasher`] that feeds every write into two [`Lane`]s with
 /// different seeds and multipliers, yielding a 128-bit result from one
 /// traversal of the hashed value.
+#[derive(Clone, Copy)]
 struct TwoLaneHasher {
     lo: Lane,
     hi: Lane,
@@ -418,6 +487,41 @@ mod tests {
         assert_eq!(old_seen.len(), count);
         // ...and the new one must too: no new collisions.
         assert_eq!(new_seen.len(), count);
+    }
+
+    #[test]
+    fn split_fingerprints_agree_with_a_direct_computation() {
+        let m = module(
+            "int g; void f(int a) { int l; l = a; } void main() { g = 1; g = 2; }",
+        );
+        let mut c = Config::initial(&m);
+        c.mem.globals[0] = Value::Int(3);
+        // Sibling alternatives: same base, different top pc. Each must
+        // equal the split fingerprint computed from scratch on a config
+        // that actually sits at that pc, and distinct pcs must yield
+        // distinct fingerprints.
+        let base = c.fingerprint_base();
+        let mut seen = std::collections::HashSet::new();
+        for pc in 0..3usize {
+            let mut alt = c.clone();
+            alt.stack[0].pc = pc;
+            assert_eq!(base.with_pc(pc), alt.fingerprint_base().with_pc(alt.top_pc()));
+            assert!(seen.insert(base.with_pc(pc)), "pc {pc} collided");
+        }
+        // The base is sensitive to everything below the top pc.
+        let mut other = c.clone();
+        other.mem.globals[0] = Value::Int(4);
+        assert_ne!(base.with_pc(0), other.fingerprint_base().with_pc(0));
+        let f = m.program.func_by_name("f").unwrap();
+        let mut deeper = c.clone();
+        deeper.stack.push(Frame::enter(&m, f, &[Value::Int(1)], None));
+        assert_ne!(base.with_pc(0), deeper.fingerprint_base().with_pc(0));
+    }
+
+    #[test]
+    fn fingerprint_of_matches_itself_and_separates_values() {
+        assert_eq!(fingerprint_of(&(1u64, 2u64)), fingerprint_of(&(1u64, 2u64)));
+        assert_ne!(fingerprint_of(&(1u64, 2u64)), fingerprint_of(&(2u64, 1u64)));
     }
 
     #[test]

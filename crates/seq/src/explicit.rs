@@ -6,8 +6,6 @@
 //! the engine KISS feeds the sequentialized program to, playing the
 //! role SLAM plays in the paper's Figure 1.
 
-use std::collections::HashSet;
-
 use kiss_exec::{eval, Env, Instr, Module, Value};
 use kiss_lang::hir::{CallTarget, FuncId};
 use kiss_obs::Obs;
@@ -16,6 +14,7 @@ use crate::budget::{Budget, Meter};
 use crate::cancel::CancelToken;
 use crate::config::{Config, Frame, SeqEnv};
 use crate::stats::EngineStats;
+use crate::store::{StoreKind, VisitedSet};
 use crate::verdict::{ErrorTrace, TraceStep, Verdict};
 
 /// The explicit-state checker.
@@ -25,6 +24,7 @@ pub struct ExplicitChecker<'a> {
     budget: Budget,
     cancel: CancelToken,
     obs: Obs,
+    store: StoreKind,
 }
 
 impl<'a> ExplicitChecker<'a> {
@@ -35,7 +35,15 @@ impl<'a> ExplicitChecker<'a> {
             budget: Budget::default(),
             cancel: CancelToken::default(),
             obs: Obs::off(),
+            store: StoreKind::default(),
         }
+    }
+
+    /// Selects the state-storage implementation: the interned
+    /// open-addressing table (default) or the legacy `HashSet`.
+    pub fn with_store(mut self, store: StoreKind) -> Self {
+        self.store = store;
+        self
     }
 
     /// Replaces the budget.
@@ -70,7 +78,7 @@ impl<'a> ExplicitChecker<'a> {
             module: self.module,
             meter: Meter::new(self.budget, self.cancel.clone())
                 .with_observer(self.obs.clone(), "explicit"),
-            visited: HashSet::new(),
+            visited: VisitedSet::new(self.store),
             trace: Vec::with_capacity(256),
             pending: {
                 let mut pending = Vec::with_capacity(32);
@@ -88,6 +96,8 @@ impl<'a> ExplicitChecker<'a> {
             states: usage.states,
             paths: search.paths,
             frontier_peak: search.frontier_peak,
+            states_stored: search.visited.len(),
+            store_bytes: search.visited.bytes(),
             ..EngineStats::default()
         };
         (verdict, stats)
@@ -97,7 +107,7 @@ impl<'a> ExplicitChecker<'a> {
 struct Search<'a> {
     module: &'a Module,
     meter: Meter,
-    visited: HashSet<(u64, u64)>,
+    visited: VisitedSet,
     trace: Vec<TraceStep>,
     pending: Vec<(Config, usize)>,
     /// Reusable buffer for evaluated call arguments, so dispatching a
@@ -277,7 +287,7 @@ impl Search<'_> {
     }
 
     fn snapshot(&self, config: &Config) -> ErrorTrace {
-        ErrorTrace { steps: self.trace.clone(), globals: config.mem.globals.clone() }
+        ErrorTrace { steps: self.trace.clone(), globals: config.mem.globals.to_vec() }
     }
 }
 

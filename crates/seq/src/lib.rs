@@ -26,6 +26,7 @@ pub mod cancel;
 pub mod config;
 pub mod explicit;
 pub mod stats;
+pub mod store;
 pub mod summary;
 pub mod verdict;
 
@@ -34,5 +35,6 @@ pub use budget::{BoundReason, Budget, Meter, Usage};
 pub use cancel::CancelToken;
 pub use explicit::ExplicitChecker;
 pub use stats::EngineStats;
+pub use store::{SegmentInterner, StateId, StoreKind, VisitedSet, VisitedTable};
 pub use summary::SummaryChecker;
 pub use verdict::{ErrorTrace, TraceStep, Verdict};

@@ -25,14 +25,22 @@ pub struct EngineStats {
     /// Peak size of the pending set (DFS stack / BFS queue). Explicit
     /// and BFS engines.
     pub frontier_peak: usize,
+    /// Entries held by the state store at the end of the run (visited
+    /// fingerprints, plus interned trace segments for BFS). All
+    /// engines.
+    pub states_stored: usize,
+    /// Bytes held by the state store: exact for the interned table,
+    /// estimated for legacy storage. All engines.
+    pub store_bytes: usize,
 }
 
 impl EngineStats {
     /// One-line rendering for `--stats` style output.
     pub fn render(&self) -> String {
         let mut line = format!(
-            "steps={} states={} paths={} frontier-peak={}",
-            self.steps, self.states, self.paths, self.frontier_peak
+            "steps={} states={} paths={} frontier-peak={} stored={} store-bytes={}",
+            self.steps, self.states, self.paths, self.frontier_peak,
+            self.states_stored, self.store_bytes
         );
         if self.summaries > 0 || self.rounds > 0 {
             line.push_str(&format!(" summaries={} rounds={}", self.summaries, self.rounds));
@@ -50,6 +58,7 @@ mod tests {
         let explicit = EngineStats { steps: 10, states: 4, paths: 2, frontier_peak: 3, ..EngineStats::default() };
         let line = explicit.render();
         assert!(line.contains("steps=10") && line.contains("frontier-peak=3"), "{line}");
+        assert!(line.contains("stored=0") && line.contains("store-bytes=0"), "{line}");
         assert!(!line.contains("summaries"), "{line}");
 
         let summary = EngineStats { steps: 10, states: 4, summaries: 4, rounds: 2, ..EngineStats::default() };

@@ -1,0 +1,448 @@
+//! The state store: interned visited table, trace-segment interner,
+//! and the storage-mode knob shared by the sequential engines.
+//!
+//! Explicit-state search lives or dies on its per-state bookkeeping
+//! (paper §6 bounds every check at 20 min / 800 MB). The historical
+//! storage — `HashSet<(u64, u64)>` for visited states and an owned
+//! `Vec<TraceStep>` clone per BFS parent edge — re-hashes every
+//! 128-bit fingerprint through SipHash on insert and duplicates the
+//! same `schedule()` preamble segments thousands of times. This module
+//! replaces both:
+//!
+//! * [`VisitedTable`] — open addressing keyed *directly* on the
+//!   fingerprint (it is already avalanche-mixed, so the low bits are
+//!   the slot index) which hands out dense [`StateId`]s in insertion
+//!   order, giving the engines array-indexed parent maps for free;
+//! * [`SegmentInterner`] — a flat [`TraceStep`] arena with hash-dedup,
+//!   so a repeated segment costs one slice compare instead of a clone;
+//! * [`StoreKind`] — the `--store legacy|cow` knob that keeps the old
+//!   storage reachable for the equivalence suite.
+
+use crate::verdict::TraceStep;
+
+/// Which state-storage implementation an engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoreKind {
+    /// Historical storage: `HashSet` visited sets and per-edge owned
+    /// trace clones. Kept as the equivalence oracle.
+    Legacy,
+    /// The store in this module: interned visited table, `StateId`
+    /// arenas, interned trace segments (the default).
+    #[default]
+    Cow,
+}
+
+impl StoreKind {
+    /// Parses the `--store` flag value.
+    pub fn parse(s: &str) -> Option<StoreKind> {
+        match s {
+            "legacy" => Some(StoreKind::Legacy),
+            "cow" => Some(StoreKind::Cow),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreKind::Legacy => "legacy",
+            StoreKind::Cow => "cow",
+        }
+    }
+}
+
+/// A dense index into a [`VisitedTable`], assigned in insertion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateId(pub u32);
+
+/// An open-addressing visited table keyed on 128-bit fingerprints.
+///
+/// Fingerprints arrive fully mixed (two multiply-rotate lanes with a
+/// splitmix64 finalizer), so the table uses their low bits as the probe
+/// start directly — no second hash pass, unlike `HashSet<(u64, u64)>`
+/// which SipHashes the 16 bytes on every insert and probe. Slots hold
+/// 1-based indices into a dense fingerprint array, so iteration order,
+/// [`StateId`] assignment, and the bytes gauge are all exact.
+pub struct VisitedTable {
+    /// 1-based indices into `fps`; 0 marks an empty slot.
+    slots: Box<[u32]>,
+    /// Fingerprints in insertion order; `StateId(i)` names `fps[i]`.
+    fps: Vec<(u64, u64)>,
+}
+
+/// Initial slot count; must be a power of two.
+const INITIAL_SLOTS: usize = 64;
+
+impl VisitedTable {
+    /// An empty table.
+    pub fn new() -> VisitedTable {
+        VisitedTable { slots: vec![0u32; INITIAL_SLOTS].into_boxed_slice(), fps: Vec::new() }
+    }
+
+    /// Number of distinct fingerprints stored.
+    pub fn len(&self) -> usize {
+        self.fps.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fps.is_empty()
+    }
+
+    /// Inserts `fp`, returning its [`StateId`] and whether it was new.
+    /// Ids are dense and assigned in first-seen order.
+    pub fn insert(&mut self, fp: (u64, u64)) -> (StateId, bool) {
+        if (self.fps.len() + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut idx = (fp.0 ^ fp.1) as usize & mask;
+        loop {
+            match self.slots[idx] {
+                0 => {
+                    self.fps.push(fp);
+                    self.slots[idx] = self.fps.len() as u32;
+                    return (StateId((self.fps.len() - 1) as u32), true);
+                }
+                slot => {
+                    let id = slot - 1;
+                    if self.fps[id as usize] == fp {
+                        return (StateId(id), false);
+                    }
+                    idx = (idx + 1) & mask;
+                }
+            }
+        }
+    }
+
+    /// Whether `fp` has been inserted.
+    pub fn contains(&self, fp: (u64, u64)) -> bool {
+        let mask = self.slots.len() - 1;
+        let mut idx = (fp.0 ^ fp.1) as usize & mask;
+        loop {
+            match self.slots[idx] {
+                0 => return false,
+                slot => {
+                    if self.fps[(slot - 1) as usize] == fp {
+                        return true;
+                    }
+                    idx = (idx + 1) & mask;
+                }
+            }
+        }
+    }
+
+    /// Exact bytes held by the table's backing storage.
+    pub fn bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<u32>()
+            + self.fps.capacity() * std::mem::size_of::<(u64, u64)>()
+    }
+
+    /// Doubles the slot array and re-probes every stored fingerprint.
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let mut slots = vec![0u32; new_len].into_boxed_slice();
+        let mask = new_len - 1;
+        for (i, fp) in self.fps.iter().enumerate() {
+            let mut idx = (fp.0 ^ fp.1) as usize & mask;
+            while slots[idx] != 0 {
+                idx = (idx + 1) & mask;
+            }
+            slots[idx] = (i + 1) as u32;
+        }
+        self.slots = slots;
+    }
+}
+
+impl Default for VisitedTable {
+    fn default() -> Self {
+        VisitedTable::new()
+    }
+}
+
+/// A visited set behind the [`StoreKind`] knob: the legacy `HashSet`
+/// or the interned [`VisitedTable`]. Both engines that only need
+/// membership (explicit DFS, summary bodies) use this; BFS talks to
+/// the table directly for its dense ids.
+pub enum VisitedSet {
+    /// `HashSet<(u64, u64)>`, as the engines historically kept it.
+    Legacy(std::collections::HashSet<(u64, u64)>),
+    /// The open-addressing table.
+    Table(VisitedTable),
+}
+
+impl VisitedSet {
+    /// An empty set of the given kind.
+    pub fn new(kind: StoreKind) -> VisitedSet {
+        match kind {
+            StoreKind::Legacy => VisitedSet::Legacy(std::collections::HashSet::new()),
+            StoreKind::Cow => VisitedSet::Table(VisitedTable::new()),
+        }
+    }
+
+    /// Inserts `fp`; true when it was not yet present.
+    pub fn insert(&mut self, fp: (u64, u64)) -> bool {
+        match self {
+            VisitedSet::Legacy(set) => set.insert(fp),
+            VisitedSet::Table(table) => table.insert(fp).1,
+        }
+    }
+
+    /// Number of distinct fingerprints.
+    pub fn len(&self) -> usize {
+        match self {
+            VisitedSet::Legacy(set) => set.len(),
+            VisitedSet::Table(table) => table.len(),
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes held: exact for the table, the historical
+    /// bytes-per-fingerprint estimate for the legacy set.
+    pub fn bytes(&self) -> usize {
+        match self {
+            VisitedSet::Legacy(set) => set.len() * crate::budget::BYTES_PER_FINGERPRINT,
+            VisitedSet::Table(table) => table.bytes(),
+        }
+    }
+}
+
+/// A handle to an interned trace segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegId(u32);
+
+impl SegId {
+    /// The empty segment, pre-interned in every interner.
+    pub const EMPTY: SegId = SegId(0);
+}
+
+/// Interns `&[TraceStep]` segments into one flat arena.
+///
+/// BFS discovers parent edges in segment-sized chunks, and the chunks
+/// repeat heavily: every path through a driver harness replays the same
+/// `schedule()` preamble, so the historical per-edge `Vec<TraceStep>`
+/// clone stored the same steps once per *edge* instead of once per
+/// *segment*. Interning stores each distinct segment once; an edge is
+/// then a 4-byte [`SegId`].
+pub struct SegmentInterner {
+    /// All interned steps, segment after segment.
+    steps: Vec<TraceStep>,
+    /// `(start, len)` into `steps`, indexed by `SegId`.
+    spans: Vec<(u32, u32)>,
+    /// Content hash per span, kept so `grow` re-probes without
+    /// re-hashing segment contents.
+    hashes: Vec<u64>,
+    /// Open-addressing index: 1-based `SegId`s keyed on the content
+    /// hash, 0 marks an empty slot (the empty segment is never probed).
+    slots: Box<[u32]>,
+}
+
+impl SegmentInterner {
+    /// An empty interner holding only [`SegId::EMPTY`].
+    pub fn new() -> SegmentInterner {
+        SegmentInterner {
+            steps: Vec::new(),
+            spans: vec![(0, 0)],
+            hashes: vec![0],
+            slots: vec![0u32; INITIAL_SLOTS].into_boxed_slice(),
+        }
+    }
+
+    /// Number of distinct segments (including the empty one).
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether only the empty segment is interned.
+    pub fn is_empty(&self) -> bool {
+        self.spans.len() == 1
+    }
+
+    /// Interns `segment`, returning the id of an existing identical
+    /// segment when one is already stored.
+    pub fn intern(&mut self, segment: &[TraceStep]) -> SegId {
+        if segment.is_empty() {
+            return SegId::EMPTY;
+        }
+        if self.spans.len() * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let hash = Self::hash_segment(segment);
+        let mask = self.slots.len() - 1;
+        let mut idx = hash as usize & mask;
+        loop {
+            match self.slots[idx] {
+                0 => {
+                    let start = self.steps.len() as u32;
+                    self.steps.extend_from_slice(segment);
+                    let id = self.spans.len() as u32;
+                    self.spans.push((start, segment.len() as u32));
+                    self.hashes.push(hash);
+                    self.slots[idx] = id;
+                    return SegId(id);
+                }
+                slot => {
+                    if self.hashes[slot as usize] == hash && self.get(SegId(slot)) == segment {
+                        return SegId(slot);
+                    }
+                    idx = (idx + 1) & mask;
+                }
+            }
+        }
+    }
+
+    /// Doubles the slot array and re-probes every interned segment.
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let mut slots = vec![0u32; new_len].into_boxed_slice();
+        let mask = new_len - 1;
+        for (id, &hash) in self.hashes.iter().enumerate().skip(1) {
+            let mut idx = hash as usize & mask;
+            while slots[idx] != 0 {
+                idx = (idx + 1) & mask;
+            }
+            slots[idx] = id as u32;
+        }
+        self.slots = slots;
+    }
+
+    /// The steps of an interned segment.
+    pub fn get(&self, id: SegId) -> &[TraceStep] {
+        let (start, len) = self.spans[id.0 as usize];
+        &self.steps[start as usize..(start + len) as usize]
+    }
+
+    /// Exact bytes held by the arena and its index.
+    pub fn bytes(&self) -> usize {
+        self.steps.capacity() * std::mem::size_of::<TraceStep>()
+            + self.spans.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.hashes.capacity() * std::mem::size_of::<u64>()
+            + self.slots.len() * std::mem::size_of::<u32>()
+    }
+
+    /// A cheap content hash: (func, pc) per step under an FNV-style
+    /// fold. Collisions only cost an extra slice compare.
+    fn hash_segment(segment: &[TraceStep]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for step in segment {
+            h = (h ^ u64::from(step.func.0)).wrapping_mul(0x0000_0100_0000_01B3);
+            h = (h ^ step.pc as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+impl Default for SegmentInterner {
+    fn default() -> Self {
+        SegmentInterner::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kiss_lang::hir::{FuncId, Origin};
+    use kiss_lang::Span;
+
+    #[test]
+    fn visited_table_inserts_dedups_and_survives_growth() {
+        let mut t = VisitedTable::new();
+        assert!(t.is_empty());
+        // Enough entries to force several grow() rebuilds, with
+        // adversarially similar fingerprints (sequential low bits).
+        for i in 0..5000u64 {
+            let (id, new) = t.insert((i, i.rotate_left(17)));
+            assert!(new, "fp {i} reported as seen on first insert");
+            assert_eq!(id, StateId(i as u32), "ids must be dense, in insertion order");
+        }
+        assert_eq!(t.len(), 5000);
+        for i in 0..5000u64 {
+            let fp = (i, i.rotate_left(17));
+            assert!(t.contains(fp));
+            let (id, new) = t.insert(fp);
+            assert!(!new);
+            assert_eq!(id, StateId(i as u32), "re-insert must return the original id");
+        }
+        assert_eq!(t.len(), 5000);
+        assert!(!t.contains((9999, 1)));
+        assert!(t.bytes() >= 5000 * 16);
+    }
+
+    #[test]
+    fn visited_set_modes_agree_on_membership() {
+        let fps: Vec<(u64, u64)> = (0..100).map(|i| (i * 3, i * 7 + 1)).collect();
+        let mut legacy = VisitedSet::new(StoreKind::Legacy);
+        let mut cow = VisitedSet::new(StoreKind::Cow);
+        for &fp in &fps {
+            assert_eq!(legacy.insert(fp), cow.insert(fp));
+        }
+        for &fp in &fps {
+            assert!(!legacy.insert(fp));
+            assert!(!cow.insert(fp));
+        }
+        assert_eq!(legacy.len(), cow.len());
+        assert!(legacy.bytes() > 0 && cow.bytes() > 0);
+    }
+
+    fn step(func: u32, pc: usize) -> TraceStep {
+        TraceStep { func: FuncId(func), pc, origin: Origin::User, span: Span::default() }
+    }
+
+    #[test]
+    fn interner_dedups_repeated_segments() {
+        let mut i = SegmentInterner::new();
+        assert!(i.is_empty());
+        let preamble: Vec<TraceStep> = (0..10).map(|pc| step(0, pc)).collect();
+        let other: Vec<TraceStep> = (0..10).map(|pc| step(1, pc)).collect();
+
+        let a = i.intern(&preamble);
+        let b = i.intern(&other);
+        assert_ne!(a, b);
+        let arena_after_two = i.bytes();
+        // The repeated preamble — the `schedule()` pattern — must not
+        // grow the arena, and must return the original id.
+        for _ in 0..100 {
+            assert_eq!(i.intern(&preamble), a);
+            assert_eq!(i.intern(&other), b);
+        }
+        assert_eq!(i.len(), 3, "empty + two distinct segments");
+        assert_eq!(i.bytes(), arena_after_two);
+        assert_eq!(i.get(a), &preamble[..]);
+        assert_eq!(i.get(b), &other[..]);
+    }
+
+    #[test]
+    fn interner_separates_hash_colliding_but_unequal_segments() {
+        let mut i = SegmentInterner::new();
+        // Same (func, pc) content hash, different spans/origin would
+        // still hash equal — here we vary pc so contents differ but
+        // prefixes collide in the index buckets.
+        let s1 = vec![step(0, 1), step(0, 2)];
+        let s2 = vec![step(0, 1), step(0, 3)];
+        let a = i.intern(&s1);
+        let b = i.intern(&s2);
+        assert_ne!(a, b);
+        assert_eq!(i.get(a), &s1[..]);
+        assert_eq!(i.get(b), &s2[..]);
+    }
+
+    #[test]
+    fn empty_segment_is_preinterned() {
+        let mut i = SegmentInterner::new();
+        assert_eq!(i.intern(&[]), SegId::EMPTY);
+        assert_eq!(i.get(SegId::EMPTY), &[] as &[TraceStep]);
+    }
+
+    #[test]
+    fn store_kind_parses_its_own_names() {
+        for kind in [StoreKind::Legacy, StoreKind::Cow] {
+            assert_eq!(StoreKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(StoreKind::parse("bitstate"), None);
+        assert_eq!(StoreKind::default(), StoreKind::Cow);
+    }
+}

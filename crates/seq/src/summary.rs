@@ -15,7 +15,7 @@
 //! not full traces, and it does not support pointers into a *caller's*
 //! stack frame (the explicit engine does).
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 
 use kiss_exec::{eval, Addr, Env, ExecError, Instr, Memory, Module, Value};
@@ -25,6 +25,7 @@ use kiss_obs::Obs;
 use crate::budget::{BoundReason, Budget, Meter};
 use crate::cancel::CancelToken;
 use crate::stats::EngineStats;
+use crate::store::{StoreKind, VisitedSet};
 use crate::verdict::{ErrorTrace, Verdict};
 
 /// A function entry state.
@@ -49,6 +50,7 @@ pub struct SummaryChecker<'a> {
     budget: Budget,
     cancel: CancelToken,
     obs: Obs,
+    store: StoreKind,
 }
 
 enum Interrupt {
@@ -65,7 +67,15 @@ impl<'a> SummaryChecker<'a> {
             budget: Budget::default(),
             cancel: CancelToken::default(),
             obs: Obs::off(),
+            store: StoreKind::default(),
         }
+    }
+
+    /// Selects the state-storage implementation for the per-body
+    /// visited tables.
+    pub fn with_store(mut self, store: StoreKind) -> Self {
+        self.store = store;
+        self
     }
 
     /// Replaces the budget.
@@ -100,6 +110,9 @@ impl<'a> SummaryChecker<'a> {
                 .with_observer(self.obs.clone(), "summary"),
             summaries: HashMap::new(),
             in_progress: Vec::new(),
+            store: self.store,
+            stored: 0,
+            store_bytes: 0,
         };
         let main_key = Key {
             func: self.module.program.main,
@@ -133,6 +146,8 @@ impl<'a> SummaryChecker<'a> {
             states: engine.summaries.len(),
             summaries: engine.summaries.len(),
             rounds,
+            states_stored: engine.stored,
+            store_bytes: engine.store_bytes,
             ..EngineStats::default()
         };
         (verdict, stats)
@@ -145,6 +160,11 @@ struct Engine<'a> {
     summaries: HashMap<Key, BTreeSet<Exit>>,
     /// Keys currently being analyzed (cycle detection for recursion).
     in_progress: Vec<Key>,
+    store: StoreKind,
+    /// Fingerprints recorded across all body explorations (gauge).
+    stored: usize,
+    /// Peak bytes held by a single body's visited table (gauge).
+    store_bytes: usize,
 }
 
 /// Intra-function exploration state.
@@ -229,6 +249,11 @@ impl Env for LocalEnv<'_> {
 impl Engine<'_> {
     /// Computes (or reuses) the summary for a key, returning a snapshot
     /// of the exit set.
+    //
+    // `Key`/`Exit` reach `CowVec`'s chunk-digest atomics, but those are
+    // a content-derived cache that `Eq`/`Ord`/`Hash` never read, so the
+    // keys are stable despite the interior mutability.
+    #[allow(clippy::mutable_key_type)]
     fn analyze(&mut self, key: Key) -> Result<BTreeSet<Exit>, Interrupt> {
         if self.in_progress.contains(&key) {
             // Recursive cycle: use the current partial summary; the
@@ -251,6 +276,8 @@ impl Engine<'_> {
         Ok(entry.clone())
     }
 
+    // Digest-cache atomics again; see `analyze`.
+    #[allow(clippy::mutable_key_type)]
     fn explore_body(&mut self, key: &Key) -> Result<BTreeSet<Exit>, Interrupt> {
         let def = self.module.program.func(key.func);
         let mut locals: Vec<Value> = Vec::with_capacity(def.locals.len());
@@ -264,7 +291,7 @@ impl Engine<'_> {
         let initial = State { mem: key.mem.clone(), locals, pc: 0 };
 
         let mut exits = BTreeSet::new();
-        let mut visited: HashSet<(u64, u64)> = HashSet::new();
+        let mut visited = VisitedSet::new(self.store);
         let mut pending: Vec<State> = vec![initial];
         let body = self.module.body(key.func);
 
@@ -273,6 +300,7 @@ impl Engine<'_> {
                 self.meter.tick().map_err(Interrupt::Budget)?;
                 if visited.len() > self.meter.budget().max_states {
                     self.meter.emit_violation(BoundReason::States);
+                    self.note_store(&visited);
                     return Err(Interrupt::Budget(BoundReason::States));
                 }
                 // Borrowed, not cloned: see explicit.rs — per-step
@@ -371,7 +399,15 @@ impl Engine<'_> {
                 }
             }
         }
+        self.note_store(&visited);
         Ok(exits)
+    }
+
+    /// Folds one body's visited table into the engine-wide store
+    /// gauges.
+    fn note_store(&mut self, visited: &VisitedSet) {
+        self.stored += visited.len();
+        self.store_bytes = self.store_bytes.max(visited.bytes());
     }
 }
 
@@ -390,13 +426,22 @@ fn apply_exit(
     Ok(())
 }
 
-fn record(visited: &mut HashSet<(u64, u64)>, state: &State) -> bool {
-    let mut h1 = std::collections::hash_map::DefaultHasher::new();
-    state.hash(&mut h1);
-    let mut h2 = std::collections::hash_map::DefaultHasher::new();
-    0xC0FF_EE00u64.hash(&mut h2);
-    state.hash(&mut h2);
-    visited.insert((h1.finish(), h2.finish()))
+fn record(visited: &mut VisitedSet, state: &State) -> bool {
+    let fp = match visited {
+        // The historical double-`DefaultHasher` fingerprint, kept
+        // bit-for-bit for the legacy store.
+        VisitedSet::Legacy(_) => {
+            let mut h1 = std::collections::hash_map::DefaultHasher::new();
+            state.hash(&mut h1);
+            let mut h2 = std::collections::hash_map::DefaultHasher::new();
+            0xC0FF_EE00u64.hash(&mut h2);
+            state.hash(&mut h2);
+            (h1.finish(), h2.finish())
+        }
+        // One two-lane traversal instead of two SipHash passes.
+        VisitedSet::Table(_) => crate::config::fingerprint_of(state),
+    };
+    visited.insert(fp)
 }
 
 #[cfg(test)]
