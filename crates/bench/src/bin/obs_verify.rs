@@ -14,6 +14,14 @@
 //!   once, and every per-check event names a started check;
 //! * the sum of per-check `retries` equals the number of
 //!   `retry_escalated` events;
+//! * serve-mode accounting balances: every `cache_hit`, `cache_miss`,
+//!   and `request_done` names a received request id, each received
+//!   request is answered exactly once (`request_done` count equals
+//!   `request_received`), and requests = cache hits + cache misses;
+//! * the summary report's serving counters satisfy the same balance,
+//!   agree with the trace when the report covers exactly this trace,
+//!   and carry one latency sample per request (so the per-request
+//!   percentiles are well-defined);
 //! * exactly one `run_summary` event exists, it is the last line, and
 //!   its report covers at least every non-cancelled finished check
 //!   (more only when the report merges resumed sessions);
@@ -32,12 +40,16 @@ use std::process::ExitCode;
 use kiss_obs::json::Json;
 use kiss_obs::RunReport;
 
-const KINDS: [&str; 6] = [
+const KINDS: [&str; 10] = [
     "check_started",
     "engine_tick",
     "retry_escalated",
     "budget_violated",
     "check_finished",
+    "request_received",
+    "cache_hit",
+    "cache_miss",
+    "request_done",
     "run_summary",
 ];
 
@@ -86,6 +98,10 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
     let mut finished_retries = 0u64;
     let mut cancelled = 0u64;
     let mut store_by_engine: BTreeMap<String, u64> = BTreeMap::new();
+    let mut received: BTreeMap<String, u64> = BTreeMap::new();
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut done = 0u64;
     let mut summary: Option<(usize, RunReport)> = None;
     let mut lines = 0usize;
 
@@ -133,6 +149,32 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
                     return Err(format!("line {n}: {kind} for unstarted check `{check}`"));
                 }
             }
+            "request_received" => {
+                let request = v
+                    .get("request")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("line {n}: request_received without request id"))?;
+                *received.entry(request.to_string()).or_insert(0) += 1;
+            }
+            "cache_hit" | "cache_miss" | "request_done" => {
+                let request = v
+                    .get("request")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("line {n}: {kind} without request id"))?;
+                if !received.contains_key(request) {
+                    return Err(format!("line {n}: {kind} for unreceived request `{request}`"));
+                }
+                match kind {
+                    "cache_hit" => hits += 1,
+                    "cache_miss" => misses += 1,
+                    _ => {
+                        done += 1;
+                        if v.get("wall_ms").and_then(Json::as_u64).is_none() {
+                            return Err(format!("line {n}: request_done without wall_ms"));
+                        }
+                    }
+                }
+            }
             "run_summary" => {
                 if summary.is_some() {
                     return Err(format!("line {n}: second run_summary"));
@@ -166,6 +208,18 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
         return Err(format!(
             "finished checks report {finished_retries} retries but the trace has \
              {escalations} retry_escalated event(s)"
+        ));
+    }
+    let requests: u64 = received.values().sum();
+    if hits + misses != requests {
+        return Err(format!(
+            "trace received {requests} request(s) but resolved {hits} cache hit(s) \
+             + {misses} cache miss(es)"
+        ));
+    }
+    if done != requests {
+        return Err(format!(
+            "trace received {requests} request(s) but has {done} request_done event(s)"
         ));
     }
     let (summary_line, report) =
@@ -205,6 +259,35 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
         }
     }
 
+    if report.cache_hits + report.cache_misses != report.requests {
+        return Err(format!(
+            "summary reports {} request(s) but {} cache hit(s) + {} cache miss(es)",
+            report.requests, report.cache_hits, report.cache_misses
+        ));
+    }
+    if report.request_ms.len() as u64 != report.requests {
+        return Err(format!(
+            "summary reports {} request(s) but carries {} latency sample(s); \
+             per-request percentiles need one sample per request",
+            report.requests,
+            report.request_ms.len()
+        ));
+    }
+    if report.requests < requests {
+        return Err(format!(
+            "summary report covers {} request(s) but the trace received {requests}",
+            report.requests
+        ));
+    }
+    // As with store gauges: when the report covers exactly this trace's
+    // requests, the hit/miss split must match the traced events.
+    if report.requests == requests && (report.cache_hits, report.cache_misses) != (hits, misses) {
+        return Err(format!(
+            "summary reports {} hit(s) / {} miss(es) but the trace has {hits} / {misses}",
+            report.cache_hits, report.cache_misses
+        ));
+    }
+
     if let Some(text) = metrics {
         let from_file = RunReport::from_json(text.trim())
             .ok_or("metrics file does not parse as a RunReport".to_string())?;
@@ -215,8 +298,13 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
 
     let counts: Vec<String> =
         kind_counts.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    let serving = if requests > 0 {
+        format!(", {requests} request(s) ({hits} hit / {misses} miss)")
+    } else {
+        String::new()
+    };
     Ok(format!(
-        "trace OK: {lines} events ({}), {} check(s), summary covers {} check(s){}",
+        "trace OK: {lines} events ({}), {} check(s){serving}, summary covers {} check(s){}",
         counts.join(" "),
         finished.len(),
         report.checks,
@@ -293,6 +381,61 @@ mod tests {
             Event::RunSummary { report }.to_json(),
         );
         assert!(verify(&trace, None).unwrap_err().contains("store bytes"));
+    }
+
+    fn request_lifecycle(id: &str, hit: bool) -> [Event; 3] {
+        let request = id.to_string();
+        [
+            Event::RequestReceived { request: request.clone(), queue_depth: 0 },
+            if hit {
+                Event::CacheHit { request: request.clone() }
+            } else {
+                Event::CacheMiss { request: request.clone() }
+            },
+            Event::RequestDone { request, verdict: "pass".to_string(), wall_ms: 3, queue_depth: 0 },
+        ]
+    }
+
+    #[test]
+    fn a_serving_trace_verifies_and_balances() {
+        let mut events = request_lifecycle("q0", false).to_vec();
+        events.extend(request_lifecycle("q1", true));
+        let (trace, metrics) = trace_of(&events);
+        let summary = verify(&trace, Some(&metrics)).unwrap();
+        assert!(summary.contains("2 request(s) (1 hit / 1 miss)"), "{summary}");
+    }
+
+    #[test]
+    fn serving_imbalances_are_reported() {
+        // A hit for a request the server never received.
+        let (trace, _) = trace_of(&[Event::CacheHit { request: "ghost".to_string() }]);
+        assert!(verify(&trace, None).unwrap_err().contains("unreceived"));
+        // A request classified miss but never answered.
+        let [recv, miss, _] = request_lifecycle("q0", false);
+        let (trace, _) = trace_of(&[recv.clone(), miss]);
+        assert!(verify(&trace, None).unwrap_err().contains("request_done"));
+        // A request answered without a hit/miss classification.
+        let [_, _, done] = request_lifecycle("q0", false);
+        let (trace, _) = trace_of(&[recv, done]);
+        assert!(verify(&trace, None).unwrap_err().contains("cache hit(s)"));
+    }
+
+    #[test]
+    fn summary_serving_counters_must_match_the_trace() {
+        // Hand-build a summary whose hit/miss split disagrees with the
+        // traced events (report claims a hit, trace shows a miss).
+        let events = request_lifecycle("q0", false);
+        let agg = Aggregator::new();
+        let obs = Obs::new(agg.clone());
+        for e in &request_lifecycle("q0", true) {
+            obs.emit(|_| e.clone());
+        }
+        let tampered = agg.report();
+        let mut trace: String =
+            events.iter().map(|e| format!("{}\n", e.to_json())).collect();
+        trace.push_str(&format!("{}\n", Event::RunSummary { report: tampered }.to_json()));
+        let err = verify(&trace, None).unwrap_err();
+        assert!(err.contains("but the trace has"), "{err}");
     }
 
     #[test]

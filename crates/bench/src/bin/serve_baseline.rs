@@ -1,0 +1,234 @@
+//! Serving baseline: throughput and cache hit-rate of `kiss-serve`
+//! answering the generated driver corpus, cold and then warm.
+//!
+//! ```text
+//! cargo run --release -p kiss-bench --bin serve_baseline -- \
+//!     [--quick] [--limit <n>] [--jobs <n>] [--out <path>]
+//! ```
+//!
+//! Boots a server in-process (unix-domain socket where available, a
+//! loopback TCP port otherwise), converts the driver corpus into a
+//! batch of race checks with [`kiss_drivers::corpus_batch`], and
+//! submits the same batch twice:
+//!
+//! * **cold** — an empty cache; every unique request is checked.
+//! * **warm** — the same batch again; every unique request should be a
+//!   cache hit, so the measured requests/s is the service overhead
+//!   (framing, hashing, queueing) without any checking.
+//!
+//! One JSON object is written (default `BENCH_serve.json`, the
+//! checked-in baseline) recording wall-clock, requests/s, and hit-rate
+//! for both passes plus the server's own counters. The warm pass is
+//! the headline: the acceptance bar is a ≥ 90% hit-rate with more
+//! requests/s than the cold pass.
+//!
+//! `--quick` truncates the batch for CI smoke use. The verdicts are
+//! deterministic, so one pass per temperature suffices.
+
+use std::time::Instant;
+
+use kiss_seq::{Budget, CancelToken};
+use kiss_serve::{submit_batch, BatchOutcome, Endpoint, Request, ServeConfig, Server};
+
+const USAGE: &str = "options: --quick --limit <n> --jobs <n> --out <path>";
+
+struct Options {
+    quick: bool,
+    limit: usize,
+    jobs: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        quick: false,
+        limit: 0,
+        jobs: std::thread::available_parallelism().map_or(2, usize::from),
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--limit" => {
+                let v = args.next().ok_or_else(|| format!("{arg} needs a value\n{USAGE}"))?;
+                opts.limit = v.parse().map_err(|_| format!("{arg}: cannot parse `{v}`"))?;
+            }
+            "--jobs" => {
+                let v = args.next().ok_or_else(|| format!("{arg} needs a value\n{USAGE}"))?;
+                opts.jobs = v.parse().map_err(|_| format!("{arg}: cannot parse `{v}`"))?;
+                if opts.jobs == 0 {
+                    return Err(format!("--jobs needs at least 1\n{USAGE}"));
+                }
+            }
+            "--out" => {
+                opts.out = args.next().ok_or_else(|| format!("{arg} needs a path\n{USAGE}"))?;
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if opts.limit == 0 && opts.quick {
+        opts.limit = 12;
+    }
+    Ok(opts)
+}
+
+/// The corpus as a request batch: one race check per (driver, field)
+/// entry, labelled like the local corpus runner.
+fn corpus_requests(limit: usize) -> Vec<Request> {
+    let mut requests: Vec<Request> = kiss_drivers::corpus_batch(false)
+        .into_iter()
+        .map(|e| Request::race(&e.label, &e.source, &e.race_spec))
+        .collect();
+    if limit > 0 {
+        requests.truncate(limit);
+    }
+    requests
+}
+
+fn requests_per_sec(unique: usize, wall_us: u64) -> u64 {
+    (unique as f64 * 1_000_000.0 / wall_us.max(1) as f64) as u64
+}
+
+fn pass_json(name: &str, outcome: &BatchOutcome, wall_us: u64) -> String {
+    let answered = outcome.hits + outcome.misses;
+    let hit_rate = outcome.hits as f64 * 100.0 / answered.max(1) as f64;
+    format!(
+        "\"{name}\":{{\"wall_us\":{wall_us},\"requests_per_sec\":{},\
+         \"hits\":{},\"misses\":{},\"hit_rate_pct\":{hit_rate:.1}}}",
+        requests_per_sec(outcome.unique, wall_us),
+        outcome.hits,
+        outcome.misses,
+    )
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("serve_baseline: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let requests = corpus_requests(opts.limit);
+    if requests.is_empty() {
+        eprintln!("serve_baseline: the corpus produced no entries");
+        std::process::exit(2);
+    }
+
+    // Boot the server in-process: unix socket where the platform has
+    // one, loopback TCP everywhere else. An OS-assigned port (0) keeps
+    // parallel runs from colliding.
+    #[cfg(unix)]
+    let (cfg_endpoint, socket_path) = {
+        let path = std::env::temp_dir()
+            .join(format!("kiss-serve-bench-{}.sock", std::process::id()));
+        ((Some(path.clone()), None), Some(path))
+    };
+    #[cfg(not(unix))]
+    let (cfg_endpoint, socket_path): ((Option<std::path::PathBuf>, Option<u16>), Option<std::path::PathBuf>) =
+        ((None, Some(0)), None);
+
+    let cfg = ServeConfig {
+        socket: cfg_endpoint.0,
+        port: cfg_endpoint.1,
+        jobs: opts.jobs,
+        budget: Budget::steps_states(50_000, 8_000),
+        ..ServeConfig::default()
+    };
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve_baseline: cannot bind: {e}");
+            std::process::exit(2);
+        }
+    };
+    let endpoint = match (&socket_path, server.local_port()) {
+        #[cfg(unix)]
+        (Some(path), _) => Endpoint::Unix(path.clone()),
+        (_, Some(port)) => Endpoint::Tcp(format!("127.0.0.1:{port}")),
+        _ => {
+            eprintln!("serve_baseline: server has no reachable endpoint");
+            std::process::exit(2);
+        }
+    };
+    let shutdown = CancelToken::new();
+    let token = shutdown.clone();
+    let handle = std::thread::spawn(move || server.run(&token));
+
+    let submit = |tag: &str| -> (BatchOutcome, u64) {
+        let t0 = Instant::now();
+        let outcome = match submit_batch(&endpoint, &requests) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("serve_baseline: {tag} submit failed: {e}");
+                std::process::exit(2);
+            }
+        };
+        (outcome, t0.elapsed().as_micros() as u64)
+    };
+
+    let (cold, cold_us) = submit("cold");
+    let (warm, warm_us) = submit("warm");
+    shutdown.cancel();
+    let stats = match handle.join().expect("server thread") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve_baseline: server failed: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let entries = requests.len();
+    println!(
+        "cold: {entries} entries ({} unique) in {cold_us} us — {} req/s, \
+         {} hit(s) / {} miss(es)",
+        cold.unique,
+        requests_per_sec(cold.unique, cold_us),
+        cold.hits,
+        cold.misses
+    );
+    println!(
+        "warm: {entries} entries ({} unique) in {warm_us} us — {} req/s, \
+         {} hit(s) / {} miss(es)",
+        warm.unique,
+        requests_per_sec(warm.unique, warm_us),
+        warm.hits,
+        warm.misses
+    );
+    println!(
+        "server: {} request(s), {} cache hit(s), {} miss(es)",
+        stats.requests, stats.cache_hits, stats.cache_misses
+    );
+
+    let json = format!(
+        "{{\"version\":1,\"quick\":{},\"entries\":{entries},\"unique\":{},\"jobs\":{},\
+         {},{},\
+         \"server\":{{\"requests\":{},\"cache_hits\":{},\"cache_misses\":{}}}}}\n",
+        opts.quick,
+        cold.unique,
+        opts.jobs,
+        pass_json("cold", &cold, cold_us),
+        pass_json("warm", &warm, warm_us),
+        stats.requests,
+        stats.cache_hits,
+        stats.cache_misses,
+    );
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("serve_baseline: cannot write {}: {e}", opts.out);
+        std::process::exit(2);
+    }
+    println!("wrote {}", opts.out);
+
+    // The point of the cache: a warm pass must be near-total hits and
+    // strictly faster than checking.
+    if warm.hits * 10 < (warm.hits + warm.misses) * 9 {
+        eprintln!("serve_baseline: warm hit-rate below 90%");
+        std::process::exit(1);
+    }
+    if warm_us >= cold_us {
+        eprintln!("serve_baseline: warm pass was not faster than cold");
+        std::process::exit(1);
+    }
+}

@@ -11,6 +11,8 @@
 //! kissc transform <file.kc> [--max-ts N] [--race <target>]
 //! kissc explore <file.kc> [--balanced] [--context-bound K]
 //! kissc detectors <file.kc> <target> [--runs N]
+//! kissc serve [--socket PATH] [--port N] [--jobs N] [--cache-dir DIR] [--max-queue N]
+//! kissc submit <file.kc>... | --corpus  (--socket PATH | --port N)
 //! ```
 //!
 //! `<target>` is a global name or `Struct.field`. Exit code 0 means no
@@ -29,6 +31,7 @@
 //! writes the aggregated `RunReport` as JSON, and `--progress` renders
 //! a throttled heartbeat on stderr.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -42,6 +45,7 @@ use kiss_exec::Module;
 use kiss_lang::Program;
 use kiss_obs::{Aggregator, Event, Heartbeat, JsonlSink, Obs, Observer};
 use kiss_seq::{BoundReason, Budget, CancelToken};
+use kiss_serve::{submit_batch, Endpoint, Request, ServeConfig, Server};
 
 fn main() -> ExitCode {
     restore_sigpipe_default();
@@ -68,6 +72,25 @@ const USAGE: &str = "usage:
   kissc transform <file.kc> [--max-ts N] [--race <target>]
   kissc explore <file.kc> [--balanced] [--context-bound K]
   kissc detectors <file.kc> <target> [--runs N]
+  kissc serve [--socket PATH] [--port N] [--jobs N] [--cache-dir DIR] [--max-queue N]
+              [--timeout S] [--max-steps N] [--max-states N] [--retries N]
+              [--trace-out PATH] [--metrics PATH] [--progress]
+  kissc submit <file.kc>... [--race <target>] (--socket PATH | --port N)
+  kissc submit --corpus [--refined] [--limit N] (--socket PATH | --port N)
+              [--engine explicit|summary|bfs] [--store legacy|cow] [--max-ts N]
+              [--timeout S] [--max-steps N] [--max-states N] [--no-cache]
+
+serving (serve, submit):
+  --socket PATH     unix socket to listen/connect on
+  --port N          loopback TCP port to listen/connect on (serve: 0 picks one)
+  --jobs N          worker threads executing checks (default: CPU count)
+  --cache-dir DIR   persist the result cache journal here (survives restarts)
+  --max-queue N     bounded job-queue depth; full = backpressure (default 64)
+  --corpus          submit the 18-driver evaluation corpus (deduplicated)
+  --refined         corpus under the refined OS model
+  --limit N         submit only the first N corpus entries
+  --no-cache        ask the server to skip its cache lookup
+  ^C drains in-flight requests before the server exits
 
 state store (check, race):
   --store legacy|cow  visited-state representation: `cow` (default) is the
@@ -125,9 +148,13 @@ impl<'a> Flags<'a> {
 
     fn finish(self) -> Result<(), String> {
         if self.rest.is_empty() {
-            Ok(())
-        } else {
-            Err(format!("unrecognized arguments: {}", self.rest.join(" ")))
+            return Ok(());
+        }
+        // Name the offending flag so a typo like `--max-step` is
+        // diagnosed directly instead of dumped in a pile.
+        match self.rest.iter().find(|a| a.starts_with("--")) {
+            Some(flag) => Err(format!("unrecognized flag `{flag}`")),
+            None => Err(format!("unexpected argument `{}`", self.rest[0])),
         }
     }
 }
@@ -284,7 +311,177 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             println!("happens-b.: {} race(s) over {runs} runs", hb.races.len());
             Ok(ExitCode::SUCCESS)
         }
+        "serve" => {
+            let socket = flags.value("--socket")?.map(PathBuf::from);
+            let port = match flags.value("--port")? {
+                Some(s) => Some(parse_num(s)? as u16),
+                None => None,
+            };
+            let jobs = match flags.value("--jobs")? {
+                Some(s) => parse_num(s)?,
+                None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+            };
+            let max_queue = match flags.value("--max-queue")? {
+                Some(s) => parse_num(s)?,
+                None => 64,
+            };
+            let cache_dir = flags.value("--cache-dir")?.map(PathBuf::from);
+            let (budget, retries) = bound_flags(&mut flags)?;
+            let obs_opts = obs_flags(&mut flags)?;
+            flags.finish()?;
+            let (obs, agg) = build_obs(&obs_opts)?;
+            let shutdown = CancelToken::new();
+            install_sigint_cancel(shutdown.clone());
+            let cfg = ServeConfig {
+                socket: socket.clone(),
+                port,
+                jobs,
+                max_queue,
+                cache_dir,
+                budget,
+                retries,
+                obs: obs.clone(),
+            };
+            let server = Server::bind(cfg).map_err(|e| e.to_string())?;
+            if let Some(path) = &socket {
+                println!("listening on {}", path.display());
+            }
+            if let Some(port) = server.local_port() {
+                println!("listening on 127.0.0.1:{port}");
+            }
+            println!("serving with {jobs} worker(s); ^C drains and exits");
+            let stats = server.run(&shutdown).map_err(|e| format!("serve failed: {e}"))?;
+            finish_observed(&obs, agg.as_ref(), &obs_opts)?;
+            println!(
+                "served {} request(s): {} cache hit(s), {} miss(es)",
+                stats.requests, stats.cache_hits, stats.cache_misses
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "submit" => {
+            let socket = flags.value("--socket")?.map(PathBuf::from);
+            let port = match flags.value("--port")? {
+                Some(s) => Some(parse_num(s)? as u16),
+                None => None,
+            };
+            let corpus = flags.flag("--corpus");
+            let refined = flags.flag("--refined");
+            let limit = flags.value("--limit")?.map(parse_num).transpose()?;
+            let engine = match flags.value("--engine")? {
+                None => Engine::default(),
+                Some(s) => Engine::parse(s).ok_or_else(|| format!("unknown engine `{s}`"))?,
+            };
+            let store = store_flag(&mut flags)?;
+            let max_ts: usize = parse_num(flags.value("--max-ts")?.unwrap_or("0"))?;
+            let timeout_ms = flags
+                .value("--timeout")?
+                .map(|s| parse_num(s).map(|secs| (secs as u64) * 1000))
+                .transpose()?;
+            let max_steps = flags.value("--max-steps")?.map(parse_num).transpose()?;
+            let max_states = flags.value("--max-states")?.map(parse_num).transpose()?;
+            let no_cache = flags.flag("--no-cache");
+            let race = flags.value("--race")?;
+            let mut files = Vec::new();
+            while let Some(f) = flags.positional() {
+                files.push(f);
+            }
+            flags.finish()?;
+            let endpoint = endpoint_of(socket, port)?;
+            let configure = |mut request: Request| {
+                request.engine = engine;
+                request.store = store;
+                request.max_ts = max_ts;
+                request.max_steps = max_steps.map(|n| n as u64);
+                request.max_states = max_states.map(|n| n as u64);
+                request.timeout_ms = timeout_ms;
+                request.no_cache = no_cache;
+                request
+            };
+            let mut requests = Vec::new();
+            if corpus {
+                if !files.is_empty() {
+                    return Err("--corpus and <file.kc> arguments are mutually exclusive".into());
+                }
+                let mut entries = kiss_drivers::corpus_batch(refined);
+                if let Some(limit) = limit {
+                    entries.truncate(limit);
+                }
+                for entry in entries {
+                    requests
+                        .push(configure(Request::race(entry.label, entry.source, entry.race_spec)));
+                }
+            } else {
+                if files.is_empty() {
+                    return Err("submit needs <file.kc> arguments or --corpus".into());
+                }
+                for file in files {
+                    let source = std::fs::read_to_string(file)
+                        .map_err(|e| format!("cannot read `{file}`: {e}"))?;
+                    requests.push(configure(match race {
+                        Some(target) => Request::race(file, source, target),
+                        None => Request::check(file, source),
+                    }));
+                }
+            }
+            let started = std::time::Instant::now();
+            let outcome =
+                submit_batch(&endpoint, &requests).map_err(|e| format!("submit failed: {e}"))?;
+            let wall = started.elapsed();
+            for (response, cache) in outcome.responses.iter().zip(&outcome.entry_cache) {
+                println!(
+                    "{}: {} — {} [{}]",
+                    response.id,
+                    response.verdict,
+                    response.detail,
+                    cache.as_str()
+                );
+            }
+            let answered = outcome.hits + outcome.misses;
+            let hit_rate = if answered == 0 {
+                0.0
+            } else {
+                100.0 * outcome.hits as f64 / answered as f64
+            };
+            let rps = outcome.responses.len() as f64 / wall.as_secs_f64().max(1e-9);
+            println!(
+                "{} entries ({} unique) in {} ms: hits={} misses={} hit-rate={hit_rate:.1}% — {rps:.0} req/s",
+                outcome.responses.len(),
+                outcome.unique,
+                wall.as_millis(),
+                outcome.hits,
+                outcome.misses,
+            );
+            let verdicts: Vec<&str> =
+                outcome.responses.iter().map(|r| r.verdict.as_str()).collect();
+            if outcome.responses.iter().any(|r| r.found_error()) {
+                Ok(ExitCode::from(1))
+            } else if verdicts.contains(&"crashed") {
+                Ok(ExitCode::from(4))
+            } else if verdicts.contains(&"inconclusive") {
+                Ok(ExitCode::from(3))
+            } else if verdicts.iter().any(|v| *v == "error" || *v == "transform_failed") {
+                Ok(ExitCode::from(2))
+            } else {
+                Ok(ExitCode::SUCCESS)
+            }
+        }
         other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Picks the client endpoint from `--socket`/`--port`.
+fn endpoint_of(socket: Option<PathBuf>, port: Option<u16>) -> Result<Endpoint, String> {
+    #[cfg(unix)]
+    if let Some(path) = socket {
+        return Ok(Endpoint::Unix(path));
+    }
+    #[cfg(not(unix))]
+    if socket.is_some() {
+        return Err("unix sockets are not available on this platform; use --port".into());
+    }
+    match port {
+        Some(port) => Ok(Endpoint::Tcp(format!("127.0.0.1:{port}"))),
+        None => Err("submit needs a server --socket or --port".into()),
     }
 }
 

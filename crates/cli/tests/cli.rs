@@ -238,3 +238,106 @@ fn sigint_cancels_the_check_with_exit_3() {
     assert!(stdout.contains("cancelled"), "{stdout}");
     std::fs::remove_file(path).ok();
 }
+
+#[test]
+fn help_lists_every_subcommand_and_the_exit_code_table() {
+    let out = kissc().args(["--help"]).output().expect("run kissc");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for subcommand in
+        ["kissc check", "kissc race", "kissc transform", "kissc explore", "kissc detectors", "kissc serve", "kissc submit"]
+    {
+        assert!(stdout.contains(subcommand), "help must list `{subcommand}`:\n{stdout}");
+    }
+    assert!(stdout.contains("exit codes:"), "{stdout}");
+    for line in ["0  no error found", "1  an error was reported", "2  usage", "3  inconclusive", "4  the check itself crashed"] {
+        assert!(stdout.contains(line), "exit-code table must mention `{line}`:\n{stdout}");
+    }
+}
+
+#[test]
+fn unknown_flags_are_named_in_the_error() {
+    let path = write_temp("unknownflag", CLEAN);
+    let out = kissc()
+        .args(["check"])
+        .arg(&path)
+        .args(["--max-step", "5"])
+        .output()
+        .expect("run kissc");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unrecognized flag `--max-step`"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_and_submit_round_trip_with_cache_hits_and_clean_drain() {
+    use std::time::{Duration, Instant};
+
+    let program = write_temp("served", RACY);
+    let socket = std::env::temp_dir().join(format!("kissc-serve-{}.sock", std::process::id()));
+    let mut server = kissc()
+        .args(["serve", "--socket"])
+        .arg(&socket)
+        .args(["--jobs", "2", "--max-steps", "100000", "--max-states", "20000"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn kissc serve");
+    // Wait for the socket to exist before submitting.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "server never bound its socket");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let submit = |label: &str| {
+        let out = kissc()
+            .args(["submit"])
+            .arg(&program)
+            .args(["--race", "r", "--socket"])
+            .arg(&socket)
+            .output()
+            .expect("run kissc submit");
+        assert_eq!(out.status.code(), Some(1), "{label}: a race is exit 1: {out:?}");
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let cold = submit("cold");
+    assert!(cold.contains("[cache miss]"), "{cold}");
+    assert!(cold.contains("hit-rate=0.0%"), "{cold}");
+    let warm = submit("warm");
+    assert!(warm.contains("[cache hit]"), "{warm}");
+    assert!(warm.contains("hit-rate=100.0%"), "{warm}");
+    // Identical verdict lines modulo the cache marker.
+    let verdict = |s: &str| s.lines().next().unwrap().replace("[cache hit]", "").replace("[cache miss]", "");
+    assert_eq!(verdict(&cold), verdict(&warm));
+
+    let kill = Command::new("kill")
+        .args(["-INT", &server.id().to_string()])
+        .status()
+        .expect("send SIGINT");
+    assert!(kill.success());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        if let Some(status) = server.try_wait().expect("poll server") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "server did not drain after SIGINT");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(status.code(), Some(0), "clean drain exits 0: {status:?}");
+    let mut stdout = String::new();
+    use std::io::Read as _;
+    server.stdout.take().unwrap().read_to_string(&mut stdout).expect("read stdout");
+    assert!(stdout.contains("served 2 request(s): 1 cache hit(s), 1 miss(es)"), "{stdout}");
+    std::fs::remove_file(program).ok();
+}
+
+#[test]
+fn submit_without_an_endpoint_is_a_usage_error() {
+    let path = write_temp("noendpoint", CLEAN);
+    let out = kissc().args(["submit"]).arg(&path).output().expect("run kissc");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--socket or --port"));
+    std::fs::remove_file(path).ok();
+}

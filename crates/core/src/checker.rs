@@ -43,6 +43,17 @@ impl Engine {
             Engine::Bfs => "bfs",
         }
     }
+
+    /// Parses [`Engine::name`] output (the `--engine` flag values and
+    /// the serve protocol's `engine` field).
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "explicit" => Some(Engine::Explicit),
+            "summary" => Some(Engine::Summary),
+            "bfs" => Some(Engine::Bfs),
+            _ => None,
+        }
+    }
 }
 
 /// Search statistics for one check.

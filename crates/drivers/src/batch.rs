@@ -1,0 +1,96 @@
+//! Corpus-to-batch conversion for `kiss-serve` submissions.
+//!
+//! A served check receives program *text*, so each (driver, field) pair
+//! is harnessed locally — the same `DriverInit ∥ dispatch ∥ dispatch`
+//! closure [`crate::table`] builds — and pretty-printed back to KISS-C
+//! (the printer round-trips through the parser). Fields the refined OS
+//! model rules out without a search produce no entry, mirroring the
+//! searchless short-circuit in the local corpus runner.
+
+use kiss_core::harness::dispatch_harness;
+use kiss_lang::pretty::print_program;
+
+use crate::corpus::generate_corpus;
+
+/// One submittable check: a self-contained harnessed program plus the
+/// race spec to check it against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchEntry {
+    /// `driver/field`, matching the local corpus runner's check labels.
+    pub label: String,
+    /// The harnessed program, pretty-printed KISS-C.
+    pub source: String,
+    /// The race target spec (`Ext.field`) for this entry.
+    pub race_spec: String,
+}
+
+/// Builds the full 18-driver corpus as a flat batch of race checks,
+/// one entry per field with at least one concurrently-dispatchable
+/// routine pair under the chosen OS model.
+pub fn corpus_batch(refined: bool) -> Vec<BatchEntry> {
+    let mut entries = Vec::new();
+    for model in generate_corpus() {
+        let program = match kiss_lang::parse_and_lower(&model.source) {
+            Ok(p) => p,
+            // Generated drivers always parse; a regression here should
+            // surface in the corpus tests, not kill a submission.
+            Err(_) => continue,
+        };
+        for field in 0..model.fields.len() {
+            let pairs = model.field_pairs(field, refined);
+            if pairs.is_empty() {
+                continue;
+            }
+            let pair_refs: Vec<(&str, &str)> =
+                pairs.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+            let Ok(harnessed) = dispatch_harness(&program, Some("DriverInit"), &pair_refs) else {
+                continue;
+            };
+            entries.push(BatchEntry {
+                label: format!("{}/{}", model.name, field),
+                source: print_program(&harnessed),
+                race_spec: model.race_spec(field),
+            });
+        }
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_batch_entries_are_self_contained_programs() {
+        let batch = corpus_batch(true);
+        assert!(batch.len() >= 18, "at least one field per driver: {}", batch.len());
+        // Labels are unique and every source re-parses with its race
+        // spec resolvable — the server needs nothing else.
+        let mut labels: Vec<&str> = batch.iter().map(|e| e.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), batch.len(), "duplicate labels");
+        for entry in batch.iter().take(5) {
+            let program = kiss_lang::parse_and_lower(&entry.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.label));
+            assert!(
+                kiss_core::RaceTarget::resolve(&program, &entry.race_spec).is_some(),
+                "{}: spec `{}` did not resolve",
+                entry.label,
+                entry.race_spec
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_prunes_entries() {
+        let coarse = corpus_batch(false);
+        let refined = corpus_batch(true);
+        assert!(
+            refined.len() <= coarse.len(),
+            "refined {} > coarse {}",
+            refined.len(),
+            coarse.len()
+        );
+    }
+}

@@ -23,6 +23,7 @@
 //! this synthetic corpus preserves the behaviour the experiment
 //! measures.
 
+pub mod batch;
 pub mod bluetooth;
 pub mod corpus;
 pub mod journal;
@@ -30,6 +31,7 @@ pub mod table;
 pub mod os_model;
 pub mod spec;
 
+pub use batch::{corpus_batch, BatchEntry};
 pub use corpus::{generate_corpus, generate_driver, generate_driver_annotated, DriverModel, FieldClass, FieldInfo, IrpCategory};
 pub use journal::Journal;
 pub use spec::{paper_table, DriverSpec};

@@ -121,6 +121,37 @@ pub enum Event {
         /// The full metrics record; its `check` field is the label.
         metrics: CheckMetrics,
     },
+    /// A serve-mode request was accepted off a client connection
+    /// (emitted after the frame parsed, before the cache lookup).
+    RequestReceived {
+        /// Request id, as sent by the client.
+        request: String,
+        /// Jobs waiting in the server queue at acceptance time.
+        queue_depth: u64,
+    },
+    /// A request was answered from the content-addressed result cache.
+    CacheHit {
+        /// Request id.
+        request: String,
+    },
+    /// A request missed the cache (or bypassed it with `no_cache`) and
+    /// was scheduled for execution.
+    CacheMiss {
+        /// Request id.
+        request: String,
+    },
+    /// A request was answered — from the cache or after execution.
+    /// Every received request produces exactly one of these.
+    RequestDone {
+        /// Request id.
+        request: String,
+        /// The verdict sent back to the client.
+        verdict: String,
+        /// Receive-to-answer latency, queueing included.
+        wall_ms: u64,
+        /// Jobs waiting in the server queue at completion time.
+        queue_depth: u64,
+    },
     /// End-of-run summary.
     RunSummary {
         /// The aggregated report.
@@ -138,6 +169,10 @@ impl Event {
             Event::RetryEscalated { .. } => "retry_escalated",
             Event::BudgetViolated { .. } => "budget_violated",
             Event::CheckFinished { .. } => "check_finished",
+            Event::RequestReceived { .. } => "request_received",
+            Event::CacheHit { .. } => "cache_hit",
+            Event::CacheMiss { .. } => "cache_miss",
+            Event::RequestDone { .. } => "request_done",
             Event::RunSummary { .. } => "run_summary",
         }
     }
@@ -150,7 +185,22 @@ impl Event {
             | Event::RetryEscalated { check, .. }
             | Event::BudgetViolated { check, .. } => Some(check),
             Event::CheckFinished { metrics } => Some(&metrics.check),
-            Event::RunSummary { .. } => None,
+            Event::RequestReceived { .. }
+            | Event::CacheHit { .. }
+            | Event::CacheMiss { .. }
+            | Event::RequestDone { .. }
+            | Event::RunSummary { .. } => None,
+        }
+    }
+
+    /// The request id, for every serve-mode event kind.
+    pub fn request(&self) -> Option<&str> {
+        match self {
+            Event::RequestReceived { request, .. }
+            | Event::CacheHit { request }
+            | Event::CacheMiss { request }
+            | Event::RequestDone { request, .. } => Some(request),
+            _ => None,
         }
     }
 
@@ -189,6 +239,23 @@ impl Event {
             Event::CheckFinished { metrics } => {
                 out.push(',');
                 metrics.json_fields(&mut out);
+            }
+            Event::RequestReceived { request, queue_depth } => {
+                out.push_str(&format!(
+                    ",\"request\":{},\"queue_depth\":{queue_depth}",
+                    quoted(request),
+                ));
+            }
+            Event::CacheHit { request } | Event::CacheMiss { request } => {
+                out.push_str(&format!(",\"request\":{}", quoted(request)));
+            }
+            Event::RequestDone { request, verdict, wall_ms, queue_depth } => {
+                out.push_str(&format!(
+                    ",\"request\":{},\"verdict\":{},\"wall_ms\":{wall_ms},\
+                     \"queue_depth\":{queue_depth}",
+                    quoted(request),
+                    quoted(verdict),
+                ));
             }
             Event::RunSummary { report } => {
                 out.push_str(",\"report\":");
@@ -234,6 +301,31 @@ mod tests {
             assert_eq!(parsed.get("event").and_then(Json::as_str), Some(e.kind()));
             assert_eq!(parsed.get("check").and_then(Json::as_str), e.check());
         }
+    }
+
+    #[test]
+    fn serve_events_serialize_with_request_ids() {
+        let events = [
+            Event::RequestReceived { request: "q0".into(), queue_depth: 3 },
+            Event::CacheHit { request: "q0".into() },
+            Event::CacheMiss { request: "q1".into() },
+            Event::RequestDone {
+                request: "q1".into(),
+                verdict: "pass".into(),
+                wall_ms: 7,
+                queue_depth: 2,
+            },
+        ];
+        for e in &events {
+            let parsed = Json::parse(&e.to_json()).expect("serve event must be valid JSON");
+            assert_eq!(parsed.get("event").and_then(Json::as_str), Some(e.kind()));
+            assert_eq!(parsed.get("request").and_then(Json::as_str), e.request());
+            assert_eq!(e.check(), None);
+        }
+        let done = Json::parse(&events[3].to_json()).unwrap();
+        assert_eq!(done.get("verdict").and_then(Json::as_str), Some("pass"));
+        assert_eq!(done.get("wall_ms").and_then(Json::as_u64), Some(7));
+        assert_eq!(done.get("queue_depth").and_then(Json::as_u64), Some(2));
     }
 
     #[test]

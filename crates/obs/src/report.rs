@@ -6,6 +6,17 @@ use std::collections::BTreeMap;
 use crate::event::CheckMetrics;
 use crate::json::{quoted, Json};
 
+/// Nearest-rank percentile over an unsorted sample; `None` when empty.
+fn nearest_rank(xs: &[u64], p: u32) -> Option<u64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable();
+    let rank = (p.min(100) as usize * sorted.len()).div_ceil(100);
+    Some(sorted[rank.saturating_sub(1)])
+}
+
 /// Per-engine totals inside a [`RunReport`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineTotals {
@@ -43,6 +54,15 @@ pub struct RunReport {
     pub wall_ms: u64,
     /// Every check's wall time, for percentiles. Unsorted.
     pub durations_ms: Vec<u64>,
+    /// Serve-mode requests answered (cache hits + cache misses).
+    pub requests: u64,
+    /// Requests answered straight from the result cache.
+    pub cache_hits: u64,
+    /// Requests that missed (or bypassed) the cache and ran a check.
+    pub cache_misses: u64,
+    /// Every request's receive-to-answer latency in milliseconds, for
+    /// percentiles. Unsorted.
+    pub request_ms: Vec<u64>,
 }
 
 impl RunReport {
@@ -85,6 +105,10 @@ impl RunReport {
         }
         self.wall_ms += other.wall_ms;
         self.durations_ms.extend_from_slice(&other.durations_ms);
+        self.requests += other.requests;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.request_ms.extend_from_slice(&other.request_ms);
     }
 
     /// Steps summed across engines.
@@ -109,13 +133,13 @@ impl RunReport {
     /// Nearest-rank duration percentile (`p` in 0..=100) in
     /// milliseconds; `None` when no checks were recorded.
     pub fn percentile_ms(&self, p: u32) -> Option<u64> {
-        if self.durations_ms.is_empty() {
-            return None;
-        }
-        let mut sorted = self.durations_ms.clone();
-        sorted.sort_unstable();
-        let rank = (p.min(100) as usize * sorted.len()).div_ceil(100);
-        Some(sorted[rank.saturating_sub(1)])
+        nearest_rank(&self.durations_ms, p)
+    }
+
+    /// Nearest-rank request-latency percentile (`p` in 0..=100) in
+    /// milliseconds; `None` when no requests were recorded.
+    pub fn request_percentile_ms(&self, p: u32) -> Option<u64> {
+        nearest_rank(&self.request_ms, p)
     }
 
     /// Whether two runs did the same *deterministic* work: identical
@@ -159,9 +183,11 @@ impl RunReport {
             })
             .collect();
         let durations: Vec<String> = self.durations_ms.iter().map(u64::to_string).collect();
+        let request_ms: Vec<String> = self.request_ms.iter().map(u64::to_string).collect();
         format!(
             "{{\"checks\":{},\"retries\":{},\"outcomes\":{},\"bound_reasons\":{},\
-             \"engines\":{{{}}},\"wall_ms\":{},\"durations_ms\":[{}]}}",
+             \"engines\":{{{}}},\"wall_ms\":{},\"durations_ms\":[{}],\
+             \"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\"request_ms\":[{}]}}",
             self.checks,
             self.retries,
             map(&self.outcomes),
@@ -169,6 +195,10 @@ impl RunReport {
             engines.join(","),
             self.wall_ms,
             durations.join(","),
+            self.requests,
+            self.cache_hits,
+            self.cache_misses,
+            request_ms.join(","),
         )
     }
 
@@ -223,6 +253,16 @@ impl RunReport {
                 .iter()
                 .map(Json::as_u64)
                 .collect::<Option<Vec<_>>>()?,
+            // The serving fields postdate the format; reports written
+            // before kiss-serve existed parse with zero requests.
+            requests: v.get("requests").and_then(Json::as_u64).unwrap_or(0),
+            cache_hits: v.get("cache_hits").and_then(Json::as_u64).unwrap_or(0),
+            cache_misses: v.get("cache_misses").and_then(Json::as_u64).unwrap_or(0),
+            request_ms: v
+                .get("request_ms")
+                .and_then(Json::as_arr)
+                .map(|xs| xs.iter().map(Json::as_u64).collect::<Option<Vec<_>>>())
+                .unwrap_or_else(|| Some(Vec::new()))?,
         })
     }
 
@@ -253,6 +293,20 @@ impl RunReport {
             (self.percentile_ms(50), self.percentile_ms(90), self.percentile_ms(99))
         {
             out.push_str(&format!("  durations : p50={p50}ms p90={p90}ms p99={p99}ms\n"));
+        }
+        if self.requests > 0 {
+            let rate = self.cache_hits as f64 * 100.0 / self.requests as f64;
+            out.push_str(&format!(
+                "  serving   : {} requests, {} cache hits, {} misses ({rate:.0}% hit-rate)\n",
+                self.requests, self.cache_hits, self.cache_misses
+            ));
+            if let (Some(p50), Some(p90), Some(p99)) = (
+                self.request_percentile_ms(50),
+                self.request_percentile_ms(90),
+                self.request_percentile_ms(99),
+            ) {
+                out.push_str(&format!("  latency   : p50={p50}ms p90={p90}ms p99={p99}ms\n"));
+            }
         }
         out
     }
@@ -357,6 +411,37 @@ mod tests {
         assert!(r.render().contains("store bytes"));
         let back = RunReport::from_json(&r.to_json()).unwrap();
         assert_eq!(back.engines["bfs"].store_bytes, 2048);
+    }
+
+    #[test]
+    fn serving_fields_round_trip_merge_and_render() {
+        let r = RunReport {
+            requests: 4,
+            cache_hits: 3,
+            cache_misses: 1,
+            request_ms: vec![1, 2, 3, 40],
+            ..RunReport::default()
+        };
+        let back = RunReport::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(back, r);
+        assert_eq!(back.request_percentile_ms(50), Some(2));
+        let mut merged = RunReport::default();
+        merged.merge(&r);
+        merged.merge(&r);
+        assert_eq!(merged.requests, 8);
+        assert_eq!(merged.cache_hits, 6);
+        assert_eq!(merged.request_ms.len(), 8);
+        let text = r.render();
+        assert!(text.contains("4 requests"));
+        assert!(text.contains("75% hit-rate"));
+        assert!(text.contains("latency"));
+        // Reports predating kiss-serve lack the fields entirely.
+        let old = "{\"checks\":0,\"retries\":0,\"outcomes\":{},\"bound_reasons\":{},\
+                   \"engines\":{},\"wall_ms\":0,\"durations_ms\":[]}";
+        let parsed = RunReport::from_json(old).expect("old report must parse");
+        assert_eq!(parsed.requests, 0);
+        assert!(parsed.request_ms.is_empty());
+        assert!(!parsed.render().contains("serving"));
     }
 
     #[test]

@@ -83,6 +83,19 @@ impl<W: Write + Send> Observer for JsonlSink<W> {
 struct AggState {
     metrics: Vec<CheckMetrics>,
     event_counts: BTreeMap<&'static str, u64>,
+    requests: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    request_ms: Vec<u64>,
+}
+
+impl AggState {
+    fn serving_into(&self, report: &mut RunReport) {
+        report.requests = self.requests;
+        report.cache_hits = self.cache_hits;
+        report.cache_misses = self.cache_misses;
+        report.request_ms = self.request_ms.clone();
+    }
 }
 
 /// In-memory aggregation. Clonable handle: register one clone as a
@@ -98,12 +111,15 @@ impl Aggregator {
         Aggregator::default()
     }
 
-    /// The report over every finished check seen so far.
+    /// The report over every finished check seen so far, plus the
+    /// serve-mode request/cache counters.
     pub fn report(&self) -> RunReport {
         let mut report = RunReport::default();
-        for m in &self.state.lock().expect("aggregator lock").metrics {
+        let state = self.state.lock().expect("aggregator lock");
+        for m in &state.metrics {
             report.observe(m);
         }
+        state.serving_into(&mut report);
         report
     }
 
@@ -130,8 +146,13 @@ impl Observer for Aggregator {
     fn on_event(&mut self, event: &Event) {
         let mut state = self.state.lock().expect("aggregator lock");
         *state.event_counts.entry(event.kind()).or_default() += 1;
-        if let Event::CheckFinished { metrics } = event {
-            state.metrics.push(metrics.clone());
+        match event {
+            Event::CheckFinished { metrics } => state.metrics.push(metrics.clone()),
+            Event::RequestReceived { .. } => state.requests += 1,
+            Event::CacheHit { .. } => state.cache_hits += 1,
+            Event::CacheMiss { .. } => state.cache_misses += 1,
+            Event::RequestDone { wall_ms, .. } => state.request_ms.push(*wall_ms),
+            _ => {}
         }
     }
 }
@@ -230,7 +251,12 @@ impl<W: Write + Send> Observer for Heartbeat<W> {
                     self.render(false);
                 }
             }
-            Event::RetryEscalated { .. } | Event::BudgetViolated { .. } => {}
+            Event::RetryEscalated { .. }
+            | Event::BudgetViolated { .. }
+            | Event::RequestReceived { .. }
+            | Event::CacheHit { .. }
+            | Event::CacheMiss { .. }
+            | Event::RequestDone { .. } => {}
             Event::CheckFinished { metrics } => {
                 self.finished += 1;
                 *self.outcomes.entry(metrics.verdict.clone()).or_default() += 1;
@@ -315,6 +341,33 @@ mod tests {
         let resumable = agg.resumable_report();
         assert_eq!(resumable.checks, 2);
         assert!(!resumable.outcomes.contains_key("inconclusive"));
+    }
+
+    #[test]
+    fn aggregator_folds_serve_events_into_the_report() {
+        let agg = Aggregator::new();
+        let mut sink: Box<dyn Observer> = Box::new(agg.clone());
+        for (id, hit, ms) in [("q0", false, 9u64), ("q1", true, 1), ("q2", true, 2)] {
+            sink.on_event(&Event::RequestReceived { request: id.into(), queue_depth: 0 });
+            if hit {
+                sink.on_event(&Event::CacheHit { request: id.into() });
+            } else {
+                sink.on_event(&Event::CacheMiss { request: id.into() });
+            }
+            sink.on_event(&Event::RequestDone {
+                request: id.into(),
+                verdict: "pass".into(),
+                wall_ms: ms,
+                queue_depth: 0,
+            });
+        }
+        let report = agg.report();
+        assert_eq!(report.requests, 3);
+        assert_eq!(report.cache_hits, 2);
+        assert_eq!(report.cache_misses, 1);
+        assert_eq!(report.requests, report.cache_hits + report.cache_misses);
+        assert_eq!(report.request_ms, vec![9, 1, 2]);
+        assert_eq!(agg.event_counts()["request_done"], 3);
     }
 
     #[test]

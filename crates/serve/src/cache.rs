@@ -1,0 +1,278 @@
+//! The content-addressed result cache.
+//!
+//! Verdicts are keyed by the request's 128-bit content fingerprint
+//! ([`crate::protocol::Request::cache_key`]). The in-memory index is an
+//! open-addressed table probing directly on the fingerprint (the same
+//! shape as `kiss-seq`'s visited table), and every insert is appended
+//! to an on-disk journal so a restarted server comes back warm.
+//!
+//! The journal is line-oriented, one record per line:
+//!
+//! ```text
+//! v1<TAB>0123...cdef<TAB>verdict<TAB>steps<TAB>states<TAB>detail
+//! ```
+//!
+//! Control characters in the detail are sanitized to spaces on write.
+//! Loading tolerates torn or garbage lines (a crash mid-append loses at
+//! most the final record), and a later record for the same key
+//! overrides an earlier one.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// The journal file's name inside the cache directory.
+pub const JOURNAL_FILE: &str = "cache.journal";
+
+/// A cached check verdict — exactly the deterministic half of a
+/// response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedVerdict {
+    /// The verdict string (`pass`, `race`, ...).
+    pub verdict: String,
+    /// The deterministic detail line.
+    pub detail: String,
+    /// Steps the check executed.
+    pub steps: u64,
+    /// Distinct states the check recorded.
+    pub states: u64,
+}
+
+/// The cache: open-addressed index plus optional append-only journal.
+pub struct ResultCache {
+    /// Power-of-two slot array, linear probing.
+    slots: Vec<Option<(u128, CachedVerdict)>>,
+    len: usize,
+    journal: Option<BufWriter<File>>,
+}
+
+impl ResultCache {
+    const INITIAL_CAPACITY: usize = 64;
+
+    /// A cache with no journal: verdicts live for this process only.
+    pub fn in_memory() -> ResultCache {
+        ResultCache {
+            slots: vec![None; Self::INITIAL_CAPACITY],
+            len: 0,
+            journal: None,
+        }
+    }
+
+    /// Opens (creating if needed) the journal-backed cache in `dir`,
+    /// replaying any existing journal into the index.
+    pub fn open(dir: &Path) -> io::Result<ResultCache> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let mut cache = ResultCache::in_memory();
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                for line in text.lines() {
+                    // Garbage and torn lines are skipped, not fatal: the
+                    // cache is an accelerator, never a source of truth.
+                    if let Some((key, verdict)) = parse_line(line) {
+                        cache.insert_slot(key, verdict);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        cache.journal = Some(BufWriter::new(file));
+        Ok(cache)
+    }
+
+    /// Cached verdicts held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks a fingerprint up.
+    pub fn lookup(&self, key: u128) -> Option<&CachedVerdict> {
+        let mask = self.slots.len() - 1;
+        let mut idx = slot_of(key) & mask;
+        loop {
+            match &self.slots[idx] {
+                None => return None,
+                Some((k, v)) if *k == key => return Some(v),
+                Some(_) => idx = (idx + 1) & mask,
+            }
+        }
+    }
+
+    /// Inserts (or overrides) a verdict, appending it to the journal.
+    /// Journal write failures are swallowed: a full disk degrades the
+    /// cache to in-memory, it does not take the server down.
+    pub fn insert(&mut self, key: u128, verdict: CachedVerdict) {
+        if let Some(journal) = &mut self.journal {
+            let _ = writeln!(
+                journal,
+                "v1\t{key:032x}\t{}\t{}\t{}\t{}",
+                sanitize(&verdict.verdict),
+                verdict.steps,
+                verdict.states,
+                sanitize(&verdict.detail),
+            );
+            let _ = journal.flush();
+        }
+        self.insert_slot(key, verdict);
+    }
+
+    fn insert_slot(&mut self, key: u128, verdict: CachedVerdict) {
+        // Grow at 3/4 load so probe chains stay short.
+        if (self.len + 1) * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut idx = slot_of(key) & mask;
+        loop {
+            match &mut self.slots[idx] {
+                slot @ None => {
+                    *slot = Some((key, verdict));
+                    self.len += 1;
+                    return;
+                }
+                Some((k, v)) if *k == key => {
+                    *v = verdict;
+                    return;
+                }
+                Some(_) => idx = (idx + 1) & mask,
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![None; doubled]);
+        self.len = 0;
+        for (key, verdict) in old.into_iter().flatten() {
+            self.insert_slot(key, verdict);
+        }
+    }
+}
+
+/// The fingerprint is already uniformly mixed, so the slot index just
+/// folds the two lanes together.
+fn slot_of(key: u128) -> usize {
+    ((key as u64) ^ ((key >> 64) as u64)) as usize
+}
+
+/// Replaces the journal's separators (tabs, newlines) and other control
+/// characters with spaces so a record stays one line of six fields.
+fn sanitize(s: &str) -> String {
+    s.chars().map(|c| if c.is_control() { ' ' } else { c }).collect()
+}
+
+fn parse_line(line: &str) -> Option<(u128, CachedVerdict)> {
+    let mut parts = line.splitn(6, '\t');
+    if parts.next()? != "v1" {
+        return None;
+    }
+    let key = u128::from_str_radix(parts.next()?, 16).ok()?;
+    let verdict = parts.next()?.to_string();
+    let steps = parts.next()?.parse().ok()?;
+    let states = parts.next()?.parse().ok()?;
+    let detail = parts.next()?.to_string();
+    Some((key, CachedVerdict { verdict, detail, steps, states }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn verdict(tag: u64) -> CachedVerdict {
+        CachedVerdict {
+            verdict: "pass".to_string(),
+            detail: format!("no error found #{tag}"),
+            steps: tag,
+            states: tag / 2,
+        }
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("kiss_serve_cache_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn insert_lookup_override_and_growth() {
+        let mut cache = ResultCache::in_memory();
+        assert!(cache.is_empty());
+        // Enough entries to force several growth rounds.
+        for i in 0..500u64 {
+            cache.insert(u128::from(i) << 7, verdict(i));
+        }
+        assert_eq!(cache.len(), 500);
+        for i in 0..500u64 {
+            assert_eq!(cache.lookup(u128::from(i) << 7), Some(&verdict(i)));
+        }
+        assert_eq!(cache.lookup(0xdead_beef), None);
+        // A later insert for the same key overrides.
+        cache.insert(0, verdict(999));
+        assert_eq!(cache.len(), 500);
+        assert_eq!(cache.lookup(0).unwrap().steps, 999);
+    }
+
+    #[test]
+    fn journal_survives_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let mut cache = ResultCache::open(&dir).unwrap();
+            cache.insert(7, verdict(7));
+            cache.insert(8, verdict(8));
+            cache.insert(7, verdict(70)); // override, journaled twice
+        }
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(7).unwrap().steps, 70, "later record wins");
+        assert_eq!(cache.lookup(8), Some(&verdict(8)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_and_garbage_journal_lines_are_skipped() {
+        let dir = temp_dir("torn");
+        {
+            let mut cache = ResultCache::open(&dir).unwrap();
+            cache.insert(1, verdict(1));
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("complete garbage\n");
+        text.push_str("v2\t0\tpass\t0\t0\tfuture version\n");
+        text.push_str("v1\t00000000000000000000000000000002\tpass\t5"); // torn mid-record
+        std::fs::write(&path, text).unwrap();
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(1), Some(&verdict(1)));
+        assert_eq!(cache.lookup(2), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn details_with_separators_stay_one_record() {
+        let dir = temp_dir("sanitize");
+        let nasty = CachedVerdict {
+            verdict: "error".to_string(),
+            detail: "line one\nline\ttwo".to_string(),
+            steps: 0,
+            states: 0,
+        };
+        {
+            let mut cache = ResultCache::open(&dir).unwrap();
+            cache.insert(3, nasty);
+        }
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(3).unwrap().detail, "line one line two");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,248 @@
+//! The client side: connect, submit a batch, collect responses.
+//!
+//! Batches are deduplicated before they hit the wire: entries with the
+//! same content address ([`crate::protocol::Request::cache_key`]) are
+//! submitted once and the shared verdict is fanned back out to every
+//! entry. That keeps a corpus submission from paying for the same
+//! program twice even against a cold server.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+use crate::protocol::{decode_response, CacheStatus, Request, Response};
+
+/// Where the server listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// A unix socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+    /// A TCP address, e.g. `127.0.0.1:7878`.
+    Tcp(String),
+}
+
+impl Endpoint {
+    fn connect(&self) -> io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+        match self {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let stream = UnixStream::connect(path)?;
+                let reader = stream.try_clone()?;
+                Ok((Box::new(reader), Box::new(stream)))
+            }
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr.as_str())?;
+                let reader = stream.try_clone()?;
+                Ok((Box::new(reader), Box::new(stream)))
+            }
+        }
+    }
+}
+
+/// How one batch entry was answered, from the entry's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryCache {
+    /// The server answered from its cache.
+    Hit,
+    /// The server executed the check.
+    Miss,
+    /// The entry never hit the wire: an earlier entry in the same batch
+    /// had the same content address, and its verdict was shared.
+    Deduped,
+    /// Not a cacheable exchange (request-level error).
+    None,
+}
+
+impl EntryCache {
+    /// A stable lowercase name for display.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EntryCache::Hit => "cache hit",
+            EntryCache::Miss => "cache miss",
+            EntryCache::Deduped => "dedup",
+            EntryCache::None => "no cache",
+        }
+    }
+}
+
+/// One submitted batch, fanned back out to the caller's entries.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One response per input entry, in input order, with the entry's
+    /// original id restored.
+    pub responses: Vec<Response>,
+    /// How each entry was answered, parallel to `responses`.
+    pub entry_cache: Vec<EntryCache>,
+    /// Distinct requests actually sent over the wire.
+    pub unique: usize,
+    /// Server cache hits among the wire responses.
+    pub hits: u64,
+    /// Server cache misses among the wire responses.
+    pub misses: u64,
+}
+
+/// Submits `requests` as one pipelined batch: dedup by content address,
+/// send every unique frame, then collect responses (in any order) and
+/// fan verdicts back out. Entry ids are preserved in the result even
+/// though the wire uses positional ids.
+pub fn submit_batch(endpoint: &Endpoint, requests: &[Request]) -> io::Result<BatchOutcome> {
+    let (reader, mut writer) = endpoint.connect()?;
+
+    // Dedup: first occurrence of a content address goes on the wire and
+    // every entry remembers which wire slot answers it.
+    let mut wire: Vec<Request> = Vec::new();
+    let mut slot_of_key: HashMap<u128, usize> = HashMap::new();
+    let mut slot_of_entry: Vec<usize> = Vec::with_capacity(requests.len());
+    let mut deduped: Vec<bool> = Vec::with_capacity(requests.len());
+    for request in requests {
+        let key = request.cache_key();
+        match slot_of_key.get(&key) {
+            Some(&slot) => {
+                slot_of_entry.push(slot);
+                deduped.push(true);
+            }
+            None => {
+                let slot = wire.len();
+                slot_of_key.insert(key, slot);
+                slot_of_entry.push(slot);
+                deduped.push(false);
+                let mut framed = request.clone();
+                framed.id = format!("q{slot}");
+                wire.push(framed);
+            }
+        }
+    }
+
+    for framed in &wire {
+        writeln!(writer, "{}", framed.to_json())?;
+    }
+    writer.flush()?;
+
+    let mut answers: Vec<Option<Response>> = vec![None; wire.len()];
+    let mut outstanding = wire.len();
+    let mut lines = BufReader::new(reader);
+    let mut line = String::new();
+    while outstanding > 0 {
+        line.clear();
+        if lines.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("server closed with {outstanding} responses outstanding"),
+            ));
+        }
+        let text = line.trim_end_matches(['\n', '\r']);
+        if text.is_empty() {
+            continue;
+        }
+        let response = decode_response(text).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad response frame: {}", e.message()))
+        })?;
+        let slot = response
+            .id
+            .strip_prefix('q')
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|&n| n < wire.len())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("response for unknown request id `{}`", response.id),
+                )
+            })?;
+        if answers[slot].replace(response).is_none() {
+            outstanding -= 1;
+        }
+    }
+
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for answer in answers.iter().flatten() {
+        match answer.cache {
+            CacheStatus::Hit => hits += 1,
+            CacheStatus::Miss => misses += 1,
+            CacheStatus::None => {}
+        }
+    }
+
+    let mut responses = Vec::with_capacity(requests.len());
+    let mut entry_cache = Vec::with_capacity(requests.len());
+    for (i, request) in requests.iter().enumerate() {
+        let answer = answers[slot_of_entry[i]].as_ref().expect("all slots answered");
+        let mut response = answer.clone();
+        response.id = request.id.clone();
+        entry_cache.push(if deduped[i] {
+            EntryCache::Deduped
+        } else {
+            match answer.cache {
+                CacheStatus::Hit => EntryCache::Hit,
+                CacheStatus::Miss => EntryCache::Miss,
+                CacheStatus::None => EntryCache::None,
+            }
+        });
+        responses.push(response);
+    }
+
+    Ok(BatchOutcome { responses, entry_cache, unique: wire.len(), hits, misses })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServeConfig, Server, ServeStats};
+    use kiss_seq::{Budget, CancelToken};
+
+    fn boot() -> (Endpoint, CancelToken, std::thread::JoinHandle<ServeStats>) {
+        let cfg = ServeConfig {
+            port: Some(0),
+            jobs: 2,
+            budget: Budget::small(),
+            ..ServeConfig::default()
+        };
+        let server = Server::bind(cfg).unwrap();
+        let port = server.local_port().unwrap();
+        let shutdown = CancelToken::new();
+        let token = shutdown.clone();
+        let handle = std::thread::spawn(move || server.run(&token).unwrap());
+        (Endpoint::Tcp(format!("127.0.0.1:{port}")), shutdown, handle)
+    }
+
+    #[test]
+    fn batch_dedups_and_fans_shared_verdicts_back_out() {
+        let (endpoint, shutdown, handle) = boot();
+        let src = "int x;\nvoid main() { x = 1; assert x == 1; }";
+        let batch = vec![
+            Request::check("first", src),
+            Request::check("second", src), // same content address as `first`
+            Request::check("third", "int y;\nvoid main() { y = 2; assert y == 2; }"),
+        ];
+        let outcome = submit_batch(&endpoint, &batch).unwrap();
+        assert_eq!(outcome.unique, 2, "identical sources collapse to one wire request");
+        assert_eq!(outcome.responses.len(), 3);
+        assert_eq!(outcome.entry_cache[0], EntryCache::Miss);
+        assert_eq!(outcome.entry_cache[1], EntryCache::Deduped);
+        assert_eq!(outcome.entry_cache[2], EntryCache::Miss);
+        assert_eq!(outcome.hits, 0);
+        assert_eq!(outcome.misses, 2);
+        // Ids come back as the caller named them; dedup shares verdicts.
+        assert_eq!(outcome.responses[0].id, "first");
+        assert_eq!(outcome.responses[1].id, "second");
+        assert_eq!(outcome.responses[0].verdict, "pass");
+        assert_eq!(outcome.responses[0].verdict, outcome.responses[1].verdict);
+        assert_eq!(outcome.responses[0].detail, outcome.responses[1].detail);
+
+        // A second submission of the same batch is all cache hits.
+        let outcome = submit_batch(&endpoint, &batch).unwrap();
+        assert_eq!(outcome.hits, 2);
+        assert_eq!(outcome.misses, 0);
+        assert_eq!(outcome.entry_cache[0], EntryCache::Hit);
+
+        shutdown.cancel();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.cache_misses, 2);
+    }
+}

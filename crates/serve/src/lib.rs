@@ -1,0 +1,32 @@
+//! kiss-serve: a persistent check service for the KISS checker.
+//!
+//! The checker's verdicts are deterministic functions of (program
+//! source, operation, engine, store, `MAX`, budget) — which makes them
+//! perfectly cacheable. This crate turns that observation into a
+//! daemon: a socket server ([`server`]) executes checks under the
+//! `kiss-core` supervisor and remembers every verdict in a
+//! content-addressed result cache ([`cache`]) whose journal survives
+//! restarts. Clients speak newline-delimited JSON ([`protocol`]) and
+//! can submit deduplicated batches ([`client`]).
+//!
+//! ```text
+//! client ──ndjson──▶ reader ──▶ cache? ──hit──▶ writer ──▶ client
+//!                                 │miss
+//!                                 ▼
+//!                           bounded queue ──▶ workers (supervised)
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CachedVerdict, ResultCache};
+pub use client::{submit_batch, BatchOutcome, Endpoint, EntryCache};
+pub use protocol::{
+    decode_request, decode_response, CacheStatus, FrameError, Op, Request, Response,
+    MAX_FRAME_BYTES,
+};
+pub use server::{ServeConfig, ServeStats, Server};

@@ -1,0 +1,456 @@
+//! The wire protocol: newline-delimited JSON frames.
+//!
+//! One request per line, one response per line. Responses may arrive
+//! out of request order (cache hits answer immediately while misses
+//! queue), so clients correlate by `id`. The encoding reuses
+//! `kiss-obs`'s hand-rolled JSON — the protocol has no dependency the
+//! workspace does not already carry.
+//!
+//! A request frame:
+//!
+//! ```json
+//! {"id":"q0","op":"race","target":"Ext.field","source":"int g; ...",
+//!  "engine":"explicit","store":"cow","max_ts":0,
+//!  "max_steps":50000,"max_states":8000,"timeout_ms":2000,"no_cache":true}
+//! ```
+//!
+//! `id`, `op`, and `source` (plus `target` for `op:"race"`) are
+//! required; everything else defaults. A response frame:
+//!
+//! ```json
+//! {"id":"q0","verdict":"race","detail":"...","steps":123,"states":45,
+//!  "cache":"miss"}
+//! ```
+//!
+//! Responses deliberately carry no timing fields: a warm answer is
+//! byte-identical to the cold answer it was cached from.
+
+use kiss_core::checker::Engine;
+use kiss_obs::json::{quoted, Json};
+use kiss_seq::StoreKind;
+
+/// Hard cap on one frame's byte length. Driver sources are tens of
+/// kilobytes; anything past this is a protocol error, not a program.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// What a request asks the checker to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Check the program's user assertions.
+    Check,
+    /// Check for races on a `"global"` or `"Struct.field"` target.
+    Race {
+        /// The race target spec.
+        target: String,
+    },
+}
+
+/// One check request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: String,
+    /// What to check.
+    pub op: Op,
+    /// The KISS-C program text.
+    pub source: String,
+    /// Sequential engine to run.
+    pub engine: Engine,
+    /// State-store implementation.
+    pub store: StoreKind,
+    /// The `MAX` coverage bound.
+    pub max_ts: usize,
+    /// Step-budget override (server default when absent).
+    pub max_steps: Option<u64>,
+    /// State-budget override.
+    pub max_states: Option<u64>,
+    /// Wall-clock deadline override, in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Skip the cache lookup (the verdict is still stored).
+    pub no_cache: bool,
+}
+
+impl Request {
+    /// A `check` request with every knob at its default.
+    pub fn check(id: impl Into<String>, source: impl Into<String>) -> Request {
+        Request {
+            id: id.into(),
+            op: Op::Check,
+            source: source.into(),
+            engine: Engine::default(),
+            store: StoreKind::default(),
+            max_ts: 0,
+            max_steps: None,
+            max_states: None,
+            timeout_ms: None,
+            no_cache: false,
+        }
+    }
+
+    /// A `race` request with every knob at its default.
+    pub fn race(
+        id: impl Into<String>,
+        source: impl Into<String>,
+        target: impl Into<String>,
+    ) -> Request {
+        Request { op: Op::Race { target: target.into() }, ..Request::check(id, source) }
+    }
+
+    /// The content address: a 128-bit fingerprint over every field that
+    /// determines the verdict — source text, operation and target,
+    /// engine, store, `MAX`, and the budget overrides. The `id` and
+    /// `no_cache` fields are transport concerns and excluded.
+    pub fn cache_key(&self) -> u128 {
+        let (op, target) = match &self.op {
+            Op::Check => ("check", ""),
+            Op::Race { target } => ("race", target.as_str()),
+        };
+        let (hi, lo) = kiss_seq::config::fingerprint_of(&(
+            op,
+            target,
+            self.source.as_str(),
+            self.engine.name(),
+            self.store.name(),
+            self.max_ts,
+            self.max_steps,
+            self.max_states,
+            self.timeout_ms,
+        ));
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+
+    /// One-line JSON encoding (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.source.len() + 160);
+        out.push_str(&format!("{{\"id\":{}", quoted(&self.id)));
+        match &self.op {
+            Op::Check => out.push_str(",\"op\":\"check\""),
+            Op::Race { target } => {
+                out.push_str(&format!(",\"op\":\"race\",\"target\":{}", quoted(target)));
+            }
+        }
+        out.push_str(&format!(
+            ",\"source\":{},\"engine\":{},\"store\":{},\"max_ts\":{}",
+            quoted(&self.source),
+            quoted(self.engine.name()),
+            quoted(self.store.name()),
+            self.max_ts,
+        ));
+        for (name, value) in [
+            ("max_steps", self.max_steps),
+            ("max_states", self.max_states),
+            ("timeout_ms", self.timeout_ms),
+        ] {
+            if let Some(v) = value {
+                out.push_str(&format!(",\"{name}\":{v}"));
+            }
+        }
+        if self.no_cache {
+            out.push_str(",\"no_cache\":true");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Where a response came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Answered from the result cache.
+    Hit,
+    /// Executed (and, when cacheable, stored).
+    Miss,
+    /// Not a cacheable exchange (protocol errors, setup failures).
+    None,
+}
+
+impl CacheStatus {
+    /// A stable lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::None => "none",
+        }
+    }
+
+    /// Parses [`CacheStatus::as_str`] output.
+    pub fn parse(s: &str) -> Option<CacheStatus> {
+        match s {
+            "hit" => Some(CacheStatus::Hit),
+            "miss" => Some(CacheStatus::Miss),
+            "none" => Some(CacheStatus::None),
+            _ => None,
+        }
+    }
+}
+
+/// One check response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's id (empty when the request line did not parse far
+    /// enough to have one).
+    pub id: String,
+    /// `pass`, `assertion`, `race`, `inconclusive`, `runtime_error`,
+    /// `transform_failed`, `crashed`, or `error` (request-level
+    /// failure: malformed frame, parse error, unknown target).
+    pub verdict: String,
+    /// Human-readable detail. Deterministic — no wall times, so a warm
+    /// answer is byte-identical to the cold one.
+    pub detail: String,
+    /// Steps the final attempt executed (0 for cache-free errors).
+    pub steps: u64,
+    /// Distinct states the final attempt recorded.
+    pub states: u64,
+    /// Whether the cache answered.
+    pub cache: CacheStatus,
+}
+
+impl Response {
+    /// A request-level failure response.
+    pub fn error(id: impl Into<String>, detail: impl Into<String>) -> Response {
+        Response {
+            id: id.into(),
+            verdict: "error".to_string(),
+            detail: detail.into(),
+            steps: 0,
+            states: 0,
+            cache: CacheStatus::None,
+        }
+    }
+
+    /// `true` when the verdict reports a program error (the exchanges
+    /// that map to exit code 1).
+    pub fn found_error(&self) -> bool {
+        matches!(self.verdict.as_str(), "assertion" | "race" | "runtime_error")
+    }
+
+    /// One-line JSON encoding (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"verdict\":{},\"detail\":{},\"steps\":{},\"states\":{},\"cache\":{}}}",
+            quoted(&self.id),
+            quoted(&self.verdict),
+            quoted(&self.detail),
+            self.steps,
+            self.states,
+            quoted(self.cache.as_str()),
+        )
+    }
+}
+
+/// Why a frame was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line exceeds [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The offending length.
+        bytes: usize,
+    },
+    /// The line is not a well-formed frame.
+    Malformed {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl FrameError {
+    /// The message sent back in an error response's `detail`.
+    pub fn message(&self) -> String {
+        match self {
+            FrameError::Oversized { bytes } => {
+                format!("oversized frame: {bytes} bytes exceeds the {MAX_FRAME_BYTES}-byte limit")
+            }
+            FrameError::Malformed { reason } => format!("malformed frame: {reason}"),
+        }
+    }
+}
+
+fn malformed(reason: impl Into<String>) -> FrameError {
+    FrameError::Malformed { reason: reason.into() }
+}
+
+/// Decodes one request line.
+pub fn decode_request(line: &str) -> Result<Request, FrameError> {
+    if line.len() > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized { bytes: line.len() });
+    }
+    let v = Json::parse(line).ok_or_else(|| malformed("not valid JSON"))?;
+    if v.as_obj().is_none() {
+        return Err(malformed("frame is not a JSON object"));
+    }
+    let id = v
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or_else(|| malformed("missing `id`"))?
+        .to_string();
+    let op = match v.get("op").and_then(Json::as_str) {
+        Some("check") => Op::Check,
+        Some("race") => {
+            let target = v
+                .get("target")
+                .and_then(Json::as_str)
+                .ok_or_else(|| malformed("op `race` needs a `target`"))?;
+            Op::Race { target: target.to_string() }
+        }
+        Some(other) => return Err(malformed(format!("unknown op `{other}`"))),
+        None => return Err(malformed("missing `op`")),
+    };
+    let source = v
+        .get("source")
+        .and_then(Json::as_str)
+        .ok_or_else(|| malformed("missing `source`"))?
+        .to_string();
+    let engine = match v.get("engine").and_then(Json::as_str) {
+        None => Engine::default(),
+        Some(s) => Engine::parse(s).ok_or_else(|| malformed(format!("unknown engine `{s}`")))?,
+    };
+    let store = match v.get("store").and_then(Json::as_str) {
+        None => StoreKind::default(),
+        Some(s) => StoreKind::parse(s).ok_or_else(|| malformed(format!("unknown store `{s}`")))?,
+    };
+    let num = |name: &str| -> Result<Option<u64>, FrameError> {
+        match v.get(name) {
+            None | Some(Json::Null) => Ok(None),
+            Some(n) => {
+                Ok(Some(n.as_u64().ok_or_else(|| {
+                    malformed(format!("`{name}` must be a non-negative number"))
+                })?))
+            }
+        }
+    };
+    Ok(Request {
+        id,
+        op,
+        source,
+        engine,
+        store,
+        max_ts: num("max_ts")?.unwrap_or(0) as usize,
+        max_steps: num("max_steps")?,
+        max_states: num("max_states")?,
+        timeout_ms: num("timeout_ms")?,
+        no_cache: matches!(v.get("no_cache"), Some(Json::Bool(true))),
+    })
+}
+
+/// Decodes one response line.
+pub fn decode_response(line: &str) -> Result<Response, FrameError> {
+    if line.len() > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized { bytes: line.len() });
+    }
+    let v = Json::parse(line).ok_or_else(|| malformed("not valid JSON"))?;
+    let field = |name: &str| -> Result<String, FrameError> {
+        Ok(v.get(name)
+            .and_then(Json::as_str)
+            .ok_or_else(|| malformed(format!("missing `{name}`")))?
+            .to_string())
+    };
+    let cache = match v.get("cache").and_then(Json::as_str) {
+        None => CacheStatus::None,
+        Some(s) => {
+            CacheStatus::parse(s).ok_or_else(|| malformed(format!("unknown cache state `{s}`")))?
+        }
+    };
+    Ok(Response {
+        id: field("id")?,
+        verdict: field("verdict")?,
+        detail: v.get("detail").and_then(Json::as_str).unwrap_or("").to_string(),
+        steps: v.get("steps").and_then(Json::as_u64).unwrap_or(0),
+        states: v.get("states").and_then(Json::as_u64).unwrap_or(0),
+        cache,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_with_all_fields() {
+        let req = Request {
+            id: "q\"7".to_string(),
+            op: Op::Race { target: "Ext.field".to_string() },
+            source: "int g;\nvoid main() { skip; }".to_string(),
+            engine: Engine::Bfs,
+            store: StoreKind::Legacy,
+            max_ts: 2,
+            max_steps: Some(50_000),
+            max_states: Some(8_000),
+            timeout_ms: Some(2_000),
+            no_cache: true,
+        };
+        assert_eq!(decode_request(&req.to_json()), Ok(req));
+    }
+
+    #[test]
+    fn request_defaults_fill_in() {
+        let req = decode_request(r#"{"id":"a","op":"check","source":"void main() { skip; }"}"#)
+            .unwrap();
+        assert_eq!(req.engine, Engine::Explicit);
+        assert_eq!(req.store, StoreKind::default());
+        assert_eq!(req.max_ts, 0);
+        assert_eq!(req.max_steps, None);
+        assert!(!req.no_cache);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        for (line, needle) in [
+            ("not json", "not valid JSON"),
+            ("[1,2]", "not a JSON object"),
+            (r#"{"op":"check","source":"x"}"#, "missing `id`"),
+            (r#"{"id":"a","source":"x"}"#, "missing `op`"),
+            (r#"{"id":"a","op":"zap","source":"x"}"#, "unknown op"),
+            (r#"{"id":"a","op":"race","source":"x"}"#, "needs a `target`"),
+            (r#"{"id":"a","op":"check"}"#, "missing `source`"),
+            (r#"{"id":"a","op":"check","source":"x","engine":"warp"}"#, "unknown engine"),
+            (r#"{"id":"a","op":"check","source":"x","max_steps":"ten"}"#, "non-negative"),
+        ] {
+            let err = decode_request(line).unwrap_err();
+            assert!(err.message().contains(needle), "{line} -> {}", err.message());
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let line = "x".repeat(MAX_FRAME_BYTES + 1);
+        let err = decode_request(&line).unwrap_err();
+        assert_eq!(err, FrameError::Oversized { bytes: MAX_FRAME_BYTES + 1 });
+        assert!(err.message().contains("oversized"));
+        assert!(decode_response(&line).is_err());
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = Response {
+            id: "q0".to_string(),
+            verdict: "race".to_string(),
+            detail: "race: write at 3:4 vs write at 7:8".to_string(),
+            steps: 123,
+            states: 45,
+            cache: CacheStatus::Hit,
+        };
+        assert_eq!(decode_response(&resp.to_json()), Ok(resp));
+        let err = Response::error("", "malformed frame: not valid JSON");
+        assert_eq!(decode_response(&err.to_json()), Ok(err));
+    }
+
+    #[test]
+    fn cache_key_tracks_semantic_fields_only() {
+        let base = Request::check("a", "void main() { skip; }");
+        let mut same = base.clone();
+        same.id = "completely-different".to_string();
+        same.no_cache = true;
+        assert_eq!(base.cache_key(), same.cache_key());
+        let mut other = base.clone();
+        other.engine = Engine::Bfs;
+        assert_ne!(base.cache_key(), other.cache_key());
+        let mut bounded = base.clone();
+        bounded.max_steps = Some(10);
+        assert_ne!(base.cache_key(), bounded.cache_key());
+        assert_ne!(
+            Request::check("a", "x").cache_key(),
+            Request::race("a", "x", "g").cache_key()
+        );
+    }
+}

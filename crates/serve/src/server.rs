@@ -1,0 +1,723 @@
+//! The check server: listeners, a bounded job queue, and a worker pool
+//! executing checks under the `kiss-core` supervisor.
+//!
+//! Connections are line-oriented ([`crate::protocol`]). Each accepted
+//! connection gets a reader thread and a writer thread; parsed requests
+//! either answer immediately from the result cache or enqueue a job for
+//! the worker pool, so responses can arrive out of request order
+//! (clients correlate by `id`). Shutdown is a [`CancelToken`]: accept
+//! loops and readers stop, queued jobs drain, and `run` returns the
+//! tally.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use kiss_core::{Kiss, KissOutcome, RaceTarget, Supervised, Supervisor};
+use kiss_obs::{Event, Obs};
+use kiss_seq::{BoundReason, Budget, CancelToken};
+
+use crate::cache::{CachedVerdict, ResultCache};
+use crate::protocol::{decode_request, CacheStatus, FrameError, Op, Request, Response, MAX_FRAME_BYTES};
+
+/// How long a connection reader blocks before re-checking shutdown.
+const READ_POLL: Duration = Duration::from_millis(100);
+/// How long an accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Server configuration.
+pub struct ServeConfig {
+    /// Unix socket path to listen on.
+    pub socket: Option<PathBuf>,
+    /// Loopback TCP port to listen on (0 picks a free one; see
+    /// [`Server::local_port`]).
+    pub port: Option<u16>,
+    /// Worker threads executing checks.
+    pub jobs: usize,
+    /// Bounded queue depth; pushes block when full (backpressure).
+    pub max_queue: usize,
+    /// Journal directory for the result cache (`None` = in-memory).
+    pub cache_dir: Option<PathBuf>,
+    /// Default check budget (requests may override axes).
+    pub budget: Budget,
+    /// Supervisor retry ladder depth.
+    pub retries: u32,
+    /// Observer receiving server and check events.
+    pub obs: Obs,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            socket: None,
+            port: None,
+            jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+            max_queue: 64,
+            cache_dir: None,
+            budget: Budget::generous(),
+            retries: 0,
+            obs: Obs::off(),
+        }
+    }
+}
+
+/// The request tally a finished server run reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Well-formed requests received.
+    pub requests: u64,
+    /// Requests answered from the cache.
+    pub cache_hits: u64,
+    /// Requests executed (includes `no_cache` bypasses).
+    pub cache_misses: u64,
+}
+
+/// One queued execution.
+struct Job {
+    request: Request,
+    key: u128,
+    received: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded job queue: blocking push (backpressure toward clients),
+/// blocking pop (workers park when idle).
+struct Queue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl Queue {
+    fn new(cap: usize) -> Queue {
+        Queue {
+            state: Mutex::new(QueueState { jobs: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Blocks while the queue is full; `Err` returns the job when the
+    /// queue has been closed.
+    fn push(&self, job: Job) -> Result<(), Box<Job>> {
+        let mut state = self.state.lock().expect("queue lock");
+        while state.jobs.len() >= self.cap && !state.closed {
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+        if state.closed {
+            return Err(Box::new(job));
+        }
+        state.jobs.push_back(job);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks while the queue is empty; `None` once it is closed *and*
+    /// drained, so pending jobs still complete during shutdown.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn depth(&self) -> u64 {
+        self.state.lock().expect("queue lock").jobs.len() as u64
+    }
+}
+
+/// One accepted connection, unix or TCP.
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+
+    /// Accepted streams inherit the listener's non-blocking flag; flip
+    /// them back to blocking with a short read timeout so readers poll
+    /// the shutdown token.
+    fn prepare(&self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(READ_POLL))
+            }
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(READ_POLL))
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+}
+
+/// Atomic mirrors of [`ServeStats`], shared across handler threads.
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    cfg: ServeConfig,
+    listeners: Vec<Listener>,
+    local_port: Option<u16>,
+}
+
+impl Server {
+    /// Binds the configured endpoints. A stale unix socket file is
+    /// removed first; at least one of `socket`/`port` must be set.
+    pub fn bind(cfg: ServeConfig) -> io::Result<Server> {
+        let mut listeners = Vec::new();
+        let mut local_port = None;
+        if let Some(path) = &cfg.socket {
+            #[cfg(unix)]
+            {
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                listeners.push(Listener::Unix(listener));
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix sockets are not available on this platform; use --port",
+                ));
+            }
+        }
+        if let Some(port) = cfg.port {
+            let listener = TcpListener::bind(("127.0.0.1", port))?;
+            local_port = Some(listener.local_addr()?.port());
+            listener.set_nonblocking(true)?;
+            listeners.push(Listener::Tcp(listener));
+        }
+        if listeners.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "serve needs a --socket path or a --port",
+            ));
+        }
+        Ok(Server { cfg, listeners, local_port })
+    }
+
+    /// The bound TCP port, when a TCP listener was requested (resolves
+    /// `--port 0`).
+    pub fn local_port(&self) -> Option<u16> {
+        self.local_port
+    }
+
+    /// Serves until `shutdown` is cancelled: accept loops stop, active
+    /// connections finish their in-flight requests, queued jobs drain,
+    /// and the tally is returned.
+    pub fn run(self, shutdown: &CancelToken) -> io::Result<ServeStats> {
+        let cache = Mutex::new(match &self.cfg.cache_dir {
+            Some(dir) => ResultCache::open(dir)?,
+            None => ResultCache::in_memory(),
+        });
+        let queue = Queue::new(self.cfg.max_queue);
+        let counters = Counters::default();
+        let active = AtomicUsize::new(0);
+        let label_seq = AtomicU64::new(0);
+        let cfg = &self.cfg;
+
+        std::thread::scope(|s| {
+            for _ in 0..cfg.jobs.max(1) {
+                s.spawn(|| worker_loop(&queue, &cache, cfg, &label_seq));
+            }
+            for listener in &self.listeners {
+                let (active, counters, queue, cache) = (&active, &counters, &queue, &cache);
+                s.spawn(move || {
+                    while !shutdown.is_cancelled() {
+                        match listener.accept() {
+                            Ok(stream) => {
+                                active.fetch_add(1, Ordering::SeqCst);
+                                s.spawn(move || {
+                                    handle_connection(
+                                        stream, s, queue, cache, counters, cfg, shutdown,
+                                    );
+                                    active.fetch_sub(1, Ordering::SeqCst);
+                                });
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(ACCEPT_POLL);
+                            }
+                            // Transient accept failures (e.g. the peer
+                            // vanished mid-handshake) are not fatal.
+                            Err(_) => std::thread::sleep(ACCEPT_POLL),
+                        }
+                    }
+                });
+            }
+            // The scope body itself coordinates the drain: once shutdown
+            // is requested and every connection handler has finished
+            // submitting, close the queue so workers exit after the
+            // backlog empties.
+            while !shutdown.is_cancelled() {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            while active.load(Ordering::SeqCst) != 0 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            queue.close();
+        });
+
+        #[cfg(unix)]
+        if let Some(path) = &self.cfg.socket {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(ServeStats {
+            requests: counters.requests.load(Ordering::SeqCst),
+            cache_hits: counters.hits.load(Ordering::SeqCst),
+            cache_misses: counters.misses.load(Ordering::SeqCst),
+        })
+    }
+}
+
+/// Reads frames off one connection until EOF or shutdown. Writes go
+/// through a dedicated thread so cache hits answer while earlier misses
+/// are still executing.
+fn handle_connection<'scope>(
+    stream: Stream,
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    queue: &'scope Queue,
+    cache: &'scope Mutex<ResultCache>,
+    counters: &'scope Counters,
+    cfg: &'scope ServeConfig,
+    shutdown: &'scope CancelToken,
+) {
+    if stream.prepare().is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<Response>();
+    scope.spawn(move || {
+        for response in rx {
+            if writeln!(writer, "{}", response.to_json()).and_then(|()| writer.flush()).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    // Bytes discarded from a frame that outgrew MAX_FRAME_BYTES before
+    // its newline arrived; the frame is answered with one error once the
+    // newline shows up.
+    let mut discarded = 0usize;
+    'read: while !shutdown.is_cancelled() {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let rest = buf.split_off(pos + 1);
+            let mut line = std::mem::replace(&mut buf, rest);
+            line.pop();
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            if discarded > 0 {
+                let err = FrameError::Oversized { bytes: discarded + line.len() };
+                if tx.send(Response::error("", err.message())).is_err() {
+                    break 'read;
+                }
+                discarded = 0;
+                continue;
+            }
+            if line.is_empty() {
+                continue;
+            }
+            let text = String::from_utf8_lossy(&line);
+            handle_line(&text, &tx, queue, cache, counters, cfg);
+        }
+        // No newline yet: a frame past the cap can never become valid,
+        // so stop buffering it.
+        if buf.len() > MAX_FRAME_BYTES {
+            discarded += buf.len();
+            buf.clear();
+        }
+    }
+}
+
+/// Decodes and answers one frame: error, cache hit, or enqueue.
+fn handle_line(
+    line: &str,
+    tx: &mpsc::Sender<Response>,
+    queue: &Queue,
+    cache: &Mutex<ResultCache>,
+    counters: &Counters,
+    cfg: &ServeConfig,
+) {
+    let request = match decode_request(line) {
+        Ok(request) => request,
+        Err(e) => {
+            let _ = tx.send(Response::error("", e.message()));
+            return;
+        }
+    };
+    counters.requests.fetch_add(1, Ordering::SeqCst);
+    cfg.obs.emit(|_| Event::RequestReceived {
+        request: request.id.clone(),
+        queue_depth: queue.depth(),
+    });
+    let key = request.cache_key();
+    if !request.no_cache {
+        let cached = cache.lock().expect("cache lock").lookup(key).cloned();
+        if let Some(v) = cached {
+            counters.hits.fetch_add(1, Ordering::SeqCst);
+            cfg.obs.emit(|_| Event::CacheHit { request: request.id.clone() });
+            cfg.obs.emit(|_| Event::RequestDone {
+                request: request.id.clone(),
+                verdict: v.verdict.clone(),
+                wall_ms: 0,
+                queue_depth: queue.depth(),
+            });
+            let _ = tx.send(Response {
+                id: request.id,
+                verdict: v.verdict,
+                detail: v.detail,
+                steps: v.steps,
+                states: v.states,
+                cache: CacheStatus::Hit,
+            });
+            return;
+        }
+    }
+    counters.misses.fetch_add(1, Ordering::SeqCst);
+    cfg.obs.emit(|_| Event::CacheMiss { request: request.id.clone() });
+    let job = Job { key, received: Instant::now(), reply: tx.clone(), request };
+    if let Err(job) = queue.push(job) {
+        let _ = job.reply.send(Response::error(job.request.id, "server is draining"));
+    }
+}
+
+/// Pops jobs until the queue closes: execute, cache, answer.
+fn worker_loop(queue: &Queue, cache: &Mutex<ResultCache>, cfg: &ServeConfig, seq: &AtomicU64) {
+    while let Some(job) = queue.pop() {
+        let (verdict, cacheable) = execute(&job.request, cfg, seq);
+        if cacheable {
+            cache.lock().expect("cache lock").insert(job.key, verdict.clone());
+        }
+        cfg.obs.emit(|_| Event::RequestDone {
+            request: job.request.id.clone(),
+            verdict: verdict.verdict.clone(),
+            wall_ms: job.received.elapsed().as_millis() as u64,
+            queue_depth: queue.depth(),
+        });
+        let _ = job.reply.send(Response {
+            id: job.request.id,
+            verdict: verdict.verdict,
+            detail: verdict.detail,
+            steps: verdict.steps,
+            states: verdict.states,
+            cache: CacheStatus::Miss,
+        });
+    }
+}
+
+/// Runs one request under supervision. The second return value says
+/// whether the verdict may enter the cache: verdicts that depend on
+/// wall-clock or server state (deadline/cancellation inconclusives,
+/// crashes, setup failures) must not.
+fn execute(request: &Request, cfg: &ServeConfig, seq: &AtomicU64) -> (CachedVerdict, bool) {
+    let error = |detail: String| CachedVerdict {
+        verdict: "error".to_string(),
+        detail,
+        steps: 0,
+        states: 0,
+    };
+    let program = match kiss_lang::parse_and_lower(&request.source) {
+        Ok(program) => program,
+        Err(e) => return (error(format!("parse: {e}")), false),
+    };
+    let target = match &request.op {
+        Op::Check => None,
+        Op::Race { target } => match RaceTarget::resolve(&program, target) {
+            Some(resolved) => Some(resolved),
+            None => return (error(format!("unknown race target `{target}`")), false),
+        },
+    };
+    let mut budget = cfg.budget;
+    if let Some(steps) = request.max_steps {
+        budget.max_steps = steps;
+    }
+    if let Some(states) = request.max_states {
+        budget.max_states = states as usize;
+    }
+    if let Some(ms) = request.timeout_ms {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    // A process-unique label keeps check lifecycle events distinct even
+    // when clients reuse request ids across submissions.
+    let label = format!("{}#{}", request.id, seq.fetch_add(1, Ordering::Relaxed));
+    // A fresh token, deliberately NOT the shutdown token: in-flight
+    // checks run to completion during a drain.
+    let supervisor = Supervisor::new(budget)
+        .with_retries(cfg.retries)
+        .with_cancel(CancelToken::new())
+        .with_observer(cfg.obs.clone());
+    let run = supervisor.run_scoped(&label, |budget, cancel, obs| {
+        let kiss = Kiss::new()
+            .with_max_ts(request.max_ts)
+            .with_engine(request.engine)
+            .with_store(request.store)
+            .with_budget(budget)
+            .with_cancel(cancel)
+            .with_observer(obs.clone())
+            .with_validation(false);
+        match target {
+            Some(target) => kiss.check_race(&program, target),
+            None => kiss.check_assertions(&program),
+        }
+    });
+    match run.result {
+        Supervised::Crashed { cause } => (
+            CachedVerdict {
+                verdict: "crashed".to_string(),
+                detail: cause,
+                steps: 0,
+                states: 0,
+            },
+            false,
+        ),
+        Supervised::Completed(outcome) => {
+            let (steps, states) =
+                outcome.stats().map(|s| (s.steps(), s.states() as u64)).unwrap_or((0, 0));
+            let (detail, cacheable) = detail_of(&outcome);
+            (
+                CachedVerdict {
+                    verdict: outcome.verdict_str().to_string(),
+                    detail,
+                    steps,
+                    states,
+                },
+                cacheable,
+            )
+        }
+    }
+}
+
+/// A deterministic one-line detail for each outcome (no wall times, so
+/// warm answers are byte-identical to cold ones), plus cacheability.
+fn detail_of(outcome: &KissOutcome) -> (String, bool) {
+    match outcome {
+        KissOutcome::NoErrorFound(_) => ("no error found".to_string(), true),
+        KissOutcome::AssertionViolation(report) => (
+            format!(
+                "assertion violation: {} threads, {} context switches",
+                report.mapped.thread_count, report.mapped.context_switches
+            ),
+            true,
+        ),
+        KissOutcome::RaceDetected(report) => {
+            let kind = |write: bool| if write { "write" } else { "read" };
+            (
+                format!(
+                    "race: {} at {} vs {} at {}",
+                    kind(report.first.is_write),
+                    report.first.span,
+                    kind(report.second.is_write),
+                    report.second.span
+                ),
+                true,
+            )
+        }
+        KissOutcome::Inconclusive { reason, .. } => (
+            format!("resource bound exceeded on {}", reason.as_str()),
+            // Steps/states/memory bounds are functions of the request
+            // alone; deadline and cancellation depend on the machine.
+            matches!(reason, BoundReason::Steps | BoundReason::States | BoundReason::Memory),
+        ),
+        KissOutcome::RuntimeError(e) => (format!("runtime error: {e}"), true),
+        KissOutcome::TransformFailed(e) => (format!("transform failed: {e}"), true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: &str) -> (Job, mpsc::Receiver<Response>) {
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            request: Request::check(id, "void main() { skip; }"),
+            key: 0,
+            received: Instant::now(),
+            reply: tx,
+        };
+        (job, rx)
+    }
+
+    #[test]
+    fn queue_is_fifo_and_drains_after_close() {
+        let queue = Queue::new(8);
+        let (a, _rx_a) = job("a");
+        let (b, _rx_b) = job("b");
+        assert!(queue.push(a).is_ok());
+        assert!(queue.push(b).is_ok());
+        assert_eq!(queue.depth(), 2);
+        queue.close();
+        assert_eq!(queue.pop().unwrap().request.id, "a");
+        assert_eq!(queue.pop().unwrap().request.id, "b");
+        assert!(queue.pop().is_none(), "closed and drained");
+        let (c, rx_c) = job("c");
+        let Err(rejected) = queue.push(c) else { panic!("closed queue accepted a job") };
+        let _ = rejected.reply.send(Response::error(rejected.request.id, "draining"));
+        assert_eq!(rx_c.recv().unwrap().verdict, "error");
+    }
+
+    #[test]
+    fn full_queue_blocks_until_a_worker_pops() {
+        let queue = std::sync::Arc::new(Queue::new(1));
+        let (a, _rx_a) = job("a");
+        assert!(queue.push(a).is_ok());
+        let q = queue.clone();
+        let pusher = std::thread::spawn(move || {
+            let (b, _rx_b) = job("b");
+            assert!(q.push(b).is_ok());
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!pusher.is_finished(), "push should block on a full queue");
+        assert_eq!(queue.pop().unwrap().request.id, "a");
+        pusher.join().unwrap();
+        assert_eq!(queue.pop().unwrap().request.id, "b");
+    }
+
+    #[test]
+    fn execute_answers_check_and_race_requests() {
+        let cfg = ServeConfig { budget: Budget::small(), ..ServeConfig::default() };
+        let seq = AtomicU64::new(0);
+        let req = Request::check("t", "int x;\nvoid main() { x = 1; assert x == 1; }");
+        let (verdict, cacheable) = execute(&req, &cfg, &seq);
+        assert_eq!(verdict.verdict, "pass");
+        assert_eq!(verdict.detail, "no error found");
+        assert!(cacheable);
+        assert!(verdict.steps > 0);
+
+        let racy = "int g;\nvoid writer() { g = 1; }\nvoid main() { async writer(); g = 2; }";
+        let (verdict, cacheable) = execute(&Request::race("t", racy, "g"), &cfg, &seq);
+        assert_eq!(verdict.verdict, "race");
+        assert!(verdict.detail.starts_with("race: "), "{}", verdict.detail);
+        assert!(cacheable);
+
+        let (verdict, cacheable) = execute(&Request::race("t", racy, "nope"), &cfg, &seq);
+        assert_eq!(verdict.verdict, "error");
+        assert!(verdict.detail.contains("unknown race target"));
+        assert!(!cacheable);
+
+        let (verdict, cacheable) = execute(&Request::check("t", "not a program"), &cfg, &seq);
+        assert_eq!(verdict.verdict, "error");
+        assert!(verdict.detail.starts_with("parse: "));
+        assert!(!cacheable);
+    }
+
+    #[test]
+    fn deadline_inconclusives_are_not_cacheable() {
+        let outcome = KissOutcome::Inconclusive {
+            stats: Default::default(),
+            reason: BoundReason::Deadline,
+        };
+        assert!(!detail_of(&outcome).1);
+        let outcome = KissOutcome::Inconclusive {
+            stats: Default::default(),
+            reason: BoundReason::Steps,
+        };
+        assert!(detail_of(&outcome).1);
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`atom`] | `kiss-atom` | Lipton-reduction atomicity analysis (ref \[20\]) |
 //! | [`core`] | `kiss-core` | **the KISS transformation**, trace back-mapping, checker |
 //! | [`obs`]  | `kiss-obs`  | structured events, run reports, trace/metrics sinks |
+//! | [`serve`] | `kiss-serve` | check service: wire protocol, result cache, server, client |
 //! | [`drivers`] | `kiss-drivers` | Bluetooth model, OS stubs, 18-driver corpus |
 //! | [`samples`] | `kiss-samples` | classic concurrency algorithms with ground-truth verdicts |
 //!
@@ -54,6 +55,7 @@ pub use kiss_obs as obs;
 pub use kiss_samples as samples;
 pub use kiss_lang as lang;
 pub use kiss_seq as seq;
+pub use kiss_serve as serve;
 
 pub use kiss_core::checker::{Engine, ErrorReport, Kiss, KissOutcome, RaceReport};
 pub use kiss_core::transform::{transform, RaceTarget, TransformConfig, Transformed};
