@@ -15,9 +15,11 @@
 //! * the sum of per-check `retries` equals the number of
 //!   `retry_escalated` events;
 //! * serve-mode accounting balances: every `cache_hit`, `cache_miss`,
-//!   and `request_done` names a received request id, each received
-//!   request is answered exactly once (`request_done` count equals
-//!   `request_received`), and requests = cache hits + cache misses;
+//!   `request_shed`, and `request_done` names a received request id,
+//!   each received request is answered exactly once (`request_done`
+//!   count equals `request_received` — shed requests are answered with
+//!   a typed `overloaded` response), and
+//!   requests = cache hits + cache misses + requests shed;
 //! * the summary report's serving counters satisfy the same balance,
 //!   agree with the trace when the report covers exactly this trace,
 //!   and carry one latency sample per request (so the per-request
@@ -40,7 +42,7 @@ use std::process::ExitCode;
 use kiss_obs::json::Json;
 use kiss_obs::RunReport;
 
-const KINDS: [&str; 10] = [
+const KINDS: [&str; 13] = [
     "check_started",
     "engine_tick",
     "retry_escalated",
@@ -50,6 +52,9 @@ const KINDS: [&str; 10] = [
     "cache_hit",
     "cache_miss",
     "request_done",
+    "request_shed",
+    "fault_injected",
+    "client_retry",
     "run_summary",
 ];
 
@@ -101,6 +106,7 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
     let mut received: BTreeMap<String, u64> = BTreeMap::new();
     let mut hits = 0u64;
     let mut misses = 0u64;
+    let mut shed = 0u64;
     let mut done = 0u64;
     let mut summary: Option<(usize, RunReport)> = None;
     let mut lines = 0usize;
@@ -156,7 +162,7 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
                     .ok_or(format!("line {n}: request_received without request id"))?;
                 *received.entry(request.to_string()).or_insert(0) += 1;
             }
-            "cache_hit" | "cache_miss" | "request_done" => {
+            "cache_hit" | "cache_miss" | "request_shed" | "request_done" => {
                 let request = v
                     .get("request")
                     .and_then(Json::as_str)
@@ -167,6 +173,7 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
                 match kind {
                     "cache_hit" => hits += 1,
                     "cache_miss" => misses += 1,
+                    "request_shed" => shed += 1,
                     _ => {
                         done += 1;
                         if v.get("wall_ms").and_then(Json::as_u64).is_none() {
@@ -175,6 +182,9 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
                     }
                 }
             }
+            // Client-side and injection events have no pairing
+            // constraints; the counts still land in the summary checks.
+            "fault_injected" | "client_retry" => {}
             "run_summary" => {
                 if summary.is_some() {
                     return Err(format!("line {n}: second run_summary"));
@@ -211,10 +221,10 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
         ));
     }
     let requests: u64 = received.values().sum();
-    if hits + misses != requests {
+    if hits + misses + shed != requests {
         return Err(format!(
             "trace received {requests} request(s) but resolved {hits} cache hit(s) \
-             + {misses} cache miss(es)"
+             + {misses} cache miss(es) + {shed} shed"
         ));
     }
     if done != requests {
@@ -259,10 +269,11 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
         }
     }
 
-    if report.cache_hits + report.cache_misses != report.requests {
+    if report.cache_hits + report.cache_misses + report.requests_shed != report.requests {
         return Err(format!(
-            "summary reports {} request(s) but {} cache hit(s) + {} cache miss(es)",
-            report.requests, report.cache_hits, report.cache_misses
+            "summary reports {} request(s) but {} cache hit(s) + {} cache miss(es) \
+             + {} shed",
+            report.requests, report.cache_hits, report.cache_misses, report.requests_shed
         ));
     }
     if report.request_ms.len() as u64 != report.requests {
@@ -280,11 +291,15 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
         ));
     }
     // As with store gauges: when the report covers exactly this trace's
-    // requests, the hit/miss split must match the traced events.
-    if report.requests == requests && (report.cache_hits, report.cache_misses) != (hits, misses) {
+    // requests, the hit/miss/shed split must match the traced events.
+    if report.requests == requests
+        && (report.cache_hits, report.cache_misses, report.requests_shed)
+            != (hits, misses, shed)
+    {
         return Err(format!(
-            "summary reports {} hit(s) / {} miss(es) but the trace has {hits} / {misses}",
-            report.cache_hits, report.cache_misses
+            "summary reports {} hit(s) / {} miss(es) / {} shed but the trace has \
+             {hits} / {misses} / {shed}",
+            report.cache_hits, report.cache_misses, report.requests_shed
         ));
     }
 
@@ -299,7 +314,8 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
     let counts: Vec<String> =
         kind_counts.iter().map(|(k, v)| format!("{k}={v}")).collect();
     let serving = if requests > 0 {
-        format!(", {requests} request(s) ({hits} hit / {misses} miss)")
+        let shed_note = if shed > 0 { format!(" / {shed} shed") } else { String::new() };
+        format!(", {requests} request(s) ({hits} hit / {misses} miss{shed_note})")
     } else {
         String::new()
     };
@@ -418,6 +434,52 @@ mod tests {
         let [_, _, done] = request_lifecycle("q0", false);
         let (trace, _) = trace_of(&[recv, done]);
         assert!(verify(&trace, None).unwrap_err().contains("cache hit(s)"));
+    }
+
+    fn shed_lifecycle(id: &str) -> [Event; 3] {
+        let request = id.to_string();
+        [
+            Event::RequestReceived { request: request.clone(), queue_depth: 8 },
+            Event::RequestShed { request: request.clone(), queue_depth: 8 },
+            Event::RequestDone {
+                request,
+                verdict: "overloaded".to_string(),
+                wall_ms: 5,
+                queue_depth: 8,
+            },
+        ]
+    }
+
+    #[test]
+    fn a_trace_with_shed_requests_and_faults_balances() {
+        let mut events = request_lifecycle("q0", false).to_vec();
+        events.extend(shed_lifecycle("q1"));
+        events.push(Event::FaultInjected {
+            point: "serve.enqueue".to_string(),
+            action: "error".to_string(),
+        });
+        events.push(Event::ClientRetry {
+            attempt: 2,
+            wait_ms: 12,
+            reason: "overloaded".to_string(),
+        });
+        let (trace, metrics) = trace_of(&events);
+        let summary = verify(&trace, Some(&metrics)).unwrap();
+        assert!(summary.contains("2 request(s) (0 hit / 1 miss / 1 shed)"), "{summary}");
+    }
+
+    #[test]
+    fn shed_imbalances_are_reported() {
+        // A shed for a request the server never received.
+        let (trace, _) = trace_of(&[Event::RequestShed {
+            request: "ghost".to_string(),
+            queue_depth: 1,
+        }]);
+        assert!(verify(&trace, None).unwrap_err().contains("unreceived"));
+        // A shed request must still be answered (typed overloaded).
+        let [recv, shed, _] = shed_lifecycle("q0");
+        let (trace, _) = trace_of(&[recv, shed]);
+        assert!(verify(&trace, None).unwrap_err().contains("request_done"));
     }
 
     #[test]

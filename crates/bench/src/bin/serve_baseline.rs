@@ -198,14 +198,15 @@ fn main() {
         warm.misses
     );
     println!(
-        "server: {} request(s), {} cache hit(s), {} miss(es)",
-        stats.requests, stats.cache_hits, stats.cache_misses
+        "server: {} request(s), {} cache hit(s), {} miss(es), {} shed",
+        stats.requests, stats.cache_hits, stats.cache_misses, stats.shed
     );
 
     let json = format!(
-        "{{\"version\":1,\"quick\":{},\"entries\":{entries},\"unique\":{},\"jobs\":{},\
+        "{{\"version\":2,\"quick\":{},\"entries\":{entries},\"unique\":{},\"jobs\":{},\
          {},{},\
-         \"server\":{{\"requests\":{},\"cache_hits\":{},\"cache_misses\":{}}}}}\n",
+         \"server\":{{\"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"requests_shed\":{}}}}}\n",
         opts.quick,
         cold.unique,
         opts.jobs,
@@ -214,6 +215,7 @@ fn main() {
         stats.requests,
         stats.cache_hits,
         stats.cache_misses,
+        stats.shed,
     );
     if let Err(e) = std::fs::write(&opts.out, &json) {
         eprintln!("serve_baseline: cannot write {}: {e}", opts.out);
@@ -229,6 +231,16 @@ fn main() {
     }
     if warm_us >= cold_us {
         eprintln!("serve_baseline: warm pass was not faster than cold");
+        std::process::exit(1);
+    }
+    // With no faults armed and a generous admission wait, the baseline
+    // must not shed — and the tally must balance exactly.
+    if stats.shed != 0 {
+        eprintln!("serve_baseline: a fault-free baseline run shed {} request(s)", stats.shed);
+        std::process::exit(1);
+    }
+    if stats.requests != stats.cache_hits + stats.cache_misses + stats.shed {
+        eprintln!("serve_baseline: request accounting does not balance: {stats:?}");
         std::process::exit(1);
     }
 }

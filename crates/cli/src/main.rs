@@ -13,12 +13,21 @@
 //! kissc detectors <file.kc> <target> [--runs N]
 //! kissc serve [--socket PATH] [--port N] [--jobs N] [--cache-dir DIR] [--max-queue N]
 //! kissc submit <file.kc>... | --corpus  (--socket PATH | --port N)
+//! kissc ping (--socket PATH | --port N)
 //! ```
 //!
 //! `<target>` is a global name or `Struct.field`. Exit code 0 means no
 //! error was found, 1 means an error was reported, 2 means usage or
 //! input problems, 3 means the check was inconclusive (budget, deadline,
 //! or ^C), 4 means the check itself crashed (and was isolated).
+//!
+//! Robustness: `serve` drains on SIGTERM exactly as on ^C (exit 0), can
+//! shed load with typed `overloaded` responses when the queue stays
+//! full past `--admission-wait`, closes dead-idle connections after
+//! `--idle-timeout`, and accepts deterministic fault injection via
+//! `--fault SPEC` or the `KISS_FAULT` environment variable. `submit`
+//! retries idempotent work over fresh connections (`--retry`) with
+//! capped exponential backoff and jitter.
 //!
 //! `check` and `race` run under the supervisor: `--timeout` adds a
 //! wall-clock deadline the engines poll cooperatively, `--retries`
@@ -38,14 +47,14 @@ use std::time::Duration;
 use kiss_core::checker::{Engine, Kiss, KissOutcome};
 use kiss_core::report::render_trace;
 use kiss_core::StoreKind;
-use kiss_core::sigint::{install_sigint_cancel, restore_sigpipe_default};
+use kiss_core::sigint::{install_sigint_cancel, install_sigterm_cancel, restore_sigpipe_default};
 use kiss_core::supervisor::{Supervised, SupervisedRun, Supervisor};
 use kiss_core::transform::{transform, RaceTarget, TransformConfig};
 use kiss_exec::Module;
 use kiss_lang::Program;
 use kiss_obs::{Aggregator, Event, Heartbeat, JsonlSink, Obs, Observer};
 use kiss_seq::{BoundReason, Budget, CancelToken};
-use kiss_serve::{submit_batch, Endpoint, Request, ServeConfig, Server};
+use kiss_serve::{submit_batch_with, Endpoint, Request, ServeConfig, Server, SubmitOptions};
 
 fn main() -> ExitCode {
     restore_sigpipe_default();
@@ -73,24 +82,37 @@ const USAGE: &str = "usage:
   kissc explore <file.kc> [--balanced] [--context-bound K]
   kissc detectors <file.kc> <target> [--runs N]
   kissc serve [--socket PATH] [--port N] [--jobs N] [--cache-dir DIR] [--max-queue N]
+              [--admission-wait S] [--idle-timeout S] [--fault SPEC]
               [--timeout S] [--max-steps N] [--max-states N] [--retries N]
               [--trace-out PATH] [--metrics PATH] [--progress]
   kissc submit <file.kc>... [--race <target>] (--socket PATH | --port N)
   kissc submit --corpus [--refined] [--limit N] (--socket PATH | --port N)
               [--engine explicit|summary|bfs] [--store legacy|cow] [--max-ts N]
               [--timeout S] [--max-steps N] [--max-states N] [--no-cache]
+              [--retry N] [--retry-backoff MS] [--request-timeout S]
+  kissc ping (--socket PATH | --port N) [--request-timeout S]
 
-serving (serve, submit):
+serving (serve, submit, ping):
   --socket PATH     unix socket to listen/connect on
   --port N          loopback TCP port to listen/connect on (serve: 0 picks one)
   --jobs N          worker threads executing checks (default: CPU count)
   --cache-dir DIR   persist the result cache journal here (survives restarts)
   --max-queue N     bounded job-queue depth; full = backpressure (default 64)
+  --admission-wait S  shed with a typed `overloaded` response after the queue
+                      stays full this long (default 10)
+  --idle-timeout S  close connections idle with no in-flight work this long
+  --fault SPEC      arm deterministic failpoints, e.g.
+                    `seed=7;serve.journal.append=error*1`; the KISS_FAULT
+                    environment variable is read when the flag is absent
   --corpus          submit the 18-driver evaluation corpus (deduplicated)
   --refined         corpus under the refined OS model
   --limit N         submit only the first N corpus entries
   --no-cache        ask the server to skip its cache lookup
-  ^C drains in-flight requests before the server exits
+  --retry N         reconnect and re-send unanswered idempotent work up to
+                    N times (exponential backoff, deterministic jitter)
+  --retry-backoff MS  initial backoff before the first retry (default 100)
+  --request-timeout S give up on a silent connection after this long
+  ^C or SIGTERM drains in-flight requests before the server exits
 
 state store (check, race):
   --store legacy|cow  visited-state representation: `cow` (default) is the
@@ -326,17 +348,42 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 None => 64,
             };
             let cache_dir = flags.value("--cache-dir")?.map(PathBuf::from);
+            let admission_wait = match flags.value("--admission-wait")? {
+                Some(s) => Duration::from_secs(parse_num(s)? as u64),
+                None => Duration::from_secs(10),
+            };
+            let idle_timeout = flags
+                .value("--idle-timeout")?
+                .map(|s| parse_num(s).map(|secs| Duration::from_secs(secs as u64)))
+                .transpose()?;
+            let fault = flags.value("--fault")?;
             let (budget, retries) = bound_flags(&mut flags)?;
             let obs_opts = obs_flags(&mut flags)?;
             flags.finish()?;
+            match fault {
+                Some(spec) => {
+                    kiss_fault::configure(spec).map_err(|e| format!("--fault: {e}"))?;
+                    eprintln!("fault injection armed: {spec}");
+                }
+                None => {
+                    if let Some(spec) =
+                        kiss_fault::configure_from_env().map_err(|e| format!("KISS_FAULT: {e}"))?
+                    {
+                        eprintln!("fault injection armed from KISS_FAULT: {spec}");
+                    }
+                }
+            }
             let (obs, agg) = build_obs(&obs_opts)?;
             let shutdown = CancelToken::new();
             install_sigint_cancel(shutdown.clone());
+            install_sigterm_cancel(shutdown.clone());
             let cfg = ServeConfig {
                 socket: socket.clone(),
                 port,
                 jobs,
                 max_queue,
+                admission_wait,
+                idle_timeout,
                 cache_dir,
                 budget,
                 retries,
@@ -349,13 +396,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             if let Some(port) = server.local_port() {
                 println!("listening on 127.0.0.1:{port}");
             }
-            println!("serving with {jobs} worker(s); ^C drains and exits");
+            println!("serving with {jobs} worker(s); ^C or SIGTERM drains and exits");
             let stats = server.run(&shutdown).map_err(|e| format!("serve failed: {e}"))?;
             finish_observed(&obs, agg.as_ref(), &obs_opts)?;
             println!(
-                "served {} request(s): {} cache hit(s), {} miss(es)",
-                stats.requests, stats.cache_hits, stats.cache_misses
+                "served {} request(s): {} cache hit(s), {} miss(es), {} shed",
+                stats.requests, stats.cache_hits, stats.cache_misses, stats.shed
             );
+            let fired = kiss_fault::total_fired();
+            if fired > 0 {
+                println!("fault injection: {fired} fault(s) fired");
+            }
             Ok(ExitCode::SUCCESS)
         }
         "submit" => {
@@ -381,6 +432,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let max_states = flags.value("--max-states")?.map(parse_num).transpose()?;
             let no_cache = flags.flag("--no-cache");
             let race = flags.value("--race")?;
+            let retry = match flags.value("--retry")? {
+                Some(s) => parse_num(s)? as u32,
+                None => 0,
+            };
+            let retry_backoff = match flags.value("--retry-backoff")? {
+                Some(s) => Duration::from_millis(parse_num(s)? as u64),
+                None => Duration::from_millis(100),
+            };
+            let request_timeout = flags
+                .value("--request-timeout")?
+                .map(|s| parse_num(s).map(|secs| Duration::from_secs(secs as u64)))
+                .transpose()?;
             let mut files = Vec::new();
             while let Some(f) = flags.positional() {
                 files.push(f);
@@ -423,9 +486,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     }));
                 }
             }
+            let opts = SubmitOptions {
+                retries: retry,
+                backoff: retry_backoff,
+                request_timeout,
+                ..SubmitOptions::default()
+            };
             let started = std::time::Instant::now();
-            let outcome =
-                submit_batch(&endpoint, &requests).map_err(|e| format!("submit failed: {e}"))?;
+            let outcome = submit_batch_with(&endpoint, &requests, &opts)
+                .map_err(|e| format!("submit failed: {e}"))?;
             let wall = started.elapsed();
             for (response, cache) in outcome.responses.iter().zip(&outcome.entry_cache) {
                 println!(
@@ -451,6 +520,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 outcome.hits,
                 outcome.misses,
             );
+            if outcome.retries > 0 {
+                println!("reconnected {} time(s) to complete the batch", outcome.retries);
+            }
             let verdicts: Vec<&str> =
                 outcome.responses.iter().map(|r| r.verdict.as_str()).collect();
             if outcome.responses.iter().any(|r| r.found_error()) {
@@ -464,6 +536,23 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             } else {
                 Ok(ExitCode::SUCCESS)
             }
+        }
+        "ping" => {
+            let socket = flags.value("--socket")?.map(PathBuf::from);
+            let port = match flags.value("--port")? {
+                Some(s) => Some(parse_num(s)? as u16),
+                None => None,
+            };
+            let timeout = match flags.value("--request-timeout")? {
+                Some(s) => Duration::from_secs(parse_num(s)? as u64),
+                None => Duration::from_secs(5),
+            };
+            flags.finish()?;
+            let endpoint = endpoint_of(socket, port)?;
+            let response =
+                kiss_serve::ping(&endpoint, timeout).map_err(|e| format!("ping failed: {e}"))?;
+            println!("{}: {}", response.verdict, response.detail);
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown subcommand `{other}`")),
     }

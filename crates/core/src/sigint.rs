@@ -1,5 +1,5 @@
-//! SIGINT-to-cancellation plumbing, shared by `kissc` and the corpus
-//! binaries (`table1`, `table2`).
+//! Signal-to-cancellation plumbing (SIGINT, SIGTERM), shared by
+//! `kissc` and the corpus binaries (`table1`, `table2`).
 //!
 //! ^C must not lose a half-finished corpus run: the handler only flips
 //! a [`CancelToken`]'s atomic flag, which the engines observe at their
@@ -37,6 +37,27 @@ pub fn install_sigint_cancel(token: CancelToken) {
     }
 }
 
+/// Installs a SIGTERM handler that cancels `token`, so supervised
+/// shutdown (systemd stop, `kill`, container runtime) drains exactly
+/// like ^C instead of dying mid-write. Process-global like
+/// [`install_sigint_cancel`]; only the first installation takes effect.
+#[cfg(unix)]
+pub fn install_sigterm_cancel(token: CancelToken) {
+    use std::sync::OnceLock;
+    static CANCEL: OnceLock<CancelToken> = OnceLock::new();
+    extern "C" fn on_sigterm(_: i32) {
+        if let Some(t) = CANCEL.get() {
+            t.cancel();
+        }
+    }
+    const SIGTERM: i32 = 15;
+    if CANCEL.set(token).is_ok() {
+        unsafe {
+            signal(SIGTERM, on_sigterm as *const () as usize);
+        }
+    }
+}
+
 /// Rust ignores SIGPIPE by default, so `kissc ... | head` panics
 /// mid-print; this restores the conventional silent exit. Call early
 /// in `main` — the binaries here are pipeline citizens first.
@@ -52,6 +73,10 @@ pub fn restore_sigpipe_default() {
 /// No-op on non-unix targets: ^C kills the process the default way.
 #[cfg(not(unix))]
 pub fn install_sigint_cancel(_token: CancelToken) {}
+
+/// No-op on non-unix targets: there is no SIGTERM.
+#[cfg(not(unix))]
+pub fn install_sigterm_cancel(_token: CancelToken) {}
 
 /// No-op on non-unix targets: there is no SIGPIPE.
 #[cfg(not(unix))]

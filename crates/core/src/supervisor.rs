@@ -18,6 +18,10 @@
 //! * **deadline and cancellation plumbing** — each attempt receives the
 //!   (escalated) [`Budget`] and the shared [`CancelToken`], which the
 //!   engines poll from their inner loops.
+//!
+//! The crash path is testable on demand: the `supervisor.attempt`
+//! failpoint (`kiss-fault`) sits inside the unwind boundary, so an
+//! injected panic takes exactly the route a buggy engine would.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
@@ -26,6 +30,9 @@ use kiss_obs::{CheckMetrics, Event, Obs};
 use kiss_seq::{BoundReason, Budget, CancelToken};
 
 use crate::checker::{CheckStats, KissOutcome};
+
+/// Failpoint: one supervised attempt, inside `catch_unwind`.
+const ATTEMPT_POINT: &str = "supervisor.attempt";
 
 /// How a supervised check ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -163,8 +170,25 @@ impl Supervisor {
                     },
                 );
             }
-            let attempt =
-                catch_unwind(AssertUnwindSafe(|| check(budget, self.cancel.clone(), obs)));
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                // Failpoint inside the unwind boundary: an injected
+                // panic exercises exactly the crash path a buggy engine
+                // would take, surfacing as `Supervised::Crashed`.
+                if let Some(action) = kiss_fault::hit(ATTEMPT_POINT) {
+                    obs.emit(|_| Event::FaultInjected {
+                        point: ATTEMPT_POINT.to_string(),
+                        action: action.name().to_string(),
+                    });
+                    match action {
+                        kiss_fault::Action::Error | kiss_fault::Action::Panic => {
+                            panic!("kiss-fault: injected {} at {ATTEMPT_POINT}", action.name())
+                        }
+                        kiss_fault::Action::Delay(d) => std::thread::sleep(d),
+                        kiss_fault::Action::Truncate(_) => {}
+                    }
+                }
+                check(budget, self.cancel.clone(), obs)
+            }));
             let outcome = match attempt {
                 Ok(outcome) => outcome,
                 Err(payload) => {

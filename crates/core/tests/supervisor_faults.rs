@@ -1,0 +1,53 @@
+//! Fault-injection coverage for the supervisor's crash path.
+//!
+//! Kept in its own integration-test binary because the `kiss-fault`
+//! registry is process-global: a `supervisor.attempt` policy armed here
+//! would otherwise fire inside unrelated unit tests running in the same
+//! process.
+
+use kiss_core::{Supervised, Supervisor};
+use kiss_fault::{Action, Policy, Trigger};
+use kiss_obs::{ChannelSink, Event, Obs};
+use kiss_seq::Budget;
+
+#[test]
+fn an_injected_attempt_panic_surfaces_as_crashed_then_clears() {
+    kiss_fault::reset();
+    kiss_fault::set(
+        "supervisor.attempt",
+        Policy { action: Action::Panic, trigger: Trigger::Times(1) },
+    );
+    let (tx, rx) = std::sync::mpsc::channel();
+    let obs = Obs::new(ChannelSink(tx));
+
+    let supervisor = Supervisor::new(Budget::steps_states(1_000, 100)).with_observer(obs);
+    let run = supervisor.run_scoped("faulted", |_, _, _| {
+        kiss_core::KissOutcome::NoErrorFound(Default::default())
+    });
+    let Supervised::Crashed { cause } = &run.result else {
+        panic!("an injected panic must surface as Crashed, got {:?}", run.result)
+    };
+    assert!(cause.contains("kiss-fault"), "cause names the injection: {cause}");
+    assert_eq!(run.attempts, 1, "a crash is never retried");
+
+    // The injection was observed.
+    let events: Vec<Event> = rx.try_iter().collect();
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            Event::FaultInjected { point, .. } if point == "supervisor.attempt"
+        )),
+        "expected a fault_injected event, got {events:?}"
+    );
+
+    // Times(1) is spent: the next attempt completes normally.
+    let run = supervisor.run_scoped("healthy", |_, _, _| {
+        kiss_core::KissOutcome::NoErrorFound(Default::default())
+    });
+    assert!(
+        matches!(run.result, Supervised::Completed(_)),
+        "the failpoint must not fire twice: {:?}",
+        run.result
+    );
+    kiss_fault::reset();
+}

@@ -152,6 +152,34 @@ pub enum Event {
         /// Jobs waiting in the server queue at completion time.
         queue_depth: u64,
     },
+    /// A request was rejected because the server queue stayed full for
+    /// the whole admission wait. The client got a typed `overloaded`
+    /// response; the request counts in `requests_shed`, not in the
+    /// hit/miss split.
+    RequestShed {
+        /// Request id.
+        request: String,
+        /// Jobs waiting in the server queue at rejection time.
+        queue_depth: u64,
+    },
+    /// A named failpoint fired (kiss-fault). Emitted by the component
+    /// that owns the site, not by kiss-fault itself.
+    FaultInjected {
+        /// Failpoint site, e.g. `serve.journal.append`.
+        point: String,
+        /// The action taken: `error`, `panic`, `delay`, `truncate`.
+        action: String,
+    },
+    /// The client is about to retry after a connection failure or an
+    /// `overloaded` response.
+    ClientRetry {
+        /// The attempt about to start (2 = first retry).
+        attempt: u64,
+        /// Backoff slept before this attempt.
+        wait_ms: u64,
+        /// Why the previous attempt failed, e.g. `connect`, `overloaded`.
+        reason: String,
+    },
     /// End-of-run summary.
     RunSummary {
         /// The aggregated report.
@@ -173,6 +201,9 @@ impl Event {
             Event::CacheHit { .. } => "cache_hit",
             Event::CacheMiss { .. } => "cache_miss",
             Event::RequestDone { .. } => "request_done",
+            Event::RequestShed { .. } => "request_shed",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::ClientRetry { .. } => "client_retry",
             Event::RunSummary { .. } => "run_summary",
         }
     }
@@ -189,6 +220,9 @@ impl Event {
             | Event::CacheHit { .. }
             | Event::CacheMiss { .. }
             | Event::RequestDone { .. }
+            | Event::RequestShed { .. }
+            | Event::FaultInjected { .. }
+            | Event::ClientRetry { .. }
             | Event::RunSummary { .. } => None,
         }
     }
@@ -199,7 +233,8 @@ impl Event {
             Event::RequestReceived { request, .. }
             | Event::CacheHit { request }
             | Event::CacheMiss { request }
-            | Event::RequestDone { request, .. } => Some(request),
+            | Event::RequestDone { request, .. }
+            | Event::RequestShed { request, .. } => Some(request),
             _ => None,
         }
     }
@@ -255,6 +290,25 @@ impl Event {
                      \"queue_depth\":{queue_depth}",
                     quoted(request),
                     quoted(verdict),
+                ));
+            }
+            Event::RequestShed { request, queue_depth } => {
+                out.push_str(&format!(
+                    ",\"request\":{},\"queue_depth\":{queue_depth}",
+                    quoted(request),
+                ));
+            }
+            Event::FaultInjected { point, action } => {
+                out.push_str(&format!(
+                    ",\"point\":{},\"action\":{}",
+                    quoted(point),
+                    quoted(action),
+                ));
+            }
+            Event::ClientRetry { attempt, wait_ms, reason } => {
+                out.push_str(&format!(
+                    ",\"attempt\":{attempt},\"wait_ms\":{wait_ms},\"reason\":{}",
+                    quoted(reason),
                 ));
             }
             Event::RunSummary { report } => {
@@ -326,6 +380,34 @@ mod tests {
         assert_eq!(done.get("verdict").and_then(Json::as_str), Some("pass"));
         assert_eq!(done.get("wall_ms").and_then(Json::as_u64), Some(7));
         assert_eq!(done.get("queue_depth").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn robustness_events_serialize_with_their_payloads() {
+        let shed = Event::RequestShed { request: "q7".into(), queue_depth: 64 };
+        let parsed = Json::parse(&shed.to_json()).unwrap();
+        assert_eq!(parsed.get("event").and_then(Json::as_str), Some("request_shed"));
+        assert_eq!(parsed.get("request").and_then(Json::as_str), Some("q7"));
+        assert_eq!(parsed.get("queue_depth").and_then(Json::as_u64), Some(64));
+        assert_eq!(shed.request(), Some("q7"));
+
+        let fault = Event::FaultInjected {
+            point: "serve.journal.append".into(),
+            action: "truncate".into(),
+        };
+        let parsed = Json::parse(&fault.to_json()).unwrap();
+        assert_eq!(parsed.get("event").and_then(Json::as_str), Some("fault_injected"));
+        assert_eq!(parsed.get("point").and_then(Json::as_str), Some("serve.journal.append"));
+        assert_eq!(parsed.get("action").and_then(Json::as_str), Some("truncate"));
+        assert_eq!(fault.request(), None);
+        assert_eq!(fault.check(), None);
+
+        let retry = Event::ClientRetry { attempt: 2, wait_ms: 40, reason: "overloaded".into() };
+        let parsed = Json::parse(&retry.to_json()).unwrap();
+        assert_eq!(parsed.get("event").and_then(Json::as_str), Some("client_retry"));
+        assert_eq!(parsed.get("attempt").and_then(Json::as_u64), Some(2));
+        assert_eq!(parsed.get("wait_ms").and_then(Json::as_u64), Some(40));
+        assert_eq!(parsed.get("reason").and_then(Json::as_str), Some("overloaded"));
     }
 
     #[test]

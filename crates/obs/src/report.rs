@@ -54,7 +54,8 @@ pub struct RunReport {
     pub wall_ms: u64,
     /// Every check's wall time, for percentiles. Unsorted.
     pub durations_ms: Vec<u64>,
-    /// Serve-mode requests answered (cache hits + cache misses).
+    /// Serve-mode requests received (cache hits + cache misses +
+    /// requests shed).
     pub requests: u64,
     /// Requests answered straight from the result cache.
     pub cache_hits: u64,
@@ -63,6 +64,14 @@ pub struct RunReport {
     /// Every request's receive-to-answer latency in milliseconds, for
     /// percentiles. Unsorted.
     pub request_ms: Vec<u64>,
+    /// Requests rejected with a typed `overloaded` response because the
+    /// queue stayed full for the whole admission wait. Counted in
+    /// `requests` but in neither cache bucket.
+    pub requests_shed: u64,
+    /// Failpoints fired (kiss-fault injections observed).
+    pub faults_injected: u64,
+    /// Client-side reconnect/resubmit attempts after failures.
+    pub client_retries: u64,
 }
 
 impl RunReport {
@@ -109,6 +118,9 @@ impl RunReport {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.request_ms.extend_from_slice(&other.request_ms);
+        self.requests_shed += other.requests_shed;
+        self.faults_injected += other.faults_injected;
+        self.client_retries += other.client_retries;
     }
 
     /// Steps summed across engines.
@@ -187,7 +199,8 @@ impl RunReport {
         format!(
             "{{\"checks\":{},\"retries\":{},\"outcomes\":{},\"bound_reasons\":{},\
              \"engines\":{{{}}},\"wall_ms\":{},\"durations_ms\":[{}],\
-             \"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\"request_ms\":[{}]}}",
+             \"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\"request_ms\":[{}],\
+             \"requests_shed\":{},\"faults_injected\":{},\"client_retries\":{}}}",
             self.checks,
             self.retries,
             map(&self.outcomes),
@@ -199,6 +212,9 @@ impl RunReport {
             self.cache_hits,
             self.cache_misses,
             request_ms.join(","),
+            self.requests_shed,
+            self.faults_injected,
+            self.client_retries,
         )
     }
 
@@ -263,6 +279,11 @@ impl RunReport {
                 .and_then(Json::as_arr)
                 .map(|xs| xs.iter().map(Json::as_u64).collect::<Option<Vec<_>>>())
                 .unwrap_or_else(|| Some(Vec::new()))?,
+            // Robustness counters postdate the serving fields; older
+            // reports parse with zeros.
+            requests_shed: v.get("requests_shed").and_then(Json::as_u64).unwrap_or(0),
+            faults_injected: v.get("faults_injected").and_then(Json::as_u64).unwrap_or(0),
+            client_retries: v.get("client_retries").and_then(Json::as_u64).unwrap_or(0),
         })
     }
 
@@ -294,10 +315,19 @@ impl RunReport {
         {
             out.push_str(&format!("  durations : p50={p50}ms p90={p90}ms p99={p99}ms\n"));
         }
-        if self.requests > 0 {
-            let rate = self.cache_hits as f64 * 100.0 / self.requests as f64;
+        if self.requests > 0 || self.requests_shed > 0 {
+            let rate = if self.requests > 0 {
+                self.cache_hits as f64 * 100.0 / self.requests as f64
+            } else {
+                0.0
+            };
+            let shed = if self.requests_shed > 0 {
+                format!(", {} shed", self.requests_shed)
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "  serving   : {} requests, {} cache hits, {} misses ({rate:.0}% hit-rate)\n",
+                "  serving   : {} requests, {} cache hits, {} misses ({rate:.0}% hit-rate){shed}\n",
                 self.requests, self.cache_hits, self.cache_misses
             ));
             if let (Some(p50), Some(p90), Some(p99)) = (
@@ -307,6 +337,12 @@ impl RunReport {
             ) {
                 out.push_str(&format!("  latency   : p50={p50}ms p90={p90}ms p99={p99}ms\n"));
             }
+        }
+        if self.faults_injected > 0 || self.client_retries > 0 {
+            out.push_str(&format!(
+                "  faults    : {} injected, {} client retries\n",
+                self.faults_injected, self.client_retries
+            ));
         }
         out
     }
@@ -442,6 +478,39 @@ mod tests {
         assert_eq!(parsed.requests, 0);
         assert!(parsed.request_ms.is_empty());
         assert!(!parsed.render().contains("serving"));
+    }
+
+    #[test]
+    fn robustness_fields_round_trip_merge_and_render() {
+        let r = RunReport {
+            requests: 9,
+            cache_hits: 4,
+            cache_misses: 2,
+            requests_shed: 3,
+            faults_injected: 5,
+            client_retries: 2,
+            ..RunReport::default()
+        };
+        let back = RunReport::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(back, r);
+        let mut merged = RunReport::default();
+        merged.merge(&r);
+        merged.merge(&r);
+        assert_eq!(merged.requests_shed, 6);
+        assert_eq!(merged.faults_injected, 10);
+        assert_eq!(merged.client_retries, 4);
+        let text = r.render();
+        assert!(text.contains("3 shed"));
+        assert!(text.contains("5 injected, 2 client retries"));
+        // Reports written before the robustness counters parse as zero.
+        let old = "{\"checks\":0,\"retries\":0,\"outcomes\":{},\"bound_reasons\":{},\
+                   \"engines\":{},\"wall_ms\":0,\"durations_ms\":[],\
+                   \"requests\":1,\"cache_hits\":1,\"cache_misses\":0,\"request_ms\":[1]}";
+        let parsed = RunReport::from_json(old).expect("pre-robustness report must parse");
+        assert_eq!(parsed.requests_shed, 0);
+        assert_eq!(parsed.faults_injected, 0);
+        assert_eq!(parsed.client_retries, 0);
+        assert!(!parsed.render().contains("faults"));
     }
 
     #[test]

@@ -87,6 +87,9 @@ struct AggState {
     cache_hits: u64,
     cache_misses: u64,
     request_ms: Vec<u64>,
+    requests_shed: u64,
+    faults_injected: u64,
+    client_retries: u64,
 }
 
 impl AggState {
@@ -95,6 +98,9 @@ impl AggState {
         report.cache_hits = self.cache_hits;
         report.cache_misses = self.cache_misses;
         report.request_ms = self.request_ms.clone();
+        report.requests_shed = self.requests_shed;
+        report.faults_injected = self.faults_injected;
+        report.client_retries = self.client_retries;
     }
 }
 
@@ -152,6 +158,9 @@ impl Observer for Aggregator {
             Event::CacheHit { .. } => state.cache_hits += 1,
             Event::CacheMiss { .. } => state.cache_misses += 1,
             Event::RequestDone { wall_ms, .. } => state.request_ms.push(*wall_ms),
+            Event::RequestShed { .. } => state.requests_shed += 1,
+            Event::FaultInjected { .. } => state.faults_injected += 1,
+            Event::ClientRetry { .. } => state.client_retries += 1,
             _ => {}
         }
     }
@@ -256,7 +265,10 @@ impl<W: Write + Send> Observer for Heartbeat<W> {
             | Event::RequestReceived { .. }
             | Event::CacheHit { .. }
             | Event::CacheMiss { .. }
-            | Event::RequestDone { .. } => {}
+            | Event::RequestDone { .. }
+            | Event::RequestShed { .. }
+            | Event::FaultInjected { .. }
+            | Event::ClientRetry { .. } => {}
             Event::CheckFinished { metrics } => {
                 self.finished += 1;
                 *self.outcomes.entry(metrics.verdict.clone()).or_default() += 1;
@@ -368,6 +380,26 @@ mod tests {
         assert_eq!(report.requests, report.cache_hits + report.cache_misses);
         assert_eq!(report.request_ms, vec![9, 1, 2]);
         assert_eq!(agg.event_counts()["request_done"], 3);
+    }
+
+    #[test]
+    fn aggregator_folds_robustness_events_into_the_report() {
+        let agg = Aggregator::new();
+        let mut sink: Box<dyn Observer> = Box::new(agg.clone());
+        sink.on_event(&Event::RequestShed { request: "q0".into(), queue_depth: 8 });
+        sink.on_event(&Event::RequestShed { request: "q1".into(), queue_depth: 8 });
+        sink.on_event(&Event::FaultInjected {
+            point: "serve.worker".into(),
+            action: "panic".into(),
+        });
+        sink.on_event(&Event::ClientRetry { attempt: 2, wait_ms: 10, reason: "connect".into() });
+        let report = agg.report();
+        assert_eq!(report.requests_shed, 2);
+        assert_eq!(report.faults_injected, 1);
+        assert_eq!(report.client_retries, 1);
+        assert_eq!(agg.event_counts()["request_shed"], 2);
+        assert_eq!(agg.event_counts()["fault_injected"], 1);
+        assert_eq!(agg.event_counts()["client_retry"], 1);
     }
 
     #[test]

@@ -6,23 +6,48 @@
 //! shape as `kiss-seq`'s visited table), and every insert is appended
 //! to an on-disk journal so a restarted server comes back warm.
 //!
-//! The journal is line-oriented, one record per line:
+//! The journal is line-oriented, one record per line. Current records
+//! carry a per-record FNV-1a checksum over everything before the last
+//! tab, so a torn or bit-flipped record is detected and skipped instead
+//! of replaying a wrong verdict:
 //!
 //! ```text
-//! v1<TAB>0123...cdef<TAB>verdict<TAB>steps<TAB>states<TAB>detail
+//! v2<TAB>0123...cdef<TAB>verdict<TAB>steps<TAB>states<TAB>detail<TAB>checksum
 //! ```
 //!
-//! Control characters in the detail are sanitized to spaces on write.
-//! Loading tolerates torn or garbage lines (a crash mid-append loses at
-//! most the final record), and a later record for the same key
-//! overrides an earlier one.
+//! Legacy `v1` records (no checksum) from journals written before the
+//! format change still replay. Control characters in the detail are
+//! sanitized to spaces on write. Loading tolerates torn or garbage
+//! lines (a crash mid-append loses at most the final record), and a
+//! later record for the same key overrides an earlier one.
+//!
+//! Because the journal is append-only, overridden and re-journaled
+//! records accumulate; [`ResultCache::compact`] rewrites the file to
+//! one canonical record per live entry (sorted by key, so compaction
+//! is byte-reproducible), and inserts trigger it automatically once
+//! the journal holds ~4x more records than live entries.
+//!
+//! Failpoints (`serve.journal.append`, `serve.journal.compact`) let
+//! the chaos suite inject torn writes, append errors, and compaction
+//! failures; every fired injection is reported through the cache's
+//! [`Obs`] handle as a `fault_injected` event.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+use kiss_fault::Action;
+use kiss_obs::{Event, Obs};
 
 /// The journal file's name inside the cache directory.
 pub const JOURNAL_FILE: &str = "cache.journal";
+
+/// Failpoint: one journal append (error = drop the record, truncate =
+/// torn write of the record's first K bytes).
+const APPEND_POINT: &str = "serve.journal.append";
+
+/// Failpoint: one compaction pass (error = abort, journal untouched).
+const COMPACT_POINT: &str = "serve.journal.compact";
 
 /// A cached check verdict — exactly the deterministic half of a
 /// response.
@@ -38,16 +63,37 @@ pub struct CachedVerdict {
     pub states: u64,
 }
 
+/// What journal replay found on open.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Valid records applied to the index (overrides included).
+    pub replayed: usize,
+    /// Garbage, torn, or checksum-failed lines skipped.
+    pub skipped: usize,
+}
+
 /// The cache: open-addressed index plus optional append-only journal.
 pub struct ResultCache {
     /// Power-of-two slot array, linear probing.
     slots: Vec<Option<(u128, CachedVerdict)>>,
     len: usize,
     journal: Option<BufWriter<File>>,
+    /// The journal's path, for compaction rewrites.
+    path: Option<PathBuf>,
+    /// Lines currently in the journal file (valid or not), replay
+    /// included — the auto-compaction trigger.
+    journal_records: usize,
+    replay: ReplayStats,
+    auto_compact_min: usize,
+    obs: Obs,
 }
 
 impl ResultCache {
     const INITIAL_CAPACITY: usize = 64;
+
+    /// Journals shorter than this never auto-compact: rewriting a tiny
+    /// file buys nothing.
+    const AUTO_COMPACT_MIN: usize = 1024;
 
     /// A cache with no journal: verdicts live for this process only.
     pub fn in_memory() -> ResultCache {
@@ -55,6 +101,11 @@ impl ResultCache {
             slots: vec![None; Self::INITIAL_CAPACITY],
             len: 0,
             journal: None,
+            path: None,
+            journal_records: 0,
+            replay: ReplayStats::default(),
+            auto_compact_min: Self::AUTO_COMPACT_MIN,
+            obs: Obs::off(),
         }
     }
 
@@ -69,8 +120,12 @@ impl ResultCache {
                 for line in text.lines() {
                     // Garbage and torn lines are skipped, not fatal: the
                     // cache is an accelerator, never a source of truth.
+                    cache.journal_records += 1;
                     if let Some((key, verdict)) = parse_line(line) {
                         cache.insert_slot(key, verdict);
+                        cache.replay.replayed += 1;
+                    } else {
+                        cache.replay.skipped += 1;
                     }
                 }
             }
@@ -79,7 +134,21 @@ impl ResultCache {
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         cache.journal = Some(BufWriter::new(file));
+        cache.path = Some(path);
         Ok(cache)
+    }
+
+    /// Routes this cache's `fault_injected` events into `obs`.
+    pub fn with_observer(mut self, obs: Obs) -> ResultCache {
+        self.obs = obs;
+        self
+    }
+
+    /// Overrides the auto-compaction floor (tests shrink it; the
+    /// default is [`Self::AUTO_COMPACT_MIN`] records).
+    pub fn with_auto_compact_min(mut self, min: usize) -> ResultCache {
+        self.auto_compact_min = min;
+        self
     }
 
     /// Cached verdicts held.
@@ -90,6 +159,17 @@ impl ResultCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// What replaying the journal found when this cache was opened.
+    pub fn replay_stats(&self) -> ReplayStats {
+        self.replay
+    }
+
+    /// Lines currently in the journal file (live records, overridden
+    /// duplicates, and skipped garbage).
+    pub fn journal_records(&self) -> usize {
+        self.journal_records
     }
 
     /// Looks a fingerprint up.
@@ -109,18 +189,113 @@ impl ResultCache {
     /// Journal write failures are swallowed: a full disk degrades the
     /// cache to in-memory, it does not take the server down.
     pub fn insert(&mut self, key: u128, verdict: CachedVerdict) {
-        if let Some(journal) = &mut self.journal {
-            let _ = writeln!(
-                journal,
-                "v1\t{key:032x}\t{}\t{}\t{}\t{}",
-                sanitize(&verdict.verdict),
-                verdict.steps,
-                verdict.states,
-                sanitize(&verdict.detail),
-            );
-            let _ = journal.flush();
-        }
+        self.append_record(key, &verdict);
         self.insert_slot(key, verdict);
+        self.maybe_auto_compact();
+    }
+
+    /// Rewrites the journal to one record per live entry, sorted by
+    /// key. The new image goes to a sibling `.tmp` file first and is
+    /// renamed over the journal, so a crash mid-compaction leaves the
+    /// original intact. Sorting makes the result canonical: compacting
+    /// a compacted journal reproduces it byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure writing or renaming the new image; the original
+    /// journal is untouched in that case.
+    pub fn compact(&mut self) -> io::Result<()> {
+        let Some(path) = self.path.clone() else { return Ok(()) };
+        if let Some(action) = kiss_fault::hit(COMPACT_POINT) {
+            self.note_fault(COMPACT_POINT, action);
+            match action {
+                Action::Error | Action::Truncate(_) => {
+                    return Err(io::Error::other("kiss-fault: injected compaction failure"));
+                }
+                Action::Panic => panic!("kiss-fault: injected panic at {COMPACT_POINT}"),
+                Action::Delay(d) => std::thread::sleep(d),
+            }
+        }
+        let mut entries: Vec<(u128, &CachedVerdict)> =
+            self.slots.iter().flatten().map(|(k, v)| (*k, v)).collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        let tmp = {
+            let mut os = path.clone().into_os_string();
+            os.push(".tmp");
+            PathBuf::from(os)
+        };
+        let write_image = || -> io::Result<()> {
+            let mut out = BufWriter::new(File::create(&tmp)?);
+            for (key, verdict) in &entries {
+                out.write_all(encode_record(*key, verdict).as_bytes())?;
+                out.write_all(b"\n")?;
+            }
+            out.flush()?;
+            out.get_ref().sync_all()
+        };
+        if let Err(e) = write_image() {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        // Close the append handle before swapping the file under it.
+        self.journal = None;
+        std::fs::rename(&tmp, &path)?;
+        self.journal =
+            Some(BufWriter::new(OpenOptions::new().append(true).open(&path)?));
+        self.journal_records = self.len;
+        Ok(())
+    }
+
+    fn append_record(&mut self, key: u128, verdict: &CachedVerdict) {
+        if self.journal.is_none() {
+            return;
+        }
+        let line = encode_record(key, verdict);
+        let action = kiss_fault::hit(APPEND_POINT);
+        if let Some(action) = action {
+            self.note_fault(APPEND_POINT, action);
+        }
+        match action {
+            // The record is dropped on the floor: the entry degrades to
+            // memory-only, exactly like a real failed write.
+            Some(Action::Error) => return,
+            Some(Action::Panic) => panic!("kiss-fault: injected panic at {APPEND_POINT}"),
+            Some(Action::Delay(d)) => std::thread::sleep(d),
+            Some(Action::Truncate(cut)) => {
+                // A torn write: the record's head lands in the file with
+                // no newline, as if the process died mid-append.
+                let journal = self.journal.as_mut().expect("checked above");
+                let cut = cut.min(line.len());
+                let _ = journal.write_all(&line.as_bytes()[..cut]);
+                let _ = journal.flush();
+                self.journal_records += 1;
+                return;
+            }
+            None => {}
+        }
+        let journal = self.journal.as_mut().expect("checked above");
+        let _ = journal.write_all(line.as_bytes());
+        let _ = journal.write_all(b"\n");
+        let _ = journal.flush();
+        self.journal_records += 1;
+    }
+
+    fn maybe_auto_compact(&mut self) {
+        if self.journal.is_some()
+            && self.journal_records >= self.auto_compact_min
+            && self.journal_records >= self.len.saturating_mul(4)
+        {
+            // A failed auto-compaction is not an error path: the journal
+            // keeps appending and the next insert retries.
+            let _ = self.compact();
+        }
+    }
+
+    fn note_fault(&self, point: &str, action: Action) {
+        self.obs.emit(|_| Event::FaultInjected {
+            point: point.to_string(),
+            action: action.name().to_string(),
+        });
     }
 
     fn insert_slot(&mut self, key: u128, verdict: CachedVerdict) {
@@ -163,16 +338,51 @@ fn slot_of(key: u128) -> usize {
 }
 
 /// Replaces the journal's separators (tabs, newlines) and other control
-/// characters with spaces so a record stays one line of six fields.
+/// characters with spaces so a record stays one line of fixed fields.
 fn sanitize(s: &str) -> String {
     s.chars().map(|c| if c.is_control() { ' ' } else { c }).collect()
 }
 
+/// FNV-1a, the record checksum. Not cryptographic — it guards against
+/// torn writes and bit rot, not adversaries (the journal is local,
+/// trusted state).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// One checksummed `v2` journal line (no trailing newline).
+fn encode_record(key: u128, v: &CachedVerdict) -> String {
+    let body = format!(
+        "v2\t{key:032x}\t{}\t{}\t{}\t{}",
+        sanitize(&v.verdict),
+        v.steps,
+        v.states,
+        sanitize(&v.detail),
+    );
+    let sum = fnv1a64(body.as_bytes());
+    format!("{body}\t{sum:016x}")
+}
+
 fn parse_line(line: &str) -> Option<(u128, CachedVerdict)> {
-    let mut parts = line.splitn(6, '\t');
-    if parts.next()? != "v1" {
+    if let Some(rest) = line.strip_prefix("v1\t") {
+        // Legacy record: no checksum, five fields after the tag.
+        return parse_fields(rest);
+    }
+    let (body, sum) = line.rsplit_once('\t')?;
+    let rest = body.strip_prefix("v2\t")?;
+    if u64::from_str_radix(sum, 16).ok()? != fnv1a64(body.as_bytes()) {
         return None;
     }
+    parse_fields(rest)
+}
+
+fn parse_fields(rest: &str) -> Option<(u128, CachedVerdict)> {
+    let mut parts = rest.splitn(5, '\t');
     let key = u128::from_str_radix(parts.next()?, 16).ok()?;
     let verdict = parts.next()?.to_string();
     let steps = parts.next()?.parse().ok()?;
@@ -234,6 +444,7 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.lookup(7).unwrap().steps, 70, "later record wins");
         assert_eq!(cache.lookup(8), Some(&verdict(8)));
+        assert_eq!(cache.replay_stats(), ReplayStats { replayed: 3, skipped: 0 });
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -247,13 +458,74 @@ mod tests {
         let path = dir.join(JOURNAL_FILE);
         let mut text = std::fs::read_to_string(&path).unwrap();
         text.push_str("complete garbage\n");
-        text.push_str("v2\t0\tpass\t0\t0\tfuture version\n");
-        text.push_str("v1\t00000000000000000000000000000002\tpass\t5"); // torn mid-record
+        text.push_str("v9\t0\tpass\t0\t0\tfuture version\n");
+        // A good record, then the same record torn mid-write: the torn
+        // copy fails its checksum and must not shadow anything.
+        text.push_str(&encode_record(2, &verdict(2)));
+        text.push('\n');
+        let torn = encode_record(3, &verdict(3));
+        text.push_str(&torn[..torn.len() / 2]);
         std::fs::write(&path, text).unwrap();
         let cache = ResultCache::open(&dir).unwrap();
-        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.len(), 2);
         assert_eq!(cache.lookup(1), Some(&verdict(1)));
-        assert_eq!(cache.lookup(2), None);
+        assert_eq!(cache.lookup(2), Some(&verdict(2)));
+        assert_eq!(cache.lookup(3), None);
+        assert_eq!(cache.replay_stats(), ReplayStats { replayed: 2, skipped: 3 });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interleaved_garbage_between_records_is_skipped() {
+        let dir = temp_dir("interleave");
+        let path = dir.join(JOURNAL_FILE);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut text = String::new();
+        for i in 0..8u64 {
+            text.push_str(&encode_record(u128::from(i), &verdict(i)));
+            text.push('\n');
+            text.push_str(&format!("garbage between records {i}\n"));
+        }
+        std::fs::write(&path, text).unwrap();
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 8);
+        for i in 0..8u64 {
+            assert_eq!(cache.lookup(u128::from(i)), Some(&verdict(i)));
+        }
+        assert_eq!(cache.replay_stats(), ReplayStats { replayed: 8, skipped: 8 });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_record_fails_its_checksum() {
+        let dir = temp_dir("bitflip");
+        {
+            let mut cache = ResultCache::open(&dir).unwrap();
+            cache.insert(5, verdict(5));
+        }
+        let path = dir.join(JOURNAL_FILE);
+        // Flip one character inside the verdict field: "pass" -> "paXs".
+        let text = std::fs::read_to_string(&path).unwrap().replace("pass", "paXs");
+        assert!(text.contains("paXs"), "fixture must actually corrupt the record");
+        std::fs::write(&path, text).unwrap();
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 0, "a corrupt verdict must not replay");
+        assert_eq!(cache.replay_stats(), ReplayStats { replayed: 0, skipped: 1 });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_records_still_replay() {
+        let dir = temp_dir("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join(JOURNAL_FILE),
+            "v1\t00000000000000000000000000000009\tpass\t9\t4\tno error found #9\n",
+        )
+        .unwrap();
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(9), Some(&verdict(9)));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -273,6 +545,60 @@ mod tests {
         let cache = ResultCache::open(&dir).unwrap();
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.lookup(3).unwrap().detail, "line one line two");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_dead_records_and_is_byte_reproducible() {
+        let dir = temp_dir("compact");
+        {
+            let mut cache = ResultCache::open(&dir).unwrap();
+            for round in 0..10u64 {
+                for key in 0..20u64 {
+                    cache.insert(u128::from(key), verdict(key * 100 + round));
+                }
+            }
+            assert_eq!(cache.journal_records(), 200);
+            cache.compact().unwrap();
+            assert_eq!(cache.journal_records(), 20);
+            // The journal stays appendable after the swap.
+            cache.insert(999, verdict(999));
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let mut cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 21);
+        for key in 0..20u64 {
+            assert_eq!(cache.lookup(u128::from(key)).unwrap().steps, key * 100 + 9);
+        }
+        // Compacting a compacted journal reproduces it byte for byte.
+        cache.compact().unwrap();
+        let first = std::fs::read(&path).unwrap();
+        drop(cache);
+        let mut cache = ResultCache::open(&dir).unwrap();
+        cache.compact().unwrap();
+        let second = std::fs::read(&path).unwrap();
+        assert_eq!(first, second);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn inserts_auto_compact_once_the_journal_bloats() {
+        let dir = temp_dir("autocompact");
+        let mut cache =
+            ResultCache::open(&dir).unwrap().with_auto_compact_min(32);
+        // Hammer four keys: the journal grows with every override until
+        // it crosses 4x the live count and collapses back to 4 records.
+        for round in 0..40u64 {
+            for key in 0..4u64 {
+                cache.insert(u128::from(key), verdict(round));
+            }
+        }
+        assert_eq!(cache.len(), 4);
+        assert!(
+            cache.journal_records() < 40,
+            "journal should have auto-compacted, has {} records",
+            cache.journal_records()
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

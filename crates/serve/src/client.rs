@@ -5,6 +5,17 @@
 //! submitted once and the shared verdict is fanned back out to every
 //! entry. That keeps a corpus submission from paying for the same
 //! program twice even against a cold server.
+//!
+//! Submission is resilient by opt-in ([`SubmitOptions`]): a lost
+//! connection, a silent server (per-request timeout), or a typed
+//! `overloaded` shed triggers a reconnect with exponential backoff and
+//! deterministic jitter, re-asking only the still-unanswered entries.
+//! Retries are bounded and only ever re-send idempotent work: a shed
+//! request was never executed (always safe), and cacheable checks are
+//! pure functions of their content address — but a `no_cache` request
+//! that may already have reached the server is *not* re-sent, because
+//! the caller asked for exactly one fresh execution. Every retry emits
+//! a `client_retry` event through `kiss-obs`.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -12,8 +23,14 @@ use std::net::TcpStream;
 #[cfg(unix)]
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use kiss_obs::{Event, Obs};
 
 use crate::protocol::{decode_response, CacheStatus, Request, Response};
+
+/// How long a resilient read blocks before re-checking its deadline.
+const CLIENT_READ_POLL: Duration = Duration::from_millis(50);
 
 /// Where the server listens.
 #[derive(Debug, Clone)]
@@ -31,16 +48,82 @@ impl Endpoint {
             #[cfg(unix)]
             Endpoint::Unix(path) => {
                 let stream = UnixStream::connect(path)?;
+                stream.set_read_timeout(Some(CLIENT_READ_POLL))?;
                 let reader = stream.try_clone()?;
                 Ok((Box::new(reader), Box::new(stream)))
             }
             Endpoint::Tcp(addr) => {
                 let stream = TcpStream::connect(addr.as_str())?;
+                stream.set_read_timeout(Some(CLIENT_READ_POLL))?;
                 let reader = stream.try_clone()?;
                 Ok((Box::new(reader), Box::new(stream)))
             }
         }
     }
+}
+
+/// Client-side resilience policy for [`submit_batch_with`].
+#[derive(Debug, Clone)]
+pub struct SubmitOptions {
+    /// Reconnect attempts after the first try (0 = the legacy
+    /// fail-fast behaviour of [`submit_batch`]).
+    pub retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub backoff: Duration,
+    /// Ceiling for the doubled backoff.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic jitter mixed into each backoff.
+    pub jitter_seed: u64,
+    /// Give up on an attempt when no response arrives for this long
+    /// (`None` = wait forever, as a plain read would).
+    pub request_timeout: Option<Duration>,
+    /// Observer receiving `client_retry` events.
+    pub obs: Obs,
+}
+
+impl Default for SubmitOptions {
+    fn default() -> Self {
+        SubmitOptions {
+            retries: 0,
+            backoff: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+            jitter_seed: 0,
+            request_timeout: None,
+            obs: Obs::off(),
+        }
+    }
+}
+
+impl SubmitOptions {
+    /// The wait before retry `attempt` (1-based): exponential backoff
+    /// capped at `backoff_cap`, with "equal jitter" — half the window is
+    /// guaranteed, half is a deterministic hash of `jitter_seed` and the
+    /// attempt, so a fleet of clients sharing a policy but not a seed
+    /// does not reconnect in lockstep (and a fixed seed replays exactly).
+    fn backoff_before(&self, attempt: u32) -> Duration {
+        let base = self
+            .backoff
+            .saturating_mul(1u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(u32::MAX))
+            .min(self.backoff_cap);
+        let half = base / 2;
+        if half.is_zero() {
+            return base;
+        }
+        let jitter_ms = splitmix64(self.jitter_seed ^ u64::from(attempt))
+            % (half.as_millis().max(1) as u64 + 1);
+        half + Duration::from_millis(jitter_ms)
+    }
+}
+
+/// The splitmix64 mixer: a full-period permutation of `u64`, good
+/// enough to decorrelate jitter and cheap enough to keep this crate
+/// dependency-free.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// How one batch entry was answered, from the entry's point of view.
@@ -83,15 +166,167 @@ pub struct BatchOutcome {
     pub hits: u64,
     /// Server cache misses among the wire responses.
     pub misses: u64,
+    /// Reconnect attempts the batch needed beyond the first.
+    pub retries: u64,
+}
+
+/// Submits `requests` as one pipelined batch with the legacy fail-fast
+/// policy (no retries, no timeout). See [`submit_batch_with`].
+pub fn submit_batch(endpoint: &Endpoint, requests: &[Request]) -> io::Result<BatchOutcome> {
+    submit_batch_with(endpoint, requests, &SubmitOptions::default())
+}
+
+/// What one wire attempt produced.
+struct Attempt {
+    /// `(slot, response)` pairs received before the attempt ended.
+    answered: Vec<(usize, Response)>,
+    /// Why the attempt ended early, if it did.
+    failure: Option<AttemptFailure>,
+}
+
+enum AttemptFailure {
+    /// The connection never opened; nothing was sent.
+    Connect(io::Error),
+    /// The connection died (or went silent past the request timeout)
+    /// after the frames were sent.
+    Lost(io::Error),
+}
+
+/// Opens one connection, sends the given frames, and reads until every
+/// frame is answered, the peer closes, or the per-request timeout
+/// expires with nothing arriving.
+fn run_attempt(
+    endpoint: &Endpoint,
+    frames: &[(usize, Request)],
+    timeout: Option<Duration>,
+) -> Attempt {
+    let mut answered = Vec::new();
+    let fail = |failure| Attempt { answered: Vec::new(), failure: Some(failure) };
+    let (reader, mut writer) = match endpoint.connect() {
+        Ok(pair) => pair,
+        Err(e) => return fail(AttemptFailure::Connect(e)),
+    };
+    for (slot, request) in frames {
+        let mut framed = request.clone();
+        framed.id = format!("q{slot}");
+        if let Err(e) = writeln!(writer, "{}", framed.to_json()) {
+            return fail(AttemptFailure::Lost(e));
+        }
+    }
+    if let Err(e) = writer.flush() {
+        return fail(AttemptFailure::Lost(e));
+    }
+
+    let wanted: HashMap<usize, ()> = frames.iter().map(|(slot, _)| (*slot, ())).collect();
+    let mut outstanding = frames.len();
+    let mut lines = BufReader::new(reader);
+    let mut line = String::new();
+    // The silence deadline restarts on every response: a batch of slow
+    // checks is fine as long as the server keeps answering.
+    let mut last_progress = Instant::now();
+    while outstanding > 0 {
+        line.clear();
+        let n = loop {
+            match lines.read_line(&mut line) {
+                Ok(n) => break n,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if let Some(limit) = timeout {
+                        if last_progress.elapsed() >= limit {
+                            return Attempt {
+                                answered,
+                                failure: Some(AttemptFailure::Lost(io::Error::new(
+                                    io::ErrorKind::TimedOut,
+                                    format!(
+                                        "no response for {}ms with {outstanding} outstanding",
+                                        limit.as_millis()
+                                    ),
+                                ))),
+                            };
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Attempt { answered, failure: Some(AttemptFailure::Lost(e)) },
+            }
+        };
+        if n == 0 {
+            return Attempt {
+                answered,
+                failure: Some(AttemptFailure::Lost(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("server closed with {outstanding} responses outstanding"),
+                ))),
+            };
+        }
+        if !line.ends_with('\n') {
+            // A torn frame: the peer died mid-response.
+            return Attempt {
+                answered,
+                failure: Some(AttemptFailure::Lost(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ))),
+            };
+        }
+        let text = line.trim_end_matches(['\n', '\r']);
+        if text.is_empty() {
+            continue;
+        }
+        let response = match decode_response(text) {
+            Ok(response) => response,
+            Err(e) => {
+                return Attempt {
+                    answered,
+                    failure: Some(AttemptFailure::Lost(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad response frame: {}", e.message()),
+                    ))),
+                }
+            }
+        };
+        let slot = response
+            .id
+            .strip_prefix('q')
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|slot| wanted.contains_key(slot));
+        let Some(slot) = slot else {
+            // A response for a slot this attempt did not ask about — a
+            // late answer from a previous connection's server-side work
+            // leaking through a proxy, or a server bug. Ignore it.
+            continue;
+        };
+        last_progress = Instant::now();
+        answered.push((slot, response));
+        outstanding -= 1;
+    }
+    Attempt { answered, failure: None }
 }
 
 /// Submits `requests` as one pipelined batch: dedup by content address,
 /// send every unique frame, then collect responses (in any order) and
 /// fan verdicts back out. Entry ids are preserved in the result even
 /// though the wire uses positional ids.
-pub fn submit_batch(endpoint: &Endpoint, requests: &[Request]) -> io::Result<BatchOutcome> {
-    let (reader, mut writer) = endpoint.connect()?;
-
+///
+/// `opts` governs resilience: lost connections, silent servers, and
+/// `overloaded` sheds are retried up to `opts.retries` times with
+/// exponential backoff, re-sending only still-unanswered idempotent
+/// entries (a shed entry is always idempotent to re-ask — it never
+/// executed). When retries run out, remaining connection errors are
+/// returned and remaining `overloaded` responses are handed to the
+/// caller as final verdicts.
+///
+/// # Errors
+///
+/// Returns the last connection error once retries are exhausted, or a
+/// decode error for a malformed response frame.
+pub fn submit_batch_with(
+    endpoint: &Endpoint,
+    requests: &[Request],
+    opts: &SubmitOptions,
+) -> io::Result<BatchOutcome> {
     // Dedup: first occurrence of a content address goes on the wire and
     // every entry remembers which wire slot answers it.
     let mut wire: Vec<Request> = Vec::new();
@@ -110,50 +345,104 @@ pub fn submit_batch(endpoint: &Endpoint, requests: &[Request]) -> io::Result<Bat
                 slot_of_key.insert(key, slot);
                 slot_of_entry.push(slot);
                 deduped.push(false);
-                let mut framed = request.clone();
-                framed.id = format!("q{slot}");
-                wire.push(framed);
+                wire.push(request.clone());
             }
         }
     }
 
-    for framed in &wire {
-        writeln!(writer, "{}", framed.to_json())?;
-    }
-    writer.flush()?;
-
     let mut answers: Vec<Option<Response>> = vec![None; wire.len()];
-    let mut outstanding = wire.len();
-    let mut lines = BufReader::new(reader);
-    let mut line = String::new();
-    while outstanding > 0 {
-        line.clear();
-        if lines.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                format!("server closed with {outstanding} responses outstanding"),
-            ));
+    let mut pending: Vec<usize> = (0..wire.len()).collect();
+    let mut retries_used = 0u64;
+    let mut attempt_no = 0u32;
+    let mut last_error: Option<io::Error> = None;
+
+    while !pending.is_empty() {
+        if attempt_no > 0 {
+            if attempt_no > opts.retries {
+                break;
+            }
+            let wait = opts.backoff_before(attempt_no);
+            let reason = last_error
+                .as_ref()
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "server overloaded".to_string());
+            opts.obs.emit(|_| Event::ClientRetry {
+                // The attempt about to start: the first retry is the
+                // second attempt overall.
+                attempt: u64::from(attempt_no) + 1,
+                wait_ms: wait.as_millis() as u64,
+                reason: reason.clone(),
+            });
+            retries_used += 1;
+            std::thread::sleep(wait);
         }
-        let text = line.trim_end_matches(['\n', '\r']);
-        if text.is_empty() {
-            continue;
+        attempt_no += 1;
+
+        let frames: Vec<(usize, Request)> =
+            pending.iter().map(|&slot| (slot, wire[slot].clone())).collect();
+        let attempt = run_attempt(endpoint, &frames, opts.request_timeout);
+        let mut next_pending: Vec<usize> = Vec::new();
+        let mut shed_this_attempt = false;
+        for (slot, response) in attempt.answered {
+            if response.is_overloaded() && attempt_no <= opts.retries {
+                // Shed before execution: always safe to re-ask. Keep the
+                // overloaded response on file in case retries run out.
+                shed_this_attempt = true;
+                answers[slot] = Some(response);
+                next_pending.push(slot);
+            } else {
+                answers[slot] = Some(response);
+            }
         }
-        let response = decode_response(text).map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("bad response frame: {}", e.message()))
-        })?;
-        let slot = response
-            .id
-            .strip_prefix('q')
-            .and_then(|n| n.parse::<usize>().ok())
-            .filter(|&n| n < wire.len())
-            .ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("response for unknown request id `{}`", response.id),
-                )
-            })?;
-        if answers[slot].replace(response).is_none() {
-            outstanding -= 1;
+        let mut lost_after_send = false;
+        match attempt.failure {
+            None => last_error = None,
+            Some(AttemptFailure::Connect(e)) => {
+                // Nothing reached the server; every pending slot may be
+                // re-sent, idempotent or not.
+                last_error = Some(e);
+                for &slot in &pending {
+                    if answers[slot].is_none() {
+                        next_pending.push(slot);
+                    }
+                }
+            }
+            Some(AttemptFailure::Lost(e)) => {
+                last_error = Some(e);
+                lost_after_send = true;
+                for &slot in &pending {
+                    if answers[slot].is_some() {
+                        continue;
+                    }
+                    if wire[slot].no_cache {
+                        // The server may already be executing (or have
+                        // executed) this fresh-run request; re-sending
+                        // would double-execute. Surface the loss instead.
+                        answers[slot] = Some(Response::error(
+                            wire[slot].id.clone(),
+                            "connection lost after submit; no_cache request not retried",
+                        ));
+                    } else {
+                        next_pending.push(slot);
+                    }
+                }
+            }
+        }
+        if shed_this_attempt && !lost_after_send {
+            last_error = None;
+        }
+        next_pending.sort_unstable();
+        next_pending.dedup();
+        pending = next_pending;
+    }
+
+    if !pending.is_empty() {
+        // Out of retries. Shed slots keep their overloaded response as
+        // the final answer; anything still unanswered is a hard error.
+        if pending.iter().any(|&slot| answers[slot].is_none()) {
+            return Err(last_error.unwrap_or_else(|| {
+                io::Error::other("batch incomplete after retries")
+            }));
         }
     }
 
@@ -185,14 +474,43 @@ pub fn submit_batch(endpoint: &Endpoint, requests: &[Request]) -> io::Result<Bat
         responses.push(response);
     }
 
-    Ok(BatchOutcome { responses, entry_cache, unique: wire.len(), hits, misses })
+    Ok(BatchOutcome {
+        responses,
+        entry_cache,
+        unique: wire.len(),
+        hits,
+        misses,
+        retries: retries_used,
+    })
+}
+
+/// Sends one `status` ping and returns the server's answer (verdict
+/// `ok`, detail `queue_depth=… cache_entries=… uptime_ms=…`).
+///
+/// # Errors
+///
+/// Returns the connection error, a timeout after `timeout` of silence,
+/// or a decode error for a malformed response.
+pub fn ping(endpoint: &Endpoint, timeout: Duration) -> io::Result<Response> {
+    let frames = [(0usize, Request::status("ping"))];
+    let mut attempt = run_attempt(endpoint, &frames, Some(timeout));
+    match attempt.answered.pop() {
+        Some((_, response)) => Ok(response),
+        None => Err(match attempt.failure {
+            Some(AttemptFailure::Connect(e)) | Some(AttemptFailure::Lost(e)) => e,
+            None => io::Error::other("ping received no response"),
+        }),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::server::{ServeConfig, Server, ServeStats};
+    use kiss_obs::sinks::ChannelSink;
     use kiss_seq::{Budget, CancelToken};
+    use std::io::BufRead;
+    use std::net::TcpListener;
 
     fn boot() -> (Endpoint, CancelToken, std::thread::JoinHandle<ServeStats>) {
         let cfg = ServeConfig {
@@ -207,6 +525,53 @@ mod tests {
         let token = shutdown.clone();
         let handle = std::thread::spawn(move || server.run(&token).unwrap());
         (Endpoint::Tcp(format!("127.0.0.1:{port}")), shutdown, handle)
+    }
+
+    /// A scripted stand-in server: connection `i` reads
+    /// `reads_per_conn[i]` request lines, answers with the scripted
+    /// responses (`{}` placeholders get the request's wire id), then
+    /// closes.
+    fn scripted_server(
+        scripts: Vec<Vec<Option<Response>>>,
+    ) -> (Endpoint, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            for script in scripts {
+                let (stream, _) = listener.accept().unwrap();
+                let mut lines = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                for slot in script {
+                    let mut line = String::new();
+                    if lines.read_line(&mut line).unwrap() == 0 {
+                        break;
+                    }
+                    let wire_id = line
+                        .split("\"id\":\"")
+                        .nth(1)
+                        .and_then(|rest| rest.split('"').next())
+                        .unwrap_or("")
+                        .to_string();
+                    if let Some(mut response) = slot {
+                        response.id = wire_id;
+                        writeln!(writer, "{}", response.to_json()).unwrap();
+                    }
+                    // None: swallow the request and close (torn server).
+                }
+            }
+        });
+        (Endpoint::Tcp(addr.to_string()), handle)
+    }
+
+    fn pass(detail: &str) -> Response {
+        Response {
+            id: String::new(),
+            verdict: "pass".to_string(),
+            detail: detail.to_string(),
+            steps: 1,
+            states: 1,
+            cache: CacheStatus::Miss,
+        }
     }
 
     #[test]
@@ -226,6 +591,7 @@ mod tests {
         assert_eq!(outcome.entry_cache[2], EntryCache::Miss);
         assert_eq!(outcome.hits, 0);
         assert_eq!(outcome.misses, 2);
+        assert_eq!(outcome.retries, 0);
         // Ids come back as the caller named them; dedup shares verdicts.
         assert_eq!(outcome.responses[0].id, "first");
         assert_eq!(outcome.responses[1].id, "second");
@@ -244,5 +610,126 @@ mod tests {
         assert_eq!(stats.requests, 4);
         assert_eq!(stats.cache_hits, 2);
         assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn ping_reports_queue_depth_and_uptime() {
+        let (endpoint, shutdown, handle) = boot();
+        let response = ping(&endpoint, Duration::from_secs(5)).unwrap();
+        assert_eq!(response.verdict, "ok");
+        assert!(response.detail.contains("queue_depth=0"), "{}", response.detail);
+        assert!(response.detail.contains("cache_entries=0"), "{}", response.detail);
+        assert!(response.detail.contains("uptime_ms="), "{}", response.detail);
+        shutdown.cancel();
+        // Status pings are control-plane: not in the request tally.
+        assert_eq!(handle.join().unwrap().requests, 0);
+    }
+
+    #[test]
+    fn a_dropped_connection_is_retried_and_recovers() {
+        // Connection 1 swallows the request and closes; connection 2
+        // answers. One client_retry event, final verdict intact.
+        let (endpoint, server) =
+            scripted_server(vec![vec![None], vec![Some(pass("recovered"))]]);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let opts = SubmitOptions {
+            retries: 2,
+            backoff: Duration::from_millis(2),
+            obs: Obs::new(ChannelSink(tx)),
+            ..SubmitOptions::default()
+        };
+        let batch = [Request::check("job", "void main() { skip; }")];
+        let outcome = submit_batch_with(&endpoint, &batch, &opts).unwrap();
+        server.join().unwrap();
+        assert_eq!(outcome.retries, 1);
+        assert_eq!(outcome.responses[0].verdict, "pass");
+        assert_eq!(outcome.responses[0].detail, "recovered");
+        assert_eq!(outcome.responses[0].id, "job");
+        let events: Vec<Event> = rx.try_iter().collect();
+        assert_eq!(events.len(), 1);
+        let Event::ClientRetry { attempt, reason, .. } = &events[0] else {
+            panic!("expected a client_retry event, got {events:?}")
+        };
+        assert_eq!(*attempt, 2, "the first retry is the second attempt");
+        assert!(reason.contains("outstanding") || reason.contains("closed"), "{reason}");
+    }
+
+    #[test]
+    fn overloaded_responses_are_retried_until_the_budget_runs_out() {
+        // Both connections shed: with retries=1 the second overloaded
+        // answer is final and surfaces to the caller as a verdict.
+        let (endpoint, server) = scripted_server(vec![
+            vec![Some(Response::overloaded(String::new(), 7))],
+            vec![Some(Response::overloaded(String::new(), 7))],
+        ]);
+        let opts = SubmitOptions {
+            retries: 1,
+            backoff: Duration::from_millis(2),
+            ..SubmitOptions::default()
+        };
+        let batch = [Request::check("job", "void main() { skip; }")];
+        let outcome = submit_batch_with(&endpoint, &batch, &opts).unwrap();
+        server.join().unwrap();
+        assert_eq!(outcome.retries, 1);
+        assert_eq!(outcome.responses[0].verdict, "overloaded");
+        assert!(outcome.responses[0].detail.contains("queue full"));
+    }
+
+    #[test]
+    fn no_cache_requests_are_not_resent_after_a_mid_flight_loss() {
+        // The connection dies after the frames were sent; the answered
+        // cacheable entry stays answered and the swallowed no_cache
+        // entry must NOT be re-executed — so no reconnect happens at
+        // all, and the loss surfaces as that entry's error verdict.
+        let (endpoint, server) =
+            scripted_server(vec![vec![Some(pass("first-run")), None]]);
+        let opts = SubmitOptions {
+            retries: 2,
+            backoff: Duration::from_millis(2),
+            ..SubmitOptions::default()
+        };
+        let mut fresh = Request::check("fresh", "void main() { skip; }");
+        fresh.no_cache = true;
+        let batch = [
+            Request::check("cacheable", "int z;\nvoid main() { z = 3; }"),
+            fresh,
+        ];
+        let outcome = submit_batch_with(&endpoint, &batch, &opts).unwrap();
+        server.join().unwrap();
+        // Wire order matches batch order: the cacheable entry was
+        // answered before the drop, the no_cache entry was swallowed.
+        assert_eq!(outcome.responses[0].verdict, "pass");
+        assert_eq!(outcome.responses[0].detail, "first-run");
+        assert_eq!(outcome.responses[1].verdict, "error");
+        assert!(
+            outcome.responses[1].detail.contains("no_cache request not retried"),
+            "{}",
+            outcome.responses[1].detail
+        );
+        assert_eq!(outcome.retries, 0, "nothing retryable was left pending");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let opts = SubmitOptions {
+            backoff: Duration::from_millis(100),
+            backoff_cap: Duration::from_millis(400),
+            jitter_seed: 42,
+            ..SubmitOptions::default()
+        };
+        let same = SubmitOptions { ..opts.clone() };
+        for attempt in 1..=6 {
+            let a = opts.backoff_before(attempt);
+            assert_eq!(a, same.backoff_before(attempt), "same seed, same schedule");
+            // Equal jitter: between base/2 and base, capped.
+            let base = Duration::from_millis(100 * (1 << (attempt - 1)).min(4));
+            assert!(a >= base / 2, "attempt {attempt}: {a:?} < {:?}", base / 2);
+            assert!(a <= base, "attempt {attempt}: {a:?} > {base:?}");
+        }
+        let other = SubmitOptions { jitter_seed: 43, ..opts.clone() };
+        let schedules_differ =
+            (1..=6).any(|n| opts.backoff_before(n) != other.backoff_before(n));
+        assert!(schedules_differ, "different seeds should jitter differently");
     }
 }

@@ -15,6 +15,19 @@
 //!                                 ▼
 //!                           bounded queue ──▶ workers (supervised)
 //! ```
+//!
+//! The service is hardened against the usual long-running-daemon
+//! failures and testable under injected ones (`kiss-fault`):
+//!
+//! * the journal checksums every record, skips torn or corrupted lines
+//!   on replay, and is compacted periodically and at drain;
+//! * queue admission is bounded-wait — an overloaded server sheds with
+//!   a typed `overloaded` response instead of stalling its readers;
+//! * idle connections with no in-flight work are closed after an
+//!   optional deadline, and a `status` ping reports queue depth, cache
+//!   size, and uptime without touching the request accounting;
+//! * clients reconnect with capped exponential backoff plus
+//!   deterministic jitter, re-sending only idempotent unanswered work.
 
 #![warn(missing_docs)]
 
@@ -23,8 +36,10 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use cache::{CachedVerdict, ResultCache};
-pub use client::{submit_batch, BatchOutcome, Endpoint, EntryCache};
+pub use cache::{CachedVerdict, ReplayStats, ResultCache};
+pub use client::{
+    ping, submit_batch, submit_batch_with, BatchOutcome, Endpoint, EntryCache, SubmitOptions,
+};
 pub use protocol::{
     decode_request, decode_response, CacheStatus, FrameError, Op, Request, Response,
     MAX_FRAME_BYTES,

@@ -43,6 +43,10 @@ pub enum Op {
         /// The race target spec.
         target: String,
     },
+    /// Control-plane ping: answer immediately with queue depth, cache
+    /// size, and uptime. Needs no `source`, never queues, never counts
+    /// in the request/cache accounting.
+    Status,
 }
 
 /// One check request.
@@ -96,6 +100,11 @@ impl Request {
         Request { op: Op::Race { target: target.into() }, ..Request::check(id, source) }
     }
 
+    /// A `status` ping (no source).
+    pub fn status(id: impl Into<String>) -> Request {
+        Request { op: Op::Status, ..Request::check(id, "") }
+    }
+
     /// The content address: a 128-bit fingerprint over every field that
     /// determines the verdict — source text, operation and target,
     /// engine, store, `MAX`, and the budget overrides. The `id` and
@@ -104,6 +113,7 @@ impl Request {
         let (op, target) = match &self.op {
             Op::Check => ("check", ""),
             Op::Race { target } => ("race", target.as_str()),
+            Op::Status => ("status", ""),
         };
         let (hi, lo) = kiss_seq::config::fingerprint_of(&(
             op,
@@ -128,6 +138,7 @@ impl Request {
             Op::Race { target } => {
                 out.push_str(&format!(",\"op\":\"race\",\"target\":{}", quoted(target)));
             }
+            Op::Status => out.push_str(",\"op\":\"status\""),
         }
         out.push_str(&format!(
             ",\"source\":{},\"engine\":{},\"store\":{},\"max_ts\":{}",
@@ -192,8 +203,9 @@ pub struct Response {
     /// enough to have one).
     pub id: String,
     /// `pass`, `assertion`, `race`, `inconclusive`, `runtime_error`,
-    /// `transform_failed`, `crashed`, or `error` (request-level
-    /// failure: malformed frame, parse error, unknown target).
+    /// `transform_failed`, `crashed`, `error` (request-level failure:
+    /// malformed frame, parse error, unknown target), `overloaded`
+    /// (typed load shed — safe to retry), or `ok` (status pings).
     pub verdict: String,
     /// Human-readable detail. Deterministic — no wall times, so a warm
     /// answer is byte-identical to the cold one.
@@ -217,6 +229,25 @@ impl Response {
             states: 0,
             cache: CacheStatus::None,
         }
+    }
+
+    /// The typed load-shedding response: the queue stayed full for the
+    /// whole admission wait. Clients may safely retry — the request was
+    /// never executed.
+    pub fn overloaded(id: impl Into<String>, queue_depth: u64) -> Response {
+        Response {
+            id: id.into(),
+            verdict: "overloaded".to_string(),
+            detail: format!("server overloaded: queue full at depth {queue_depth}"),
+            steps: 0,
+            states: 0,
+            cache: CacheStatus::None,
+        }
+    }
+
+    /// Whether this response is the typed overload rejection.
+    pub fn is_overloaded(&self) -> bool {
+        self.verdict == "overloaded"
     }
 
     /// `true` when the verdict reports a program error (the exchanges
@@ -293,14 +324,16 @@ pub fn decode_request(line: &str) -> Result<Request, FrameError> {
                 .ok_or_else(|| malformed("op `race` needs a `target`"))?;
             Op::Race { target: target.to_string() }
         }
+        Some("status") => Op::Status,
         Some(other) => return Err(malformed(format!("unknown op `{other}`"))),
         None => return Err(malformed("missing `op`")),
     };
-    let source = v
-        .get("source")
-        .and_then(Json::as_str)
-        .ok_or_else(|| malformed("missing `source`"))?
-        .to_string();
+    // Status pings carry no program; every checking op must.
+    let source = match v.get("source").and_then(Json::as_str) {
+        Some(s) => s.to_string(),
+        None if op == Op::Status => String::new(),
+        None => return Err(malformed("missing `source`")),
+    };
     let engine = match v.get("engine").and_then(Json::as_str) {
         None => Engine::default(),
         Some(s) => Engine::parse(s).ok_or_else(|| malformed(format!("unknown engine `{s}`")))?,
@@ -404,11 +437,48 @@ mod tests {
             (r#"{"id":"a","op":"race","source":"x"}"#, "needs a `target`"),
             (r#"{"id":"a","op":"check"}"#, "missing `source`"),
             (r#"{"id":"a","op":"check","source":"x","engine":"warp"}"#, "unknown engine"),
+            (r#"{"id":"a","op":"check","source":"x","store":"zipdb"}"#, "unknown store"),
             (r#"{"id":"a","op":"check","source":"x","max_steps":"ten"}"#, "non-negative"),
         ] {
             let err = decode_request(line).unwrap_err();
             assert!(err.message().contains(needle), "{line} -> {}", err.message());
         }
+    }
+
+    #[test]
+    fn unknown_enum_values_name_the_offending_value() {
+        // The error detail must quote the value the client sent, so a
+        // misconfigured corpus run is debuggable from the response alone.
+        for (line, offending) in [
+            (r#"{"id":"a","op":"zap","source":"x"}"#, "`zap`"),
+            (r#"{"id":"a","op":"check","source":"x","engine":"warp"}"#, "`warp`"),
+            (r#"{"id":"a","op":"check","source":"x","store":"zipdb"}"#, "`zipdb`"),
+        ] {
+            let err = decode_request(line).unwrap_err();
+            assert!(err.message().contains(offending), "{line} -> {}", err.message());
+        }
+    }
+
+    #[test]
+    fn status_requests_need_no_source() {
+        let req = decode_request(r#"{"id":"ping","op":"status"}"#).unwrap();
+        assert_eq!(req.op, Op::Status);
+        assert_eq!(req.source, "");
+        let round = Request::status("ping");
+        assert_eq!(decode_request(&round.to_json()), Ok(round));
+        // Checking ops still require a program.
+        assert!(decode_request(r#"{"id":"a","op":"check"}"#).is_err());
+    }
+
+    #[test]
+    fn overloaded_responses_are_typed() {
+        let resp = Response::overloaded("q3", 64);
+        assert!(resp.is_overloaded());
+        assert!(!resp.found_error());
+        assert!(resp.detail.contains("depth 64"));
+        let back = decode_response(&resp.to_json()).unwrap();
+        assert_eq!(back, resp);
+        assert!(!Response::error("q3", "boom").is_overloaded());
     }
 
     #[test]

@@ -8,6 +8,19 @@
 //! (clients correlate by `id`). Shutdown is a [`CancelToken`]: accept
 //! loops and readers stop, queued jobs drain, and `run` returns the
 //! tally.
+//!
+//! Robustness: queue admission waits at most
+//! [`ServeConfig::admission_wait`] and then sheds the request with a
+//! typed `overloaded` response (never blocking a reader forever);
+//! connections with no traffic and no in-flight work for
+//! [`ServeConfig::idle_timeout`] are closed so dead clients cannot pin
+//! handler threads; `status` pings answer immediately with queue depth,
+//! cache size, and uptime; and the journal is compacted at drain.
+//! Failpoints (`serve.accept`, `serve.conn.read`, `serve.conn.write`,
+//! `serve.enqueue`, `serve.worker`) let the chaos suite inject
+//! connection drops, torn writes, admission failures, and worker
+//! panics — a worker panic lands in the supervisor's `catch_unwind`
+//! and comes back as a `crashed` verdict, which is never cached.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -16,10 +29,11 @@ use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use kiss_core::{Kiss, KissOutcome, RaceTarget, Supervised, Supervisor};
+use kiss_fault::Action;
 use kiss_obs::{Event, Obs};
 use kiss_seq::{BoundReason, Budget, CancelToken};
 
@@ -31,6 +45,20 @@ const READ_POLL: Duration = Duration::from_millis(100);
 /// How long an accept loop sleeps when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
 
+/// Failpoint: one accepted connection (error = drop it on the floor).
+const ACCEPT_POINT: &str = "serve.accept";
+/// Failpoint: one connection read (error = treat the peer as gone,
+/// truncate = deliver only the first K bytes of the chunk).
+const READ_POINT: &str = "serve.conn.read";
+/// Failpoint: one response write (error = broken pipe, truncate = torn
+/// response then close).
+const WRITE_POINT: &str = "serve.conn.write";
+/// Failpoint: one queue admission (error = immediate shed).
+const ENQUEUE_POINT: &str = "serve.enqueue";
+/// Failpoint: one check execution, inside the supervisor's
+/// `catch_unwind` (panic/error = crashed verdict, not cached).
+const WORKER_POINT: &str = "serve.worker";
+
 /// Server configuration.
 pub struct ServeConfig {
     /// Unix socket path to listen on.
@@ -40,8 +68,14 @@ pub struct ServeConfig {
     pub port: Option<u16>,
     /// Worker threads executing checks.
     pub jobs: usize,
-    /// Bounded queue depth; pushes block when full (backpressure).
+    /// Bounded queue depth (backpressure).
     pub max_queue: usize,
+    /// How long one request may wait for a queue slot before it is
+    /// shed with a typed `overloaded` response.
+    pub admission_wait: Duration,
+    /// Close a connection after this long with no bytes, no responses,
+    /// and no in-flight jobs (`None` = never).
+    pub idle_timeout: Option<Duration>,
     /// Journal directory for the result cache (`None` = in-memory).
     pub cache_dir: Option<PathBuf>,
     /// Default check budget (requests may override axes).
@@ -59,6 +93,8 @@ impl Default for ServeConfig {
             port: None,
             jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
             max_queue: 64,
+            admission_wait: Duration::from_secs(10),
+            idle_timeout: None,
             cache_dir: None,
             budget: Budget::generous(),
             retries: 0,
@@ -70,12 +106,14 @@ impl Default for ServeConfig {
 /// The request tally a finished server run reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeStats {
-    /// Well-formed requests received.
+    /// Well-formed requests received (hits + misses + shed).
     pub requests: u64,
     /// Requests answered from the cache.
     pub cache_hits: u64,
     /// Requests executed (includes `no_cache` bypasses).
     pub cache_misses: u64,
+    /// Requests shed with a typed `overloaded` response.
+    pub shed: u64,
 }
 
 /// One queued execution.
@@ -86,13 +124,21 @@ struct Job {
     reply: mpsc::Sender<Response>,
 }
 
+/// Why a push did not enqueue.
+enum PushError {
+    /// The queue stayed full for the whole admission wait.
+    Full(Box<Job>),
+    /// The queue is closed (server draining).
+    Closed(Box<Job>),
+}
+
 struct QueueState {
     jobs: VecDeque<Job>,
     closed: bool,
 }
 
-/// The bounded job queue: blocking push (backpressure toward clients),
-/// blocking pop (workers park when idle).
+/// The bounded job queue: bounded-wait push (backpressure toward
+/// clients, then load shedding), blocking pop (workers park when idle).
 struct Queue {
     state: Mutex<QueueState>,
     not_empty: Condvar,
@@ -110,15 +156,25 @@ impl Queue {
         }
     }
 
-    /// Blocks while the queue is full; `Err` returns the job when the
-    /// queue has been closed.
-    fn push(&self, job: Job) -> Result<(), Box<Job>> {
+    /// Waits up to `wait` for a slot; gives the job back when the queue
+    /// stayed full ([`PushError::Full`]) or has been closed
+    /// ([`PushError::Closed`]).
+    fn push(&self, job: Job, wait: Duration) -> Result<(), PushError> {
+        let deadline = Instant::now() + wait;
         let mut state = self.state.lock().expect("queue lock");
         while state.jobs.len() >= self.cap && !state.closed {
-            state = self.not_full.wait(state).expect("queue lock");
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PushError::Full(Box::new(job)));
+            }
+            let (next, _) = self
+                .not_full
+                .wait_timeout(state, deadline - now)
+                .expect("queue lock");
+            state = next;
         }
         if state.closed {
-            return Err(Box::new(job));
+            return Err(PushError::Closed(Box::new(job)));
         }
         state.jobs.push_back(job);
         self.not_empty.notify_one();
@@ -236,6 +292,46 @@ struct Counters {
     requests: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// Everything a connection handler needs, bundled so signatures stay
+/// readable.
+struct Shared<'a> {
+    queue: &'a Queue,
+    cache: &'a Mutex<ResultCache>,
+    counters: &'a Counters,
+    cfg: &'a ServeConfig,
+    started: Instant,
+}
+
+/// Per-connection liveness: when the last byte or response moved, and
+/// how many enqueued jobs are still unanswered. The idle deadline only
+/// fires when both are quiet — a silent client waiting on a slow check
+/// is *waiting*, not dead.
+struct ConnActivity {
+    opened: Instant,
+    last_ms: AtomicU64,
+    pending: AtomicU64,
+}
+
+impl ConnActivity {
+    fn new() -> ConnActivity {
+        ConnActivity { opened: Instant::now(), last_ms: AtomicU64::new(0), pending: AtomicU64::new(0) }
+    }
+
+    fn touch(&self) {
+        self.last_ms.store(self.opened.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
+    fn idle_for(&self) -> Duration {
+        let now = self.opened.elapsed().as_millis() as u64;
+        Duration::from_millis(now.saturating_sub(self.last_ms.load(Ordering::Relaxed)))
+    }
+
+    fn is_quiet(&self) -> bool {
+        self.pending.load(Ordering::SeqCst) == 0
+    }
 }
 
 /// A bound, not-yet-running server.
@@ -291,10 +387,10 @@ impl Server {
 
     /// Serves until `shutdown` is cancelled: accept loops stop, active
     /// connections finish their in-flight requests, queued jobs drain,
-    /// and the tally is returned.
+    /// the journal is compacted, and the tally is returned.
     pub fn run(self, shutdown: &CancelToken) -> io::Result<ServeStats> {
         let cache = Mutex::new(match &self.cfg.cache_dir {
-            Some(dir) => ResultCache::open(dir)?,
+            Some(dir) => ResultCache::open(dir)?.with_observer(self.cfg.obs.clone()),
             None => ResultCache::in_memory(),
         });
         let queue = Queue::new(self.cfg.max_queue);
@@ -302,22 +398,40 @@ impl Server {
         let active = AtomicUsize::new(0);
         let label_seq = AtomicU64::new(0);
         let cfg = &self.cfg;
+        let shared = Shared {
+            queue: &queue,
+            cache: &cache,
+            counters: &counters,
+            cfg,
+            started: Instant::now(),
+        };
+        let shared = &shared;
 
         std::thread::scope(|s| {
             for _ in 0..cfg.jobs.max(1) {
                 s.spawn(|| worker_loop(&queue, &cache, cfg, &label_seq));
             }
             for listener in &self.listeners {
-                let (active, counters, queue, cache) = (&active, &counters, &queue, &cache);
+                let active = &active;
                 s.spawn(move || {
                     while !shutdown.is_cancelled() {
                         match listener.accept() {
                             Ok(stream) => {
+                                if let Some(action) = kiss_fault::hit(ACCEPT_POINT) {
+                                    note_fault(&cfg.obs, ACCEPT_POINT, action);
+                                    match action {
+                                        // The connection vanishes as if the
+                                        // peer dropped mid-handshake.
+                                        Action::Error | Action::Truncate(_) => continue,
+                                        Action::Panic => {
+                                            panic!("kiss-fault: injected panic at {ACCEPT_POINT}")
+                                        }
+                                        Action::Delay(d) => std::thread::sleep(d),
+                                    }
+                                }
                                 active.fetch_add(1, Ordering::SeqCst);
                                 s.spawn(move || {
-                                    handle_connection(
-                                        stream, s, queue, cache, counters, cfg, shutdown,
-                                    );
+                                    handle_connection(stream, s, shared, shutdown);
                                     active.fetch_sub(1, Ordering::SeqCst);
                                 });
                             }
@@ -344,6 +458,13 @@ impl Server {
             queue.close();
         });
 
+        // Drain-time housekeeping: fold the append-heavy journal down to
+        // one record per entry so restarts replay a minimal file. Best
+        // effort — a compaction failure leaves the journal valid.
+        if let Ok(mut cache) = cache.into_inner() {
+            let _ = cache.compact();
+        }
+
         #[cfg(unix)]
         if let Some(path) = &self.cfg.socket {
             let _ = std::fs::remove_file(path);
@@ -352,20 +473,25 @@ impl Server {
             requests: counters.requests.load(Ordering::SeqCst),
             cache_hits: counters.hits.load(Ordering::SeqCst),
             cache_misses: counters.misses.load(Ordering::SeqCst),
+            shed: counters.shed.load(Ordering::SeqCst),
         })
     }
 }
 
-/// Reads frames off one connection until EOF or shutdown. Writes go
-/// through a dedicated thread so cache hits answer while earlier misses
-/// are still executing.
+fn note_fault(obs: &Obs, point: &str, action: Action) {
+    obs.emit(|_| Event::FaultInjected {
+        point: point.to_string(),
+        action: action.name().to_string(),
+    });
+}
+
+/// Reads frames off one connection until EOF, shutdown, or the idle
+/// deadline. Writes go through a dedicated thread so cache hits answer
+/// while earlier misses are still executing.
 fn handle_connection<'scope>(
     stream: Stream,
     scope: &'scope std::thread::Scope<'scope, '_>,
-    queue: &'scope Queue,
-    cache: &'scope Mutex<ResultCache>,
-    counters: &'scope Counters,
-    cfg: &'scope ServeConfig,
+    shared: &'scope Shared<'scope>,
     shutdown: &'scope CancelToken,
 ) {
     if stream.prepare().is_err() {
@@ -375,12 +501,44 @@ fn handle_connection<'scope>(
         Ok(w) => w,
         Err(_) => return,
     };
+    let activity = Arc::new(ConnActivity::new());
     let (tx, rx) = mpsc::channel::<Response>();
+    let writer_activity = activity.clone();
+    let obs = &shared.cfg.obs;
     scope.spawn(move || {
         for response in rx {
-            if writeln!(writer, "{}", response.to_json()).and_then(|()| writer.flush()).is_err() {
+            if let Some(action) = kiss_fault::hit(WRITE_POINT) {
+                note_fault(obs, WRITE_POINT, action);
+                match action {
+                    // A broken pipe: the response (and the rest of the
+                    // stream) never reaches the peer.
+                    Action::Error => break,
+                    Action::Panic => panic!("kiss-fault: injected panic at {WRITE_POINT}"),
+                    Action::Delay(d) => std::thread::sleep(d),
+                    Action::Truncate(cut) => {
+                        // A torn response, then the connection dies.
+                        let line = response.to_json();
+                        let cut = cut.min(line.len());
+                        let _ = writer.write_all(&line.as_bytes()[..cut]);
+                        let _ = writer.flush();
+                        break;
+                    }
+                }
+            }
+            let is_job = response.cache == CacheStatus::Miss;
+            let ok = writeln!(writer, "{}", response.to_json())
+                .and_then(|()| writer.flush())
+                .is_ok();
+            // Executed responses retire their in-flight slot whether or
+            // not the peer still listens, so the idle accounting never
+            // wedges a connection open.
+            if is_job {
+                writer_activity.pending.fetch_sub(1, Ordering::SeqCst);
+            }
+            if !ok {
                 break;
             }
+            writer_activity.touch();
         }
     });
 
@@ -392,18 +550,35 @@ fn handle_connection<'scope>(
     // newline shows up.
     let mut discarded = 0usize;
     'read: while !shutdown.is_cancelled() {
-        let n = match stream.read(&mut chunk) {
+        let mut n = match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => n,
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock
                     || e.kind() == io::ErrorKind::TimedOut =>
             {
+                if let Some(idle) = shared.cfg.idle_timeout {
+                    if activity.is_quiet() && activity.idle_for() >= idle {
+                        break;
+                    }
+                }
                 continue;
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => break,
         };
+        if let Some(action) = kiss_fault::hit(READ_POINT) {
+            note_fault(obs, READ_POINT, action);
+            match action {
+                // The peer is treated as gone mid-read.
+                Action::Error => break,
+                Action::Panic => panic!("kiss-fault: injected panic at {READ_POINT}"),
+                Action::Delay(d) => std::thread::sleep(d),
+                // A short read: only the chunk's head arrived.
+                Action::Truncate(cut) => n = n.min(cut.max(1)),
+            }
+        }
+        activity.touch();
         buf.extend_from_slice(&chunk[..n]);
         while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
             let rest = buf.split_off(pos + 1);
@@ -424,7 +599,7 @@ fn handle_connection<'scope>(
                 continue;
             }
             let text = String::from_utf8_lossy(&line);
-            handle_line(&text, &tx, queue, cache, counters, cfg);
+            handle_line(&text, &tx, &activity, shared);
         }
         // No newline yet: a frame past the cap can never become valid,
         // so stop buffering it.
@@ -435,15 +610,15 @@ fn handle_connection<'scope>(
     }
 }
 
-/// Decodes and answers one frame: error, cache hit, or enqueue.
+/// Decodes and answers one frame: error, status, cache hit, enqueue,
+/// or shed.
 fn handle_line(
     line: &str,
     tx: &mpsc::Sender<Response>,
-    queue: &Queue,
-    cache: &Mutex<ResultCache>,
-    counters: &Counters,
-    cfg: &ServeConfig,
+    activity: &ConnActivity,
+    shared: &Shared<'_>,
 ) {
+    let Shared { queue, cache, counters, cfg, started } = *shared;
     let request = match decode_request(line) {
         Ok(request) => request,
         Err(e) => {
@@ -451,6 +626,32 @@ fn handle_line(
             return;
         }
     };
+    // Status is control-plane: answered inline, never queued, and kept
+    // out of the request/cache accounting so the balance equation
+    // (requests = hits + misses + shed) only covers checking ops.
+    if request.op == Op::Status {
+        let cache_entries = cache.lock().expect("cache lock").len() as u64;
+        let detail = format!(
+            "queue_depth={} cache_entries={} uptime_ms={} requests={} hits={} misses={} shed={}",
+            queue.depth(),
+            cache_entries,
+            started.elapsed().as_millis(),
+            counters.requests.load(Ordering::SeqCst),
+            counters.hits.load(Ordering::SeqCst),
+            counters.misses.load(Ordering::SeqCst),
+            counters.shed.load(Ordering::SeqCst),
+        );
+        let _ = tx.send(Response {
+            id: request.id,
+            verdict: "ok".to_string(),
+            detail,
+            steps: 0,
+            states: 0,
+            cache: CacheStatus::None,
+        });
+        return;
+    }
+    let received = Instant::now();
     counters.requests.fetch_add(1, Ordering::SeqCst);
     cfg.obs.emit(|_| Event::RequestReceived {
         request: request.id.clone(),
@@ -479,11 +680,50 @@ fn handle_line(
             return;
         }
     }
-    counters.misses.fetch_add(1, Ordering::SeqCst);
-    cfg.obs.emit(|_| Event::CacheMiss { request: request.id.clone() });
-    let job = Job { key, received: Instant::now(), reply: tx.clone(), request };
-    if let Err(job) = queue.push(job) {
-        let _ = job.reply.send(Response::error(job.request.id, "server is draining"));
+    // The job (and its request) moves into the queue on success; keep
+    // the id for the miss event emitted after admission.
+    let request_id = request.id.clone();
+    let job = Job { key, received, reply: tx.clone(), request };
+    let admission = match kiss_fault::hit(ENQUEUE_POINT) {
+        Some(action) => {
+            note_fault(&cfg.obs, ENQUEUE_POINT, action);
+            match action {
+                // Admission refused outright: the request is shed even
+                // though the queue may have room.
+                Action::Error | Action::Truncate(_) => Err(PushError::Full(Box::new(job))),
+                Action::Panic => panic!("kiss-fault: injected panic at {ENQUEUE_POINT}"),
+                Action::Delay(d) => {
+                    std::thread::sleep(d);
+                    queue.push(job, cfg.admission_wait)
+                }
+            }
+        }
+        None => queue.push(job, cfg.admission_wait),
+    };
+    match admission {
+        Ok(()) => {
+            // The miss is only booked once the job is actually admitted,
+            // so shed requests count in `shed` alone and the balance
+            // equation stays exact.
+            counters.misses.fetch_add(1, Ordering::SeqCst);
+            activity.pending.fetch_add(1, Ordering::SeqCst);
+            cfg.obs.emit(|_| Event::CacheMiss { request: request_id });
+        }
+        Err(PushError::Full(job)) | Err(PushError::Closed(job)) => {
+            counters.shed.fetch_add(1, Ordering::SeqCst);
+            let depth = queue.depth();
+            cfg.obs.emit(|_| Event::RequestShed {
+                request: job.request.id.clone(),
+                queue_depth: depth,
+            });
+            cfg.obs.emit(|_| Event::RequestDone {
+                request: job.request.id.clone(),
+                verdict: "overloaded".to_string(),
+                wall_ms: received.elapsed().as_millis() as u64,
+                queue_depth: depth,
+            });
+            let _ = job.reply.send(Response::overloaded(job.request.id, depth));
+        }
     }
 }
 
@@ -532,6 +772,8 @@ fn execute(request: &Request, cfg: &ServeConfig, seq: &AtomicU64) -> (CachedVerd
             Some(resolved) => Some(resolved),
             None => return (error(format!("unknown race target `{target}`")), false),
         },
+        // Status never reaches the queue; guard against future callers.
+        Op::Status => return (error("status is not an executable op".to_string()), false),
     };
     let mut budget = cfg.budget;
     if let Some(steps) = request.max_steps {
@@ -553,6 +795,19 @@ fn execute(request: &Request, cfg: &ServeConfig, seq: &AtomicU64) -> (CachedVerd
         .with_cancel(CancelToken::new())
         .with_observer(cfg.obs.clone());
     let run = supervisor.run_scoped(&label, |budget, cancel, obs| {
+        if let Some(action) = kiss_fault::hit(WORKER_POINT) {
+            note_fault(obs, WORKER_POINT, action);
+            match action {
+                // Both flavors surface as a panic here: the supervisor's
+                // catch_unwind converts it into a `crashed` verdict that
+                // is answered but never cached.
+                Action::Error | Action::Panic => {
+                    panic!("kiss-fault: injected {} at {WORKER_POINT}", action.name())
+                }
+                Action::Delay(d) => std::thread::sleep(d),
+                Action::Truncate(_) => {}
+            }
+        }
         let kiss = Kiss::new()
             .with_max_ts(request.max_ts)
             .with_engine(request.engine)
@@ -633,6 +888,8 @@ fn detail_of(outcome: &KissOutcome) -> (String, bool) {
 mod tests {
     use super::*;
 
+    const WAIT: Duration = Duration::from_secs(5);
+
     fn job(id: &str) -> (Job, mpsc::Receiver<Response>) {
         let (tx, rx) = mpsc::channel();
         let job = Job {
@@ -649,15 +906,17 @@ mod tests {
         let queue = Queue::new(8);
         let (a, _rx_a) = job("a");
         let (b, _rx_b) = job("b");
-        assert!(queue.push(a).is_ok());
-        assert!(queue.push(b).is_ok());
+        assert!(queue.push(a, WAIT).is_ok());
+        assert!(queue.push(b, WAIT).is_ok());
         assert_eq!(queue.depth(), 2);
         queue.close();
         assert_eq!(queue.pop().unwrap().request.id, "a");
         assert_eq!(queue.pop().unwrap().request.id, "b");
         assert!(queue.pop().is_none(), "closed and drained");
         let (c, rx_c) = job("c");
-        let Err(rejected) = queue.push(c) else { panic!("closed queue accepted a job") };
+        let Err(PushError::Closed(rejected)) = queue.push(c, WAIT) else {
+            panic!("closed queue accepted a job")
+        };
         let _ = rejected.reply.send(Response::error(rejected.request.id, "draining"));
         assert_eq!(rx_c.recv().unwrap().verdict, "error");
     }
@@ -666,17 +925,33 @@ mod tests {
     fn full_queue_blocks_until_a_worker_pops() {
         let queue = std::sync::Arc::new(Queue::new(1));
         let (a, _rx_a) = job("a");
-        assert!(queue.push(a).is_ok());
+        assert!(queue.push(a, WAIT).is_ok());
         let q = queue.clone();
         let pusher = std::thread::spawn(move || {
             let (b, _rx_b) = job("b");
-            assert!(q.push(b).is_ok());
+            assert!(q.push(b, WAIT).is_ok());
         });
         std::thread::sleep(Duration::from_millis(30));
         assert!(!pusher.is_finished(), "push should block on a full queue");
         assert_eq!(queue.pop().unwrap().request.id, "a");
         pusher.join().unwrap();
         assert_eq!(queue.pop().unwrap().request.id, "b");
+    }
+
+    #[test]
+    fn full_queue_sheds_after_the_admission_wait() {
+        let queue = Queue::new(1);
+        let (a, _rx_a) = job("a");
+        assert!(queue.push(a, WAIT).is_ok());
+        let (b, _rx_b) = job("b");
+        let before = Instant::now();
+        let Err(PushError::Full(rejected)) = queue.push(b, Duration::from_millis(50)) else {
+            panic!("full queue must shed after the wait")
+        };
+        assert!(before.elapsed() >= Duration::from_millis(50));
+        assert_eq!(rejected.request.id, "b");
+        // The queue itself is untouched: "a" still waits for a worker.
+        assert_eq!(queue.depth(), 1);
     }
 
     #[test]
@@ -719,5 +994,17 @@ mod tests {
             reason: BoundReason::Steps,
         };
         assert!(detail_of(&outcome).1);
+    }
+
+    #[test]
+    fn idle_accounting_only_fires_when_quiet() {
+        let activity = ConnActivity::new();
+        activity.touch();
+        assert!(activity.is_quiet());
+        assert!(activity.idle_for() < Duration::from_millis(100));
+        activity.pending.fetch_add(1, Ordering::SeqCst);
+        assert!(!activity.is_quiet(), "in-flight work suppresses the idle deadline");
+        activity.pending.fetch_sub(1, Ordering::SeqCst);
+        assert!(activity.is_quiet());
     }
 }

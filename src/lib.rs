@@ -19,6 +19,7 @@
 //! | [`atom`] | `kiss-atom` | Lipton-reduction atomicity analysis (ref \[20\]) |
 //! | [`core`] | `kiss-core` | **the KISS transformation**, trace back-mapping, checker |
 //! | [`obs`]  | `kiss-obs`  | structured events, run reports, trace/metrics sinks |
+//! | [`fault`] | `kiss-fault` | deterministic failpoints for robustness testing |
 //! | [`serve`] | `kiss-serve` | check service: wire protocol, result cache, server, client |
 //! | [`drivers`] | `kiss-drivers` | Bluetooth model, OS stubs, 18-driver corpus |
 //! | [`samples`] | `kiss-samples` | classic concurrency algorithms with ground-truth verdicts |
@@ -51,6 +52,7 @@ pub use kiss_conc as conc;
 pub use kiss_core as core;
 pub use kiss_drivers as drivers;
 pub use kiss_exec as exec;
+pub use kiss_fault as fault;
 pub use kiss_obs as obs;
 pub use kiss_samples as samples;
 pub use kiss_lang as lang;
