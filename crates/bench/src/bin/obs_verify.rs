@@ -20,10 +20,14 @@
 //!   count equals `request_received` — shed requests are answered with
 //!   a typed `overloaded` response), and
 //!   requests = cache hits + cache misses + requests shed;
+//! * spans balance: every `span_open` is matched by exactly one
+//!   `span_close` with the same (trace, span) identity and no span
+//!   closes twice or without opening; root `recv` spans name the
+//!   request they trace and no two requests share a trace id;
 //! * the summary report's serving counters satisfy the same balance,
 //!   agree with the trace when the report covers exactly this trace,
-//!   and carry one latency sample per request (so the per-request
-//!   percentiles are well-defined);
+//!   and its latency histogram holds one sample per request (so the
+//!   per-request percentiles are well-defined);
 //! * exactly one `run_summary` event exists, it is the last line, and
 //!   its report covers at least every non-cancelled finished check
 //!   (more only when the report merges resumed sessions);
@@ -42,7 +46,7 @@ use std::process::ExitCode;
 use kiss_obs::json::Json;
 use kiss_obs::RunReport;
 
-const KINDS: [&str; 13] = [
+const KINDS: [&str; 15] = [
     "check_started",
     "engine_tick",
     "retry_escalated",
@@ -55,6 +59,8 @@ const KINDS: [&str; 13] = [
     "request_shed",
     "fault_injected",
     "client_retry",
+    "span_open",
+    "span_close",
     "run_summary",
 ];
 
@@ -108,6 +114,13 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
     let mut misses = 0u64;
     let mut shed = 0u64;
     let mut done = 0u64;
+    // Span balance: (trace, span) -> (opens, closes, name). Workers
+    // close spans opened by the reader thread, so an open and its
+    // close may land in either order in the file; only the final
+    // counts are constrained.
+    let mut spans: BTreeMap<(String, u64), (u64, u64, String)> = BTreeMap::new();
+    // Root `recv` spans: trace id -> request id, for uniqueness.
+    let mut recv_traces: BTreeMap<String, String> = BTreeMap::new();
     let mut summary: Option<(usize, RunReport)> = None;
     let mut lines = 0usize;
 
@@ -185,6 +198,53 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
             // Client-side and injection events have no pairing
             // constraints; the counts still land in the summary checks.
             "fault_injected" | "client_retry" => {}
+            "span_open" | "span_close" => {
+                let trace = v
+                    .get("trace")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("line {n}: {kind} without trace id"))?;
+                let span = v
+                    .get("span")
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("line {n}: {kind} without span id"))?;
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("line {n}: {kind} without name"))?;
+                let entry = spans
+                    .entry((trace.to_string(), span))
+                    .or_insert((0, 0, name.to_string()));
+                if entry.2 != name {
+                    return Err(format!(
+                        "line {n}: span {span} of trace {trace} is named `{name}` here \
+                         but `{}` elsewhere",
+                        entry.2
+                    ));
+                }
+                if kind == "span_open" {
+                    entry.0 += 1;
+                    if name == "recv" {
+                        let request = v
+                            .get("request")
+                            .and_then(Json::as_str)
+                            .ok_or(format!("line {n}: recv span without request id"))?;
+                        if let Some(prior) =
+                            recv_traces.insert(trace.to_string(), request.to_string())
+                        {
+                            return Err(format!(
+                                "line {n}: trace {trace} roots request `{request}` but \
+                                 already rooted `{prior}`; trace ids must be unique \
+                                 per request"
+                            ));
+                        }
+                    }
+                } else {
+                    entry.1 += 1;
+                    if v.get("wall_ms").and_then(Json::as_u64).is_none() {
+                        return Err(format!("line {n}: span_close without wall_ms"));
+                    }
+                }
+            }
             "run_summary" => {
                 if summary.is_some() {
                     return Err(format!("line {n}: second run_summary"));
@@ -219,6 +279,24 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
             "finished checks report {finished_retries} retries but the trace has \
              {escalations} retry_escalated event(s)"
         ));
+    }
+    for ((trace, span), (opens, closes, name)) in &spans {
+        if *opens == 0 {
+            return Err(format!(
+                "span {span} (`{name}`) of trace {trace} closed but never opened"
+            ));
+        }
+        if *opens > 1 {
+            return Err(format!(
+                "span {span} (`{name}`) of trace {trace} opened {opens} times"
+            ));
+        }
+        if *closes != 1 {
+            return Err(format!(
+                "span {span} (`{name}`) of trace {trace} opened once but closed \
+                 {closes} time(s)"
+            ));
+        }
     }
     let requests: u64 = received.values().sum();
     if hits + misses + shed != requests {
@@ -276,12 +354,12 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
             report.requests, report.cache_hits, report.cache_misses, report.requests_shed
         ));
     }
-    if report.request_ms.len() as u64 != report.requests {
+    if report.request_latency.count() != report.requests {
         return Err(format!(
-            "summary reports {} request(s) but carries {} latency sample(s); \
-             per-request percentiles need one sample per request",
+            "summary reports {} request(s) but its latency histogram holds {} \
+             sample(s); per-request percentiles need one sample per request",
             report.requests,
-            report.request_ms.len()
+            report.request_latency.count()
         ));
     }
     if report.requests < requests {
@@ -319,8 +397,16 @@ fn verify(trace: &str, metrics: Option<&str>) -> Result<String, String> {
     } else {
         String::new()
     };
+    let spanning = if spans.is_empty() {
+        String::new()
+    } else {
+        let traces: std::collections::BTreeSet<&str> =
+            spans.keys().map(|(t, _)| t.as_str()).collect();
+        format!(", {} span(s) balanced across {} trace(s)", spans.len(), traces.len())
+    };
     Ok(format!(
-        "trace OK: {lines} events ({}), {} check(s){serving}, summary covers {} check(s){}",
+        "trace OK: {lines} events ({}), {} check(s){serving}{spanning}, \
+         summary covers {} check(s){}",
         counts.join(" "),
         finished.len(),
         report.checks,
@@ -480,6 +566,55 @@ mod tests {
         let [recv, shed, _] = shed_lifecycle("q0");
         let (trace, _) = trace_of(&[recv, shed]);
         assert!(verify(&trace, None).unwrap_err().contains("request_done"));
+    }
+
+    fn span_pair(trace: &str, span: u64, name: &str, request: Option<&str>) -> [Event; 2] {
+        [
+            Event::SpanOpen {
+                trace: trace.to_string(),
+                span,
+                parent: 0,
+                name: name.to_string(),
+                request: request.map(str::to_string),
+            },
+            Event::SpanClose {
+                trace: trace.to_string(),
+                span,
+                name: name.to_string(),
+                wall_ms: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn balanced_spans_verify_even_out_of_order() {
+        // One close lands before its open: a worker's close can beat
+        // the reader's open into the shared sink, so only the final
+        // counts are constrained, not the order.
+        let mut events = request_lifecycle("q0", false).to_vec();
+        let [recv_open, recv_close] = span_pair("00000000000000ab", 1, "recv", Some("q0"));
+        let [queued_open, queued_close] = span_pair("00000000000000ab", 2, "queued", None);
+        events.extend([recv_open, queued_close, queued_open, recv_close]);
+        let (trace, _) = trace_of(&events);
+        let summary = verify(&trace, None).unwrap();
+        assert!(summary.contains("2 span(s) balanced across 1 trace(s)"), "{summary}");
+    }
+
+    #[test]
+    fn span_imbalances_and_trace_reuse_are_reported() {
+        // Opened but never closed.
+        let [open, _] = span_pair("00000000000000ab", 1, "check", None);
+        let (trace, _) = trace_of(&[open]);
+        assert!(verify(&trace, None).unwrap_err().contains("closed 0 time(s)"));
+        // Closed but never opened.
+        let [_, close] = span_pair("00000000000000ab", 1, "check", None);
+        let (trace, _) = trace_of(&[close]);
+        assert!(verify(&trace, None).unwrap_err().contains("never opened"));
+        // Two requests rooted under the same trace id.
+        let [r0, c0] = span_pair("00000000000000ab", 1, "recv", Some("q0"));
+        let [r1, c1] = span_pair("00000000000000ab", 2, "recv", Some("q1"));
+        let (trace, _) = trace_of(&[r0, c0, r1, c1]);
+        assert!(verify(&trace, None).unwrap_err().contains("unique"));
     }
 
     #[test]

@@ -16,19 +16,29 @@
 //!   cache hit, so the measured requests/s is the service overhead
 //!   (framing, hashing, queueing) without any checking.
 //!
+//! A third leg measures observability overhead: the same warm-hit
+//! traffic against one server with event emission off and one writing
+//! a full JSONL trace (request lifecycle plus spans). Both legs take
+//! the best of several repetitions; the acceptance bar is an events-on
+//! throughput cost of at most 5%.
+//!
 //! One JSON object is written (default `BENCH_serve.json`, the
-//! checked-in baseline) recording wall-clock, requests/s, and hit-rate
-//! for both passes plus the server's own counters. The warm pass is
-//! the headline: the acceptance bar is a ≥ 90% hit-rate with more
-//! requests/s than the cold pass.
+//! checked-in baseline, `"version":3`) recording wall-clock,
+//! requests/s, and hit-rate for both passes, the server's own
+//! counters, and the overhead leg. The warm pass is the headline: the
+//! acceptance bar is a ≥ 90% hit-rate with more requests/s than the
+//! cold pass.
 //!
 //! `--quick` truncates the batch for CI smoke use. The verdicts are
 //! deterministic, so one pass per temperature suffices.
 
 use std::time::Instant;
 
+use kiss_obs::{JsonlSink, Obs};
 use kiss_seq::{Budget, CancelToken};
-use kiss_serve::{submit_batch, BatchOutcome, Endpoint, Request, ServeConfig, Server};
+use kiss_serve::{
+    submit_batch, BatchOutcome, Endpoint, Request, ServeConfig, ServeStats, Server,
+};
 
 const USAGE: &str = "options: --quick --limit <n> --jobs <n> --out <path>";
 
@@ -102,6 +112,53 @@ fn pass_json(name: &str, outcome: &BatchOutcome, wall_us: u64) -> String {
     )
 }
 
+/// Boots a server in-process: unix socket where the platform has one,
+/// loopback TCP everywhere else. An OS-assigned port (0) keeps
+/// parallel runs from colliding; `tag` keeps socket paths distinct
+/// across the servers one run boots.
+#[allow(clippy::type_complexity)]
+fn boot(
+    jobs: usize,
+    obs: Obs,
+    tag: &str,
+) -> (Endpoint, CancelToken, std::thread::JoinHandle<std::io::Result<ServeStats>>) {
+    #[cfg(unix)]
+    let socket = Some(
+        std::env::temp_dir().join(format!("kiss-serve-bench-{}-{tag}.sock", std::process::id())),
+    );
+    #[cfg(not(unix))]
+    let socket: Option<std::path::PathBuf> = None;
+    let port = if socket.is_some() { None } else { Some(0) };
+    let cfg = ServeConfig {
+        socket: socket.clone(),
+        port,
+        jobs,
+        budget: Budget::steps_states(50_000, 8_000),
+        obs,
+        ..ServeConfig::default()
+    };
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve_baseline: cannot bind: {e}");
+            std::process::exit(2);
+        }
+    };
+    let endpoint = match (socket, server.local_port()) {
+        #[cfg(unix)]
+        (Some(path), _) => Endpoint::Unix(path),
+        (_, Some(port)) => Endpoint::Tcp(format!("127.0.0.1:{port}")),
+        _ => {
+            eprintln!("serve_baseline: server has no reachable endpoint");
+            std::process::exit(2);
+        }
+    };
+    let shutdown = CancelToken::new();
+    let token = shutdown.clone();
+    let handle = std::thread::spawn(move || server.run(&token));
+    (endpoint, shutdown, handle)
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -117,45 +174,7 @@ fn main() {
         std::process::exit(2);
     }
 
-    // Boot the server in-process: unix socket where the platform has
-    // one, loopback TCP everywhere else. An OS-assigned port (0) keeps
-    // parallel runs from colliding.
-    #[cfg(unix)]
-    let (cfg_endpoint, socket_path) = {
-        let path = std::env::temp_dir()
-            .join(format!("kiss-serve-bench-{}.sock", std::process::id()));
-        ((Some(path.clone()), None), Some(path))
-    };
-    #[cfg(not(unix))]
-    let (cfg_endpoint, socket_path): ((Option<std::path::PathBuf>, Option<u16>), Option<std::path::PathBuf>) =
-        ((None, Some(0)), None);
-
-    let cfg = ServeConfig {
-        socket: cfg_endpoint.0,
-        port: cfg_endpoint.1,
-        jobs: opts.jobs,
-        budget: Budget::steps_states(50_000, 8_000),
-        ..ServeConfig::default()
-    };
-    let server = match Server::bind(cfg) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("serve_baseline: cannot bind: {e}");
-            std::process::exit(2);
-        }
-    };
-    let endpoint = match (&socket_path, server.local_port()) {
-        #[cfg(unix)]
-        (Some(path), _) => Endpoint::Unix(path.clone()),
-        (_, Some(port)) => Endpoint::Tcp(format!("127.0.0.1:{port}")),
-        _ => {
-            eprintln!("serve_baseline: server has no reachable endpoint");
-            std::process::exit(2);
-        }
-    };
-    let shutdown = CancelToken::new();
-    let token = shutdown.clone();
-    let handle = std::thread::spawn(move || server.run(&token));
+    let (endpoint, shutdown, handle) = boot(opts.jobs, Obs::off(), "main");
 
     let submit = |tag: &str| -> (BatchOutcome, u64) {
         let t0 = Instant::now();
@@ -202,11 +221,60 @@ fn main() {
         stats.requests, stats.cache_hits, stats.cache_misses, stats.shed
     );
 
+    // Obs-overhead leg: the same warm-hit traffic against a server
+    // with events off and against one writing a full JSONL trace
+    // (request lifecycle plus spans). Each leg submits the batch
+    // several times per timed repetition and keeps the best
+    // repetition, so the comparison is of steady-state service
+    // overhead, not scheduler noise.
+    let reps = if opts.quick { 2 } else { 3 };
+    let per_leg = if opts.quick { 3 } else { 8 };
+    let measure = |obs: Obs, tag: &str| -> u64 {
+        let (endpoint, shutdown, handle) = boot(opts.jobs, obs, tag);
+        let mut best = u64::MAX;
+        // One untimed pass warms the cache; every timed pass is hits.
+        for rep in 0..=reps {
+            let t0 = Instant::now();
+            for _ in 0..per_leg {
+                if let Err(e) = submit_batch(&endpoint, &requests) {
+                    eprintln!("serve_baseline: overhead leg `{tag}` failed: {e}");
+                    std::process::exit(2);
+                }
+            }
+            if rep > 0 {
+                best = best.min(t0.elapsed().as_micros() as u64);
+            }
+        }
+        shutdown.cancel();
+        let _ = handle.join();
+        best
+    };
+    let trace_path = std::env::temp_dir()
+        .join(format!("kiss-serve-bench-{}-overhead.jsonl", std::process::id()));
+    let off_us = measure(Obs::off(), "obs-off");
+    let sink = match JsonlSink::create(&trace_path.to_string_lossy()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve_baseline: cannot create overhead trace: {e}");
+            std::process::exit(2);
+        }
+    };
+    let on_us = measure(Obs::new(sink), "obs-on");
+    let _ = std::fs::remove_file(&trace_path);
+    let overhead_pct = (on_us as f64 / off_us.max(1) as f64 - 1.0) * 100.0;
+    println!(
+        "obs overhead: events-off {off_us} us, events-on {on_us} us over \
+         {per_leg} warm submits (best of {reps}) — {overhead_pct:+.1}%"
+    );
+
     let json = format!(
-        "{{\"version\":2,\"quick\":{},\"entries\":{entries},\"unique\":{},\"jobs\":{},\
+        "{{\"version\":3,\"quick\":{},\"entries\":{entries},\"unique\":{},\"jobs\":{},\
          {},{},\
          \"server\":{{\"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\
-         \"requests_shed\":{}}}}}\n",
+         \"requests_shed\":{}}},\
+         \"obs_overhead\":{{\"submits_per_leg\":{per_leg},\"reps\":{reps},\
+         \"off_wall_us\":{off_us},\"on_wall_us\":{on_us},\
+         \"overhead_pct\":{overhead_pct:.1}}}}}\n",
         opts.quick,
         cold.unique,
         opts.jobs,
@@ -241,6 +309,14 @@ fn main() {
     }
     if stats.requests != stats.cache_hits + stats.cache_misses + stats.shed {
         eprintln!("serve_baseline: request accounting does not balance: {stats:?}");
+        std::process::exit(1);
+    }
+    // Observability must be near-free: a full event trace may cost at
+    // most 5% of warm throughput.
+    if overhead_pct > 5.0 {
+        eprintln!(
+            "serve_baseline: events-on overhead {overhead_pct:.1}% exceeds the 5% bar"
+        );
         std::process::exit(1);
     }
 }

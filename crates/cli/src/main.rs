@@ -14,6 +14,8 @@
 //! kissc serve [--socket PATH] [--port N] [--jobs N] [--cache-dir DIR] [--max-queue N]
 //! kissc submit <file.kc>... | --corpus  (--socket PATH | --port N)
 //! kissc ping (--socket PATH | --port N)
+//! kissc metrics [--json] (--socket PATH | --port N)
+//! kissc top [--interval MS] [--count N] (--socket PATH | --port N)
 //! ```
 //!
 //! `<target>` is a global name or `Struct.field`. Exit code 0 means no
@@ -38,7 +40,10 @@
 //! Observability: `--stats` prints an engine-statistics line after the
 //! verdict, `--trace-out` writes a JSONL event trace, `--metrics`
 //! writes the aggregated `RunReport` as JSON, and `--progress` renders
-//! a throttled heartbeat on stderr.
+//! a throttled heartbeat on stderr. Against a live server, `kissc
+//! metrics` scrapes one snapshot (histograms, queue, cache, faults)
+//! over the wire `metrics` op, and `kissc top` polls the same snapshot
+//! into a refreshing terminal view.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -91,8 +96,11 @@ const USAGE: &str = "usage:
               [--timeout S] [--max-steps N] [--max-states N] [--no-cache]
               [--retry N] [--retry-backoff MS] [--request-timeout S]
   kissc ping (--socket PATH | --port N) [--request-timeout S]
+  kissc metrics [--json] (--socket PATH | --port N) [--request-timeout S]
+  kissc top [--interval MS] [--count N] (--socket PATH | --port N)
+            [--request-timeout S]
 
-serving (serve, submit, ping):
+serving (serve, submit, ping, metrics, top):
   --socket PATH     unix socket to listen/connect on
   --port N          loopback TCP port to listen/connect on (serve: 0 picks one)
   --jobs N          worker threads executing checks (default: CPU count)
@@ -112,6 +120,9 @@ serving (serve, submit, ping):
                     N times (exponential backoff, deterministic jitter)
   --retry-backoff MS  initial backoff before the first retry (default 100)
   --request-timeout S give up on a silent connection after this long
+  --json            print the raw metrics snapshot JSON (metrics)
+  --interval MS     refresh period for `top` (default 1000)
+  --count N         render N frames then exit; 0 polls until ^C (default 0)
   ^C or SIGTERM drains in-flight requests before the server exits
 
 state store (check, race):
@@ -538,24 +549,94 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
         }
         "ping" => {
-            let socket = flags.value("--socket")?.map(PathBuf::from);
-            let port = match flags.value("--port")? {
-                Some(s) => Some(parse_num(s)? as u16),
-                None => None,
-            };
-            let timeout = match flags.value("--request-timeout")? {
-                Some(s) => Duration::from_secs(parse_num(s)? as u64),
-                None => Duration::from_secs(5),
-            };
+            let (endpoint, timeout) = client_flags(&mut flags)?;
             flags.finish()?;
-            let endpoint = endpoint_of(socket, port)?;
-            let response =
-                kiss_serve::ping(&endpoint, timeout).map_err(|e| format!("ping failed: {e}"))?;
-            println!("{}: {}", response.verdict, response.detail);
+            let snap = kiss_serve::fetch_metrics(&endpoint, timeout)
+                .map_err(|e| format!("ping failed: {e}"))?;
+            println!(
+                "pong from {endpoint}: uptime {:.1}s, queue depth {} (peak {}), {} in flight",
+                snap.uptime_ms as f64 / 1000.0,
+                snap.queue_depth,
+                snap.queue_peak,
+                snap.in_flight,
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "metrics" => {
+            let json = flags.flag("--json");
+            let (endpoint, timeout) = client_flags(&mut flags)?;
+            flags.finish()?;
+            let snap = kiss_serve::fetch_metrics(&endpoint, timeout)
+                .map_err(|e| format!("metrics failed: {e}"))?;
+            if json {
+                println!("{}", snap.to_json());
+            } else {
+                print!("{}", snap.render());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "top" => {
+            let interval = match flags.value("--interval")? {
+                Some(s) => Duration::from_millis(parse_num(s)? as u64),
+                None => Duration::from_millis(1000),
+            };
+            let count: usize = match flags.value("--count")? {
+                Some(s) => parse_num(s)?,
+                None => 0,
+            };
+            let (endpoint, timeout) = client_flags(&mut flags)?;
+            flags.finish()?;
+            let stop = CancelToken::new();
+            install_sigint_cancel(stop.clone());
+            let mut frames = 0usize;
+            while !stop.is_cancelled() {
+                let snap = kiss_serve::fetch_metrics(&endpoint, timeout)
+                    .map_err(|e| format!("top: {e}"))?;
+                // Clear the screen and re-home the cursor between
+                // frames so the view refreshes in place.
+                if frames > 0 || count == 0 {
+                    print!("\x1b[2J\x1b[H");
+                }
+                println!(
+                    "kissc top — {endpoint} — every {}ms (^C quits)",
+                    interval.as_millis()
+                );
+                print!("{}", snap.render());
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                frames += 1;
+                if count != 0 && frames >= count {
+                    break;
+                }
+                // Sleep in short slices so ^C stays responsive.
+                let deadline = std::time::Instant::now() + interval;
+                while !stop.is_cancelled() {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    std::thread::sleep((deadline - now).min(Duration::from_millis(25)));
+                }
+            }
             Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown subcommand `{other}`")),
     }
+}
+
+/// Parses the shared client flags of `ping`, `metrics`, and `top`:
+/// the endpoint plus the per-request timeout.
+fn client_flags(flags: &mut Flags) -> Result<(Endpoint, Duration), String> {
+    let socket = flags.value("--socket")?.map(PathBuf::from);
+    let port = match flags.value("--port")? {
+        Some(s) => Some(parse_num(s)? as u16),
+        None => None,
+    };
+    let timeout = match flags.value("--request-timeout")? {
+        Some(s) => Duration::from_secs(parse_num(s)? as u64),
+        None => Duration::from_secs(5),
+    };
+    Ok((endpoint_of(socket, port)?, timeout))
 }
 
 /// Picks the client endpoint from `--socket`/`--port`.

@@ -13,7 +13,7 @@
 use kiss_exec::Module;
 use kiss_lang::hir::Origin;
 use kiss_lang::Program;
-use kiss_obs::Obs;
+use kiss_obs::{Obs, Span, TraceId};
 use kiss_seq::{
     BfsChecker, BoundReason, Budget, CancelToken, EngineStats, ErrorTrace, ExplicitChecker,
     StoreKind, SummaryChecker, Verdict,
@@ -208,6 +208,8 @@ pub struct Kiss {
     cancel: CancelToken,
     obs: Obs,
     store: StoreKind,
+    trace: TraceId,
+    trace_parent: u64,
 }
 
 impl Default for Kiss {
@@ -230,6 +232,8 @@ impl Kiss {
             cancel: CancelToken::default(),
             obs: Obs::off(),
             store: StoreKind::default(),
+            trace: TraceId::NONE,
+            trace_parent: 0,
         }
     }
 
@@ -289,6 +293,18 @@ impl Kiss {
         self
     }
 
+    /// Threads a trace id through the check: [`Kiss::run`] brackets its
+    /// transform, lower, and explore phases with spans parented under
+    /// `parent` in that trace, so a request's phase breakdown is
+    /// reconstructible from the event stream. With the default
+    /// [`TraceId::NONE`] a fresh trace is minted per check (when the
+    /// observer is on); `parent` 0 makes the phases root spans.
+    pub fn with_trace(mut self, trace: TraceId, parent: u64) -> Self {
+        self.trace = trace;
+        self.trace_parent = parent;
+        self
+    }
+
     /// Enables semantics-preserving optimization: unreachable functions
     /// are pruned before the transformation, and the transformed
     /// program is simplified before checking. Verdicts are unchanged;
@@ -334,6 +350,15 @@ impl Kiss {
     }
 
     fn run(&self, program: &Program, cfg: &TransformConfig) -> KissOutcome {
+        // A standalone check (no caller-supplied trace) still gets a
+        // coherent phase tree when the observer is on.
+        let trace = if self.trace.is_none() && self.obs.is_enabled() {
+            TraceId::fresh()
+        } else {
+            self.trace
+        };
+        let phase = |name| Span::open(&self.obs, trace, self.trace_parent, name);
+        let span = phase("transform");
         let pruned;
         let input: &Program = if self.optimize {
             let mut p = program.clone();
@@ -350,9 +375,13 @@ impl Kiss {
         if self.optimize {
             kiss_lang::opt::simplify(&mut info.program);
         }
+        span.close();
         // `lower` keeps the program inside the module, so hand it over
         // instead of cloning; `report` only reads the id/slot fields.
+        let span = phase("lower");
         let module = Module::lower(std::mem::take(&mut info.program));
+        span.close();
+        let span = phase("explore");
         let (verdict, seq) = match self.engine {
             Engine::Explicit => ExplicitChecker::new(&module)
                 .with_budget(self.budget)
@@ -373,6 +402,7 @@ impl Kiss {
                 .with_store(self.store)
                 .check_with_stats(),
         };
+        span.close();
         let stats = CheckStats {
             engine: self.engine,
             seq,
@@ -616,6 +646,39 @@ mod tests {
         if let KissOutcome::AssertionViolation(r) = at1 {
             assert_eq!(r.validated, Some(true));
         }
+    }
+
+    #[test]
+    fn checks_emit_balanced_phase_spans_under_a_caller_trace() {
+        use kiss_obs::{ChannelSink, Event};
+        let (tx, rx) = std::sync::mpsc::channel::<Event>();
+        let obs = Obs::new(ChannelSink(tx));
+        let trace = TraceId::derive(9, 9);
+        let outcome = Kiss::new()
+            .with_trace(trace, 42)
+            .with_observer(obs)
+            .with_validation(false)
+            .check_assertions(&prog(FORK_BUG));
+        assert!(outcome.found_error());
+        let mut opened = Vec::new();
+        let mut closed = Vec::new();
+        for event in rx.try_iter() {
+            match event {
+                Event::SpanOpen { trace: t, parent, name, span, .. } => {
+                    assert_eq!(t, trace.to_hex());
+                    assert_eq!(parent, 42, "phases parent under the caller's span");
+                    opened.push((span, name));
+                }
+                Event::SpanClose { trace: t, span, name, .. } => {
+                    assert_eq!(t, trace.to_hex());
+                    closed.push((span, name));
+                }
+                _ => {}
+            }
+        }
+        let names: Vec<&str> = opened.iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(names, ["transform", "lower", "explore"]);
+        assert_eq!(opened, closed, "every phase span closes, in order");
     }
 
     #[test]

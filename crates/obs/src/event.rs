@@ -180,6 +180,34 @@ pub enum Event {
         /// Why the previous attempt failed, e.g. `connect`, `overloaded`.
         reason: String,
     },
+    /// A tracing span opened (see [`crate::span`]). Together with its
+    /// matching [`Event::SpanClose`], one stage of a request's life.
+    SpanOpen {
+        /// Owning trace id, fixed-width hex (see
+        /// [`crate::span::TraceId::to_hex`]).
+        trace: String,
+        /// Process-unique span id.
+        span: u64,
+        /// Parent span id; 0 = root of its trace.
+        parent: u64,
+        /// Stage name: `recv`, `queued`, `check`, `reply`,
+        /// `transform`, `lower`, `explore`.
+        name: String,
+        /// The request this root span covers, when known — the anchor
+        /// tying a trace id to a request id.
+        request: Option<String>,
+    },
+    /// A tracing span closed. Every `span_open` has exactly one.
+    SpanClose {
+        /// Owning trace id, fixed-width hex.
+        trace: String,
+        /// The span id from the matching [`Event::SpanOpen`].
+        span: u64,
+        /// Stage name, repeated for grep-ability.
+        name: String,
+        /// Wall time the span covered.
+        wall_ms: u64,
+    },
     /// End-of-run summary.
     RunSummary {
         /// The aggregated report.
@@ -204,6 +232,8 @@ impl Event {
             Event::RequestShed { .. } => "request_shed",
             Event::FaultInjected { .. } => "fault_injected",
             Event::ClientRetry { .. } => "client_retry",
+            Event::SpanOpen { .. } => "span_open",
+            Event::SpanClose { .. } => "span_close",
             Event::RunSummary { .. } => "run_summary",
         }
     }
@@ -223,6 +253,8 @@ impl Event {
             | Event::RequestShed { .. }
             | Event::FaultInjected { .. }
             | Event::ClientRetry { .. }
+            | Event::SpanOpen { .. }
+            | Event::SpanClose { .. }
             | Event::RunSummary { .. } => None,
         }
     }
@@ -309,6 +341,23 @@ impl Event {
                 out.push_str(&format!(
                     ",\"attempt\":{attempt},\"wait_ms\":{wait_ms},\"reason\":{}",
                     quoted(reason),
+                ));
+            }
+            Event::SpanOpen { trace, span, parent, name, request } => {
+                out.push_str(&format!(
+                    ",\"trace\":{},\"span\":{span},\"parent\":{parent},\"name\":{}",
+                    quoted(trace),
+                    quoted(name),
+                ));
+                if let Some(request) = request {
+                    out.push_str(&format!(",\"request\":{}", quoted(request)));
+                }
+            }
+            Event::SpanClose { trace, span, name, wall_ms } => {
+                out.push_str(&format!(
+                    ",\"trace\":{},\"span\":{span},\"name\":{},\"wall_ms\":{wall_ms}",
+                    quoted(trace),
+                    quoted(name),
                 ));
             }
             Event::RunSummary { report } => {
@@ -408,6 +457,48 @@ mod tests {
         assert_eq!(parsed.get("attempt").and_then(Json::as_u64), Some(2));
         assert_eq!(parsed.get("wait_ms").and_then(Json::as_u64), Some(40));
         assert_eq!(parsed.get("reason").and_then(Json::as_str), Some("overloaded"));
+    }
+
+    #[test]
+    fn span_events_serialize_with_trace_hex_and_ids() {
+        let open = Event::SpanOpen {
+            trace: "0123456789abcdef".into(),
+            span: 7,
+            parent: 3,
+            name: "check".into(),
+            request: None,
+        };
+        let parsed = Json::parse(&open.to_json()).unwrap();
+        assert_eq!(parsed.get("event").and_then(Json::as_str), Some("span_open"));
+        assert_eq!(parsed.get("trace").and_then(Json::as_str), Some("0123456789abcdef"));
+        assert_eq!(parsed.get("span").and_then(Json::as_u64), Some(7));
+        assert_eq!(parsed.get("parent").and_then(Json::as_u64), Some(3));
+        assert_eq!(parsed.get("name").and_then(Json::as_str), Some("check"));
+        assert!(parsed.get("request").is_none(), "absent request must be omitted");
+        assert_eq!(open.check(), None);
+        assert_eq!(open.request(), None, "spans are keyed by trace, not request");
+
+        let root = Event::SpanOpen {
+            trace: "00000000000000ff".into(),
+            span: 1,
+            parent: 0,
+            name: "recv".into(),
+            request: Some("q0".into()),
+        };
+        let parsed = Json::parse(&root.to_json()).unwrap();
+        assert_eq!(parsed.get("request").and_then(Json::as_str), Some("q0"));
+        assert_eq!(parsed.get("parent").and_then(Json::as_u64), Some(0));
+
+        let close = Event::SpanClose {
+            trace: "0123456789abcdef".into(),
+            span: 7,
+            name: "check".into(),
+            wall_ms: 12,
+        };
+        let parsed = Json::parse(&close.to_json()).unwrap();
+        assert_eq!(parsed.get("event").and_then(Json::as_str), Some("span_close"));
+        assert_eq!(parsed.get("span").and_then(Json::as_u64), Some(7));
+        assert_eq!(parsed.get("wall_ms").and_then(Json::as_u64), Some(12));
     }
 
     #[test]

@@ -19,12 +19,16 @@
 
 pub mod event;
 pub mod json;
+pub mod metrics;
 pub mod report;
 pub mod sinks;
+pub mod span;
 
 pub use event::{CheckMetrics, Event};
+pub use metrics::{AtomicHistogram, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use report::{EngineTotals, RunReport};
 pub use sinks::{Aggregator, ChannelSink, Fanout, Heartbeat, JsonlSink, Observer};
+pub use span::{Span, TraceId};
 
 use std::sync::{Arc, Mutex};
 

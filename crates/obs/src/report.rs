@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 
 use crate::event::CheckMetrics;
 use crate::json::{quoted, Json};
+use crate::metrics::Histogram;
 
 /// Nearest-rank percentile over an unsorted sample; `None` when empty.
 fn nearest_rank(xs: &[u64], p: u32) -> Option<u64> {
@@ -61,9 +62,12 @@ pub struct RunReport {
     pub cache_hits: u64,
     /// Requests that missed (or bypassed) the cache and ran a check.
     pub cache_misses: u64,
-    /// Every request's receive-to-answer latency in milliseconds, for
-    /// percentiles. Unsorted.
-    pub request_ms: Vec<u64>,
+    /// Receive-to-answer request latencies, as a constant-memory
+    /// log-bucket histogram (millisecond samples). Replaces the old
+    /// per-sample `request_ms` vector, which grew without bound under
+    /// sustained serve traffic; old reports carrying that vector still
+    /// parse (the samples fold into the histogram).
+    pub request_latency: Histogram,
     /// Requests rejected with a typed `overloaded` response because the
     /// queue stayed full for the whole admission wait. Counted in
     /// `requests` but in neither cache bucket.
@@ -117,7 +121,7 @@ impl RunReport {
         self.requests += other.requests;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
-        self.request_ms.extend_from_slice(&other.request_ms);
+        self.request_latency.merge(&other.request_latency);
         self.requests_shed += other.requests_shed;
         self.faults_injected += other.faults_injected;
         self.client_retries += other.client_retries;
@@ -148,10 +152,12 @@ impl RunReport {
         nearest_rank(&self.durations_ms, p)
     }
 
-    /// Nearest-rank request-latency percentile (`p` in 0..=100) in
-    /// milliseconds; `None` when no requests were recorded.
+    /// Request-latency percentile estimate (`p` in 0..=100) in
+    /// milliseconds, from the log-bucket histogram — within one bucket
+    /// of the exact nearest-rank value. `None` when no requests were
+    /// recorded.
     pub fn request_percentile_ms(&self, p: u32) -> Option<u64> {
-        nearest_rank(&self.request_ms, p)
+        self.request_latency.quantile(p)
     }
 
     /// Whether two runs did the same *deterministic* work: identical
@@ -195,11 +201,10 @@ impl RunReport {
             })
             .collect();
         let durations: Vec<String> = self.durations_ms.iter().map(u64::to_string).collect();
-        let request_ms: Vec<String> = self.request_ms.iter().map(u64::to_string).collect();
         format!(
             "{{\"checks\":{},\"retries\":{},\"outcomes\":{},\"bound_reasons\":{},\
              \"engines\":{{{}}},\"wall_ms\":{},\"durations_ms\":[{}],\
-             \"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\"request_ms\":[{}],\
+             \"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\"request_latency\":{},\
              \"requests_shed\":{},\"faults_injected\":{},\"client_retries\":{}}}",
             self.checks,
             self.retries,
@@ -211,7 +216,7 @@ impl RunReport {
             self.requests,
             self.cache_hits,
             self.cache_misses,
-            request_ms.join(","),
+            self.request_latency.to_json(),
             self.requests_shed,
             self.faults_injected,
             self.client_retries,
@@ -274,11 +279,18 @@ impl RunReport {
             requests: v.get("requests").and_then(Json::as_u64).unwrap_or(0),
             cache_hits: v.get("cache_hits").and_then(Json::as_u64).unwrap_or(0),
             cache_misses: v.get("cache_misses").and_then(Json::as_u64).unwrap_or(0),
-            request_ms: v
-                .get("request_ms")
-                .and_then(Json::as_arr)
-                .map(|xs| xs.iter().map(Json::as_u64).collect::<Option<Vec<_>>>())
-                .unwrap_or_else(|| Some(Vec::new()))?,
+            // Current reports carry the histogram; reports written when
+            // latencies were stored per-sample carry a `request_ms`
+            // array instead, which folds into an equivalent histogram.
+            request_latency: match v.get("request_latency") {
+                Some(h) => Histogram::from_value(h)?,
+                None => Histogram::from_samples(
+                    v.get("request_ms")
+                        .and_then(Json::as_arr)
+                        .map(|xs| xs.iter().map(Json::as_u64).collect::<Option<Vec<_>>>())
+                        .unwrap_or_else(|| Some(Vec::new()))?,
+                ),
+            },
             // Robustness counters postdate the serving fields; older
             // reports parse with zeros.
             requests_shed: v.get("requests_shed").and_then(Json::as_u64).unwrap_or(0),
@@ -455,18 +467,20 @@ mod tests {
             requests: 4,
             cache_hits: 3,
             cache_misses: 1,
-            request_ms: vec![1, 2, 3, 40],
+            request_latency: Histogram::from_samples([1, 2, 3, 40]),
             ..RunReport::default()
         };
         let back = RunReport::from_json(&r.to_json()).expect("round trip");
         assert_eq!(back, r);
-        assert_eq!(back.request_percentile_ms(50), Some(2));
+        // Exact nearest-rank p50 is 2; the histogram answers with 2's
+        // bucket bound (within one bucket).
+        assert_eq!(back.request_percentile_ms(50), Some(3));
         let mut merged = RunReport::default();
         merged.merge(&r);
         merged.merge(&r);
         assert_eq!(merged.requests, 8);
         assert_eq!(merged.cache_hits, 6);
-        assert_eq!(merged.request_ms.len(), 8);
+        assert_eq!(merged.request_latency.count(), 8);
         let text = r.render();
         assert!(text.contains("4 requests"));
         assert!(text.contains("75% hit-rate"));
@@ -476,8 +490,16 @@ mod tests {
                    \"engines\":{},\"wall_ms\":0,\"durations_ms\":[]}";
         let parsed = RunReport::from_json(old).expect("old report must parse");
         assert_eq!(parsed.requests, 0);
-        assert!(parsed.request_ms.is_empty());
+        assert!(parsed.request_latency.is_empty());
         assert!(!parsed.render().contains("serving"));
+        // Reports from the per-sample era carry a `request_ms` array;
+        // the samples fold into an equivalent histogram.
+        let sampled = "{\"checks\":0,\"retries\":0,\"outcomes\":{},\"bound_reasons\":{},\
+                       \"engines\":{},\"wall_ms\":0,\"durations_ms\":[],\
+                       \"requests\":4,\"cache_hits\":3,\"cache_misses\":1,\
+                       \"request_ms\":[1,2,3,40]}";
+        let parsed = RunReport::from_json(sampled).expect("per-sample report must parse");
+        assert_eq!(parsed.request_latency, r.request_latency);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::event::{CheckMetrics, Event};
+use crate::metrics::Histogram;
 use crate::report::RunReport;
 
 /// An event consumer. Implementations must tolerate any event order —
@@ -86,7 +87,7 @@ struct AggState {
     requests: u64,
     cache_hits: u64,
     cache_misses: u64,
-    request_ms: Vec<u64>,
+    request_latency: Histogram,
     requests_shed: u64,
     faults_injected: u64,
     client_retries: u64,
@@ -97,7 +98,7 @@ impl AggState {
         report.requests = self.requests;
         report.cache_hits = self.cache_hits;
         report.cache_misses = self.cache_misses;
-        report.request_ms = self.request_ms.clone();
+        report.request_latency = self.request_latency.clone();
         report.requests_shed = self.requests_shed;
         report.faults_injected = self.faults_injected;
         report.client_retries = self.client_retries;
@@ -157,7 +158,7 @@ impl Observer for Aggregator {
             Event::RequestReceived { .. } => state.requests += 1,
             Event::CacheHit { .. } => state.cache_hits += 1,
             Event::CacheMiss { .. } => state.cache_misses += 1,
-            Event::RequestDone { wall_ms, .. } => state.request_ms.push(*wall_ms),
+            Event::RequestDone { wall_ms, .. } => state.request_latency.record(*wall_ms),
             Event::RequestShed { .. } => state.requests_shed += 1,
             Event::FaultInjected { .. } => state.faults_injected += 1,
             Event::ClientRetry { .. } => state.client_retries += 1,
@@ -268,7 +269,9 @@ impl<W: Write + Send> Observer for Heartbeat<W> {
             | Event::RequestDone { .. }
             | Event::RequestShed { .. }
             | Event::FaultInjected { .. }
-            | Event::ClientRetry { .. } => {}
+            | Event::ClientRetry { .. }
+            | Event::SpanOpen { .. }
+            | Event::SpanClose { .. } => {}
             Event::CheckFinished { metrics } => {
                 self.finished += 1;
                 *self.outcomes.entry(metrics.verdict.clone()).or_default() += 1;
@@ -378,7 +381,8 @@ mod tests {
         assert_eq!(report.cache_hits, 2);
         assert_eq!(report.cache_misses, 1);
         assert_eq!(report.requests, report.cache_hits + report.cache_misses);
-        assert_eq!(report.request_ms, vec![9, 1, 2]);
+        assert_eq!(report.request_latency, Histogram::from_samples([9, 1, 2]));
+        assert_eq!(report.request_latency.count(), 3);
         assert_eq!(agg.event_counts()["request_done"], 3);
     }
 

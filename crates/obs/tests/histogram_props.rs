@@ -1,0 +1,84 @@
+//! Property tests of the log-bucket histogram: merging is associative
+//! (any grouping of partial histograms equals recording everything in
+//! one), quantile estimates stay within one bucket of the exact
+//! nearest-rank percentile, and the JSON encoding round-trips.
+
+use kiss_obs::metrics::{bucket_bound, bucket_of};
+use kiss_obs::Histogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::BoxedStrategy;
+
+/// Exact nearest-rank percentile (the scheme the stored-sample report
+/// used before the histogram replaced it).
+fn nearest_rank(xs: &[u64], p: u32) -> Option<u64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable();
+    let rank = (p.min(100) as usize * sorted.len()).div_ceil(100);
+    Some(sorted[rank.saturating_sub(1)])
+}
+
+/// Latency-shaped samples: mostly small, with heavy-tail outliers.
+fn samples() -> BoxedStrategy<Vec<u64>> {
+    vec(prop_oneof![0u64..50, 0u64..5_000, 0u64..u64::MAX], 0..200).boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn merge_is_associative_and_order_independent(
+        a in samples(), b in samples(), c in samples()
+    ) {
+        // (a + b) + c
+        let mut left = Histogram::from_samples(a.iter().copied());
+        left.merge(&Histogram::from_samples(b.iter().copied()));
+        left.merge(&Histogram::from_samples(c.iter().copied()));
+        // a + (b + c)
+        let mut right_tail = Histogram::from_samples(b.iter().copied());
+        right_tail.merge(&Histogram::from_samples(c.iter().copied()));
+        let mut right = Histogram::from_samples(a.iter().copied());
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right);
+        // Both equal recording every sample into one histogram.
+        let whole = Histogram::from_samples(
+            a.iter().chain(&b).chain(&c).copied(),
+        );
+        prop_assert_eq!(&left, &whole);
+        prop_assert_eq!(left.count() as usize, a.len() + b.len() + c.len());
+    }
+
+    #[test]
+    fn quantiles_stay_within_one_bucket_of_exact(
+        xs in samples(), p in 0u32..101
+    ) {
+        let h = Histogram::from_samples(xs.iter().copied());
+        let estimate = h.quantile(p);
+        let exact = nearest_rank(&xs, p);
+        match (estimate, exact) {
+            (None, None) => {}
+            (Some(est), Some(exact)) => {
+                // The estimate is the exact value's bucket bound: never
+                // below it, never past the next power of two.
+                prop_assert_eq!(est, bucket_bound(bucket_of(exact)));
+                prop_assert!(est >= exact);
+                if exact > 0 {
+                    prop_assert!(est / 2 < exact, "est={est} exact={exact}");
+                }
+            }
+            (est, exact) => prop_assert!(false, "est={est:?} exact={exact:?}"),
+        }
+    }
+
+    #[test]
+    fn json_round_trips(xs in samples()) {
+        let h = Histogram::from_samples(xs.iter().copied());
+        let text = h.to_json();
+        let v = kiss_obs::json::Json::parse(&text).expect("histogram JSON parses");
+        let back = Histogram::from_value(&v).expect("histogram JSON decodes");
+        prop_assert_eq!(back, h);
+    }
+}

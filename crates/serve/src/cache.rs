@@ -83,6 +83,12 @@ pub struct ResultCache {
     /// Lines currently in the journal file (valid or not), replay
     /// included — the auto-compaction trigger.
     journal_records: usize,
+    /// Approximate journal size on disk (bytes appended since open,
+    /// plus what replay found; reset to the exact image size by
+    /// compaction).
+    journal_bytes: u64,
+    /// Compaction passes completed since open.
+    compactions: u64,
     replay: ReplayStats,
     auto_compact_min: usize,
     obs: Obs,
@@ -103,6 +109,8 @@ impl ResultCache {
             journal: None,
             path: None,
             journal_records: 0,
+            journal_bytes: 0,
+            compactions: 0,
             replay: ReplayStats::default(),
             auto_compact_min: Self::AUTO_COMPACT_MIN,
             obs: Obs::off(),
@@ -117,6 +125,7 @@ impl ResultCache {
         let mut cache = ResultCache::in_memory();
         match std::fs::read_to_string(&path) {
             Ok(text) => {
+                cache.journal_bytes = text.len() as u64;
                 for line in text.lines() {
                     // Garbage and torn lines are skipped, not fatal: the
                     // cache is an accelerator, never a source of truth.
@@ -172,6 +181,16 @@ impl ResultCache {
         self.journal_records
     }
 
+    /// Approximate journal size in bytes (exact after a compaction).
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal_bytes
+    }
+
+    /// Compaction passes completed since this cache was opened.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
     /// Looks a fingerprint up.
     pub fn lookup(&self, key: u128) -> Option<&CachedVerdict> {
         let mask = self.slots.len() - 1;
@@ -224,25 +243,34 @@ impl ResultCache {
             os.push(".tmp");
             PathBuf::from(os)
         };
-        let write_image = || -> io::Result<()> {
+        let write_image = || -> io::Result<u64> {
             let mut out = BufWriter::new(File::create(&tmp)?);
+            let mut bytes = 0u64;
             for (key, verdict) in &entries {
-                out.write_all(encode_record(*key, verdict).as_bytes())?;
+                let record = encode_record(*key, verdict);
+                out.write_all(record.as_bytes())?;
                 out.write_all(b"\n")?;
+                bytes += record.len() as u64 + 1;
             }
             out.flush()?;
-            out.get_ref().sync_all()
+            out.get_ref().sync_all()?;
+            Ok(bytes)
         };
-        if let Err(e) = write_image() {
-            let _ = std::fs::remove_file(&tmp);
-            return Err(e);
-        }
+        let bytes = match write_image() {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+        };
         // Close the append handle before swapping the file under it.
         self.journal = None;
         std::fs::rename(&tmp, &path)?;
         self.journal =
             Some(BufWriter::new(OpenOptions::new().append(true).open(&path)?));
         self.journal_records = self.len;
+        self.journal_bytes = bytes;
+        self.compactions += 1;
         Ok(())
     }
 
@@ -269,6 +297,7 @@ impl ResultCache {
                 let _ = journal.write_all(&line.as_bytes()[..cut]);
                 let _ = journal.flush();
                 self.journal_records += 1;
+                self.journal_bytes += cut as u64;
                 return;
             }
             None => {}
@@ -278,6 +307,7 @@ impl ResultCache {
         let _ = journal.write_all(b"\n");
         let _ = journal.flush();
         self.journal_records += 1;
+        self.journal_bytes += line.len() as u64 + 1;
     }
 
     fn maybe_auto_compact(&mut self) {
@@ -559,14 +589,35 @@ mod tests {
                 }
             }
             assert_eq!(cache.journal_records(), 200);
+            let bytes_before = cache.journal_bytes();
+            assert_eq!(
+                bytes_before,
+                std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len()
+            );
+            assert_eq!(cache.compactions(), 0);
             cache.compact().unwrap();
             assert_eq!(cache.journal_records(), 20);
+            assert_eq!(cache.compactions(), 1);
+            assert!(cache.journal_bytes() < bytes_before);
+            assert_eq!(
+                cache.journal_bytes(),
+                std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len()
+            );
             // The journal stays appendable after the swap.
             cache.insert(999, verdict(999));
+            assert_eq!(
+                cache.journal_bytes(),
+                std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len()
+            );
         }
         let path = dir.join(JOURNAL_FILE);
         let mut cache = ResultCache::open(&dir).unwrap();
         assert_eq!(cache.len(), 21);
+        assert_eq!(
+            cache.journal_bytes(),
+            std::fs::metadata(&path).unwrap().len(),
+            "replay seeds journal_bytes from the file"
+        );
         for key in 0..20u64 {
             assert_eq!(cache.lookup(u128::from(key)).unwrap().steps, key * 100 + 9);
         }

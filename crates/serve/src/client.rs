@@ -25,9 +25,9 @@ use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use kiss_obs::{Event, Obs};
+use kiss_obs::{Event, Obs, TraceId};
 
-use crate::protocol::{decode_response, CacheStatus, Request, Response};
+use crate::protocol::{decode_response, CacheStatus, Request, Response, ServeSnapshot};
 
 /// How long a resilient read blocks before re-checking its deadline.
 const CLIENT_READ_POLL: Duration = Duration::from_millis(50);
@@ -40,6 +40,16 @@ pub enum Endpoint {
     Unix(PathBuf),
     /// A TCP address, e.g. `127.0.0.1:7878`.
     Tcp(String),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
 }
 
 impl Endpoint {
@@ -345,7 +355,15 @@ pub fn submit_batch_with(
                 slot_of_key.insert(key, slot);
                 slot_of_entry.push(slot);
                 deduped.push(false);
-                wire.push(request.clone());
+                let mut request = request.clone();
+                // Every wire request carries a trace id, so the server's
+                // span stream is reconstructible per request. Minted once
+                // per slot: a retried slot keeps its trace across
+                // attempts.
+                if request.trace.is_none() {
+                    request.trace = TraceId::fresh();
+                }
+                wire.push(request);
             }
         }
     }
@@ -503,6 +521,30 @@ pub fn ping(endpoint: &Endpoint, timeout: Duration) -> io::Result<Response> {
     }
 }
 
+/// Sends one `metrics` scrape and parses the server's snapshot out of
+/// the response detail.
+///
+/// # Errors
+///
+/// Returns the connection error, a timeout after `timeout` of silence,
+/// or an `InvalidData` error when the detail is not a snapshot.
+pub fn fetch_metrics(endpoint: &Endpoint, timeout: Duration) -> io::Result<ServeSnapshot> {
+    let frames = [(0usize, Request::metrics("metrics"))];
+    let mut attempt = run_attempt(endpoint, &frames, Some(timeout));
+    match attempt.answered.pop() {
+        Some((_, response)) => ServeSnapshot::parse(&response.detail).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed metrics snapshot: {}", response.detail),
+            )
+        }),
+        None => Err(match attempt.failure {
+            Some(AttemptFailure::Connect(e)) | Some(AttemptFailure::Lost(e)) => e,
+            None => io::Error::other("metrics scrape received no response"),
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -624,6 +666,99 @@ mod tests {
         shutdown.cancel();
         // Status pings are control-plane: not in the request tally.
         assert_eq!(handle.join().unwrap().requests, 0);
+    }
+
+    #[test]
+    fn metrics_scrape_agrees_with_the_request_tally() {
+        let (endpoint, shutdown, handle) = boot();
+        let batch = vec![Request::check("a", "int q;\nvoid main() { q = 5; assert q == 5; }")];
+        submit_batch(&endpoint, &batch).unwrap(); // miss
+        submit_batch(&endpoint, &batch).unwrap(); // hit
+        let snap = fetch_metrics(&endpoint, Duration::from_secs(5)).unwrap();
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.shed, 0);
+        assert_eq!(snap.requests, snap.hits + snap.misses + snap.shed);
+        assert_eq!(snap.hit_rate(), Some(0.5));
+        assert_eq!(snap.cache_entries, 1);
+        assert_eq!(snap.in_flight, 0, "no check is running during the scrape");
+        assert!(snap.queue_peak >= 1, "the miss passed through the queue");
+        let count = |name: &str| {
+            snap.latency.iter().find(|(n, _)| n == name).map(|(_, h)| h.count())
+        };
+        assert_eq!(count("check"), Some(1));
+        assert_eq!(count("hit"), Some(1));
+        shutdown.cancel();
+        // The scrape is control-plane: not in the request tally.
+        assert_eq!(handle.join().unwrap().requests, 2);
+    }
+
+    #[test]
+    fn a_traced_request_emits_a_complete_span_tree() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let cfg = ServeConfig {
+            port: Some(0),
+            jobs: 1,
+            budget: Budget::small(),
+            obs: Obs::new(ChannelSink(tx)),
+            ..ServeConfig::default()
+        };
+        let server = Server::bind(cfg).unwrap();
+        let port = server.local_port().unwrap();
+        let shutdown = CancelToken::new();
+        let token = shutdown.clone();
+        let handle = std::thread::spawn(move || server.run(&token).unwrap());
+        let endpoint = Endpoint::Tcp(format!("127.0.0.1:{port}"));
+        let mut traced = Request::check("traced", "void main() { skip; }");
+        traced.trace = TraceId(0xabcd);
+        submit_batch(&endpoint, std::slice::from_ref(&traced)).unwrap();
+        shutdown.cancel();
+        handle.join().unwrap();
+
+        let hex = TraceId(0xabcd).to_hex();
+        // (span id -> (name, parent)) for the client's trace only.
+        let mut opened: HashMap<u64, (String, u64)> = HashMap::new();
+        let mut closed: Vec<u64> = Vec::new();
+        let mut root_request = None;
+        for event in rx.try_iter() {
+            match event {
+                Event::SpanOpen { trace, span, parent, name, request } if trace == hex => {
+                    if parent == 0 {
+                        root_request = request;
+                    }
+                    opened.insert(span, (name, parent));
+                }
+                Event::SpanClose { trace, span, .. } if trace == hex => closed.push(span),
+                _ => {}
+            }
+        }
+        let by_name = |name: &str| {
+            opened
+                .iter()
+                .find(|(_, (n, _))| n == name)
+                .map(|(&span, &(_, parent))| (span, parent))
+                .unwrap_or_else(|| panic!("no `{name}` span in {opened:?}"))
+        };
+        let (recv, recv_parent) = by_name("recv");
+        let (queued, queued_parent) = by_name("queued");
+        let (check, check_parent) = by_name("check");
+        let (_reply, reply_parent) = by_name("reply");
+        assert_eq!(recv_parent, 0, "recv is the root");
+        assert_eq!(root_request.as_deref(), Some("q0"), "the root names its request");
+        assert_eq!(queued_parent, recv);
+        assert_eq!(check_parent, queued);
+        assert_eq!(reply_parent, check);
+        // The engine's phase spans hang off the check span.
+        for phase in ["transform", "lower", "explore"] {
+            let (_, parent) = by_name(phase);
+            assert_eq!(parent, check, "`{phase}` must parent under `check`");
+        }
+        // Balance: every open closed exactly once.
+        closed.sort_unstable();
+        let mut all: Vec<u64> = opened.keys().copied().collect();
+        all.sort_unstable();
+        assert_eq!(closed, all, "span opens and closes must pair up");
     }
 
     #[test]

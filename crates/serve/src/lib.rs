@@ -38,10 +38,11 @@ pub mod server;
 
 pub use cache::{CachedVerdict, ReplayStats, ResultCache};
 pub use client::{
-    ping, submit_batch, submit_batch_with, BatchOutcome, Endpoint, EntryCache, SubmitOptions,
+    fetch_metrics, ping, submit_batch, submit_batch_with, BatchOutcome, Endpoint, EntryCache,
+    SubmitOptions,
 };
 pub use protocol::{
     decode_request, decode_response, CacheStatus, FrameError, Op, Request, Response,
-    MAX_FRAME_BYTES,
+    ServeSnapshot, MAX_FRAME_BYTES,
 };
 pub use server::{ServeConfig, ServeStats, Server};

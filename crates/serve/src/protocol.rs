@@ -27,6 +27,7 @@
 
 use kiss_core::checker::Engine;
 use kiss_obs::json::{quoted, Json};
+use kiss_obs::{Histogram, TraceId};
 use kiss_seq::StoreKind;
 
 /// Hard cap on one frame's byte length. Driver sources are tens of
@@ -47,6 +48,11 @@ pub enum Op {
     /// size, and uptime. Needs no `source`, never queues, never counts
     /// in the request/cache accounting.
     Status,
+    /// Control-plane metrics scrape: answer immediately with a
+    /// [`ServeSnapshot`] in the response `detail`. Like `status`, it
+    /// needs no `source`, never queues, and never counts in the
+    /// request/cache accounting.
+    Metrics,
 }
 
 /// One check request.
@@ -72,6 +78,11 @@ pub struct Request {
     pub timeout_ms: Option<u64>,
     /// Skip the cache lookup (the verdict is still stored).
     pub no_cache: bool,
+    /// Client-minted trace id threading this request's spans through
+    /// the server's event stream. [`TraceId::NONE`] (the default) lets
+    /// the server mint one. Like `id`, a transport concern — excluded
+    /// from the cache key.
+    pub trace: TraceId,
 }
 
 impl Request {
@@ -88,6 +99,7 @@ impl Request {
             max_states: None,
             timeout_ms: None,
             no_cache: false,
+            trace: TraceId::NONE,
         }
     }
 
@@ -105,6 +117,11 @@ impl Request {
         Request { op: Op::Status, ..Request::check(id, "") }
     }
 
+    /// A `metrics` scrape (no source).
+    pub fn metrics(id: impl Into<String>) -> Request {
+        Request { op: Op::Metrics, ..Request::check(id, "") }
+    }
+
     /// The content address: a 128-bit fingerprint over every field that
     /// determines the verdict — source text, operation and target,
     /// engine, store, `MAX`, and the budget overrides. The `id` and
@@ -114,6 +131,7 @@ impl Request {
             Op::Check => ("check", ""),
             Op::Race { target } => ("race", target.as_str()),
             Op::Status => ("status", ""),
+            Op::Metrics => ("metrics", ""),
         };
         let (hi, lo) = kiss_seq::config::fingerprint_of(&(
             op,
@@ -139,6 +157,7 @@ impl Request {
                 out.push_str(&format!(",\"op\":\"race\",\"target\":{}", quoted(target)));
             }
             Op::Status => out.push_str(",\"op\":\"status\""),
+            Op::Metrics => out.push_str(",\"op\":\"metrics\""),
         }
         out.push_str(&format!(
             ",\"source\":{},\"engine\":{},\"store\":{},\"max_ts\":{}",
@@ -158,6 +177,9 @@ impl Request {
         }
         if self.no_cache {
             out.push_str(",\"no_cache\":true");
+        }
+        if !self.trace.is_none() {
+            out.push_str(&format!(",\"trace\":\"{}\"", self.trace.to_hex()));
         }
         out.push('}');
         out
@@ -325,13 +347,14 @@ pub fn decode_request(line: &str) -> Result<Request, FrameError> {
             Op::Race { target: target.to_string() }
         }
         Some("status") => Op::Status,
+        Some("metrics") => Op::Metrics,
         Some(other) => return Err(malformed(format!("unknown op `{other}`"))),
         None => return Err(malformed("missing `op`")),
     };
-    // Status pings carry no program; every checking op must.
+    // Control-plane ops carry no program; every checking op must.
     let source = match v.get("source").and_then(Json::as_str) {
         Some(s) => s.to_string(),
-        None if op == Op::Status => String::new(),
+        None if op == Op::Status || op == Op::Metrics => String::new(),
         None => return Err(malformed("missing `source`")),
     };
     let engine = match v.get("engine").and_then(Json::as_str) {
@@ -363,6 +386,13 @@ pub fn decode_request(line: &str) -> Result<Request, FrameError> {
         max_states: num("max_states")?,
         timeout_ms: num("timeout_ms")?,
         no_cache: matches!(v.get("no_cache"), Some(Json::Bool(true))),
+        // Tolerant: an unparsable trace degrades to "server mints one",
+        // never to a rejected frame.
+        trace: v
+            .get("trace")
+            .and_then(Json::as_str)
+            .and_then(TraceId::from_hex)
+            .unwrap_or(TraceId::NONE),
     })
 }
 
@@ -394,6 +424,151 @@ pub fn decode_response(line: &str) -> Result<Response, FrameError> {
     })
 }
 
+/// A point-in-time view of a running server, answered inline by the
+/// `metrics` op (the snapshot travels in the response `detail`).
+///
+/// Every field is an integer — no floats cross the wire, so a snapshot
+/// is byte-stable and diffable. Derived ratios (hit rate) are computed
+/// by the consumer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeSnapshot {
+    /// Milliseconds since the server started accepting.
+    pub uptime_ms: u64,
+    /// Jobs waiting in the admission queue right now.
+    pub queue_depth: u64,
+    /// High-water mark of the queue depth since start.
+    pub queue_peak: u64,
+    /// Workers executing a check right now.
+    pub in_flight: u64,
+    /// Live entries in the result cache.
+    pub cache_entries: u64,
+    /// Lines in the cache journal (live + dead + garbage).
+    pub journal_records: u64,
+    /// Approximate cache journal size on disk, in bytes.
+    pub journal_bytes: u64,
+    /// Journal compaction passes completed since start.
+    pub compactions: u64,
+    /// Check/race requests accepted (control-plane ops excluded).
+    pub requests: u64,
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that executed (and, when cacheable, stored).
+    pub misses: u64,
+    /// Requests shed with the typed `overloaded` response.
+    pub shed: u64,
+    /// Injected faults fired since start (kiss-fault).
+    pub faults: u64,
+    /// Per-operation latency histograms (milliseconds), keyed by a
+    /// stable lowercase name (`check`, `hit`), sorted by name.
+    pub latency: Vec<(String, Histogram)>,
+}
+
+impl ServeSnapshot {
+    /// Cache hit rate over the answered (non-shed) requests, or `None`
+    /// before the first answer.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let answered = self.hits + self.misses;
+        (answered > 0).then(|| self.hits as f64 / answered as f64)
+    }
+
+    /// One-line JSON encoding (no trailing newline). Keys are emitted
+    /// in a fixed order, so equal snapshots encode identically.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"uptime_ms\":{},\"queue_depth\":{},\"queue_peak\":{},\"in_flight\":{}",
+            self.uptime_ms, self.queue_depth, self.queue_peak, self.in_flight,
+        ));
+        out.push_str(&format!(
+            ",\"cache_entries\":{},\"journal_records\":{},\"journal_bytes\":{},\"compactions\":{}",
+            self.cache_entries, self.journal_records, self.journal_bytes, self.compactions,
+        ));
+        out.push_str(&format!(
+            ",\"requests\":{},\"hits\":{},\"misses\":{},\"shed\":{},\"faults\":{}",
+            self.requests, self.hits, self.misses, self.shed, self.faults,
+        ));
+        out.push_str(",\"latency\":{");
+        for (i, (name, hist)) in self.latency.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", quoted(name), hist.to_json()));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Decodes [`ServeSnapshot::to_json`] output (absent fields default
+    /// to zero, so older servers stay scrapeable).
+    pub fn parse(text: &str) -> Option<ServeSnapshot> {
+        let v = Json::parse(text)?;
+        v.as_obj()?;
+        let num = |name: &str| v.get(name).and_then(Json::as_u64).unwrap_or(0);
+        let mut latency = Vec::new();
+        if let Some(map) = v.get("latency").and_then(Json::as_obj) {
+            for (name, value) in map {
+                latency.push((name.clone(), Histogram::from_value(value)?));
+            }
+        }
+        Some(ServeSnapshot {
+            uptime_ms: num("uptime_ms"),
+            queue_depth: num("queue_depth"),
+            queue_peak: num("queue_peak"),
+            in_flight: num("in_flight"),
+            cache_entries: num("cache_entries"),
+            journal_records: num("journal_records"),
+            journal_bytes: num("journal_bytes"),
+            compactions: num("compactions"),
+            requests: num("requests"),
+            hits: num("hits"),
+            misses: num("misses"),
+            shed: num("shed"),
+            faults: num("faults"),
+            latency,
+        })
+    }
+
+    /// A fixed-width human rendering (the body of `kissc top`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "uptime    : {:.1}s\n",
+            self.uptime_ms as f64 / 1000.0
+        ));
+        out.push_str(&format!(
+            "queue     : depth={} peak={} in_flight={}\n",
+            self.queue_depth, self.queue_peak, self.in_flight,
+        ));
+        let rate = match self.hit_rate() {
+            Some(r) => format!("{:.1}%", r * 100.0),
+            None => "n/a".to_string(),
+        };
+        out.push_str(&format!(
+            "requests  : total={} hits={} misses={} shed={} hit-rate={rate}\n",
+            self.requests, self.hits, self.misses, self.shed,
+        ));
+        out.push_str(&format!(
+            "cache     : entries={} journal={}B/{} records compactions={}\n",
+            self.cache_entries, self.journal_bytes, self.journal_records, self.compactions,
+        ));
+        out.push_str(&format!("faults    : fired={}\n", self.faults));
+        for (name, hist) in &self.latency {
+            let q = |p| {
+                hist.quantile(p).map_or("-".to_string(), |ms| format!("{ms}ms"))
+            };
+            out.push_str(&format!(
+                "lat {:<6}: n={} p50={} p90={} p99={}\n",
+                name,
+                hist.count(),
+                q(50),
+                q(90),
+                q(99),
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +586,7 @@ mod tests {
             max_states: Some(8_000),
             timeout_ms: Some(2_000),
             no_cache: true,
+            trace: TraceId(0x1234_5678_9abc_def0),
         };
         assert_eq!(decode_request(&req.to_json()), Ok(req));
     }
@@ -468,6 +644,66 @@ mod tests {
         assert_eq!(decode_request(&round.to_json()), Ok(round));
         // Checking ops still require a program.
         assert!(decode_request(r#"{"id":"a","op":"check"}"#).is_err());
+    }
+
+    #[test]
+    fn metrics_requests_need_no_source() {
+        let req = decode_request(r#"{"id":"m0","op":"metrics"}"#).unwrap();
+        assert_eq!(req.op, Op::Metrics);
+        assert_eq!(req.source, "");
+        let round = Request::metrics("m0");
+        assert_eq!(decode_request(&round.to_json()), Ok(round));
+    }
+
+    #[test]
+    fn trace_ids_round_trip_and_tolerate_garbage() {
+        let mut req = Request::check("a", "void main() { skip; }");
+        // Absent from the frame when unset.
+        assert!(!req.to_json().contains("trace"));
+        req.trace = TraceId(0xdead_beef_cafe_f00d);
+        assert!(req.to_json().contains("\"trace\":\"deadbeefcafef00d\""));
+        assert_eq!(decode_request(&req.to_json()), Ok(req.clone()));
+        // Trace is transport, not content: the key ignores it.
+        let mut untraced = req.clone();
+        untraced.trace = TraceId::NONE;
+        assert_eq!(req.cache_key(), untraced.cache_key());
+        // A mangled trace degrades to NONE, never to a rejected frame.
+        let line = r#"{"id":"a","op":"check","source":"x","trace":"zz"}"#;
+        assert_eq!(decode_request(line).unwrap().trace, TraceId::NONE);
+    }
+
+    #[test]
+    fn serve_snapshot_round_trips_and_renders() {
+        let snap = ServeSnapshot {
+            uptime_ms: 12_500,
+            queue_depth: 3,
+            queue_peak: 17,
+            in_flight: 2,
+            cache_entries: 40,
+            journal_records: 55,
+            journal_bytes: 4_096,
+            compactions: 1,
+            requests: 100,
+            hits: 60,
+            misses: 39,
+            shed: 1,
+            faults: 2,
+            latency: vec![
+                ("check".to_string(), Histogram::from_samples([5, 9, 120])),
+                ("hit".to_string(), Histogram::from_samples([0, 1])),
+            ],
+        };
+        assert_eq!(ServeSnapshot::parse(&snap.to_json()), Some(snap.clone()));
+        assert_eq!(snap.hit_rate(), Some(60.0 / 99.0));
+        let view = snap.render();
+        assert!(view.contains("depth=3 peak=17 in_flight=2"), "{view}");
+        assert!(view.contains("total=100 hits=60 misses=39 shed=1"), "{view}");
+        assert!(view.contains("lat check : n=3"), "{view}");
+        // Absent fields default; an empty object parses to zeroes.
+        let empty = ServeSnapshot::parse("{}").unwrap();
+        assert_eq!(empty, ServeSnapshot::default());
+        assert_eq!(empty.hit_rate(), None);
+        assert!(ServeSnapshot::parse("[1]").is_none());
     }
 
     #[test]

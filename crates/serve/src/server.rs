@@ -34,11 +34,15 @@ use std::time::{Duration, Instant};
 
 use kiss_core::{Kiss, KissOutcome, RaceTarget, Supervised, Supervisor};
 use kiss_fault::Action;
-use kiss_obs::{Event, Obs};
+use kiss_obs::span::next_span_id;
+use kiss_obs::{AtomicHistogram, Event, Gauge, Obs, Registry, Span, TraceId};
 use kiss_seq::{BoundReason, Budget, CancelToken};
 
 use crate::cache::{CachedVerdict, ResultCache};
-use crate::protocol::{decode_request, CacheStatus, FrameError, Op, Request, Response, MAX_FRAME_BYTES};
+use crate::protocol::{
+    decode_request, CacheStatus, FrameError, Op, Request, Response, ServeSnapshot,
+    MAX_FRAME_BYTES,
+};
 
 /// How long a connection reader blocks before re-checking shutdown.
 const READ_POLL: Duration = Duration::from_millis(100);
@@ -116,12 +120,23 @@ pub struct ServeStats {
     pub shed: u64,
 }
 
+/// A response plus the span context (`trace`, parent span id) the
+/// writer thread opens its `reply` span under; `None` for control-plane
+/// and protocol-error responses, which are not traced.
+type Outgoing = (Response, Option<(TraceId, u64)>);
+
 /// One queued execution.
 struct Job {
     request: Request,
     key: u128,
     received: Instant,
-    reply: mpsc::Sender<Response>,
+    reply: mpsc::Sender<Outgoing>,
+    /// The request's trace.
+    trace: TraceId,
+    /// The `queued` span id, reserved at admission (the handler emits
+    /// the open, parented under `recv`; the popping worker emits the
+    /// close and parents its `check` span here).
+    queued_span: u64,
 }
 
 /// Why a push did not enqueue.
@@ -144,6 +159,8 @@ struct Queue {
     not_empty: Condvar,
     not_full: Condvar,
     cap: usize,
+    /// High-water mark of the depth since start (reported by `metrics`).
+    peak: AtomicU64,
 }
 
 impl Queue {
@@ -153,6 +170,7 @@ impl Queue {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             cap: cap.max(1),
+            peak: AtomicU64::new(0),
         }
     }
 
@@ -177,6 +195,7 @@ impl Queue {
             return Err(PushError::Closed(Box::new(job)));
         }
         state.jobs.push_back(job);
+        self.peak.fetch_max(state.jobs.len() as u64, Ordering::Relaxed);
         self.not_empty.notify_one();
         Ok(())
     }
@@ -205,6 +224,10 @@ impl Queue {
 
     fn depth(&self) -> u64 {
         self.state.lock().expect("queue lock").jobs.len() as u64
+    }
+
+    fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
     }
 }
 
@@ -295,12 +318,39 @@ struct Counters {
     shed: AtomicU64,
 }
 
+/// Live metrics shared by handlers and workers. The [`Registry`] owns
+/// the named series the `metrics` op snapshots; the hot-path handles
+/// are resolved once at startup so workers never take the registry
+/// lock.
+struct LiveMetrics {
+    registry: Registry,
+    /// Workers executing a check right now (gauge `in_flight`).
+    in_flight: Arc<Gauge>,
+    /// Wall milliseconds from receipt to executed answer (histogram
+    /// `check`: queue wait + execution).
+    check_ms: Arc<AtomicHistogram>,
+    /// Wall milliseconds from receipt to cache-hit answer (histogram
+    /// `hit`).
+    hit_ms: Arc<AtomicHistogram>,
+}
+
+impl LiveMetrics {
+    fn new() -> LiveMetrics {
+        let registry = Registry::new();
+        let in_flight = registry.gauge("in_flight");
+        let check_ms = registry.histogram("check");
+        let hit_ms = registry.histogram("hit");
+        LiveMetrics { registry, in_flight, check_ms, hit_ms }
+    }
+}
+
 /// Everything a connection handler needs, bundled so signatures stay
 /// readable.
 struct Shared<'a> {
     queue: &'a Queue,
     cache: &'a Mutex<ResultCache>,
     counters: &'a Counters,
+    metrics: &'a LiveMetrics,
     cfg: &'a ServeConfig,
     started: Instant,
 }
@@ -395,6 +445,7 @@ impl Server {
         });
         let queue = Queue::new(self.cfg.max_queue);
         let counters = Counters::default();
+        let metrics = LiveMetrics::new();
         let active = AtomicUsize::new(0);
         let label_seq = AtomicU64::new(0);
         let cfg = &self.cfg;
@@ -402,6 +453,7 @@ impl Server {
             queue: &queue,
             cache: &cache,
             counters: &counters,
+            metrics: &metrics,
             cfg,
             started: Instant::now(),
         };
@@ -409,7 +461,7 @@ impl Server {
 
         std::thread::scope(|s| {
             for _ in 0..cfg.jobs.max(1) {
-                s.spawn(|| worker_loop(&queue, &cache, cfg, &label_seq));
+                s.spawn(|| worker_loop(&queue, &cache, cfg, &label_seq, shared.metrics));
             }
             for listener in &self.listeners {
                 let active = &active;
@@ -502,11 +554,11 @@ fn handle_connection<'scope>(
         Err(_) => return,
     };
     let activity = Arc::new(ConnActivity::new());
-    let (tx, rx) = mpsc::channel::<Response>();
+    let (tx, rx) = mpsc::channel::<Outgoing>();
     let writer_activity = activity.clone();
     let obs = &shared.cfg.obs;
     scope.spawn(move || {
-        for response in rx {
+        for (response, span_ctx) in rx {
             if let Some(action) = kiss_fault::hit(WRITE_POINT) {
                 note_fault(obs, WRITE_POINT, action);
                 match action {
@@ -526,9 +578,13 @@ fn handle_connection<'scope>(
                 }
             }
             let is_job = response.cache == CacheStatus::Miss;
+            // The reply span covers the write + flush of this response.
+            let reply_span =
+                span_ctx.map(|(trace, parent)| Span::open(obs, trace, parent, "reply"));
             let ok = writeln!(writer, "{}", response.to_json())
                 .and_then(|()| writer.flush())
                 .is_ok();
+            drop(reply_span);
             // Executed responses retire their in-flight slot whether or
             // not the peer still listens, so the idle accounting never
             // wedges a connection open.
@@ -589,7 +645,7 @@ fn handle_connection<'scope>(
             }
             if discarded > 0 {
                 let err = FrameError::Oversized { bytes: discarded + line.len() };
-                if tx.send(Response::error("", err.message())).is_err() {
+                if tx.send((Response::error("", err.message()), None)).is_err() {
                     break 'read;
                 }
                 discarded = 0;
@@ -614,15 +670,15 @@ fn handle_connection<'scope>(
 /// or shed.
 fn handle_line(
     line: &str,
-    tx: &mpsc::Sender<Response>,
+    tx: &mpsc::Sender<Outgoing>,
     activity: &ConnActivity,
     shared: &Shared<'_>,
 ) {
-    let Shared { queue, cache, counters, cfg, started } = *shared;
+    let Shared { queue, cache, counters, metrics, cfg, started } = *shared;
     let request = match decode_request(line) {
         Ok(request) => request,
         Err(e) => {
-            let _ = tx.send(Response::error("", e.message()));
+            let _ = tx.send((Response::error("", e.message()), None));
             return;
         }
     };
@@ -641,18 +697,69 @@ fn handle_line(
             counters.misses.load(Ordering::SeqCst),
             counters.shed.load(Ordering::SeqCst),
         );
-        let _ = tx.send(Response {
-            id: request.id,
-            verdict: "ok".to_string(),
-            detail,
-            steps: 0,
-            states: 0,
-            cache: CacheStatus::None,
-        });
+        let _ = tx.send((
+            Response {
+                id: request.id,
+                verdict: "ok".to_string(),
+                detail,
+                steps: 0,
+                states: 0,
+                cache: CacheStatus::None,
+            },
+            None,
+        ));
+        return;
+    }
+    // Metrics is control-plane too: the full snapshot travels in the
+    // response detail, and the scrape itself never shows up in the
+    // numbers it reports.
+    if request.op == Op::Metrics {
+        let (cache_entries, journal_records, journal_bytes, compactions) = {
+            let cache = cache.lock().expect("cache lock");
+            (
+                cache.len() as u64,
+                cache.journal_records() as u64,
+                cache.journal_bytes(),
+                cache.compactions(),
+            )
+        };
+        let snap = ServeSnapshot {
+            uptime_ms: started.elapsed().as_millis() as u64,
+            queue_depth: queue.depth(),
+            queue_peak: queue.peak(),
+            in_flight: metrics.in_flight.get(),
+            cache_entries,
+            journal_records,
+            journal_bytes,
+            compactions,
+            requests: counters.requests.load(Ordering::SeqCst),
+            hits: counters.hits.load(Ordering::SeqCst),
+            misses: counters.misses.load(Ordering::SeqCst),
+            shed: counters.shed.load(Ordering::SeqCst),
+            faults: kiss_fault::total_fired(),
+            latency: metrics.registry.snapshot().histograms,
+        };
+        let _ = tx.send((
+            Response {
+                id: request.id,
+                verdict: "ok".to_string(),
+                detail: snap.to_json(),
+                steps: 0,
+                states: 0,
+                cache: CacheStatus::None,
+            },
+            None,
+        ));
         return;
     }
     let received = Instant::now();
     counters.requests.fetch_add(1, Ordering::SeqCst);
+    // The request's trace: client-minted when present, otherwise fresh.
+    // `recv` is the root span; it closes when this function returns
+    // (hit and shed answers) or after admission hands off to the queue.
+    let trace =
+        if request.trace.is_none() { TraceId::fresh() } else { request.trace };
+    let recv = Span::open_for_request(&cfg.obs, trace, "recv", &request.id);
     cfg.obs.emit(|_| Event::RequestReceived {
         request: request.id.clone(),
         queue_depth: queue.depth(),
@@ -662,6 +769,7 @@ fn handle_line(
         let cached = cache.lock().expect("cache lock").lookup(key).cloned();
         if let Some(v) = cached {
             counters.hits.fetch_add(1, Ordering::SeqCst);
+            metrics.hit_ms.record(received.elapsed().as_millis() as u64);
             cfg.obs.emit(|_| Event::CacheHit { request: request.id.clone() });
             cfg.obs.emit(|_| Event::RequestDone {
                 request: request.id.clone(),
@@ -669,21 +777,27 @@ fn handle_line(
                 wall_ms: 0,
                 queue_depth: queue.depth(),
             });
-            let _ = tx.send(Response {
-                id: request.id,
-                verdict: v.verdict,
-                detail: v.detail,
-                steps: v.steps,
-                states: v.states,
-                cache: CacheStatus::Hit,
-            });
+            let _ = tx.send((
+                Response {
+                    id: request.id,
+                    verdict: v.verdict,
+                    detail: v.detail,
+                    steps: v.steps,
+                    states: v.states,
+                    cache: CacheStatus::Hit,
+                },
+                Some((trace, recv.id())),
+            ));
             return;
         }
     }
     // The job (and its request) moves into the queue on success; keep
-    // the id for the miss event emitted after admission.
+    // the id for the miss event emitted after admission. The `queued`
+    // span id is reserved now but only opened once admission succeeds;
+    // the popping worker emits its close.
     let request_id = request.id.clone();
-    let job = Job { key, received, reply: tx.clone(), request };
+    let queued_span = next_span_id();
+    let job = Job { key, received, reply: tx.clone(), trace, queued_span, request };
     let admission = match kiss_fault::hit(ENQUEUE_POINT) {
         Some(action) => {
             note_fault(&cfg.obs, ENQUEUE_POINT, action);
@@ -708,6 +822,14 @@ fn handle_line(
             counters.misses.fetch_add(1, Ordering::SeqCst);
             activity.pending.fetch_add(1, Ordering::SeqCst);
             cfg.obs.emit(|_| Event::CacheMiss { request: request_id });
+            let recv_id = recv.id();
+            cfg.obs.emit(|_| Event::SpanOpen {
+                trace: trace.to_hex(),
+                span: queued_span,
+                parent: recv_id,
+                name: "queued".to_string(),
+                request: None,
+            });
         }
         Err(PushError::Full(job)) | Err(PushError::Closed(job)) => {
             counters.shed.fetch_add(1, Ordering::SeqCst);
@@ -722,32 +844,58 @@ fn handle_line(
                 wall_ms: received.elapsed().as_millis() as u64,
                 queue_depth: depth,
             });
-            let _ = job.reply.send(Response::overloaded(job.request.id, depth));
+            let _ = job
+                .reply
+                .send((Response::overloaded(job.request.id, depth), Some((trace, recv.id()))));
         }
     }
 }
 
 /// Pops jobs until the queue closes: execute, cache, answer.
-fn worker_loop(queue: &Queue, cache: &Mutex<ResultCache>, cfg: &ServeConfig, seq: &AtomicU64) {
+fn worker_loop(
+    queue: &Queue,
+    cache: &Mutex<ResultCache>,
+    cfg: &ServeConfig,
+    seq: &AtomicU64,
+    metrics: &LiveMetrics,
+) {
     while let Some(job) = queue.pop() {
-        let (verdict, cacheable) = execute(&job.request, cfg, seq);
+        // The `queued` span (opened at admission) ends here: its wall
+        // time is exactly the queue wait.
+        cfg.obs.emit(|_| Event::SpanClose {
+            trace: job.trace.to_hex(),
+            span: job.queued_span,
+            name: "queued".to_string(),
+            wall_ms: job.received.elapsed().as_millis() as u64,
+        });
+        metrics.in_flight.inc();
+        let check_span = Span::open(&cfg.obs, job.trace, job.queued_span, "check");
+        let check_id = check_span.id();
+        let (verdict, cacheable) = execute(&job.request, cfg, seq, job.trace, check_id);
+        check_span.close();
+        metrics.in_flight.dec();
         if cacheable {
             cache.lock().expect("cache lock").insert(job.key, verdict.clone());
         }
+        let wall_ms = job.received.elapsed().as_millis() as u64;
+        metrics.check_ms.record(wall_ms);
         cfg.obs.emit(|_| Event::RequestDone {
             request: job.request.id.clone(),
             verdict: verdict.verdict.clone(),
-            wall_ms: job.received.elapsed().as_millis() as u64,
+            wall_ms,
             queue_depth: queue.depth(),
         });
-        let _ = job.reply.send(Response {
-            id: job.request.id,
-            verdict: verdict.verdict,
-            detail: verdict.detail,
-            steps: verdict.steps,
-            states: verdict.states,
-            cache: CacheStatus::Miss,
-        });
+        let _ = job.reply.send((
+            Response {
+                id: job.request.id,
+                verdict: verdict.verdict,
+                detail: verdict.detail,
+                steps: verdict.steps,
+                states: verdict.states,
+                cache: CacheStatus::Miss,
+            },
+            Some((job.trace, check_id)),
+        ));
     }
 }
 
@@ -755,7 +903,13 @@ fn worker_loop(queue: &Queue, cache: &Mutex<ResultCache>, cfg: &ServeConfig, seq
 /// whether the verdict may enter the cache: verdicts that depend on
 /// wall-clock or server state (deadline/cancellation inconclusives,
 /// crashes, setup failures) must not.
-fn execute(request: &Request, cfg: &ServeConfig, seq: &AtomicU64) -> (CachedVerdict, bool) {
+fn execute(
+    request: &Request,
+    cfg: &ServeConfig,
+    seq: &AtomicU64,
+    trace: TraceId,
+    parent: u64,
+) -> (CachedVerdict, bool) {
     let error = |detail: String| CachedVerdict {
         verdict: "error".to_string(),
         detail,
@@ -772,8 +926,11 @@ fn execute(request: &Request, cfg: &ServeConfig, seq: &AtomicU64) -> (CachedVerd
             Some(resolved) => Some(resolved),
             None => return (error(format!("unknown race target `{target}`")), false),
         },
-        // Status never reaches the queue; guard against future callers.
-        Op::Status => return (error("status is not an executable op".to_string()), false),
+        // Control-plane ops never reach the queue; guard against future
+        // callers.
+        Op::Status | Op::Metrics => {
+            return (error("control-plane ops are not executable".to_string()), false)
+        }
     };
     let mut budget = cfg.budget;
     if let Some(steps) = request.max_steps {
@@ -815,6 +972,7 @@ fn execute(request: &Request, cfg: &ServeConfig, seq: &AtomicU64) -> (CachedVerd
             .with_budget(budget)
             .with_cancel(cancel)
             .with_observer(obs.clone())
+            .with_trace(trace, parent)
             .with_validation(false);
         match target {
             Some(target) => kiss.check_race(&program, target),
@@ -890,13 +1048,15 @@ mod tests {
 
     const WAIT: Duration = Duration::from_secs(5);
 
-    fn job(id: &str) -> (Job, mpsc::Receiver<Response>) {
+    fn job(id: &str) -> (Job, mpsc::Receiver<Outgoing>) {
         let (tx, rx) = mpsc::channel();
         let job = Job {
             request: Request::check(id, "void main() { skip; }"),
             key: 0,
             received: Instant::now(),
             reply: tx,
+            trace: TraceId::NONE,
+            queued_span: 0,
         };
         (job, rx)
     }
@@ -917,8 +1077,8 @@ mod tests {
         let Err(PushError::Closed(rejected)) = queue.push(c, WAIT) else {
             panic!("closed queue accepted a job")
         };
-        let _ = rejected.reply.send(Response::error(rejected.request.id, "draining"));
-        assert_eq!(rx_c.recv().unwrap().verdict, "error");
+        let _ = rejected.reply.send((Response::error(rejected.request.id, "draining"), None));
+        assert_eq!(rx_c.recv().unwrap().0.verdict, "error");
     }
 
     #[test]
@@ -958,25 +1118,26 @@ mod tests {
     fn execute_answers_check_and_race_requests() {
         let cfg = ServeConfig { budget: Budget::small(), ..ServeConfig::default() };
         let seq = AtomicU64::new(0);
+        let run = |req: &Request| execute(req, &cfg, &seq, TraceId::NONE, 0);
         let req = Request::check("t", "int x;\nvoid main() { x = 1; assert x == 1; }");
-        let (verdict, cacheable) = execute(&req, &cfg, &seq);
+        let (verdict, cacheable) = run(&req);
         assert_eq!(verdict.verdict, "pass");
         assert_eq!(verdict.detail, "no error found");
         assert!(cacheable);
         assert!(verdict.steps > 0);
 
         let racy = "int g;\nvoid writer() { g = 1; }\nvoid main() { async writer(); g = 2; }";
-        let (verdict, cacheable) = execute(&Request::race("t", racy, "g"), &cfg, &seq);
+        let (verdict, cacheable) = run(&Request::race("t", racy, "g"));
         assert_eq!(verdict.verdict, "race");
         assert!(verdict.detail.starts_with("race: "), "{}", verdict.detail);
         assert!(cacheable);
 
-        let (verdict, cacheable) = execute(&Request::race("t", racy, "nope"), &cfg, &seq);
+        let (verdict, cacheable) = run(&Request::race("t", racy, "nope"));
         assert_eq!(verdict.verdict, "error");
         assert!(verdict.detail.contains("unknown race target"));
         assert!(!cacheable);
 
-        let (verdict, cacheable) = execute(&Request::check("t", "not a program"), &cfg, &seq);
+        let (verdict, cacheable) = run(&Request::check("t", "not a program"));
         assert_eq!(verdict.verdict, "error");
         assert!(verdict.detail.starts_with("parse: "));
         assert!(!cacheable);

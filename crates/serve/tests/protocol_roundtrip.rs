@@ -2,6 +2,7 @@
 //! and arbitrary garbage is rejected without panicking.
 
 use kiss_core::checker::Engine;
+use kiss_obs::TraceId;
 use kiss_seq::StoreKind;
 use kiss_serve::protocol::{
     decode_request, decode_response, CacheStatus, FrameError, Op, Request, Response,
@@ -26,12 +27,14 @@ fn request_strategy() -> BoxedStrategy<Request> {
             0usize..4,
         ),
         (opt_u64(), opt_u64(), opt_u64(), any::<bool>()),
+        prop_oneof![Just(TraceId::NONE), (1u64..u64::MAX).prop_map(TraceId)],
     )
         .prop_map(
             |(
                 (id, source, target),
                 (engine, store, max_ts),
                 (max_steps, max_states, timeout_ms, no_cache),
+                trace,
             )| {
                 Request {
                     id,
@@ -47,6 +50,7 @@ fn request_strategy() -> BoxedStrategy<Request> {
                     max_states,
                     timeout_ms,
                     no_cache,
+                    trace,
                 }
             },
         )
