@@ -11,6 +11,7 @@
 //! --mem-limit <mb>     approximate memory cap per field check
 //! --retries <n>        escalating retries for inconclusive checks
 //! --jobs <n>           worker threads for field checks (default: all cores)
+//! --explore-jobs <n>   worker threads inside each BFS check (default 1)
 //! --journal <path>     journal completed (driver, field) checks here
 //! --resume             reuse the journal from a killed run
 //! --trace-out <path>   write a JSONL event trace of the whole run
@@ -43,6 +44,10 @@ pub struct RunOptions {
     pub retries: u32,
     /// Worker threads for field checks (1 = serial).
     pub jobs: usize,
+    /// Worker threads inside each single BFS check (1 = serial). A
+    /// throughput knob, never a semantics knob: results stay
+    /// byte-identical to a serial run.
+    pub explore_jobs: usize,
     /// Journal path, if journaling was requested.
     pub journal: Option<String>,
     /// Whether to reuse an existing journal instead of truncating it.
@@ -66,6 +71,7 @@ impl RunOptions {
         let mut budget = default_budget();
         let mut retries = 0u32;
         let mut jobs = default_jobs();
+        let mut explore_jobs = 1usize;
         let mut journal: Option<String> = None;
         let mut resume = false;
         let mut trace_out: Option<String> = None;
@@ -91,6 +97,12 @@ impl RunOptions {
                         return Err(format!("--jobs needs at least 1\n{USAGE}"));
                     }
                 }
+                "--explore-jobs" => {
+                    explore_jobs = parse_value(&arg, args.next())?;
+                    if explore_jobs == 0 {
+                        return Err(format!("--explore-jobs needs at least 1\n{USAGE}"));
+                    }
+                }
                 "--journal" => {
                     journal =
                         Some(args.next().ok_or_else(|| format!("{arg} needs a path"))?)
@@ -111,7 +123,17 @@ impl RunOptions {
         if resume && journal.is_none() {
             journal = Some(default_journal.to_string());
         }
-        Ok(RunOptions { budget, retries, jobs, journal, resume, trace_out, metrics, progress })
+        Ok(RunOptions {
+            budget,
+            retries,
+            jobs,
+            explore_jobs,
+            journal,
+            resume,
+            trace_out,
+            metrics,
+            progress,
+        })
     }
 
     /// Builds the supervisor these options describe: SIGINT is wired to
@@ -125,6 +147,7 @@ impl RunOptions {
             .with_retries(self.retries)
             .with_cancel(cancel)
             .with_observer(obs)
+            .with_explore_jobs(self.explore_jobs)
     }
 
     /// Builds the observer pipeline these options describe. Returns
@@ -192,8 +215,9 @@ impl RunOptions {
 }
 
 const USAGE: &str = "options: --timeout <secs> --max-steps <n> --max-states <n> \
-                     --mem-limit <mb> --retries <n> --jobs <n> --journal <path> \
-                     --resume --trace-out <path> --metrics <path> --progress";
+                     --mem-limit <mb> --retries <n> --jobs <n> --explore-jobs <n> \
+                     --journal <path> --resume --trace-out <path> --metrics <path> \
+                     --progress";
 
 /// The default for `--jobs`: every available core.
 pub fn default_jobs() -> usize {
@@ -273,6 +297,15 @@ mod tests {
         assert!(parse(&["--jobs", "0"]).is_err());
         assert!(parse(&["--jobs"]).is_err());
         assert!(parse(&["--jobs", "several"]).is_err());
+    }
+
+    #[test]
+    fn explore_jobs_defaults_to_serial_and_rejects_zero() {
+        assert_eq!(parse(&[]).unwrap().explore_jobs, 1);
+        assert_eq!(parse(&["--explore-jobs", "4"]).unwrap().explore_jobs, 4);
+        assert!(parse(&["--explore-jobs", "0"]).is_err());
+        assert!(parse(&["--explore-jobs"]).is_err());
+        assert!(parse(&["--explore-jobs", "several"]).is_err());
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Legacy-vs-cow state-store equivalence over the full sample corpus.
+//! Legacy-vs-cow state-store equivalence over the full sample corpus,
+//! and serial-vs-parallel exploration equivalence on top of it.
 //!
 //! The copy-on-write store changes *how* states are remembered, never
 //! *which* states the engines visit: for every sample and every engine,
@@ -7,15 +8,30 @@
 //! the same error trace. Store *byte* gauges are the one legitimate
 //! difference between modes, so whole outcomes are compared field by
 //! field rather than with one `assert_eq!`.
+//!
+//! Parallel BFS exploration makes the same promise on a second axis:
+//! the worker count changes *when* states are speculated, never which
+//! states are committed or in what order, so a `jobs > 1` run must be
+//! indistinguishable from serial on every compared field.
 
 use kiss_core::checker::{Engine, Kiss, KissOutcome};
 use kiss_core::StoreKind;
 use kiss_seq::Budget;
 
 fn outcome(sample: &kiss_samples::Sample, engine: Engine, store: StoreKind) -> KissOutcome {
+    outcome_jobs(sample, engine, store, 1)
+}
+
+fn outcome_jobs(
+    sample: &kiss_samples::Sample,
+    engine: Engine,
+    store: StoreKind,
+    jobs: usize,
+) -> KissOutcome {
     Kiss::new()
         .with_engine(engine)
         .with_store(store)
+        .with_explore_jobs(jobs)
         .with_validation(false)
         .with_budget(Budget::steps_states(2_000_000, 60_000))
         .check_assertions(&sample.program())
@@ -66,6 +82,53 @@ fn every_engine_explores_identically_under_both_stores() {
                 "paths diverge for {label}"
             );
             assert_eq!(trace_of(&legacy), trace_of(&cow), "traces diverge for {label}");
+        }
+    }
+}
+
+#[test]
+fn parallel_bfs_explores_identically_to_serial() {
+    // The serial|parallel axis of the same equivalence: a multi-worker
+    // BFS run commits the same states in the same order as a serial
+    // one, so every compared field — verdict, steps, states, paths,
+    // trace — must be byte-identical. Speculative-step gauges are the
+    // one legitimate difference, exactly as store bytes are above.
+    for sample in kiss_samples::all() {
+        let serial = outcome_jobs(&sample, Engine::Bfs, StoreKind::Cow, 1);
+        for jobs in [2, 4] {
+            let parallel = outcome_jobs(&sample, Engine::Bfs, StoreKind::Cow, jobs);
+            let label = format!("{} at jobs={jobs}", sample.name);
+            assert_eq!(
+                serial.verdict_str(),
+                parallel.verdict_str(),
+                "verdicts diverge for {label}"
+            );
+            let (ss, ps) = (serial.stats(), parallel.stats());
+            assert_eq!(
+                ss.map(|s| s.steps()),
+                ps.map(|s| s.steps()),
+                "steps diverge for {label}"
+            );
+            assert_eq!(
+                ss.map(|s| s.states()),
+                ps.map(|s| s.states()),
+                "states diverge for {label}"
+            );
+            assert_eq!(
+                ss.map(|s| s.seq.paths),
+                ps.map(|s| s.seq.paths),
+                "paths diverge for {label}"
+            );
+            assert_eq!(
+                ss.map(|s| s.seq.states_stored),
+                ps.map(|s| s.seq.states_stored),
+                "stored-state counts diverge for {label}"
+            );
+            assert_eq!(
+                trace_of(&serial),
+                trace_of(&parallel),
+                "traces diverge for {label}"
+            );
         }
     }
 }

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! kissc check <file.kc> [--max-ts N] [--engine explicit|summary|bfs] [--no-validate]
-//!                       [--store legacy|cow]
+//!                       [--store legacy|cow] [--explore-jobs N]
 //!                       [--timeout S] [--max-steps N] [--max-states N] [--retries N]
 //!                       [--stats] [--trace-out PATH] [--metrics PATH] [--progress]
 //! kissc race <file.kc> <target> [--max-ts N] [--no-prune] [--store legacy|cow]
+//!                       [--explore-jobs N]
 //!                       [--timeout S] [--max-steps N] [--max-states N] [--retries N]
 //!                       [--stats] [--trace-out PATH] [--metrics PATH] [--progress]
 //! kissc transform <file.kc> [--max-ts N] [--race <target>]
@@ -77,10 +78,11 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   kissc check <file.kc> [--max-ts N] [--engine explicit|summary|bfs] [--no-validate]
-                        [--store legacy|cow]
+                        [--store legacy|cow] [--explore-jobs N]
                         [--timeout S] [--max-steps N] [--max-states N] [--retries N]
                         [--stats] [--trace-out PATH] [--metrics PATH] [--progress]
   kissc race <file.kc> <target> [--max-ts N] [--no-prune] [--store legacy|cow]
+                        [--explore-jobs N]
                         [--timeout S] [--max-steps N] [--max-states N] [--retries N]
                         [--stats] [--trace-out PATH] [--metrics PATH] [--progress]
   kissc transform <file.kc> [--max-ts N] [--race <target>]
@@ -129,6 +131,9 @@ state store (check, race):
   --store legacy|cow  visited-state representation: `cow` (default) is the
                       interned fingerprint table with copy-on-write memory
                       snapshots; `legacy` is the original hash-set store
+  --explore-jobs N    worker threads exploring a single check (default 1);
+                      BFS engine + cow store only, results are byte-identical
+                      to a serial run (also accepted by submit)
 
 observability (check, race):
   --stats           print an engine-statistics line after the verdict
@@ -217,6 +222,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 other => return Err(format!("unknown engine `{other}`")),
             };
             let store = store_flag(&mut flags)?;
+            let explore_jobs = explore_jobs_flag(&mut flags)?;
             let validate = !flags.flag("--no-validate");
             let (budget, retries) = bound_flags(&mut flags)?;
             let obs_opts = obs_flags(&mut flags)?;
@@ -229,6 +235,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     .with_max_ts(max_ts)
                     .with_engine(engine)
                     .with_store(store)
+                    .with_explore_jobs(explore_jobs)
                     .with_validation(validate)
                     .with_budget(b)
                     .with_cancel(token)
@@ -244,6 +251,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let max_ts: usize = parse_num(flags.value("--max-ts")?.unwrap_or("0"))?;
             let prune = !flags.flag("--no-prune");
             let store = store_flag(&mut flags)?;
+            let explore_jobs = explore_jobs_flag(&mut flags)?;
             let (budget, retries) = bound_flags(&mut flags)?;
             let obs_opts = obs_flags(&mut flags)?;
             flags.finish()?;
@@ -260,6 +268,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     .with_max_ts(max_ts)
                     .with_alias_prune(prune)
                     .with_store(store)
+                    .with_explore_jobs(explore_jobs)
                     .with_budget(b)
                     .with_cancel(token)
                     .with_observer(check_obs.clone())
@@ -434,6 +443,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 Some(s) => Engine::parse(s).ok_or_else(|| format!("unknown engine `{s}`"))?,
             };
             let store = store_flag(&mut flags)?;
+            let explore_jobs = explore_jobs_flag(&mut flags)?;
             let max_ts: usize = parse_num(flags.value("--max-ts")?.unwrap_or("0"))?;
             let timeout_ms = flags
                 .value("--timeout")?
@@ -469,6 +479,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 request.max_states = max_states.map(|n| n as u64);
                 request.timeout_ms = timeout_ms;
                 request.no_cache = no_cache;
+                request.explore_jobs = explore_jobs;
                 request
             };
             let mut requests = Vec::new();
@@ -664,6 +675,24 @@ fn store_flag(flags: &mut Flags) -> Result<StoreKind, String> {
     match flags.value("--store")? {
         None => Ok(StoreKind::default()),
         Some(s) => StoreKind::parse(s).ok_or_else(|| format!("unknown store `{s}`")),
+    }
+}
+
+/// Parses the shared `--explore-jobs` flag of `check`, `race`, and
+/// `submit`: the per-check exploration worker count (default 1,
+/// serial). Zero is rejected — "no workers" is not a meaningful
+/// request, and silently clamping it would hide the typo.
+fn explore_jobs_flag(flags: &mut Flags) -> Result<usize, String> {
+    match flags.value("--explore-jobs")? {
+        None => Ok(1),
+        Some(s) => {
+            let n: usize =
+                s.parse().map_err(|_| format!("invalid --explore-jobs `{s}`"))?;
+            if n == 0 {
+                return Err("--explore-jobs must be at least 1".into());
+            }
+            Ok(n)
+        }
     }
 }
 

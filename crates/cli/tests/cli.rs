@@ -123,6 +123,44 @@ fn usage_errors_exit_2() {
 }
 
 #[test]
+fn explore_jobs_matches_serial_output_and_rejects_bad_values() {
+    // The flag is a throughput knob, never a semantics knob: the
+    // parallel run's report must be byte-identical to the serial one.
+    let path = write_temp("jobs", BUGGY);
+    let bfs = ["--engine", "bfs", "--store", "cow"];
+    let serial =
+        kissc().args(["check"]).arg(&path).args(bfs).output().expect("run kissc");
+    let parallel = kissc()
+        .args(["check"])
+        .arg(&path)
+        .args(bfs)
+        .args(["--explore-jobs", "4"])
+        .output()
+        .expect("run kissc");
+    assert_eq!(serial.status.code(), Some(1), "{serial:?}");
+    assert_eq!(parallel.status.code(), Some(1), "{parallel:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&serial.stdout),
+        String::from_utf8_lossy(&parallel.stdout)
+    );
+    // Zero and garbage are usage errors that name the flag.
+    for bad in ["0", "many"] {
+        let out = kissc()
+            .args(["check"])
+            .arg(&path)
+            .args(["--explore-jobs", bad])
+            .output()
+            .expect("run kissc");
+        assert_eq!(out.status.code(), Some(2), "{out:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--explore-jobs"),
+            "{out:?}"
+        );
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn bad_race_target_is_a_usage_error() {
     let path = write_temp("badtarget", RACY);
     let out = kissc().args(["race"]).arg(&path).arg("nope").output().expect("run kissc");

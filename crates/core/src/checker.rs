@@ -208,6 +208,7 @@ pub struct Kiss {
     cancel: CancelToken,
     obs: Obs,
     store: StoreKind,
+    explore_jobs: usize,
     trace: TraceId,
     trace_parent: u64,
 }
@@ -232,6 +233,7 @@ impl Kiss {
             cancel: CancelToken::default(),
             obs: Obs::off(),
             store: StoreKind::default(),
+            explore_jobs: 1,
             trace: TraceId::NONE,
             trace_parent: 0,
         }
@@ -273,6 +275,16 @@ impl Kiss {
     /// oracle for the interned one.
     pub fn with_store(mut self, store: StoreKind) -> Self {
         self.store = store;
+        self
+    }
+
+    /// Explores each single check with `jobs` worker threads
+    /// (`--explore-jobs <n>`; clamped to at least one). Only the BFS
+    /// engine over the `cow` store parallelizes; other engines ignore
+    /// it. Verdicts, traces, and state counts are byte-identical to a
+    /// serial run — this is a throughput knob, never a semantics knob.
+    pub fn with_explore_jobs(mut self, jobs: usize) -> Self {
+        self.explore_jobs = jobs.max(1);
         self
     }
 
@@ -400,6 +412,7 @@ impl Kiss {
                 .with_cancel(self.cancel.clone())
                 .with_observer(self.obs.clone())
                 .with_store(self.store)
+                .with_jobs(self.explore_jobs)
                 .check_with_stats(),
         };
         span.close();

@@ -41,6 +41,10 @@ pub struct CheckMetrics {
     pub bound_reason: Option<String>,
     /// Retries the escalation ladder spent (attempts - 1).
     pub retries: u64,
+    /// Instructions actually executed by the final attempt, including
+    /// speculation a parallel exploration ran past the serial stopping
+    /// point. Equals `steps` for serial runs.
+    pub speculative_steps: u64,
 }
 
 impl CheckMetrics {
@@ -51,7 +55,7 @@ impl CheckMetrics {
             "\"check\":{},\"engine\":{},\"verdict\":{},\"steps\":{},\"states\":{},\
              \"frontier_peak\":{},\"states_stored\":{},\"store_bytes\":{},\
              \"summaries\":{},\"rounds\":{},\"wall_ms\":{},\
-             \"bound_reason\":{},\"retries\":{}",
+             \"bound_reason\":{},\"retries\":{},\"speculative_steps\":{}",
             quoted(&self.check),
             quoted(&self.engine),
             quoted(&self.verdict),
@@ -68,6 +72,7 @@ impl CheckMetrics {
                 None => "null".to_string(),
             },
             self.retries,
+            self.speculative_steps,
         ));
     }
 }
@@ -517,6 +522,7 @@ mod tests {
             wall_ms: 12,
             bound_reason: Some("deadline".into()),
             retries: 1,
+            speculative_steps: 9,
         };
         let parsed = Json::parse(&Event::CheckFinished { metrics: m }.to_json()).unwrap();
         assert_eq!(parsed.get("check").and_then(Json::as_str), Some("d\"x/1"));
@@ -525,5 +531,6 @@ mod tests {
         assert_eq!(parsed.get("store_bytes").and_then(Json::as_u64), Some(144));
         assert_eq!(parsed.get("bound_reason").and_then(Json::as_str), Some("deadline"));
         assert_eq!(parsed.get("retries").and_then(Json::as_u64), Some(1));
+        assert_eq!(parsed.get("speculative_steps").and_then(Json::as_u64), Some(9));
     }
 }

@@ -31,6 +31,10 @@ pub struct EngineTotals {
     /// summed). Parses as 0 from reports written before the gauge
     /// existed.
     pub store_bytes: u64,
+    /// Instructions actually executed including parallel speculation
+    /// (final attempts, summed; equals `steps` for serial runs).
+    /// Parses as 0 from reports written before the gauge existed.
+    pub speculative_steps: u64,
     /// Wall-clock milliseconds spent.
     pub wall_ms: u64,
 }
@@ -92,6 +96,7 @@ impl RunReport {
         engine.steps += m.steps;
         engine.states += m.states;
         engine.store_bytes += m.store_bytes;
+        engine.speculative_steps += m.speculative_steps;
         engine.wall_ms += m.wall_ms;
         self.wall_ms += m.wall_ms;
         self.durations_ms.push(m.wall_ms);
@@ -114,6 +119,7 @@ impl RunReport {
             e.steps += v.steps;
             e.states += v.states;
             e.store_bytes += v.store_bytes;
+            e.speculative_steps += v.speculative_steps;
             e.wall_ms += v.wall_ms;
         }
         self.wall_ms += other.wall_ms;
@@ -190,12 +196,13 @@ impl RunReport {
             .map(|(k, e)| {
                 format!(
                     "{}:{{\"checks\":{},\"steps\":{},\"states\":{},\
-                     \"store_bytes\":{},\"wall_ms\":{}}}",
+                     \"store_bytes\":{},\"speculative_steps\":{},\"wall_ms\":{}}}",
                     quoted(k),
                     e.checks,
                     e.steps,
                     e.states,
                     e.store_bytes,
+                    e.speculative_steps,
                     e.wall_ms,
                 )
             })
@@ -254,6 +261,12 @@ impl RunReport {
                         // existed (resumed journals, old traces).
                         store_bytes: e
                             .get("store_bytes")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(0),
+                        // Likewise for the speculation gauge, which
+                        // postdates the store one.
+                        speculative_steps: e
+                            .get("speculative_steps")
                             .and_then(Json::as_u64)
                             .unwrap_or(0),
                         wall_ms: e.get("wall_ms")?.as_u64()?,
@@ -318,6 +331,13 @@ impl RunReport {
                  {} store bytes, {} ms\n",
                 e.checks, e.steps, e.states, e.store_bytes, e.wall_ms
             ));
+            if e.speculative_steps > e.steps {
+                out.push_str(&format!(
+                    "              {name}: {} speculative steps ({} wasted)\n",
+                    e.speculative_steps,
+                    e.speculative_steps - e.steps
+                ));
+            }
         }
         if let Some(sps) = self.states_per_sec() {
             out.push_str(&format!("  throughput: {sps:.0} states/s\n"));
@@ -459,6 +479,28 @@ mod tests {
         assert!(r.render().contains("store bytes"));
         let back = RunReport::from_json(&r.to_json()).unwrap();
         assert_eq!(back.engines["bfs"].store_bytes, 2048);
+    }
+
+    #[test]
+    fn speculative_steps_accumulate_and_tolerate_old_reports() {
+        let mut r = RunReport::default();
+        let mut m = metric("pass", "bfs", 100, 4);
+        m.speculative_steps = 130;
+        r.observe(&m);
+        r.observe(&m);
+        assert_eq!(r.engines["bfs"].speculative_steps, 260);
+        assert!(r.render().contains("260 speculative steps (60 wasted)"), "{}", r.render());
+        let back = RunReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.engines["bfs"].speculative_steps, 260);
+        // Reports written before the gauge existed parse with zero and
+        // render without the speculation line.
+        let old = "{\"checks\":1,\"retries\":0,\"outcomes\":{\"pass\":1},\
+                   \"bound_reasons\":{},\"engines\":{\"bfs\":{\"checks\":1,\
+                   \"steps\":7,\"states\":3,\"wall_ms\":2}},\"wall_ms\":2,\
+                   \"durations_ms\":[2]}";
+        let r = RunReport::from_json(old).expect("old report must parse");
+        assert_eq!(r.engines["bfs"].speculative_steps, 0);
+        assert!(!r.render().contains("speculative"));
     }
 
     #[test]

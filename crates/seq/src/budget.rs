@@ -97,6 +97,11 @@ pub enum BoundReason {
     Memory,
     /// Cancellation was requested (signal, supervisor shutdown).
     Cancelled,
+    /// The state store ran out of dense-id space (a [`crate::store`]
+    /// table, or one shard of the sharded table, exhausted its id
+    /// range). Distinct from [`BoundReason::States`]: that axis is a
+    /// configured budget, this one is a structural capacity limit.
+    StateCap,
 }
 
 impl BoundReason {
@@ -108,6 +113,7 @@ impl BoundReason {
             BoundReason::Deadline => "deadline",
             BoundReason::Memory => "memory",
             BoundReason::Cancelled => "cancelled",
+            BoundReason::StateCap => "state-cap",
         }
     }
 
@@ -119,15 +125,17 @@ impl BoundReason {
             "deadline" => BoundReason::Deadline,
             "memory" => BoundReason::Memory,
             "cancelled" => BoundReason::Cancelled,
+            "state-cap" => BoundReason::StateCap,
             _ => return None,
         })
     }
 
     /// Whether retrying the same check with a *larger* budget could
     /// plausibly resolve it. Cancellation is not retryable: the
-    /// supervisor is shutting down.
+    /// supervisor is shutting down. Neither is a state-cap trip: the
+    /// id space is structural, a bigger budget does not widen it.
     pub fn retryable(&self) -> bool {
-        !matches!(self, BoundReason::Cancelled)
+        !matches!(self, BoundReason::Cancelled | BoundReason::StateCap)
     }
 }
 
@@ -264,6 +272,59 @@ impl Meter {
         self.poll()
     }
 
+    /// A derived meter for one *speculative* work unit of a parallel
+    /// search: it shares this meter's clock origin and cancellation
+    /// token (so deadlines and ^C interrupt workers just like the
+    /// serial loop), bounds only `max_steps` instructions, and emits no
+    /// events — the committing thread owns the observable accounting.
+    pub fn speculative(&self, max_steps: u64) -> Meter {
+        Meter {
+            budget: Budget {
+                max_steps,
+                max_states: usize::MAX,
+                max_wall: self.budget.max_wall,
+                max_mem_bytes: None,
+            },
+            cancel: self.cancel.clone(),
+            started: self.started,
+            bytes_per_state: self.bytes_per_state,
+            obs: Obs::off(),
+            engine: self.engine,
+            usage: Usage::default(),
+        }
+    }
+
+    /// Counts `n` already-executed instructions at once — the commit
+    /// path of a parallel search replays a speculatively-run segment's
+    /// step total in bulk. Reports exactly what `n` serial
+    /// [`Meter::tick`]s would have: on a step-budget trip the usage is
+    /// pinned to `max_steps + 1` (a serial run stops at the first
+    /// over-budget instruction, never overshooting), and the clock /
+    /// cancellation flag are polled when the advance crosses a
+    /// 1024-step window.
+    pub fn advance(&mut self, n: u64) -> Result<(), BoundReason> {
+        let before = self.usage.steps;
+        if n > self.budget.max_steps.saturating_sub(before) {
+            self.usage.steps = self.budget.max_steps.saturating_add(1);
+            self.emit_violation(BoundReason::Steps);
+            return Err(BoundReason::Steps);
+        }
+        self.usage.steps = before + n;
+        if before & !TICK_EVENT_MASK != self.usage.steps & !TICK_EVENT_MASK {
+            self.obs.emit(|check| Event::EngineTick {
+                check: check.to_string(),
+                engine: self.engine,
+                steps: self.usage.steps,
+                states: self.usage.states as u64,
+            });
+        }
+        if before >> 10 != self.usage.steps >> 10 {
+            self.poll()
+        } else {
+            Ok(())
+        }
+    }
+
     /// Records the current distinct-state count (and the derived memory
     /// estimate). Violations surface on the next [`Meter::tick`].
     pub fn note_states(&mut self, states: usize) {
@@ -362,6 +423,7 @@ mod tests {
             BoundReason::Deadline,
             BoundReason::Memory,
             BoundReason::Cancelled,
+            BoundReason::StateCap,
         ] {
             assert_eq!(BoundReason::parse(r.as_str()), Some(r));
         }
@@ -369,10 +431,59 @@ mod tests {
     }
 
     #[test]
-    fn only_cancellation_is_not_retryable() {
+    fn only_cancellation_and_state_cap_are_not_retryable() {
         assert!(BoundReason::Steps.retryable());
         assert!(BoundReason::Deadline.retryable());
         assert!(!BoundReason::Cancelled.retryable());
+        assert!(!BoundReason::StateCap.retryable());
+    }
+
+    #[test]
+    fn advance_matches_serial_ticks() {
+        // Within budget: advance(n) lands where n ticks would.
+        let mut bulk = Meter::new(Budget::steps_states(100, 100), CancelToken::new());
+        assert!(bulk.advance(40).is_ok());
+        assert!(bulk.advance(60).is_ok());
+        assert_eq!(bulk.usage.steps, 100);
+        // One step over: a serial run reports max_steps + 1 (the trip
+        // happens at the first over-budget instruction), regardless of
+        // how far the speculative segment overshot.
+        assert_eq!(bulk.advance(1), Err(BoundReason::Steps));
+        assert_eq!(bulk.usage.steps, 101);
+        let mut overshoot = Meter::new(Budget::steps_states(100, 100), CancelToken::new());
+        assert_eq!(overshoot.advance(5000), Err(BoundReason::Steps));
+        assert_eq!(overshoot.usage.steps, 101);
+    }
+
+    #[test]
+    fn advance_polls_cancellation_across_windows() {
+        let cancel = CancelToken::new();
+        let mut m = Meter::new(Budget::generous(), cancel.clone());
+        cancel.cancel();
+        // A small advance inside one 1024-step window skips the poll…
+        assert!(m.advance(10).is_ok());
+        // …but crossing a window boundary observes the cancellation.
+        assert_eq!(m.advance(2048), Err(BoundReason::Cancelled));
+    }
+
+    #[test]
+    fn speculative_meter_bounds_steps_and_shares_cancel() {
+        let cancel = CancelToken::new();
+        let base = Meter::new(
+            Budget::steps_states(1_000, 10).with_mem_limit(1),
+            cancel.clone(),
+        );
+        let mut spec = base.speculative(2);
+        // Only the step axis applies: states/memory are the committing
+        // thread's business.
+        spec.note_states(1_000_000);
+        assert!(spec.tick().is_ok());
+        assert!(spec.tick().is_ok());
+        assert_eq!(spec.tick(), Err(BoundReason::Steps));
+        // The shared token interrupts the worker.
+        let mut spec = base.speculative(u64::MAX);
+        cancel.cancel();
+        assert_eq!(spec.tick(), Err(BoundReason::Cancelled));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use kiss_exec::{eval, Env, Instr, Module, Value};
 use kiss_lang::hir::{CallTarget, FuncId};
 use kiss_obs::Obs;
 
-use crate::budget::{Budget, Meter};
+use crate::budget::{BoundReason, Budget, Meter};
 use crate::cancel::CancelToken;
 use crate::config::{Config, Frame, SeqEnv};
 use crate::stats::EngineStats;
@@ -136,14 +136,21 @@ impl Search<'_> {
         Verdict::Pass
     }
 
-    /// Records a state fingerprint; returns `false` if it was already
-    /// visited (path should be pruned).
-    fn record(&mut self, config: &Config) -> bool {
-        if self.visited.insert(config.fingerprint()) {
-            self.meter.note_states(self.visited.len());
-            true
-        } else {
-            false
+    /// Records a state fingerprint; `Ok(false)` if it was already
+    /// visited (path should be pruned), `Err` when the store's id space
+    /// ran out (the search stops as inconclusive).
+    fn record(&mut self, config: &Config) -> Result<bool, Verdict> {
+        match self.visited.insert(config.fingerprint()) {
+            Ok(true) => {
+                self.meter.note_states(self.visited.len());
+                Ok(true)
+            }
+            Ok(false) => Ok(false),
+            Err(crate::store::StateCapExceeded) => Err(Verdict::ResourceBound {
+                steps: self.meter.usage.steps,
+                states: self.meter.usage.states,
+                reason: BoundReason::StateCap,
+            }),
         }
     }
 
@@ -198,8 +205,10 @@ impl Search<'_> {
                     }
                 }
                 Instr::Call { dest, target, args } => {
-                    if !self.record(&config) {
-                        return PathEnd::Done;
+                    match self.record(&config) {
+                        Ok(true) => {}
+                        Ok(false) => return PathEnd::Done,
+                        Err(v) => return PathEnd::Stop(v),
                     }
                     // One env borrow per dispatch: resolve the callee,
                     // check arity, and evaluate the arguments into the
@@ -261,8 +270,10 @@ impl Search<'_> {
                     config.stack.last_mut().expect("nonempty").pc = *target;
                 }
                 Instr::NondetJump(targets) => {
-                    if !self.record(&config) {
-                        return PathEnd::Done;
+                    match self.record(&config) {
+                        Ok(true) => {}
+                        Ok(false) => return PathEnd::Done,
+                        Err(v) => return PathEnd::Stop(v),
                     }
                     match targets.split_first() {
                         None => return PathEnd::Done, // no branch: dead end

@@ -35,6 +35,9 @@ pub use budget::{BoundReason, Budget, Meter, Usage};
 pub use cancel::CancelToken;
 pub use explicit::ExplicitChecker;
 pub use stats::EngineStats;
-pub use store::{SegmentInterner, StateId, StoreKind, VisitedSet, VisitedTable};
+pub use store::{
+    SegmentInterner, ShardedVisitedTable, StateCapExceeded, StateId, StoreKind, VisitedSet,
+    VisitedTable, SHARD_COUNT,
+};
 pub use summary::SummaryChecker;
 pub use verdict::{ErrorTrace, TraceStep, Verdict};

@@ -32,6 +32,11 @@ pub struct EngineStats {
     /// Bytes held by the state store: exact for the interned table,
     /// estimated for legacy storage. All engines.
     pub store_bytes: usize,
+    /// Instructions actually executed, including speculative work a
+    /// parallel exploration ran past the point where the serial search
+    /// would have stopped (merged across workers). Equals `steps` for
+    /// serial runs; the difference is the parallelism overhead.
+    pub speculative_steps: u64,
 }
 
 impl EngineStats {
@@ -44,6 +49,9 @@ impl EngineStats {
         );
         if self.summaries > 0 || self.rounds > 0 {
             line.push_str(&format!(" summaries={} rounds={}", self.summaries, self.rounds));
+        }
+        if self.speculative_steps > self.steps {
+            line.push_str(&format!(" speculative-steps={}", self.speculative_steps));
         }
         line
     }
@@ -63,5 +71,13 @@ mod tests {
 
         let summary = EngineStats { steps: 10, states: 4, summaries: 4, rounds: 2, ..EngineStats::default() };
         assert!(summary.render().contains("summaries=4 rounds=2"));
+    }
+
+    #[test]
+    fn render_shows_speculation_only_when_it_exceeds_committed_steps() {
+        let serial = EngineStats { steps: 10, speculative_steps: 10, ..EngineStats::default() };
+        assert!(!serial.render().contains("speculative"), "{}", serial.render());
+        let parallel = EngineStats { steps: 10, speculative_steps: 14, ..EngineStats::default() };
+        assert!(parallel.render().contains("speculative-steps=14"), "{}", parallel.render());
     }
 }

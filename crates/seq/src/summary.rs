@@ -326,7 +326,7 @@ impl Engine<'_> {
                         }
                     }
                     Instr::Call { dest, target, args } => {
-                        if !record(&mut visited, &state) {
+                        if !record(&mut visited, &state).map_err(Interrupt::Budget)? {
                             break 'path;
                         }
                         // One env borrow resolves the callee and
@@ -382,7 +382,7 @@ impl Engine<'_> {
                         state.pc = *target;
                     }
                     Instr::NondetJump(targets) => {
-                        if !record(&mut visited, &state) {
+                        if !record(&mut visited, &state).map_err(Interrupt::Budget)? {
                             break 'path;
                         }
                         if targets.is_empty() {
@@ -426,7 +426,7 @@ fn apply_exit(
     Ok(())
 }
 
-fn record(visited: &mut VisitedSet, state: &State) -> bool {
+fn record(visited: &mut VisitedSet, state: &State) -> Result<bool, BoundReason> {
     let fp = match visited {
         // The historical double-`DefaultHasher` fingerprint, kept
         // bit-for-bit for the legacy store.
@@ -441,7 +441,7 @@ fn record(visited: &mut VisitedSet, state: &State) -> bool {
         // One two-lane traversal instead of two SipHash passes.
         VisitedSet::Table(_) => crate::config::fingerprint_of(state),
     };
-    visited.insert(fp)
+    visited.insert(fp).map_err(|_| BoundReason::StateCap)
 }
 
 #[cfg(test)]

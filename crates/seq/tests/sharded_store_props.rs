@@ -1,0 +1,113 @@
+//! Property tests of the sharded visited table: no matter how inserts
+//! interleave across shards, membership, distinct counts, id
+//! stability, and claim resolution must match what a single
+//! [`VisitedTable`] would record for the same fingerprint sequence.
+
+use kiss_seq::{ShardedVisitedTable, VisitedTable};
+use proptest::prelude::*;
+
+/// A small fingerprint pool whose high bits spread across all 16
+/// shards and whose size forces duplicate insertions: `hi` seeds the
+/// shard selector, `lo` the within-shard probe sequence.
+fn fp_pool() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((any::<u64>(), any::<u64>()), 1..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sharded_membership_matches_a_single_table(
+        pool in fp_pool(),
+        picks in prop::collection::vec(any::<prop::sample::Index>(), 1..96),
+    ) {
+        let single = &mut VisitedTable::new();
+        let sharded = ShardedVisitedTable::<()>::new();
+        for (i, pick) in picks.iter().enumerate() {
+            let fp = pool[pick.index(pool.len())];
+            let (_, single_new) = single.insert(fp).expect("unbounded");
+            let (_, sharded_new) =
+                sharded.insert_claimed(fp, i as u32, 0).expect("unbounded");
+            // The same sequence sees the same novelty on both sides.
+            prop_assert_eq!(single_new, sharded_new, "insert #{} of {:?}", i, fp);
+        }
+        prop_assert_eq!(single.len(), sharded.len());
+        for &fp in &pool {
+            prop_assert_eq!(single.contains(fp), sharded.contains(fp), "{:?}", fp);
+        }
+        // Fingerprints never inserted are in neither table. Flipping
+        // the low bits dodges the pool without changing the shard.
+        for &(hi, lo) in &pool {
+            let absent = (hi, !lo);
+            if !pool.contains(&absent) {
+                prop_assert!(!sharded.contains(absent));
+            }
+        }
+    }
+
+    #[test]
+    fn ids_are_stable_and_insertion_order_preserves_membership(
+        pool in fp_pool(),
+        reorder in any::<u64>(),
+    ) {
+        // Forward insertion: remember each fingerprint's id.
+        let forward = ShardedVisitedTable::<()>::new();
+        let mut ids = Vec::new();
+        for (i, &fp) in pool.iter().enumerate() {
+            let (id, _) = forward.insert_claimed(fp, i as u32, 0).expect("unbounded");
+            ids.push(id);
+        }
+        // Re-inserting in any order returns the recorded id, never a
+        // fresh one: an id, once handed out, is stable for the table's
+        // lifetime.
+        let mut order: Vec<usize> = (0..pool.len()).collect();
+        let mut state = reorder | 1;
+        for i in (1..order.len()).rev() {
+            // xorshift; any deterministic shuffle works here.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            order.swap(i, (state as usize) % (i + 1));
+        }
+        for &at in &order {
+            let (id, new) =
+                forward.insert_claimed(pool[at], u32::MAX, u32::MAX).expect("unbounded");
+            prop_assert!(!new);
+            prop_assert_eq!(id, ids[at]);
+        }
+        // A table built in the shuffled order holds exactly the same
+        // fingerprints (ids may differ; membership may not).
+        let shuffled = ShardedVisitedTable::<()>::new();
+        for &at in &order {
+            shuffled.insert_claimed(pool[at], 0, 0).expect("unbounded");
+        }
+        prop_assert_eq!(shuffled.len(), forward.len());
+        for &fp in &pool {
+            prop_assert!(shuffled.contains(fp));
+        }
+    }
+
+    #[test]
+    fn claims_min_merge_regardless_of_arrival_order(
+        fp in (any::<u64>(), any::<u64>()),
+        claims in prop::collection::vec((0u32..1000, 0u32..8), 1..32),
+    ) {
+        // Every claimant races to insert the same state; whichever
+        // arrival order the scheduler produced, the recorded claim is
+        // the minimal (rank, tidx) — the one a serial run sees first.
+        let table = ShardedVisitedTable::<()>::new();
+        let mut id = None;
+        for &(rank, tidx) in &claims {
+            let (got, _) = table.insert_claimed(fp, rank, tidx).expect("unbounded");
+            prop_assert!(id.is_none() || id == Some(got));
+            id = Some(got);
+        }
+        let expect = claims.iter().copied().min().expect("non-empty");
+        prop_assert_eq!(table.claim_of(id.expect("inserted")), Some(expect));
+        // Sealing the layer turns the entry into a prior-layer state:
+        // no longer claimable, still a member.
+        table.seal();
+        prop_assert_eq!(table.claim_of(id.expect("inserted")), None);
+        prop_assert!(table.contains(fp));
+    }
+}

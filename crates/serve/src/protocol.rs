@@ -78,6 +78,12 @@ pub struct Request {
     pub timeout_ms: Option<u64>,
     /// Skip the cache lookup (the verdict is still stored).
     pub no_cache: bool,
+    /// Worker threads exploring a single check (BFS + cow store only).
+    /// A throughput knob, never a semantics knob: results are
+    /// byte-identical to a serial run, so it is excluded from the
+    /// cache key — a warm answer from a serial run satisfies a
+    /// parallel request and vice versa.
+    pub explore_jobs: usize,
     /// Client-minted trace id threading this request's spans through
     /// the server's event stream. [`TraceId::NONE`] (the default) lets
     /// the server mint one. Like `id`, a transport concern — excluded
@@ -99,6 +105,7 @@ impl Request {
             max_states: None,
             timeout_ms: None,
             no_cache: false,
+            explore_jobs: 1,
             trace: TraceId::NONE,
         }
     }
@@ -125,7 +132,9 @@ impl Request {
     /// The content address: a 128-bit fingerprint over every field that
     /// determines the verdict — source text, operation and target,
     /// engine, store, `MAX`, and the budget overrides. The `id` and
-    /// `no_cache` fields are transport concerns and excluded.
+    /// `no_cache` fields are transport concerns and excluded, and so
+    /// is `explore_jobs` — parallel exploration is byte-identical to
+    /// serial, so the verdict does not depend on it.
     pub fn cache_key(&self) -> u128 {
         let (op, target) = match &self.op {
             Op::Check => ("check", ""),
@@ -177,6 +186,9 @@ impl Request {
         }
         if self.no_cache {
             out.push_str(",\"no_cache\":true");
+        }
+        if self.explore_jobs > 1 {
+            out.push_str(&format!(",\"explore_jobs\":{}", self.explore_jobs));
         }
         if !self.trace.is_none() {
             out.push_str(&format!(",\"trace\":\"{}\"", self.trace.to_hex()));
@@ -386,6 +398,10 @@ pub fn decode_request(line: &str) -> Result<Request, FrameError> {
         max_states: num("max_states")?,
         timeout_ms: num("timeout_ms")?,
         no_cache: matches!(v.get("no_cache"), Some(Json::Bool(true))),
+        explore_jobs: match num("explore_jobs")? {
+            None | Some(0) => 1,
+            Some(n) => n as usize,
+        },
         // Tolerant: an unparsable trace degrades to "server mints one",
         // never to a rejected frame.
         trace: v
@@ -586,6 +602,7 @@ mod tests {
             max_states: Some(8_000),
             timeout_ms: Some(2_000),
             no_cache: true,
+            explore_jobs: 4,
             trace: TraceId(0x1234_5678_9abc_def0),
         };
         assert_eq!(decode_request(&req.to_json()), Ok(req));
@@ -653,6 +670,22 @@ mod tests {
         assert_eq!(req.source, "");
         let round = Request::metrics("m0");
         assert_eq!(decode_request(&round.to_json()), Ok(round));
+    }
+
+    #[test]
+    fn explore_jobs_defaults_and_round_trips() {
+        // Absent from the frame at the default, so old servers see
+        // byte-identical requests from updated clients.
+        let base = Request::check("a", "void main() { skip; }");
+        assert!(!base.to_json().contains("explore_jobs"));
+        assert_eq!(decode_request(&base.to_json()).unwrap().explore_jobs, 1);
+        // A zero on the wire degrades to serial, never to an error.
+        let line = r#"{"id":"a","op":"check","source":"x","explore_jobs":0}"#;
+        assert_eq!(decode_request(line).unwrap().explore_jobs, 1);
+        let mut req = base;
+        req.explore_jobs = 4;
+        assert!(req.to_json().contains("\"explore_jobs\":4"));
+        assert_eq!(decode_request(&req.to_json()), Ok(req));
     }
 
     #[test]
@@ -747,6 +780,9 @@ mod tests {
         let mut same = base.clone();
         same.id = "completely-different".to_string();
         same.no_cache = true;
+        // Parallel exploration is byte-identical to serial, so the
+        // worker count must not fragment the cache.
+        same.explore_jobs = 8;
         assert_eq!(base.cache_key(), same.cache_key());
         let mut other = base.clone();
         other.engine = Engine::Bfs;

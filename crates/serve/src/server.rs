@@ -969,6 +969,7 @@ fn execute(
             .with_max_ts(request.max_ts)
             .with_engine(request.engine)
             .with_store(request.store)
+            .with_explore_jobs(request.explore_jobs)
             .with_budget(budget)
             .with_cancel(cancel)
             .with_observer(obs.clone())

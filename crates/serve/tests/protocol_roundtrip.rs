@@ -26,14 +26,14 @@ fn request_strategy() -> BoxedStrategy<Request> {
             prop::sample::select(vec![StoreKind::Legacy, StoreKind::Cow]),
             0usize..4,
         ),
-        (opt_u64(), opt_u64(), opt_u64(), any::<bool>()),
+        (opt_u64(), opt_u64(), opt_u64(), any::<bool>(), 1usize..9),
         prop_oneof![Just(TraceId::NONE), (1u64..u64::MAX).prop_map(TraceId)],
     )
         .prop_map(
             |(
                 (id, source, target),
                 (engine, store, max_ts),
-                (max_steps, max_states, timeout_ms, no_cache),
+                (max_steps, max_states, timeout_ms, no_cache, explore_jobs),
                 trace,
             )| {
                 Request {
@@ -50,6 +50,7 @@ fn request_strategy() -> BoxedStrategy<Request> {
                     max_states,
                     timeout_ms,
                     no_cache,
+                    explore_jobs,
                     trace,
                 }
             },
