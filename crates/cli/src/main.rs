@@ -12,7 +12,8 @@
 //! kissc transform <file.kc> [--max-ts N] [--race <target>]
 //! kissc explore <file.kc> [--balanced] [--context-bound K]
 //! kissc detectors <file.kc> <target> [--runs N]
-//! kissc serve [--socket PATH] [--port N] [--jobs N] [--cache-dir DIR] [--max-queue N]
+//! kissc serve [--socket PATH] [--port N] [--jobs N] [--io-threads N]
+//!             [--cache-dir DIR] [--max-queue N]
 //! kissc submit <file.kc>... | --corpus  (--socket PATH | --port N)
 //! kissc ping (--socket PATH | --port N)
 //! kissc metrics [--json] (--socket PATH | --port N)
@@ -88,7 +89,8 @@ const USAGE: &str = "usage:
   kissc transform <file.kc> [--max-ts N] [--race <target>]
   kissc explore <file.kc> [--balanced] [--context-bound K]
   kissc detectors <file.kc> <target> [--runs N]
-  kissc serve [--socket PATH] [--port N] [--jobs N] [--cache-dir DIR] [--max-queue N]
+  kissc serve [--socket PATH] [--port N] [--jobs N] [--io-threads N]
+              [--cache-dir DIR] [--max-queue N]
               [--admission-wait S] [--idle-timeout S] [--fault SPEC]
               [--timeout S] [--max-steps N] [--max-states N] [--retries N]
               [--trace-out PATH] [--metrics PATH] [--progress]
@@ -96,7 +98,7 @@ const USAGE: &str = "usage:
   kissc submit --corpus [--refined] [--limit N] (--socket PATH | --port N)
               [--engine explicit|summary|bfs] [--store legacy|cow] [--max-ts N]
               [--timeout S] [--max-steps N] [--max-states N] [--no-cache]
-              [--retry N] [--retry-backoff MS] [--request-timeout S]
+              [--no-batch] [--retry N] [--retry-backoff MS] [--request-timeout S]
   kissc ping (--socket PATH | --port N) [--request-timeout S]
   kissc metrics [--json] (--socket PATH | --port N) [--request-timeout S]
   kissc top [--interval MS] [--count N] (--socket PATH | --port N)
@@ -106,6 +108,8 @@ serving (serve, submit, ping, metrics, top):
   --socket PATH     unix socket to listen/connect on
   --port N          loopback TCP port to listen/connect on (serve: 0 picks one)
   --jobs N          worker threads executing checks (default: CPU count)
+  --io-threads N    driver threads multiplexing connections (default 2);
+                    accepted connections round-robin across them
   --cache-dir DIR   persist the result cache journal here (survives restarts)
   --max-queue N     bounded job-queue depth; full = backpressure (default 64)
   --admission-wait S  shed with a typed `overloaded` response after the queue
@@ -118,6 +122,8 @@ serving (serve, submit, ping, metrics, top):
   --refined         corpus under the refined OS model
   --limit N         submit only the first N corpus entries
   --no-cache        ask the server to skip its cache lookup
+  --no-batch        send one frame per request instead of pipelined batch
+                    frames (what pre-batch clients did)
   --retry N         reconnect and re-send unanswered idempotent work up to
                     N times (exponential backoff, deterministic jitter)
   --retry-backoff MS  initial backoff before the first retry (default 100)
@@ -363,6 +369,16 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 Some(s) => parse_num(s)?,
                 None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
             };
+            let io_threads = match flags.value("--io-threads")? {
+                Some(s) => {
+                    let n: usize = parse_num(s)?;
+                    if n == 0 {
+                        return Err("--io-threads needs at least 1".into());
+                    }
+                    n
+                }
+                None => ServeConfig::default().io_threads,
+            };
             let max_queue = match flags.value("--max-queue")? {
                 Some(s) => parse_num(s)?,
                 None => 64,
@@ -401,6 +417,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 socket: socket.clone(),
                 port,
                 jobs,
+                io_threads,
                 max_queue,
                 admission_wait,
                 idle_timeout,
@@ -452,6 +469,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let max_steps = flags.value("--max-steps")?.map(parse_num).transpose()?;
             let max_states = flags.value("--max-states")?.map(parse_num).transpose()?;
             let no_cache = flags.flag("--no-cache");
+            let no_batch = flags.flag("--no-batch");
             let race = flags.value("--race")?;
             let retry = match flags.value("--retry")? {
                 Some(s) => parse_num(s)? as u32,
@@ -512,6 +530,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 retries: retry,
                 backoff: retry_backoff,
                 request_timeout,
+                batch: !no_batch,
                 ..SubmitOptions::default()
             };
             let started = std::time::Instant::now();

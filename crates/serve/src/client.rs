@@ -6,6 +6,14 @@
 //! entry. That keeps a corpus submission from paying for the same
 //! program twice even against a cold server.
 //!
+//! Unique entries travel as pipelined `batch` frames by default — one
+//! frame per batch (chunked under a soft byte budget) instead of one
+//! line per request, which collapses the per-request write/syscall
+//! round-trips against a warm server. Against a server that predates
+//! batching, the typed `unknown op `batch`` rejection is detected and
+//! the submission transparently falls back to single frames without
+//! consuming a retry, so new clients interoperate with old servers.
+//!
 //! Submission is resilient by opt-in ([`SubmitOptions`]): a lost
 //! connection, a silent server (per-request timeout), or a typed
 //! `overloaded` shed triggers a reconnect with exponential backoff and
@@ -27,10 +35,15 @@ use std::time::{Duration, Instant};
 
 use kiss_obs::{Event, Obs, TraceId};
 
-use crate::protocol::{decode_response, CacheStatus, Request, Response, ServeSnapshot};
+use crate::protocol::{decode_response, Batch, CacheStatus, Request, Response, ServeSnapshot};
 
 /// How long a resilient read blocks before re-checking its deadline.
 const CLIENT_READ_POLL: Duration = Duration::from_millis(50);
+
+/// Soft byte budget one batch frame aims under, comfortably inside the
+/// server's hard [`crate::protocol::MAX_FRAME_BYTES`] cap even after
+/// the frame's own envelope is added.
+const BATCH_BYTE_BUDGET: usize = 256 * 1024;
 
 /// Where the server listens.
 #[derive(Debug, Clone)]
@@ -53,7 +66,11 @@ impl std::fmt::Display for Endpoint {
 }
 
 impl Endpoint {
-    fn connect(&self) -> io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+    /// Opens one connection, returning the read and write halves (the
+    /// reader polls with a short timeout so resilient reads can check
+    /// their deadline). Public so load harnesses can drive raw
+    /// connections themselves.
+    pub fn connect(&self) -> io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
         match self {
             #[cfg(unix)]
             Endpoint::Unix(path) => {
@@ -64,6 +81,9 @@ impl Endpoint {
             }
             Endpoint::Tcp(addr) => {
                 let stream = TcpStream::connect(addr.as_str())?;
+                // Small request frames on a round-trip protocol: Nagle
+                // would trade tens of milliseconds for nothing.
+                stream.set_nodelay(true)?;
                 stream.set_read_timeout(Some(CLIENT_READ_POLL))?;
                 let reader = stream.try_clone()?;
                 Ok((Box::new(reader), Box::new(stream)))
@@ -87,6 +107,10 @@ pub struct SubmitOptions {
     /// Give up on an attempt when no response arrives for this long
     /// (`None` = wait forever, as a plain read would).
     pub request_timeout: Option<Duration>,
+    /// Send pipelined `batch` frames (the default). A server that
+    /// rejects them triggers a transparent single-frame fallback; set
+    /// `false` to force single frames from the start.
+    pub batch: bool,
     /// Observer receiving `client_retry` events.
     pub obs: Obs,
 }
@@ -99,6 +123,7 @@ impl Default for SubmitOptions {
             backoff_cap: Duration::from_secs(5),
             jitter_seed: 0,
             request_timeout: None,
+            batch: true,
             obs: Obs::off(),
         }
     }
@@ -200,15 +225,21 @@ enum AttemptFailure {
     /// The connection died (or went silent past the request timeout)
     /// after the frames were sent.
     Lost(io::Error),
+    /// The server rejected a `batch` frame as an unknown op — it
+    /// predates batching. Nothing was executed; the caller retries the
+    /// whole attempt with single frames, free of charge.
+    BatchUnsupported,
 }
 
-/// Opens one connection, sends the given frames, and reads until every
-/// frame is answered, the peer closes, or the per-request timeout
-/// expires with nothing arriving.
+/// Opens one connection, sends the given frames (pipelined as `batch`
+/// frames when `batch` is set, one line per request otherwise), and
+/// reads until every frame is answered, the peer closes, or the
+/// per-request timeout expires with nothing arriving.
 fn run_attempt(
     endpoint: &Endpoint,
     frames: &[(usize, Request)],
     timeout: Option<Duration>,
+    batch: bool,
 ) -> Attempt {
     let mut answered = Vec::new();
     let fail = |failure| Attempt { answered: Vec::new(), failure: Some(failure) };
@@ -216,11 +247,42 @@ fn run_attempt(
         Ok(pair) => pair,
         Err(e) => return fail(AttemptFailure::Connect(e)),
     };
-    for (slot, request) in frames {
-        let mut framed = request.clone();
-        framed.id = format!("q{slot}");
-        if let Err(e) = writeln!(writer, "{}", framed.to_json()) {
-            return fail(AttemptFailure::Lost(e));
+    if batch {
+        // Chunk the requests into batch frames under a soft byte
+        // budget, so a large corpus never builds a frame the server's
+        // hard cap would reject. Each entry is serialized exactly once
+        // (escaping the source dominates the cost) and the frames are
+        // assembled from the parts with plain copies.
+        let mut entries: Vec<String> = Vec::new();
+        let mut frame_no = 0usize;
+        let mut bytes = 0usize;
+        let mut send = |entries: &mut Vec<String>, frame_no: &mut usize| -> io::Result<()> {
+            let frame = Batch::frame_json(&format!("b{frame_no}"), entries);
+            *frame_no += 1;
+            entries.clear();
+            writeln!(writer, "{frame}")
+        };
+        for (slot, request) in frames {
+            let entry = request.to_json_as(&format!("q{slot}"));
+            if !entries.is_empty() && bytes + entry.len() + 1 > BATCH_BYTE_BUDGET {
+                if let Err(e) = send(&mut entries, &mut frame_no) {
+                    return fail(AttemptFailure::Lost(e));
+                }
+                bytes = 0;
+            }
+            bytes += entry.len() + 1;
+            entries.push(entry);
+        }
+        if !entries.is_empty() {
+            if let Err(e) = send(&mut entries, &mut frame_no) {
+                return fail(AttemptFailure::Lost(e));
+            }
+        }
+    } else {
+        for (slot, request) in frames {
+            if let Err(e) = writeln!(writer, "{}", request.to_json_as(&format!("q{slot}"))) {
+                return fail(AttemptFailure::Lost(e));
+            }
         }
     }
     if let Err(e) = writer.flush() {
@@ -303,9 +365,18 @@ fn run_attempt(
             .and_then(|n| n.parse::<usize>().ok())
             .filter(|slot| wanted.contains_key(slot));
         let Some(slot) = slot else {
-            // A response for a slot this attempt did not ask about — a
-            // late answer from a previous connection's server-side work
-            // leaking through a proxy, or a server bug. Ignore it.
+            // A response that names no slot of ours. An old server
+            // rejects a whole batch frame with one typed error (empty
+            // or batch-frame id, `unknown op `batch`` in the detail):
+            // nothing was executed, so the caller can re-run the whole
+            // attempt with single frames.
+            if batch && response.verdict == "error" && response.detail.contains("unknown op `batch`")
+            {
+                return Attempt { answered, failure: Some(AttemptFailure::BatchUnsupported) };
+            }
+            // Otherwise: a late answer from a previous connection's
+            // server-side work leaking through a proxy, or a server
+            // bug. Ignore it.
             continue;
         };
         last_progress = Instant::now();
@@ -373,6 +444,7 @@ pub fn submit_batch_with(
     let mut retries_used = 0u64;
     let mut attempt_no = 0u32;
     let mut last_error: Option<io::Error> = None;
+    let mut use_batches = opts.batch;
 
     while !pending.is_empty() {
         if attempt_no > 0 {
@@ -398,7 +470,15 @@ pub fn submit_batch_with(
 
         let frames: Vec<(usize, Request)> =
             pending.iter().map(|&slot| (slot, wire[slot].clone())).collect();
-        let attempt = run_attempt(endpoint, &frames, opts.request_timeout);
+        let attempt = run_attempt(endpoint, &frames, opts.request_timeout, use_batches);
+        if matches!(attempt.failure, Some(AttemptFailure::BatchUnsupported)) {
+            // The server predates batch frames and executed nothing.
+            // Fall back to single frames and redo this attempt; the
+            // downgrade is free — it consumes no retry and no backoff.
+            use_batches = false;
+            attempt_no -= 1;
+            continue;
+        }
         let mut next_pending: Vec<usize> = Vec::new();
         let mut shed_this_attempt = false;
         for (slot, response) in attempt.answered {
@@ -415,6 +495,8 @@ pub fn submit_batch_with(
         let mut lost_after_send = false;
         match attempt.failure {
             None => last_error = None,
+            // Handled above: the attempt restarts with single frames.
+            Some(AttemptFailure::BatchUnsupported) => unreachable!(),
             Some(AttemptFailure::Connect(e)) => {
                 // Nothing reached the server; every pending slot may be
                 // re-sent, idempotent or not.
@@ -511,12 +593,12 @@ pub fn submit_batch_with(
 /// or a decode error for a malformed response.
 pub fn ping(endpoint: &Endpoint, timeout: Duration) -> io::Result<Response> {
     let frames = [(0usize, Request::status("ping"))];
-    let mut attempt = run_attempt(endpoint, &frames, Some(timeout));
+    let mut attempt = run_attempt(endpoint, &frames, Some(timeout), false);
     match attempt.answered.pop() {
         Some((_, response)) => Ok(response),
         None => Err(match attempt.failure {
             Some(AttemptFailure::Connect(e)) | Some(AttemptFailure::Lost(e)) => e,
-            None => io::Error::other("ping received no response"),
+            _ => io::Error::other("ping received no response"),
         }),
     }
 }
@@ -530,7 +612,7 @@ pub fn ping(endpoint: &Endpoint, timeout: Duration) -> io::Result<Response> {
 /// or an `InvalidData` error when the detail is not a snapshot.
 pub fn fetch_metrics(endpoint: &Endpoint, timeout: Duration) -> io::Result<ServeSnapshot> {
     let frames = [(0usize, Request::metrics("metrics"))];
-    let mut attempt = run_attempt(endpoint, &frames, Some(timeout));
+    let mut attempt = run_attempt(endpoint, &frames, Some(timeout), false);
     match attempt.answered.pop() {
         Some((_, response)) => ServeSnapshot::parse(&response.detail).ok_or_else(|| {
             io::Error::new(
@@ -540,7 +622,7 @@ pub fn fetch_metrics(endpoint: &Endpoint, timeout: Duration) -> io::Result<Serve
         }),
         None => Err(match attempt.failure {
             Some(AttemptFailure::Connect(e)) | Some(AttemptFailure::Lost(e)) => e,
-            None => io::Error::other("metrics scrape received no response"),
+            _ => io::Error::other("metrics scrape received no response"),
         }),
     }
 }
@@ -689,6 +771,8 @@ mod tests {
         };
         assert_eq!(count("check"), Some(1));
         assert_eq!(count("hit"), Some(1));
+        assert_eq!(snap.batches, 2, "each submission travelled as one batch frame");
+        assert_eq!(snap.accepted, 3, "two submissions plus the scrape connection");
         shutdown.cancel();
         // The scrape is control-plane: not in the request tally.
         assert_eq!(handle.join().unwrap().requests, 2);
@@ -772,6 +856,9 @@ mod tests {
             retries: 2,
             backoff: Duration::from_millis(2),
             obs: Obs::new(ChannelSink(tx)),
+            // The scripted server answers with whatever id it read
+            // first, which for a batch frame would be the frame id.
+            batch: false,
             ..SubmitOptions::default()
         };
         let batch = [Request::check("job", "void main() { skip; }")];
@@ -801,6 +888,7 @@ mod tests {
         let opts = SubmitOptions {
             retries: 1,
             backoff: Duration::from_millis(2),
+            batch: false,
             ..SubmitOptions::default()
         };
         let batch = [Request::check("job", "void main() { skip; }")];
@@ -822,6 +910,7 @@ mod tests {
         let opts = SubmitOptions {
             retries: 2,
             backoff: Duration::from_millis(2),
+            batch: false,
             ..SubmitOptions::default()
         };
         let mut fresh = Request::check("fresh", "void main() { skip; }");
@@ -843,6 +932,53 @@ mod tests {
             outcome.responses[1].detail
         );
         assert_eq!(outcome.retries, 0, "nothing retryable was left pending");
+    }
+
+    #[test]
+    fn batch_frames_fall_back_to_single_frames_against_an_old_server() {
+        // Connection 1 plays an old server: it rejects the batch frame
+        // with the typed unknown-op error. Connection 2 then receives
+        // single frames and answers. The downgrade costs no retry, so
+        // even a zero-retry policy completes.
+        let old_server_rejection = Response {
+            id: String::new(),
+            verdict: "error".to_string(),
+            detail: "malformed frame: unknown op `batch`".to_string(),
+            steps: 0,
+            states: 0,
+            cache: CacheStatus::None,
+        };
+        let (endpoint, server) = scripted_server(vec![
+            vec![Some(old_server_rejection)],
+            vec![Some(pass("single-framed"))],
+        ]);
+        let (tx, rx) = std::sync::mpsc::channel::<Event>();
+        let opts = SubmitOptions {
+            retries: 0,
+            obs: Obs::new(ChannelSink(tx)),
+            ..SubmitOptions::default()
+        };
+        let batch = [Request::check("job", "void main() { skip; }")];
+        let outcome = submit_batch_with(&endpoint, &batch, &opts).unwrap();
+        server.join().unwrap();
+        assert_eq!(outcome.responses[0].verdict, "pass");
+        assert_eq!(outcome.responses[0].detail, "single-framed");
+        assert_eq!(outcome.retries, 0, "the fallback must not consume a retry");
+        assert!(rx.try_iter().next().is_none(), "the fallback must not emit client_retry");
+    }
+
+    #[test]
+    fn single_frame_mode_still_works_against_a_live_server() {
+        let (endpoint, shutdown, handle) = boot();
+        let opts = SubmitOptions { batch: false, ..SubmitOptions::default() };
+        let batch = [Request::check("plain", "int w;\nvoid main() { w = 9; assert w == 9; }")];
+        let outcome = submit_batch_with(&endpoint, &batch, &opts).unwrap();
+        assert_eq!(outcome.responses[0].verdict, "pass");
+        let snap = fetch_metrics(&endpoint, Duration::from_secs(5)).unwrap();
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.batches, 0, "no batch frame was sent");
+        shutdown.cancel();
+        handle.join().unwrap();
     }
 
     #[test]

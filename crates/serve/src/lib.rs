@@ -36,13 +36,13 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use cache::{CachedVerdict, ReplayStats, ResultCache};
+pub use cache::{CachedVerdict, ReplayStats, ResultCache, SHARD_COUNT};
 pub use client::{
     fetch_metrics, ping, submit_batch, submit_batch_with, BatchOutcome, Endpoint, EntryCache,
     SubmitOptions,
 };
 pub use protocol::{
-    decode_request, decode_response, CacheStatus, FrameError, Op, Request, Response,
-    ServeSnapshot, MAX_FRAME_BYTES,
+    decode_frame, decode_request, decode_response, Batch, CacheStatus, Frame, FrameError, Op,
+    Request, Response, ServeSnapshot, MAX_FRAME_BYTES,
 };
 pub use server::{ServeConfig, ServeStats, Server};

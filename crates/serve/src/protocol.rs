@@ -24,6 +24,26 @@
 //!
 //! Responses deliberately carry no timing fields: a warm answer is
 //! byte-identical to the cold answer it was cached from.
+//!
+//! ## Batch frames
+//!
+//! A client holding many requests may pipeline them as one frame
+//! instead of one line each:
+//!
+//! ```json
+//! {"id":"b0","op":"batch","entries":[{"id":"q0",...},{"id":"q1",...}]}
+//! ```
+//!
+//! Each entry is a complete request object with its own `id`; the
+//! server answers with ordinary single-response lines correlated by
+//! entry id (out of order, exactly as if the entries had arrived as
+//! separate frames), so batching changes framing only — never
+//! verdicts, caching, or accounting. The batch `id` appears on the
+//! wire only when the batch frame itself is rejected. Entries are
+//! restricted to the checking ops (`check`, `race`); control-plane
+//! ops stay single frames. An old server that predates batching
+//! answers the frame with a single `unknown op `batch`` error, which
+//! updated clients detect and fall back to single frames.
 
 use kiss_core::checker::Engine;
 use kiss_obs::json::{quoted, Json};
@@ -158,8 +178,16 @@ impl Request {
 
     /// One-line JSON encoding (no trailing newline).
     pub fn to_json(&self) -> String {
+        self.to_json_as(&self.id)
+    }
+
+    /// [`Request::to_json`] with `id` on the wire instead of
+    /// `self.id`. Senders rewrite correlation ids per attempt; doing
+    /// it here spares them cloning the (large) source just to change a
+    /// tag.
+    pub fn to_json_as(&self, id: &str) -> String {
         let mut out = String::with_capacity(self.source.len() + 160);
-        out.push_str(&format!("{{\"id\":{}", quoted(&self.id)));
+        out.push_str(&format!("{{\"id\":{}", quoted(id)));
         match &self.op {
             Op::Check => out.push_str(",\"op\":\"check\""),
             Op::Race { target } => {
@@ -335,7 +363,97 @@ fn malformed(reason: impl Into<String>) -> FrameError {
     FrameError::Malformed { reason: reason.into() }
 }
 
-/// Decodes one request line.
+/// A batch of pipelined requests travelling as one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// The batch frame's own id — used only when the frame itself is
+    /// rejected (entries answer under their own ids).
+    pub id: String,
+    /// The pipelined requests, checking ops only.
+    pub entries: Vec<Request>,
+}
+
+impl Batch {
+    /// One-line JSON encoding (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let parts: Vec<String> = self.entries.iter().map(Request::to_json).collect();
+        Batch::frame_json(&self.id, &parts)
+    }
+
+    /// Assembles the batch wire frame from already-serialized entry
+    /// frames (each the [`Request::to_json`] of one request). Escaping
+    /// request sources dominates serialization cost, so a sender that
+    /// needs entry sizes for chunking can serialize each entry once
+    /// and assemble frames with plain copies.
+    pub fn frame_json(id: &str, entry_jsons: &[String]) -> String {
+        let payload: usize = entry_jsons.iter().map(|e| e.len() + 1).sum();
+        let mut out = String::with_capacity(40 + id.len() + payload);
+        out.push_str("{\"id\":");
+        out.push_str(&quoted(id));
+        out.push_str(",\"op\":\"batch\",\"entries\":[");
+        for (i, entry) in entry_jsons.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(entry);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// One decoded inbound frame: a single request or a pipelined batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// An ordinary one-request frame.
+    Single(Request),
+    /// A pipelined batch frame.
+    Batch(Batch),
+}
+
+/// Decodes one inbound line as either frame shape. Single-request
+/// lines decode exactly as [`decode_request`] does, so a batch-aware
+/// server interoperates with old single-frame clients unchanged.
+pub fn decode_frame(line: &str) -> Result<Frame, FrameError> {
+    if line.len() > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized { bytes: line.len() });
+    }
+    let v = Json::parse(line).ok_or_else(|| malformed("not valid JSON"))?;
+    if v.as_obj().is_none() {
+        return Err(malformed("frame is not a JSON object"));
+    }
+    if v.get("op").and_then(Json::as_str) != Some("batch") {
+        return Ok(Frame::Single(request_from_value(&v)?));
+    }
+    let id = v
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or_else(|| malformed("missing `id`"))?
+        .to_string();
+    let entries_json = v
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| malformed("op `batch` needs an `entries` array"))?;
+    if entries_json.is_empty() {
+        return Err(malformed("batch has no entries"));
+    }
+    let mut entries = Vec::with_capacity(entries_json.len());
+    for entry in entries_json {
+        if entry.as_obj().is_none() {
+            return Err(malformed("batch entry is not a JSON object"));
+        }
+        let request = request_from_value(entry)?;
+        if !matches!(request.op, Op::Check | Op::Race { .. }) {
+            return Err(malformed("batch entries must be check or race ops"));
+        }
+        entries.push(request);
+    }
+    Ok(Frame::Batch(Batch { id, entries }))
+}
+
+/// Decodes one request line. Batch frames are rejected here with
+/// `unknown op `batch`` — the exact answer a pre-batch server gives,
+/// which updated clients key their single-frame fallback on.
 pub fn decode_request(line: &str) -> Result<Request, FrameError> {
     if line.len() > MAX_FRAME_BYTES {
         return Err(FrameError::Oversized { bytes: line.len() });
@@ -344,6 +462,10 @@ pub fn decode_request(line: &str) -> Result<Request, FrameError> {
     if v.as_obj().is_none() {
         return Err(malformed("frame is not a JSON object"));
     }
+    request_from_value(&v)
+}
+
+fn request_from_value(v: &Json) -> Result<Request, FrameError> {
     let id = v
         .get("id")
         .and_then(Json::as_str)
@@ -456,6 +578,17 @@ pub struct ServeSnapshot {
     pub queue_peak: u64,
     /// Workers executing a check right now.
     pub in_flight: u64,
+    /// Client connections open right now.
+    pub conns_open: u64,
+    /// High-water mark of open connections since start.
+    pub conns_peak: u64,
+    /// Connections accepted since start.
+    pub accepted: u64,
+    /// Admissions that found the queue full and had to wait (the
+    /// accept-backlog pressure signal).
+    pub admission_waits: u64,
+    /// Pipelined batch frames received since start.
+    pub batches: u64,
     /// Live entries in the result cache.
     pub cache_entries: u64,
     /// Lines in the cache journal (live + dead + garbage).
@@ -464,6 +597,13 @@ pub struct ServeSnapshot {
     pub journal_bytes: u64,
     /// Journal compaction passes completed since start.
     pub compactions: u64,
+    /// Independently locked cache partitions.
+    pub cache_shards: u64,
+    /// Cache shard-lock acquisitions since start.
+    pub shard_acquires: u64,
+    /// Acquisitions that found the shard lock held and blocked — near
+    /// zero when sharding has removed the contention.
+    pub shard_contended: u64,
     /// Check/race requests accepted (control-plane ops excluded).
     pub requests: u64,
     /// Requests answered from the cache.
@@ -496,8 +636,16 @@ impl ServeSnapshot {
             self.uptime_ms, self.queue_depth, self.queue_peak, self.in_flight,
         ));
         out.push_str(&format!(
+            ",\"conns_open\":{},\"conns_peak\":{},\"accepted\":{},\"admission_waits\":{},\"batches\":{}",
+            self.conns_open, self.conns_peak, self.accepted, self.admission_waits, self.batches,
+        ));
+        out.push_str(&format!(
             ",\"cache_entries\":{},\"journal_records\":{},\"journal_bytes\":{},\"compactions\":{}",
             self.cache_entries, self.journal_records, self.journal_bytes, self.compactions,
+        ));
+        out.push_str(&format!(
+            ",\"cache_shards\":{},\"shard_acquires\":{},\"shard_contended\":{}",
+            self.cache_shards, self.shard_acquires, self.shard_contended,
         ));
         out.push_str(&format!(
             ",\"requests\":{},\"hits\":{},\"misses\":{},\"shed\":{},\"faults\":{}",
@@ -531,10 +679,18 @@ impl ServeSnapshot {
             queue_depth: num("queue_depth"),
             queue_peak: num("queue_peak"),
             in_flight: num("in_flight"),
+            conns_open: num("conns_open"),
+            conns_peak: num("conns_peak"),
+            accepted: num("accepted"),
+            admission_waits: num("admission_waits"),
+            batches: num("batches"),
             cache_entries: num("cache_entries"),
             journal_records: num("journal_records"),
             journal_bytes: num("journal_bytes"),
             compactions: num("compactions"),
+            cache_shards: num("cache_shards"),
+            shard_acquires: num("shard_acquires"),
+            shard_contended: num("shard_contended"),
             requests: num("requests"),
             hits: num("hits"),
             misses: num("misses"),
@@ -555,17 +711,25 @@ impl ServeSnapshot {
             "queue     : depth={} peak={} in_flight={}\n",
             self.queue_depth, self.queue_peak, self.in_flight,
         ));
+        out.push_str(&format!(
+            "conns     : open={} peak={} accepted={} admission-waits={}\n",
+            self.conns_open, self.conns_peak, self.accepted, self.admission_waits,
+        ));
         let rate = match self.hit_rate() {
             Some(r) => format!("{:.1}%", r * 100.0),
             None => "n/a".to_string(),
         };
         out.push_str(&format!(
-            "requests  : total={} hits={} misses={} shed={} hit-rate={rate}\n",
-            self.requests, self.hits, self.misses, self.shed,
+            "requests  : total={} hits={} misses={} shed={} batches={} hit-rate={rate}\n",
+            self.requests, self.hits, self.misses, self.shed, self.batches,
         ));
         out.push_str(&format!(
             "cache     : entries={} journal={}B/{} records compactions={}\n",
             self.cache_entries, self.journal_bytes, self.journal_records, self.compactions,
+        ));
+        out.push_str(&format!(
+            "shards    : n={} acquires={} contended={}\n",
+            self.cache_shards, self.shard_acquires, self.shard_contended,
         ));
         out.push_str(&format!("faults    : fired={}\n", self.faults));
         for (name, hist) in &self.latency {
@@ -712,6 +876,14 @@ mod tests {
             queue_depth: 3,
             queue_peak: 17,
             in_flight: 2,
+            conns_open: 5,
+            conns_peak: 9,
+            accepted: 31,
+            admission_waits: 4,
+            batches: 6,
+            cache_shards: 16,
+            shard_acquires: 210,
+            shard_contended: 1,
             cache_entries: 40,
             journal_records: 55,
             journal_bytes: 4_096,
@@ -730,7 +902,9 @@ mod tests {
         assert_eq!(snap.hit_rate(), Some(60.0 / 99.0));
         let view = snap.render();
         assert!(view.contains("depth=3 peak=17 in_flight=2"), "{view}");
-        assert!(view.contains("total=100 hits=60 misses=39 shed=1"), "{view}");
+        assert!(view.contains("open=5 peak=9 accepted=31 admission-waits=4"), "{view}");
+        assert!(view.contains("total=100 hits=60 misses=39 shed=1 batches=6"), "{view}");
+        assert!(view.contains("n=16 acquires=210 contended=1"), "{view}");
         assert!(view.contains("lat check : n=3"), "{view}");
         // Absent fields default; an empty object parses to zeroes.
         let empty = ServeSnapshot::parse("{}").unwrap();
@@ -775,6 +949,55 @@ mod tests {
     }
 
     #[test]
+    fn batch_frames_round_trip() {
+        let batch = Batch {
+            id: "b7".to_string(),
+            entries: vec![
+                Request::check("q0", "void main() { skip; }"),
+                Request::race("q1", "int g;\nvoid main() { g = 1; }", "g"),
+            ],
+        };
+        let line = batch.to_json();
+        assert_eq!(decode_frame(&line), Ok(Frame::Batch(batch)));
+        // Single-request lines decode through decode_frame unchanged.
+        let single = Request::check("q9", "void main() { skip; }");
+        assert_eq!(decode_frame(&single.to_json()), Ok(Frame::Single(single)));
+    }
+
+    #[test]
+    fn batch_frames_reject_bad_shapes() {
+        for (line, needle) in [
+            (r#"{"op":"batch","entries":[]}"#.to_string(), "missing `id`"),
+            (r#"{"id":"b0","op":"batch"}"#.to_string(), "needs an `entries` array"),
+            (r#"{"id":"b0","op":"batch","entries":[]}"#.to_string(), "no entries"),
+            (r#"{"id":"b0","op":"batch","entries":[7]}"#.to_string(), "not a JSON object"),
+            (
+                r#"{"id":"b0","op":"batch","entries":[{"id":"q0","op":"check"}]}"#.to_string(),
+                "missing `source`",
+            ),
+            (
+                r#"{"id":"b0","op":"batch","entries":[{"id":"q0","op":"status"}]}"#.to_string(),
+                "must be check or race",
+            ),
+        ] {
+            let err = decode_frame(&line).unwrap_err();
+            assert!(err.message().contains(needle), "{line} -> {}", err.message());
+        }
+    }
+
+    #[test]
+    fn old_request_decoder_rejects_batches_with_the_fallback_marker() {
+        // The single-frame decoder must answer a batch exactly like a
+        // pre-batch server would: clients key their fallback on this.
+        let batch = Batch {
+            id: "b0".to_string(),
+            entries: vec![Request::check("q0", "void main() { skip; }")],
+        };
+        let err = decode_request(&batch.to_json()).unwrap_err();
+        assert!(err.message().contains("unknown op `batch`"), "{}", err.message());
+    }
+
+    #[test]
     fn cache_key_tracks_semantic_fields_only() {
         let base = Request::check("a", "void main() { skip; }");
         let mut same = base.clone();
@@ -796,3 +1019,4 @@ mod tests {
         );
     }
 }
+

@@ -1,26 +1,38 @@
 //! The check server: listeners, a bounded job queue, and a worker pool
 //! executing checks under the `kiss-core` supervisor.
 //!
-//! Connections are line-oriented ([`crate::protocol`]). Each accepted
-//! connection gets a reader thread and a writer thread; parsed requests
-//! either answer immediately from the result cache or enqueue a job for
-//! the worker pool, so responses can arrive out of request order
-//! (clients correlate by `id`). Shutdown is a [`CancelToken`]: accept
-//! loops and readers stop, queued jobs drain, and `run` returns the
-//! tally.
+//! Connections are line-oriented ([`crate::protocol`]). The front end
+//! is event-driven: a small pool of driver threads
+//! ([`ServeConfig::io_threads`]) multiplexes every accepted connection
+//! over nonblocking sockets, so hundreds of idle clients cost file
+//! descriptors, not threads. Each driver iteration adopts newly
+//! accepted streams, pumps readable bytes into frames, retries
+//! deferred admissions, and flushes queued responses; when an
+//! iteration makes no progress the driver backs off with an adaptive
+//! sleep (50µs doubling to 5ms), so a hot connection is served at
+//! poll speed while an idle server costs almost nothing.
 //!
-//! Robustness: queue admission waits at most
-//! [`ServeConfig::admission_wait`] and then sheds the request with a
-//! typed `overloaded` response (never blocking a reader forever);
-//! connections with no traffic and no in-flight work for
-//! [`ServeConfig::idle_timeout`] are closed so dead clients cannot pin
-//! handler threads; `status` pings answer immediately with queue depth,
-//! cache size, and uptime; and the journal is compacted at drain.
-//! Failpoints (`serve.accept`, `serve.conn.read`, `serve.conn.write`,
-//! `serve.enqueue`, `serve.worker`) let the chaos suite inject
-//! connection drops, torn writes, admission failures, and worker
-//! panics — a worker panic lands in the supervisor's `catch_unwind`
-//! and comes back as a `crashed` verdict, which is never cached.
+//! Parsed requests either answer immediately from the result cache or
+//! enqueue a job for the worker pool, so responses can arrive out of
+//! request order (clients correlate by `id`). A `batch` frame fans
+//! into its entries at this point — batching is framing only, the
+//! per-request path is identical. Shutdown is a [`CancelToken`]:
+//! accept loops and reads stop, deferred admissions resolve, queued
+//! jobs drain, and `run` returns the tally.
+//!
+//! Robustness: queue admission is asynchronous — a request that finds
+//! the queue full parks on the driver's waiting list for up to
+//! [`ServeConfig::admission_wait`] (never blocking the driver) and is
+//! then shed with a typed `overloaded` response; connections with no
+//! traffic and no in-flight work for [`ServeConfig::idle_timeout`]
+//! are closed so dead clients cannot pin resources; `status` pings
+//! answer immediately with queue depth, cache size, and uptime; and
+//! the journal is compacted at drain. Failpoints (`serve.accept`,
+//! `serve.conn.read`, `serve.conn.write`, `serve.enqueue`,
+//! `serve.worker`) let the chaos suite inject connection drops, torn
+//! writes, admission failures, and worker panics — a worker panic
+//! lands in the supervisor's `catch_unwind` and comes back as a
+//! `crashed` verdict, which is never cached.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -29,7 +41,7 @@ use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use kiss_core::{Kiss, KissOutcome, RaceTarget, Supervised, Supervisor};
@@ -40,14 +52,19 @@ use kiss_seq::{BoundReason, Budget, CancelToken};
 
 use crate::cache::{CachedVerdict, ResultCache};
 use crate::protocol::{
-    decode_request, CacheStatus, FrameError, Op, Request, Response, ServeSnapshot,
+    decode_frame, CacheStatus, Frame, FrameError, Op, Request, Response, ServeSnapshot,
     MAX_FRAME_BYTES,
 };
 
-/// How long a connection reader blocks before re-checking shutdown.
-const READ_POLL: Duration = Duration::from_millis(100);
 /// How long an accept loop sleeps when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// A driver's backoff floor after an iteration with no progress.
+const DRIVE_MIN_SLEEP: Duration = Duration::from_micros(50);
+/// A driver's backoff ceiling while every connection stays quiet.
+const DRIVE_MAX_SLEEP: Duration = Duration::from_millis(5);
+/// Read chunks one connection may consume per driver iteration, so a
+/// firehose client cannot starve its driver's other connections.
+const READS_PER_PUMP: usize = 16;
 
 /// Failpoint: one accepted connection (error = drop it on the floor).
 const ACCEPT_POINT: &str = "serve.accept";
@@ -72,6 +89,8 @@ pub struct ServeConfig {
     pub port: Option<u16>,
     /// Worker threads executing checks.
     pub jobs: usize,
+    /// Driver threads multiplexing connections.
+    pub io_threads: usize,
     /// Bounded queue depth (backpressure).
     pub max_queue: usize,
     /// How long one request may wait for a queue slot before it is
@@ -96,6 +115,7 @@ impl Default for ServeConfig {
             socket: None,
             port: None,
             jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2),
+            io_threads: 2,
             max_queue: 64,
             admission_wait: Duration::from_secs(10),
             idle_timeout: None,
@@ -120,28 +140,103 @@ pub struct ServeStats {
     pub shed: u64,
 }
 
-/// A response plus the span context (`trace`, parent span id) the
-/// writer thread opens its `reply` span under; `None` for control-plane
-/// and protocol-error responses, which are not traced.
-type Outgoing = (Response, Option<(TraceId, u64)>);
+/// A response waiting in a connection's outbox.
+struct Outgoing {
+    response: Response,
+    /// Span context (`trace`, parent span id) the driver opens its
+    /// `reply` span under; `None` for control-plane and protocol-error
+    /// responses, which are not traced.
+    span: Option<(TraceId, u64)>,
+    /// Whether writing this response retires one pending job slot in
+    /// the connection's idle accounting (executed and shed answers do;
+    /// hits and control-plane answers were never pending).
+    retires: bool,
+}
+
+/// A parked driver's wake-up call. Socket readability is the one event
+/// a driver must poll for; everything else that can create work for it
+/// — a worker finishing a check, the acceptor handing it a connection —
+/// rings the bell so the driver answers immediately instead of on its
+/// next backoff tick. This matters most when checks are the only
+/// activity: without it a driver burns a wake-up ramp per completion
+/// (stealing cycles from the very worker producing them) yet still
+/// adds up to [`DRIVE_MAX_SLEEP`] of latency per response.
+struct Doorbell {
+    rung: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Doorbell {
+    fn new() -> Doorbell {
+        Doorbell { rung: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    /// Wakes the parked owner (or makes its next `wait` return at once).
+    fn ring(&self) {
+        *self.rung.lock().expect("doorbell lock") = true;
+        self.cv.notify_one();
+    }
+
+    /// Parks for at most `timeout`, returning early if rung. Spurious
+    /// wake-ups cost one extra poll iteration, nothing more.
+    fn wait(&self, timeout: Duration) {
+        let mut rung = self.rung.lock().expect("doorbell lock");
+        if !*rung {
+            rung = self.cv.wait_timeout(rung, timeout).expect("doorbell lock").0;
+        }
+        *rung = false;
+    }
+}
+
+/// The driver-side state a connection shares with workers: the outbox
+/// responses flow through, and the liveness accounting the idle
+/// deadline reads. Workers only ever touch this handle — the socket
+/// itself stays owned by one driver thread.
+struct ConnShared {
+    outbox: Mutex<VecDeque<Outgoing>>,
+    activity: ConnActivity,
+    /// The owning driver's doorbell, rung on every queued response.
+    bell: Arc<Doorbell>,
+}
+
+impl ConnShared {
+    fn new(bell: Arc<Doorbell>) -> ConnShared {
+        ConnShared { outbox: Mutex::new(VecDeque::new()), activity: ConnActivity::new(), bell }
+    }
+
+    /// Queues one response for the owning driver to flush.
+    fn send(&self, out: Outgoing) {
+        self.outbox.lock().expect("outbox lock").push_back(out);
+        self.bell.ring();
+    }
+}
 
 /// One queued execution.
 struct Job {
     request: Request,
     key: u128,
     received: Instant,
-    reply: mpsc::Sender<Outgoing>,
+    reply: Arc<ConnShared>,
     /// The request's trace.
     trace: TraceId,
-    /// The `queued` span id, reserved at admission (the handler emits
-    /// the open, parented under `recv`; the popping worker emits the
-    /// close and parents its `check` span here).
+    /// The `queued` span id, reserved at receipt (the driver emits the
+    /// open once admission succeeds, parented under `recv`; the popping
+    /// worker emits the close and parents its `check` span here).
     queued_span: u64,
+}
+
+/// A job that found the queue full and is parked on its driver's
+/// waiting list until a slot frees or the admission deadline passes.
+struct Waiting {
+    job: Box<Job>,
+    deadline: Instant,
+    /// The `recv` span id sheds parent their `reply` span under.
+    recv_span: u64,
 }
 
 /// Why a push did not enqueue.
 enum PushError {
-    /// The queue stayed full for the whole admission wait.
+    /// The queue is full right now.
     Full(Box<Job>),
     /// The queue is closed (server draining).
     Closed(Box<Job>),
@@ -152,12 +247,11 @@ struct QueueState {
     closed: bool,
 }
 
-/// The bounded job queue: bounded-wait push (backpressure toward
-/// clients, then load shedding), blocking pop (workers park when idle).
+/// The bounded job queue: nonblocking push (drivers park rejected jobs
+/// on their waiting lists), blocking pop (workers park when idle).
 struct Queue {
     state: Mutex<QueueState>,
     not_empty: Condvar,
-    not_full: Condvar,
     cap: usize,
     /// High-water mark of the depth since start (reported by `metrics`).
     peak: AtomicU64,
@@ -168,31 +262,22 @@ impl Queue {
         Queue {
             state: Mutex::new(QueueState { jobs: VecDeque::new(), closed: false }),
             not_empty: Condvar::new(),
-            not_full: Condvar::new(),
             cap: cap.max(1),
             peak: AtomicU64::new(0),
         }
     }
 
-    /// Waits up to `wait` for a slot; gives the job back when the queue
-    /// stayed full ([`PushError::Full`]) or has been closed
-    /// ([`PushError::Closed`]).
-    fn push(&self, job: Job, wait: Duration) -> Result<(), PushError> {
-        let deadline = Instant::now() + wait;
+    /// Admits the job if a slot is free right now; gives it back when
+    /// the queue is full ([`PushError::Full`]) or has been closed
+    /// ([`PushError::Closed`]). Never blocks — a driver thread must
+    /// stay responsive to its other connections.
+    fn try_push(&self, job: Job) -> Result<(), PushError> {
         let mut state = self.state.lock().expect("queue lock");
-        while state.jobs.len() >= self.cap && !state.closed {
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(PushError::Full(Box::new(job)));
-            }
-            let (next, _) = self
-                .not_full
-                .wait_timeout(state, deadline - now)
-                .expect("queue lock");
-            state = next;
-        }
         if state.closed {
             return Err(PushError::Closed(Box::new(job)));
+        }
+        if state.jobs.len() >= self.cap {
+            return Err(PushError::Full(Box::new(job)));
         }
         state.jobs.push_back(job);
         self.peak.fetch_max(state.jobs.len() as u64, Ordering::Relaxed);
@@ -206,7 +291,6 @@ impl Queue {
         let mut state = self.state.lock().expect("queue lock");
         loop {
             if let Some(job) = state.jobs.pop_front() {
-                self.not_full.notify_one();
                 return Some(job);
             }
             if state.closed {
@@ -219,7 +303,6 @@ impl Queue {
     fn close(&self) {
         self.state.lock().expect("queue lock").closed = true;
         self.not_empty.notify_all();
-        self.not_full.notify_all();
     }
 
     fn depth(&self) -> u64 {
@@ -239,28 +322,20 @@ enum Stream {
 }
 
 impl Stream {
-    fn try_clone(&self) -> io::Result<Stream> {
-        match self {
-            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
-            #[cfg(unix)]
-            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
-        }
-    }
-
-    /// Accepted streams inherit the listener's non-blocking flag; flip
-    /// them back to blocking with a short read timeout so readers poll
-    /// the shutdown token.
+    /// Drivers multiplex many connections, so every socket is
+    /// nonblocking: reads and writes return `WouldBlock` instead of
+    /// parking the thread. TCP also disables Nagle — responses are
+    /// small frames on a request/response protocol, and batching them
+    /// behind delayed ACKs would cost tens of milliseconds per round
+    /// trip.
     fn prepare(&self) -> io::Result<()> {
         match self {
             Stream::Tcp(s) => {
-                s.set_nonblocking(false)?;
-                s.set_read_timeout(Some(READ_POLL))
+                s.set_nodelay(true)?;
+                s.set_nonblocking(true)
             }
             #[cfg(unix)]
-            Stream::Unix(s) => {
-                s.set_nonblocking(false)?;
-                s.set_read_timeout(Some(READ_POLL))
-            }
+            Stream::Unix(s) => s.set_nonblocking(true),
         }
     }
 }
@@ -309,16 +384,24 @@ impl Listener {
     }
 }
 
-/// Atomic mirrors of [`ServeStats`], shared across handler threads.
+/// Atomic mirrors of [`ServeStats`] plus the connection-level tallies,
+/// shared across drivers and workers.
 #[derive(Default)]
 struct Counters {
     requests: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     shed: AtomicU64,
+    /// Connections accepted since start.
+    accepted: AtomicU64,
+    /// Admissions that found the queue full and parked on a waiting
+    /// list (the accept-backlog pressure signal).
+    admission_waits: AtomicU64,
+    /// Pipelined batch frames received.
+    batches: AtomicU64,
 }
 
-/// Live metrics shared by handlers and workers. The [`Registry`] owns
+/// Live metrics shared by drivers and workers. The [`Registry`] owns
 /// the named series the `metrics` op snapshots; the hot-path handles
 /// are resolved once at startup so workers never take the registry
 /// lock.
@@ -326,6 +409,9 @@ struct LiveMetrics {
     registry: Registry,
     /// Workers executing a check right now (gauge `in_flight`).
     in_flight: Arc<Gauge>,
+    /// Client connections open right now (gauge `conns`; its peak is
+    /// the `conns_peak` snapshot field).
+    conns: Arc<Gauge>,
     /// Wall milliseconds from receipt to executed answer (histogram
     /// `check`: queue wait + execution).
     check_ms: Arc<AtomicHistogram>,
@@ -338,17 +424,18 @@ impl LiveMetrics {
     fn new() -> LiveMetrics {
         let registry = Registry::new();
         let in_flight = registry.gauge("in_flight");
+        let conns = registry.gauge("conns");
         let check_ms = registry.histogram("check");
         let hit_ms = registry.histogram("hit");
-        LiveMetrics { registry, in_flight, check_ms, hit_ms }
+        LiveMetrics { registry, in_flight, conns, check_ms, hit_ms }
     }
 }
 
-/// Everything a connection handler needs, bundled so signatures stay
+/// Everything a driver or worker needs, bundled so signatures stay
 /// readable.
 struct Shared<'a> {
     queue: &'a Queue,
-    cache: &'a Mutex<ResultCache>,
+    cache: &'a ResultCache,
     counters: &'a Counters,
     metrics: &'a LiveMetrics,
     cfg: &'a ServeConfig,
@@ -435,20 +522,30 @@ impl Server {
         self.local_port
     }
 
-    /// Serves until `shutdown` is cancelled: accept loops stop, active
-    /// connections finish their in-flight requests, queued jobs drain,
-    /// the journal is compacted, and the tally is returned.
+    /// Serves until `shutdown` is cancelled: accept loops stop, drivers
+    /// resolve their deferred admissions, queued jobs drain onto still-
+    /// open connections, the journal is compacted, and the tally is
+    /// returned.
     pub fn run(self, shutdown: &CancelToken) -> io::Result<ServeStats> {
-        let cache = Mutex::new(match &self.cfg.cache_dir {
+        let cache = match &self.cfg.cache_dir {
             Some(dir) => ResultCache::open(dir)?.with_observer(self.cfg.obs.clone()),
             None => ResultCache::in_memory(),
-        });
+        };
         let queue = Queue::new(self.cfg.max_queue);
         let counters = Counters::default();
         let metrics = LiveMetrics::new();
-        let active = AtomicUsize::new(0);
         let label_seq = AtomicU64::new(0);
         let cfg = &self.cfg;
+        let io_threads = cfg.io_threads.max(1);
+        // Accepted streams round-robin into per-driver inboxes; each
+        // driver owns its connections outright from adoption to cull.
+        let injectors: Vec<Mutex<Vec<Stream>>> =
+            (0..io_threads).map(|_| Mutex::new(Vec::new())).collect();
+        let bells: Vec<Arc<Doorbell>> = (0..io_threads).map(|_| Arc::new(Doorbell::new())).collect();
+        let next_driver = AtomicUsize::new(0);
+        // Drivers that have stopped producing admissions (shutdown seen,
+        // waiting list empty): once all have, the queue can close.
+        let quiesced = AtomicUsize::new(0);
         let shared = Shared {
             queue: &queue,
             cache: &cache,
@@ -461,10 +558,16 @@ impl Server {
 
         std::thread::scope(|s| {
             for _ in 0..cfg.jobs.max(1) {
-                s.spawn(|| worker_loop(&queue, &cache, cfg, &label_seq, shared.metrics));
+                s.spawn(|| worker_loop(shared, &label_seq));
+            }
+            for (injector, bell) in injectors.iter().zip(&bells) {
+                let quiesced = &quiesced;
+                s.spawn(move || driver_loop(injector, bell, shared, shutdown, quiesced));
             }
             for listener in &self.listeners {
-                let active = &active;
+                let injectors = &injectors;
+                let bells = &bells;
+                let next_driver = &next_driver;
                 s.spawn(move || {
                     while !shutdown.is_cancelled() {
                         match listener.accept() {
@@ -481,11 +584,14 @@ impl Server {
                                         Action::Delay(d) => std::thread::sleep(d),
                                     }
                                 }
-                                active.fetch_add(1, Ordering::SeqCst);
-                                s.spawn(move || {
-                                    handle_connection(stream, s, shared, shutdown);
-                                    active.fetch_sub(1, Ordering::SeqCst);
-                                });
+                                if stream.prepare().is_err() {
+                                    continue;
+                                }
+                                shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                                let ix = next_driver.fetch_add(1, Ordering::Relaxed)
+                                    % injectors.len();
+                                injectors[ix].lock().expect("injector lock").push(stream);
+                                bells[ix].ring();
                             }
                             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                                 std::thread::sleep(ACCEPT_POLL);
@@ -498,13 +604,13 @@ impl Server {
                 });
             }
             // The scope body itself coordinates the drain: once shutdown
-            // is requested and every connection handler has finished
-            // submitting, close the queue so workers exit after the
-            // backlog empties.
+            // is requested and every driver has resolved its deferred
+            // admissions, close the queue so workers exit after the
+            // backlog empties (drivers keep flushing those answers).
             while !shutdown.is_cancelled() {
                 std::thread::sleep(ACCEPT_POLL);
             }
-            while active.load(Ordering::SeqCst) != 0 {
+            while quiesced.load(Ordering::SeqCst) < io_threads {
                 std::thread::sleep(Duration::from_millis(5));
             }
             queue.close();
@@ -513,9 +619,7 @@ impl Server {
         // Drain-time housekeeping: fold the append-heavy journal down to
         // one record per entry so restarts replay a minimal file. Best
         // effort — a compaction failure leaves the journal valid.
-        if let Ok(mut cache) = cache.into_inner() {
-            let _ = cache.compact();
-        }
+        let _ = cache.compact();
 
         #[cfg(unix)]
         if let Some(path) = &self.cfg.socket {
@@ -537,168 +641,418 @@ fn note_fault(obs: &Obs, point: &str, action: Action) {
     });
 }
 
-/// Reads frames off one connection until EOF, shutdown, or the idle
-/// deadline. Writes go through a dedicated thread so cache hits answer
-/// while earlier misses are still executing.
-fn handle_connection<'scope>(
+/// One connection owned by a driver: the nonblocking socket plus its
+/// framing buffers. `shared` is the handle workers answer through.
+struct Conn {
     stream: Stream,
-    scope: &'scope std::thread::Scope<'scope, '_>,
-    shared: &'scope Shared<'scope>,
-    shutdown: &'scope CancelToken,
-) {
-    if stream.prepare().is_err() {
-        return;
-    }
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let activity = Arc::new(ConnActivity::new());
-    let (tx, rx) = mpsc::channel::<Outgoing>();
-    let writer_activity = activity.clone();
-    let obs = &shared.cfg.obs;
-    scope.spawn(move || {
-        for (response, span_ctx) in rx {
-            if let Some(action) = kiss_fault::hit(WRITE_POINT) {
-                note_fault(obs, WRITE_POINT, action);
-                match action {
-                    // A broken pipe: the response (and the rest of the
-                    // stream) never reaches the peer.
-                    Action::Error => break,
-                    Action::Panic => panic!("kiss-fault: injected panic at {WRITE_POINT}"),
-                    Action::Delay(d) => std::thread::sleep(d),
-                    Action::Truncate(cut) => {
-                        // A torn response, then the connection dies.
-                        let line = response.to_json();
-                        let cut = cut.min(line.len());
-                        let _ = writer.write_all(&line.as_bytes()[..cut]);
-                        let _ = writer.flush();
-                        break;
-                    }
-                }
-            }
-            let is_job = response.cache == CacheStatus::Miss;
-            // The reply span covers the write + flush of this response.
-            let reply_span =
-                span_ctx.map(|(trace, parent)| Span::open(obs, trace, parent, "reply"));
-            let ok = writeln!(writer, "{}", response.to_json())
-                .and_then(|()| writer.flush())
-                .is_ok();
-            drop(reply_span);
-            // Executed responses retire their in-flight slot whether or
-            // not the peer still listens, so the idle accounting never
-            // wedges a connection open.
-            if is_job {
-                writer_activity.pending.fetch_sub(1, Ordering::SeqCst);
-            }
-            if !ok {
-                break;
-            }
-            writer_activity.touch();
-        }
-    });
+    shared: Arc<ConnShared>,
+    /// Unframed inbound bytes.
+    rbuf: Vec<u8>,
+    /// How far `rbuf` has been scanned for a newline without finding
+    /// one, so a large frame arriving in many reads is scanned once,
+    /// not once per read.
+    scanned: usize,
+    /// Serialized responses not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    /// Bytes discarded from a frame that outgrew [`MAX_FRAME_BYTES`]
+    /// before its newline arrived; the frame is answered with one
+    /// error once the newline shows up.
+    discarded: usize,
+    /// EOF seen (or shutdown): no more reads, but queued answers still
+    /// flush.
+    read_closed: bool,
+    /// The socket is gone (write error, injected fault): cull now.
+    dead: bool,
+    /// Stop serializing new responses, die once `wbuf` flushes (the
+    /// torn-write fault path).
+    poisoned: bool,
+}
 
-    let mut stream = stream;
-    let mut buf: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 8192];
-    // Bytes discarded from a frame that outgrew MAX_FRAME_BYTES before
-    // its newline arrived; the frame is answered with one error once the
-    // newline shows up.
-    let mut discarded = 0usize;
-    'read: while !shutdown.is_cancelled() {
-        let mut n = match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => n,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if let Some(idle) = shared.cfg.idle_timeout {
-                    if activity.is_quiet() && activity.idle_for() >= idle {
+impl Conn {
+    fn adopt(stream: Stream, metrics: &LiveMetrics, bell: &Arc<Doorbell>) -> Conn {
+        metrics.conns.inc();
+        Conn {
+            stream,
+            shared: Arc::new(ConnShared::new(bell.clone())),
+            rbuf: Vec::new(),
+            scanned: 0,
+            wbuf: Vec::new(),
+            discarded: 0,
+            read_closed: false,
+            dead: false,
+            poisoned: false,
+        }
+    }
+
+    /// One driver visit: read what the socket has, frame and dispatch
+    /// it, then flush whatever the outbox and `wbuf` hold. Returns
+    /// `(read_progress, any_progress)` — the driver polls hot only
+    /// after inbound activity, because outbound work announces itself
+    /// through the doorbell.
+    fn pump(
+        &mut self,
+        shared: &Shared<'_>,
+        waiting: &mut VecDeque<Waiting>,
+        shutdown: &CancelToken,
+    ) -> (bool, bool) {
+        let mut progress = false;
+        if shutdown.is_cancelled() {
+            self.read_closed = true;
+        }
+        if !self.read_closed && !self.dead {
+            let mut chunk = [0u8; 32 * 1024];
+            for _ in 0..READS_PER_PUMP {
+                let mut n = match self.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        self.read_closed = true;
                         break;
                     }
+                    Ok(n) => n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.dead = true;
+                        break;
+                    }
+                };
+                if let Some(action) = kiss_fault::hit(READ_POINT) {
+                    note_fault(&shared.cfg.obs, READ_POINT, action);
+                    match action {
+                        // The peer is treated as gone mid-read; answers
+                        // already in flight still flush.
+                        Action::Error => {
+                            self.read_closed = true;
+                            break;
+                        }
+                        Action::Panic => panic!("kiss-fault: injected panic at {READ_POINT}"),
+                        Action::Delay(d) => std::thread::sleep(d),
+                        // A short read: only the chunk's head arrived.
+                        Action::Truncate(cut) => n = n.min(cut.max(1)),
+                    }
                 }
-                continue;
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => break,
-        };
-        if let Some(action) = kiss_fault::hit(READ_POINT) {
-            note_fault(obs, READ_POINT, action);
-            match action {
-                // The peer is treated as gone mid-read.
-                Action::Error => break,
-                Action::Panic => panic!("kiss-fault: injected panic at {READ_POINT}"),
-                Action::Delay(d) => std::thread::sleep(d),
-                // A short read: only the chunk's head arrived.
-                Action::Truncate(cut) => n = n.min(cut.max(1)),
+                progress = true;
+                self.shared.activity.touch();
+                self.rbuf.extend_from_slice(&chunk[..n]);
+                self.dispatch_lines(shared, waiting);
             }
         }
-        activity.touch();
-        buf.extend_from_slice(&chunk[..n]);
-        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            let rest = buf.split_off(pos + 1);
-            let mut line = std::mem::replace(&mut buf, rest);
+        let flushed = self.flush(shared);
+        (progress, progress | flushed)
+    }
+
+    /// Splits complete lines out of `rbuf` and handles each frame.
+    fn dispatch_lines(&mut self, shared: &Shared<'_>, waiting: &mut VecDeque<Waiting>) {
+        while let Some(off) = self.rbuf[self.scanned..].iter().position(|&b| b == b'\n') {
+            let pos = self.scanned + off;
+            let rest = self.rbuf.split_off(pos + 1);
+            let mut line = std::mem::replace(&mut self.rbuf, rest);
+            self.scanned = 0;
             line.pop();
             if line.last() == Some(&b'\r') {
                 line.pop();
             }
-            if discarded > 0 {
-                let err = FrameError::Oversized { bytes: discarded + line.len() };
-                if tx.send((Response::error("", err.message()), None)).is_err() {
-                    break 'read;
-                }
-                discarded = 0;
+            if self.discarded > 0 {
+                let err = FrameError::Oversized { bytes: self.discarded + line.len() };
+                self.shared.send(Outgoing {
+                    response: Response::error("", err.message()),
+                    span: None,
+                    retires: false,
+                });
+                self.discarded = 0;
                 continue;
             }
             if line.is_empty() {
                 continue;
             }
             let text = String::from_utf8_lossy(&line);
-            handle_line(&text, &tx, &activity, shared);
+            handle_frame(&text, &self.shared, shared, waiting);
         }
+        self.scanned = self.rbuf.len();
         // No newline yet: a frame past the cap can never become valid,
         // so stop buffering it.
-        if buf.len() > MAX_FRAME_BYTES {
-            discarded += buf.len();
-            buf.clear();
+        if self.rbuf.len() > MAX_FRAME_BYTES {
+            self.discarded += self.rbuf.len();
+            self.rbuf.clear();
+            self.scanned = 0;
+        }
+    }
+
+    /// Serializes queued outbox responses into `wbuf` (opening their
+    /// `reply` spans) and pushes `wbuf` into the socket.
+    fn flush(&mut self, shared: &Shared<'_>) -> bool {
+        let mut progress = false;
+        let obs = &shared.cfg.obs;
+        while !self.dead && !self.poisoned {
+            let next = self.shared.outbox.lock().expect("outbox lock").pop_front();
+            let Some(out) = next else { break };
+            if let Some(action) = kiss_fault::hit(WRITE_POINT) {
+                note_fault(obs, WRITE_POINT, action);
+                match action {
+                    // A broken pipe: this response (and the rest of the
+                    // stream) never reaches the peer.
+                    Action::Error => {
+                        self.retire(&out);
+                        self.dead = true;
+                        break;
+                    }
+                    Action::Panic => panic!("kiss-fault: injected panic at {WRITE_POINT}"),
+                    Action::Delay(d) => std::thread::sleep(d),
+                    Action::Truncate(cut) => {
+                        // A torn response: its head flushes, then the
+                        // connection dies.
+                        let line = out.response.to_json();
+                        let cut = cut.min(line.len());
+                        self.wbuf.extend_from_slice(&line.as_bytes()[..cut]);
+                        self.retire(&out);
+                        self.poisoned = true;
+                        break;
+                    }
+                }
+            }
+            // The reply span covers the serialize + socket hand-off of
+            // this response.
+            let reply_span = out.span.map(|(trace, parent)| Span::open(obs, trace, parent, "reply"));
+            self.wbuf.extend_from_slice(out.response.to_json().as_bytes());
+            self.wbuf.push(b'\n');
+            drop(reply_span);
+            self.retire(&out);
+            progress = true;
+        }
+        while !self.wbuf.is_empty() && !self.dead {
+            match self.stream.write(&self.wbuf) {
+                Ok(0) => self.dead = true,
+                Ok(n) => {
+                    self.wbuf.drain(..n);
+                    self.shared.activity.touch();
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => self.dead = true,
+            }
+        }
+        if self.poisoned && self.wbuf.is_empty() {
+            self.dead = true;
+        }
+        progress
+    }
+
+    /// Retires one pending job slot once its answer has been handed to
+    /// the socket (or provably never will be), so the idle accounting
+    /// never wedges a connection open.
+    fn retire(&self, out: &Outgoing) {
+        if out.retires {
+            self.shared.activity.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether the driver should drop this connection.
+    fn finished(&self, shared: &Shared<'_>) -> bool {
+        if self.dead {
+            return true;
+        }
+        let quiet = self.shared.activity.is_quiet();
+        let flushed = self.wbuf.is_empty()
+            && self.shared.outbox.lock().expect("outbox lock").is_empty();
+        if self.read_closed && quiet && flushed {
+            return true;
+        }
+        if let Some(idle) = shared.cfg.idle_timeout {
+            if quiet && flushed && self.shared.activity.idle_for() >= idle {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// One driver thread: multiplexes its connections until shutdown has
+/// been seen, deferred admissions have resolved, and every connection
+/// has drained.
+fn driver_loop(
+    injector: &Mutex<Vec<Stream>>,
+    bell: &Arc<Doorbell>,
+    shared: &Shared<'_>,
+    shutdown: &CancelToken,
+    quiesced: &AtomicUsize,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut waiting: VecDeque<Waiting> = VecDeque::new();
+    let mut announced = false;
+    let mut idle_sleep = DRIVE_MIN_SLEEP;
+    loop {
+        // Inbound activity (new connections, admissions resolving,
+        // bytes read) resets the backoff: more is probably coming and
+        // only polling will see it. Outbound progress alone does not —
+        // the next completion rings the bell, so sleeping long costs
+        // no latency and spares the CPU for the workers producing it.
+        let mut inbound = false;
+        let mut progress = false;
+        for stream in injector.lock().expect("injector lock").drain(..) {
+            conns.push(Conn::adopt(stream, shared.metrics, bell));
+            inbound = true;
+        }
+        inbound |= pump_waiting(&mut waiting, shared);
+        for conn in &mut conns {
+            let (read, any) = conn.pump(shared, &mut waiting, shutdown);
+            inbound |= read;
+            progress |= any;
+        }
+        progress |= inbound;
+        conns.retain(|conn| {
+            let done = conn.finished(shared);
+            if done {
+                shared.metrics.conns.dec();
+            }
+            !done
+        });
+        if shutdown.is_cancelled() && waiting.is_empty() && !announced {
+            // No reads happen after shutdown, so the waiting list cannot
+            // refill: this driver will never admit another job.
+            announced = true;
+            quiesced.fetch_add(1, Ordering::SeqCst);
+        }
+        if announced && conns.is_empty() {
+            return;
+        }
+        if inbound {
+            idle_sleep = DRIVE_MIN_SLEEP;
+        }
+        if progress {
+            // Stay hot but let peers run: on a machine with fewer
+            // cores than threads, a driver that loops without yielding
+            // starves the very clients (and workers) it is serving
+            // until the scheduler preempts it.
+            std::thread::yield_now();
+        } else {
+            bell.wait(idle_sleep);
+            idle_sleep = (idle_sleep * 2).min(DRIVE_MAX_SLEEP);
         }
     }
 }
 
-/// Decodes and answers one frame: error, status, cache hit, enqueue,
-/// or shed.
-fn handle_line(
+/// Retries the driver's deferred admissions in arrival order and sheds
+/// the ones whose deadline passed. Returns whether anything resolved.
+fn pump_waiting(waiting: &mut VecDeque<Waiting>, shared: &Shared<'_>) -> bool {
+    let mut progress = false;
+    while let Some(entry) = waiting.pop_front() {
+        let Waiting { job, deadline, recv_span } = entry;
+        // The booking ids outlive the job's move into the queue.
+        let request_id = job.request.id.clone();
+        let (trace, queued_span) = (job.trace, job.queued_span);
+        match shared.queue.try_push(*job) {
+            Ok(()) => {
+                book_admission(request_id, trace, queued_span, recv_span, shared);
+                progress = true;
+            }
+            Err(PushError::Full(job)) => {
+                // The deadline sheds even while the queue stays full.
+                if Instant::now() >= deadline {
+                    shed(job, recv_span, shared);
+                    progress = true;
+                    continue;
+                }
+                // Still full, still in time: later entries would only
+                // see the same answer, so restore the head and stop.
+                waiting.push_front(Waiting { job, deadline, recv_span });
+                break;
+            }
+            Err(PushError::Closed(job)) => {
+                shed(job, recv_span, shared);
+                progress = true;
+            }
+        }
+    }
+    progress
+}
+
+/// Books an admitted job: the miss counter, the `cache_miss` event,
+/// and the `queued` span open (the popping worker emits its close).
+fn book_admission(request_id: String, trace: TraceId, queued_span: u64, recv_span: u64, shared: &Shared<'_>) {
+    shared.counters.misses.fetch_add(1, Ordering::SeqCst);
+    shared.cfg.obs.emit(|_| Event::CacheMiss { request: request_id });
+    shared.cfg.obs.emit(|_| Event::SpanOpen {
+        trace: trace.to_hex(),
+        span: queued_span,
+        parent: recv_span,
+        name: "queued".to_string(),
+        request: None,
+    });
+}
+
+/// Sheds a job with the typed `overloaded` response.
+fn shed(job: Box<Job>, recv_span: u64, shared: &Shared<'_>) {
+    shared.counters.shed.fetch_add(1, Ordering::SeqCst);
+    let depth = shared.queue.depth();
+    shared.cfg.obs.emit(|_| Event::RequestShed {
+        request: job.request.id.clone(),
+        queue_depth: depth,
+    });
+    shared.cfg.obs.emit(|_| Event::RequestDone {
+        request: job.request.id.clone(),
+        verdict: "overloaded".to_string(),
+        wall_ms: job.received.elapsed().as_millis() as u64,
+        queue_depth: depth,
+    });
+    let trace = job.trace;
+    job.reply.send(Outgoing {
+        response: Response::overloaded(job.request.id, depth),
+        span: Some((trace, recv_span)),
+        retires: true,
+    });
+}
+
+/// Decodes and dispatches one inbound frame: a protocol error, a
+/// single request, or a batch fanning into its entries.
+fn handle_frame(
     line: &str,
-    tx: &mpsc::Sender<Outgoing>,
-    activity: &ConnActivity,
+    conn: &Arc<ConnShared>,
     shared: &Shared<'_>,
+    waiting: &mut VecDeque<Waiting>,
+) {
+    match decode_frame(line) {
+        Err(e) => {
+            conn.send(Outgoing {
+                response: Response::error("", e.message()),
+                span: None,
+                retires: false,
+            });
+        }
+        Ok(Frame::Single(request)) => handle_request(request, conn, shared, waiting),
+        Ok(Frame::Batch(batch)) => {
+            shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+            for entry in batch.entries {
+                handle_request(entry, conn, shared, waiting);
+            }
+        }
+    }
+}
+
+/// Answers one request: status, metrics, cache hit, admission, or a
+/// parked deferred admission.
+fn handle_request(
+    request: Request,
+    conn: &Arc<ConnShared>,
+    shared: &Shared<'_>,
+    waiting: &mut VecDeque<Waiting>,
 ) {
     let Shared { queue, cache, counters, metrics, cfg, started } = *shared;
-    let request = match decode_request(line) {
-        Ok(request) => request,
-        Err(e) => {
-            let _ = tx.send((Response::error("", e.message()), None));
-            return;
-        }
-    };
     // Status is control-plane: answered inline, never queued, and kept
     // out of the request/cache accounting so the balance equation
     // (requests = hits + misses + shed) only covers checking ops.
     if request.op == Op::Status {
-        let cache_entries = cache.lock().expect("cache lock").len() as u64;
         let detail = format!(
             "queue_depth={} cache_entries={} uptime_ms={} requests={} hits={} misses={} shed={}",
             queue.depth(),
-            cache_entries,
+            cache.len() as u64,
             started.elapsed().as_millis(),
             counters.requests.load(Ordering::SeqCst),
             counters.hits.load(Ordering::SeqCst),
             counters.misses.load(Ordering::SeqCst),
             counters.shed.load(Ordering::SeqCst),
         );
-        let _ = tx.send((
-            Response {
+        conn.send(Outgoing {
+            response: Response {
                 id: request.id,
                 verdict: "ok".to_string(),
                 detail,
@@ -706,32 +1060,33 @@ fn handle_line(
                 states: 0,
                 cache: CacheStatus::None,
             },
-            None,
-        ));
+            span: None,
+            retires: false,
+        });
         return;
     }
     // Metrics is control-plane too: the full snapshot travels in the
     // response detail, and the scrape itself never shows up in the
     // numbers it reports.
     if request.op == Op::Metrics {
-        let (cache_entries, journal_records, journal_bytes, compactions) = {
-            let cache = cache.lock().expect("cache lock");
-            (
-                cache.len() as u64,
-                cache.journal_records() as u64,
-                cache.journal_bytes(),
-                cache.compactions(),
-            )
-        };
+        let (shard_acquires, shard_contended) = cache.lock_stats();
         let snap = ServeSnapshot {
             uptime_ms: started.elapsed().as_millis() as u64,
             queue_depth: queue.depth(),
             queue_peak: queue.peak(),
             in_flight: metrics.in_flight.get(),
-            cache_entries,
-            journal_records,
-            journal_bytes,
-            compactions,
+            conns_open: metrics.conns.get(),
+            conns_peak: metrics.conns.peak(),
+            accepted: counters.accepted.load(Ordering::Relaxed),
+            admission_waits: counters.admission_waits.load(Ordering::Relaxed),
+            batches: counters.batches.load(Ordering::Relaxed),
+            cache_entries: cache.len() as u64,
+            journal_records: cache.journal_records() as u64,
+            journal_bytes: cache.journal_bytes(),
+            compactions: cache.compactions(),
+            cache_shards: cache.shard_count() as u64,
+            shard_acquires,
+            shard_contended,
             requests: counters.requests.load(Ordering::SeqCst),
             hits: counters.hits.load(Ordering::SeqCst),
             misses: counters.misses.load(Ordering::SeqCst),
@@ -739,8 +1094,8 @@ fn handle_line(
             faults: kiss_fault::total_fired(),
             latency: metrics.registry.snapshot().histograms,
         };
-        let _ = tx.send((
-            Response {
+        conn.send(Outgoing {
+            response: Response {
                 id: request.id,
                 verdict: "ok".to_string(),
                 detail: snap.to_json(),
@@ -748,17 +1103,17 @@ fn handle_line(
                 states: 0,
                 cache: CacheStatus::None,
             },
-            None,
-        ));
+            span: None,
+            retires: false,
+        });
         return;
     }
     let received = Instant::now();
     counters.requests.fetch_add(1, Ordering::SeqCst);
     // The request's trace: client-minted when present, otherwise fresh.
     // `recv` is the root span; it closes when this function returns
-    // (hit and shed answers) or after admission hands off to the queue.
-    let trace =
-        if request.trace.is_none() { TraceId::fresh() } else { request.trace };
+    // (the job, if any, carries the span ids it needs onward).
+    let trace = if request.trace.is_none() { TraceId::fresh() } else { request.trace };
     let recv = Span::open_for_request(&cfg.obs, trace, "recv", &request.id);
     cfg.obs.emit(|_| Event::RequestReceived {
         request: request.id.clone(),
@@ -766,8 +1121,7 @@ fn handle_line(
     });
     let key = request.cache_key();
     if !request.no_cache {
-        let cached = cache.lock().expect("cache lock").lookup(key).cloned();
-        if let Some(v) = cached {
+        if let Some(v) = cache.lookup(key) {
             counters.hits.fetch_add(1, Ordering::SeqCst);
             metrics.hit_ms.record(received.elapsed().as_millis() as u64);
             cfg.obs.emit(|_| Event::CacheHit { request: request.id.clone() });
@@ -777,8 +1131,8 @@ fn handle_line(
                 wall_ms: 0,
                 queue_depth: queue.depth(),
             });
-            let _ = tx.send((
-                Response {
+            conn.send(Outgoing {
+                response: Response {
                     id: request.id,
                     verdict: v.verdict,
                     detail: v.detail,
@@ -786,18 +1140,23 @@ fn handle_line(
                     states: v.states,
                     cache: CacheStatus::Hit,
                 },
-                Some((trace, recv.id())),
-            ));
+                span: Some((trace, recv.id())),
+                retires: false,
+            });
             return;
         }
     }
-    // The job (and its request) moves into the queue on success; keep
-    // the id for the miss event emitted after admission. The `queued`
-    // span id is reserved now but only opened once admission succeeds;
-    // the popping worker emits its close.
+    // The job moves into the queue (or the waiting list) on success;
+    // keep the ids for the booking that happens after admission. The
+    // `queued` span id is reserved now but only opened once admission
+    // succeeds; the popping worker emits its close. The pending slot
+    // is taken now — a job waiting for admission is in flight as far
+    // as the idle deadline is concerned.
     let request_id = request.id.clone();
     let queued_span = next_span_id();
-    let job = Job { key, received, reply: tx.clone(), trace, queued_span, request };
+    let recv_span = recv.id();
+    conn.activity.pending.fetch_add(1, Ordering::SeqCst);
+    let job = Job { key, received, reply: conn.clone(), trace, queued_span, request };
     let admission = match kiss_fault::hit(ENQUEUE_POINT) {
         Some(action) => {
             note_fault(&cfg.obs, ENQUEUE_POINT, action);
@@ -808,57 +1167,36 @@ fn handle_line(
                 Action::Panic => panic!("kiss-fault: injected panic at {ENQUEUE_POINT}"),
                 Action::Delay(d) => {
                     std::thread::sleep(d);
-                    queue.push(job, cfg.admission_wait)
+                    queue.try_push(job)
                 }
             }
         }
-        None => queue.push(job, cfg.admission_wait),
+        None => queue.try_push(job),
     };
     match admission {
-        Ok(()) => {
-            // The miss is only booked once the job is actually admitted,
-            // so shed requests count in `shed` alone and the balance
-            // equation stays exact.
-            counters.misses.fetch_add(1, Ordering::SeqCst);
-            activity.pending.fetch_add(1, Ordering::SeqCst);
-            cfg.obs.emit(|_| Event::CacheMiss { request: request_id });
-            let recv_id = recv.id();
-            cfg.obs.emit(|_| Event::SpanOpen {
-                trace: trace.to_hex(),
-                span: queued_span,
-                parent: recv_id,
-                name: "queued".to_string(),
-                request: None,
-            });
+        Ok(()) => book_admission(request_id, trace, queued_span, recv_span, shared),
+        Err(PushError::Full(job)) => {
+            if cfg.admission_wait.is_zero() {
+                shed(job, recv_span, shared);
+            } else {
+                // Park it: the driver retries every iteration and sheds
+                // at the deadline, without ever blocking its other
+                // connections behind this one's backpressure.
+                counters.admission_waits.fetch_add(1, Ordering::Relaxed);
+                waiting.push_back(Waiting {
+                    job,
+                    deadline: received + cfg.admission_wait,
+                    recv_span,
+                });
+            }
         }
-        Err(PushError::Full(job)) | Err(PushError::Closed(job)) => {
-            counters.shed.fetch_add(1, Ordering::SeqCst);
-            let depth = queue.depth();
-            cfg.obs.emit(|_| Event::RequestShed {
-                request: job.request.id.clone(),
-                queue_depth: depth,
-            });
-            cfg.obs.emit(|_| Event::RequestDone {
-                request: job.request.id.clone(),
-                verdict: "overloaded".to_string(),
-                wall_ms: received.elapsed().as_millis() as u64,
-                queue_depth: depth,
-            });
-            let _ = job
-                .reply
-                .send((Response::overloaded(job.request.id, depth), Some((trace, recv.id()))));
-        }
+        Err(PushError::Closed(job)) => shed(job, recv_span, shared),
     }
 }
 
 /// Pops jobs until the queue closes: execute, cache, answer.
-fn worker_loop(
-    queue: &Queue,
-    cache: &Mutex<ResultCache>,
-    cfg: &ServeConfig,
-    seq: &AtomicU64,
-    metrics: &LiveMetrics,
-) {
+fn worker_loop(shared: &Shared<'_>, seq: &AtomicU64) {
+    let Shared { queue, cache, metrics, cfg, .. } = *shared;
     while let Some(job) = queue.pop() {
         // The `queued` span (opened at admission) ends here: its wall
         // time is exactly the queue wait.
@@ -875,7 +1213,7 @@ fn worker_loop(
         check_span.close();
         metrics.in_flight.dec();
         if cacheable {
-            cache.lock().expect("cache lock").insert(job.key, verdict.clone());
+            cache.insert(job.key, verdict.clone());
         }
         let wall_ms = job.received.elapsed().as_millis() as u64;
         metrics.check_ms.record(wall_ms);
@@ -885,8 +1223,8 @@ fn worker_loop(
             wall_ms,
             queue_depth: queue.depth(),
         });
-        let _ = job.reply.send((
-            Response {
+        job.reply.send(Outgoing {
+            response: Response {
                 id: job.request.id,
                 verdict: verdict.verdict,
                 detail: verdict.detail,
@@ -894,8 +1232,9 @@ fn worker_loop(
                 states: verdict.states,
                 cache: CacheStatus::Miss,
             },
-            Some((job.trace, check_id)),
-        ));
+            span: Some((job.trace, check_id)),
+            retires: true,
+        });
     }
 }
 
@@ -1047,72 +1386,64 @@ fn detail_of(outcome: &KissOutcome) -> (String, bool) {
 mod tests {
     use super::*;
 
-    const WAIT: Duration = Duration::from_secs(5);
-
-    fn job(id: &str) -> (Job, mpsc::Receiver<Outgoing>) {
-        let (tx, rx) = mpsc::channel();
+    fn job(id: &str) -> (Job, Arc<ConnShared>) {
+        let conn = Arc::new(ConnShared::new(Arc::new(Doorbell::new())));
         let job = Job {
             request: Request::check(id, "void main() { skip; }"),
             key: 0,
             received: Instant::now(),
-            reply: tx,
+            reply: conn.clone(),
             trace: TraceId::NONE,
             queued_span: 0,
         };
-        (job, rx)
+        (job, conn)
     }
 
     #[test]
     fn queue_is_fifo_and_drains_after_close() {
         let queue = Queue::new(8);
-        let (a, _rx_a) = job("a");
-        let (b, _rx_b) = job("b");
-        assert!(queue.push(a, WAIT).is_ok());
-        assert!(queue.push(b, WAIT).is_ok());
+        let (a, _conn_a) = job("a");
+        let (b, _conn_b) = job("b");
+        assert!(queue.try_push(a).is_ok());
+        assert!(queue.try_push(b).is_ok());
         assert_eq!(queue.depth(), 2);
         queue.close();
         assert_eq!(queue.pop().unwrap().request.id, "a");
         assert_eq!(queue.pop().unwrap().request.id, "b");
         assert!(queue.pop().is_none(), "closed and drained");
-        let (c, rx_c) = job("c");
-        let Err(PushError::Closed(rejected)) = queue.push(c, WAIT) else {
+        let (c, conn_c) = job("c");
+        let Err(PushError::Closed(rejected)) = queue.try_push(c) else {
             panic!("closed queue accepted a job")
         };
-        let _ = rejected.reply.send((Response::error(rejected.request.id, "draining"), None));
-        assert_eq!(rx_c.recv().unwrap().0.verdict, "error");
-    }
-
-    #[test]
-    fn full_queue_blocks_until_a_worker_pops() {
-        let queue = std::sync::Arc::new(Queue::new(1));
-        let (a, _rx_a) = job("a");
-        assert!(queue.push(a, WAIT).is_ok());
-        let q = queue.clone();
-        let pusher = std::thread::spawn(move || {
-            let (b, _rx_b) = job("b");
-            assert!(q.push(b, WAIT).is_ok());
+        rejected.reply.send(Outgoing {
+            response: Response::error(rejected.request.id, "draining"),
+            span: None,
+            retires: false,
         });
-        std::thread::sleep(Duration::from_millis(30));
-        assert!(!pusher.is_finished(), "push should block on a full queue");
-        assert_eq!(queue.pop().unwrap().request.id, "a");
-        pusher.join().unwrap();
-        assert_eq!(queue.pop().unwrap().request.id, "b");
+        let out = conn_c.outbox.lock().unwrap().pop_front().unwrap();
+        assert_eq!(out.response.verdict, "error");
     }
 
     #[test]
-    fn full_queue_sheds_after_the_admission_wait() {
+    fn full_queue_rejects_without_blocking() {
         let queue = Queue::new(1);
-        let (a, _rx_a) = job("a");
-        assert!(queue.push(a, WAIT).is_ok());
-        let (b, _rx_b) = job("b");
+        let (a, _conn_a) = job("a");
+        assert!(queue.try_push(a).is_ok());
+        let (b, _conn_b) = job("b");
         let before = Instant::now();
-        let Err(PushError::Full(rejected)) = queue.push(b, Duration::from_millis(50)) else {
-            panic!("full queue must shed after the wait")
+        let Err(PushError::Full(rejected)) = queue.try_push(b) else {
+            panic!("full queue must reject immediately")
         };
-        assert!(before.elapsed() >= Duration::from_millis(50));
+        // Nonblocking: the driver parks the job itself; the queue never
+        // holds the caller.
+        assert!(before.elapsed() < Duration::from_millis(100));
         assert_eq!(rejected.request.id, "b");
         // The queue itself is untouched: "a" still waits for a worker.
         assert_eq!(queue.depth(), 1);
+        // A pop frees the slot and the retry succeeds.
+        assert_eq!(queue.pop().unwrap().request.id, "a");
+        assert!(queue.try_push(*rejected).is_ok());
+        assert_eq!(queue.peak(), 1);
     }
 
     #[test]

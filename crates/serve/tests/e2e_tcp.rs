@@ -1,0 +1,125 @@
+//! End-to-end tests over a loopback TCP listener: the unix-socket
+//! suite's warm/cold round-trip and bad-frame recovery, mirrored onto
+//! the transport the e2e coverage otherwise never exercises.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use kiss_seq::{Budget, CancelToken};
+use kiss_serve::{submit_batch, Endpoint, EntryCache, Request, ServeConfig, ServeStats, Server};
+
+struct TestServer {
+    port: u16,
+    shutdown: CancelToken,
+    handle: Option<std::thread::JoinHandle<ServeStats>>,
+}
+
+impl TestServer {
+    fn boot() -> TestServer {
+        let cfg = ServeConfig {
+            port: Some(0),
+            jobs: 2,
+            budget: Budget::small(),
+            ..ServeConfig::default()
+        };
+        let server = Server::bind(cfg).expect("bind loopback port");
+        let port = server.local_port().expect("ephemeral port");
+        let shutdown = CancelToken::new();
+        let token = shutdown.clone();
+        let handle = std::thread::spawn(move || server.run(&token).expect("serve"));
+        TestServer { port, shutdown, handle: Some(handle) }
+    }
+
+    fn endpoint(&self) -> Endpoint {
+        Endpoint::Tcp(format!("127.0.0.1:{}", self.port))
+    }
+
+    fn stop(mut self) -> ServeStats {
+        self.shutdown.cancel();
+        self.handle.take().expect("still running").join().expect("server thread")
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.shutdown.cancel();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn batch() -> Vec<Request> {
+    let racy = "int g;\nvoid writer() { g = 1; }\nvoid main() { async writer(); g = 2; }";
+    let clean = "int x;\nvoid main() { x = 1; assert x == 1; }";
+    vec![
+        Request::race("racy", racy, "g"),
+        Request::check("clean", clean),
+        Request::check("clean-again", clean), // dedups against `clean`
+    ]
+}
+
+#[test]
+fn second_submission_over_tcp_is_all_cache_hits_with_identical_verdicts() {
+    let server = TestServer::boot();
+    let endpoint = server.endpoint();
+
+    let cold = submit_batch(&endpoint, &batch()).expect("cold submit");
+    assert_eq!(cold.unique, 2, "identical sources dedup client-side");
+    assert_eq!((cold.hits, cold.misses), (0, 2));
+    assert_eq!(cold.entry_cache[2], EntryCache::Deduped);
+    assert_eq!(cold.responses[0].verdict, "race");
+    assert_eq!(cold.responses[1].verdict, "pass");
+
+    let warm = submit_batch(&endpoint, &batch()).expect("warm submit");
+    assert_eq!((warm.hits, warm.misses), (2, 0), "warm server answers from cache");
+    for (c, w) in cold.responses.iter().zip(&warm.responses) {
+        // Byte-identical verdicts: only the cache marker may differ.
+        assert_eq!(c.id, w.id);
+        assert_eq!(c.verdict, w.verdict);
+        assert_eq!(c.detail, w.detail);
+        assert_eq!((c.steps, c.states), (w.steps, w.states));
+    }
+
+    let stats = server.stop();
+    assert_eq!(stats.requests, 4);
+    assert_eq!(stats.cache_hits, 2);
+    assert_eq!(stats.cache_misses, 2);
+    assert_eq!(stats.requests, stats.cache_hits + stats.cache_misses);
+}
+
+#[test]
+fn malformed_and_oversized_lines_get_error_responses_over_tcp() {
+    let server = TestServer::boot();
+    let mut stream = TcpStream::connect(("127.0.0.1", server.port)).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+
+    // Not JSON at all.
+    writeln!(stream, "this is not a frame").unwrap();
+    stream.flush().unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"verdict\":\"error\""), "{line}");
+    assert!(line.contains("malformed frame"), "{line}");
+
+    // A frame far past the size cap, fed in chunks, then a valid
+    // request to prove the connection survived.
+    let huge = "x".repeat(kiss_serve::MAX_FRAME_BYTES + 64);
+    stream.write_all(huge.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let valid = Request::check("after", "int x;\nvoid main() { x = 1; assert x == 1; }");
+    writeln!(stream, "{}", valid.to_json()).unwrap();
+    stream.flush().unwrap();
+
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("oversized frame"), "{line}");
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"id\":\"after\""), "{line}");
+    assert!(line.contains("\"verdict\":\"pass\""), "{line}");
+    drop(stream);
+    let stats = server.stop();
+    assert_eq!(stats.requests, 1, "only the valid frame counts as a request");
+}
