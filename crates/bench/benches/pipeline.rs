@@ -9,7 +9,9 @@
 //!   complexity argument, as wall-clock);
 //! * `table_row` — one full per-field Table 1 row (toastmon);
 //! * `alias_pruning` — race transformation with and without the alias
-//!   analysis.
+//!   analysis;
+//! * `ltl_product` — the liveness pipeline (negated-formula tableau +
+//!   Büchi product BFS) on a violated and a held spinlock property.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -164,6 +166,34 @@ fn bench_alias_pruning(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_ltl_product(c: &mut Criterion) {
+    // The liveness pipeline end-to-end: negated-formula tableau, then
+    // the Büchi product of a spinlock that never releases (a real
+    // accepting cycle) vs one that does (full exploration, no lasso).
+    let stuck = kiss_lang::parse_and_lower(
+        "int locked;
+         void worker() { skip; }
+         void main() { locked = 1; async worker(); while (locked == 1) { skip; } }",
+    )
+    .expect("valid");
+    let released = kiss_lang::parse_and_lower(
+        "int locked;
+         void worker() { locked = 0; }
+         void main() { locked = 1; async worker(); while (locked == 1) { skip; } }",
+    )
+    .expect("valid");
+    let formula = kiss_ltl::parse("G (locked -> F !locked)").expect("valid formula");
+
+    let mut g = c.benchmark_group("ltl_product");
+    g.bench_function("spinlock_violated", |b| {
+        b.iter(|| Kiss::new().check_ltl(black_box(&stuck), &formula).expect("resolves"))
+    });
+    g.bench_function("spinlock_holds", |b| {
+        b.iter(|| Kiss::new().check_ltl(black_box(&released), &formula).expect("resolves"))
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
@@ -173,6 +203,7 @@ criterion_group! {
         bench_kiss_vs_exhaustive,
         bench_table_row,
         bench_alias_pruning,
-        bench_opt_ablation
+        bench_opt_ablation,
+        bench_ltl_product
 }
 criterion_main!(benches);

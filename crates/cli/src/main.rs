@@ -23,7 +23,8 @@
 //! `<target>` is a global name or `Struct.field`. Exit code 0 means no
 //! error was found, 1 means an error was reported, 2 means usage or
 //! input problems, 3 means the check was inconclusive (budget, deadline,
-//! or ^C), 4 means the check itself crashed (and was isolated).
+//! or ^C), 4 means the check itself crashed (and was isolated), and 5
+//! means an `--ltl` liveness property was violated.
 //!
 //! Robustness: `serve` drains on SIGTERM exactly as on ^C (exit 0), can
 //! shed load with typed `overloaded` responses when the queue stays
@@ -52,7 +53,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use kiss_core::checker::{Engine, Kiss, KissOutcome};
-use kiss_core::report::render_trace;
+use kiss_core::report::{render_liveness, render_trace};
 use kiss_core::StoreKind;
 use kiss_core::sigint::{install_sigint_cancel, install_sigterm_cancel, restore_sigpipe_default};
 use kiss_core::supervisor::{Supervised, SupervisedRun, Supervisor};
@@ -79,7 +80,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   kissc check <file.kc> [--max-ts N] [--engine explicit|summary|bfs] [--no-validate]
-                        [--store legacy|cow] [--explore-jobs N]
+                        [--ltl FORMULA] [--store legacy|cow] [--explore-jobs N]
                         [--timeout S] [--max-steps N] [--max-states N] [--retries N]
                         [--stats] [--trace-out PATH] [--metrics PATH] [--progress]
   kissc race <file.kc> <target> [--max-ts N] [--no-prune] [--store legacy|cow]
@@ -94,7 +95,7 @@ const USAGE: &str = "usage:
               [--admission-wait S] [--idle-timeout S] [--fault SPEC]
               [--timeout S] [--max-steps N] [--max-states N] [--retries N]
               [--trace-out PATH] [--metrics PATH] [--progress]
-  kissc submit <file.kc>... [--race <target>] (--socket PATH | --port N)
+  kissc submit <file.kc>... [--race <target> | --ltl FORMULA] (--socket PATH | --port N)
   kissc submit --corpus [--refined] [--limit N] (--socket PATH | --port N)
               [--engine explicit|summary|bfs] [--store legacy|cow] [--max-ts N]
               [--timeout S] [--max-steps N] [--max-states N] [--no-cache]
@@ -133,6 +134,15 @@ serving (serve, submit, ping, metrics, top):
   --count N         render N frames then exit; 0 polls until ^C (default 0)
   ^C or SIGTERM drains in-flight requests before the server exits
 
+liveness (check, submit):
+  --ltl FORMULA     check an LTL formula over the program's globals
+                    instead of its assertions, e.g. 'G(locked -> F !locked)'
+                    (propositions: `name` or `name OP INT`; operators
+                    G F X U R ! && || -> <->). A violation prints the
+                    stem and repeating cycle of a concrete lasso and
+                    exits 5; the exploration honours --explore-jobs
+                    with byte-identical results at any worker count
+
 state store (check, race):
   --store legacy|cow  visited-state representation: `cow` (default) is the
                       interned fingerprint table with copy-on-write memory
@@ -152,7 +162,8 @@ exit codes:
   1  an error was reported (assertion violation, race, runtime error)
   2  usage or input problem
   3  inconclusive (budget, deadline, or ^C)
-  4  the check itself crashed (isolated by the supervisor)";
+  4  the check itself crashed (isolated by the supervisor)
+  5  a liveness property was violated (--ltl)";
 
 /// Minimal flag scanner: `--name value` and boolean `--name`.
 struct Flags<'a> {
@@ -230,14 +241,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let store = store_flag(&mut flags)?;
             let explore_jobs = explore_jobs_flag(&mut flags)?;
             let validate = !flags.flag("--no-validate");
+            let ltl = ltl_flag(&mut flags)?;
             let (budget, retries) = bound_flags(&mut flags)?;
             let obs_opts = obs_flags(&mut flags)?;
             flags.finish()?;
             let program = load(file)?;
+            // Resolve the propositions before supervising so a typo is
+            // a usage error (exit 2), not a supervised failure — the
+            // same treatment `race` gives an unknown target.
+            if let Some(formula) = &ltl {
+                kiss_ltl::resolve_atoms(&program, &formula.atoms())
+                    .map_err(|name| format!("--ltl: proposition `{name}` names no global"))?;
+            }
             let (obs, agg) = build_obs(&obs_opts)?;
             let supervisor = supervisor_with_sigint(budget, retries).with_observer(obs.clone());
             let run = supervisor.run_scoped(file, |b, token, check_obs| {
-                Kiss::new()
+                let kiss = Kiss::new()
                     .with_max_ts(max_ts)
                     .with_engine(engine)
                     .with_store(store)
@@ -245,8 +264,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     .with_validation(validate)
                     .with_budget(b)
                     .with_cancel(token)
-                    .with_observer(check_obs.clone())
-                    .check_assertions(&program)
+                    .with_observer(check_obs.clone());
+                match &ltl {
+                    Some(formula) => {
+                        kiss.check_ltl(&program, formula).expect("propositions pre-resolved")
+                    }
+                    None => kiss.check_assertions(&program),
+                }
             });
             finish_observed(&obs, agg.as_ref(), &obs_opts)?;
             report_supervised(&program, run, obs_opts.stats)
@@ -471,6 +495,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let no_cache = flags.flag("--no-cache");
             let no_batch = flags.flag("--no-batch");
             let race = flags.value("--race")?;
+            let ltl = ltl_flag(&mut flags)?;
+            if race.is_some() && ltl.is_some() {
+                return Err("--race and --ltl are mutually exclusive".into());
+            }
             let retry = match flags.value("--retry")? {
                 Some(s) => parse_num(s)? as u32,
                 None => 0,
@@ -505,6 +533,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 if !files.is_empty() {
                     return Err("--corpus and <file.kc> arguments are mutually exclusive".into());
                 }
+                if ltl.is_some() {
+                    return Err("--corpus and --ltl are mutually exclusive".into());
+                }
                 let mut entries = kiss_drivers::corpus_batch(refined);
                 if let Some(limit) = limit {
                     entries.truncate(limit);
@@ -520,9 +551,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 for file in files {
                     let source = std::fs::read_to_string(file)
                         .map_err(|e| format!("cannot read `{file}`: {e}"))?;
-                    requests.push(configure(match race {
-                        Some(target) => Request::race(file, source, target),
-                        None => Request::check(file, source),
+                    requests.push(configure(match (race, &ltl) {
+                        (Some(target), _) => Request::race(file, source, target),
+                        // The formula travels pretty-printed: two
+                        // spellings of one formula share a cache entry.
+                        (None, Some(formula)) => {
+                            Request::ltl(file, source, formula.to_string())
+                        }
+                        (None, None) => Request::check(file, source),
                     }));
                 }
             }
@@ -568,6 +604,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 outcome.responses.iter().map(|r| r.verdict.as_str()).collect();
             if outcome.responses.iter().any(|r| r.found_error()) {
                 Ok(ExitCode::from(1))
+            } else if verdicts.contains(&"liveness") {
+                Ok(ExitCode::from(5))
             } else if verdicts.contains(&"crashed") {
                 Ok(ExitCode::from(4))
             } else if verdicts.contains(&"inconclusive") {
@@ -712,6 +750,16 @@ fn explore_jobs_flag(flags: &mut Flags) -> Result<usize, String> {
             }
             Ok(n)
         }
+    }
+}
+
+/// Parses the shared `--ltl` flag of `check` and `submit`: an LTL
+/// formula over the program's globals. A malformed formula is a usage
+/// error (exit 2) whose message names the offending token.
+fn ltl_flag(flags: &mut Flags) -> Result<Option<kiss_ltl::Formula>, String> {
+    match flags.value("--ltl")? {
+        None => Ok(None),
+        Some(s) => kiss_ltl::parse(s).map(Some).map_err(|e| format!("--ltl: {e}")),
     }
 }
 
@@ -864,6 +912,12 @@ fn report_outcome(program: &Program, outcome: KissOutcome) -> Result<ExitCode, S
             println!("concurrent trace:");
             print!("{}", render_trace(program, &report.mapped));
             Ok(ExitCode::from(1))
+        }
+        KissOutcome::LivenessViolated(report) => {
+            println!("LIVENESS VIOLATION");
+            println!("formula: {}", report.formula);
+            print!("{}", render_liveness(program, &report));
+            Ok(ExitCode::from(5))
         }
         KissOutcome::Inconclusive { stats, reason } => {
             let (steps, states) = (stats.steps(), stats.states());

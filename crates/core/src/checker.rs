@@ -94,6 +94,22 @@ pub struct ErrorReport {
     pub stats: CheckStats,
 }
 
+/// A violated liveness property: a concrete infinite run of the
+/// sequentialized program on which the LTL formula fails, reported as
+/// a finite stem into a repeating cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LivenessReport {
+    /// The formula that was checked (pretty-printed).
+    pub formula: String,
+    /// Steps from the initial state to the cycle entry.
+    pub stem: Vec<kiss_seq::TraceStep>,
+    /// Steps around the repeating cycle. Empty when the violating run
+    /// is a terminated execution whose final state repeats forever.
+    pub cycle: Vec<kiss_seq::TraceStep>,
+    /// Engine statistics.
+    pub stats: CheckStats,
+}
+
 /// A detected race condition on the distinguished location.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RaceReport {
@@ -118,6 +134,9 @@ pub enum KissOutcome {
     AssertionViolation(ErrorReport),
     /// Conflicting accesses to the distinguished location exist.
     RaceDetected(RaceReport),
+    /// An LTL liveness property is violated by a concrete lasso
+    /// (stem + repeating cycle) of the sequentialized program.
+    LivenessViolated(LivenessReport),
     /// The search exceeded its budget — the paper's "resource bound
     /// exceeded" bucket in Table 1.
     Inconclusive {
@@ -136,7 +155,12 @@ pub enum KissOutcome {
 impl KissOutcome {
     /// `true` for any error-finding outcome.
     pub fn found_error(&self) -> bool {
-        matches!(self, KissOutcome::AssertionViolation(_) | KissOutcome::RaceDetected(_))
+        matches!(
+            self,
+            KissOutcome::AssertionViolation(_)
+                | KissOutcome::RaceDetected(_)
+                | KissOutcome::LivenessViolated(_)
+        )
     }
 
     /// `true` for [`KissOutcome::NoErrorFound`].
@@ -156,6 +180,7 @@ impl KissOutcome {
             KissOutcome::NoErrorFound(stats) => Some(stats),
             KissOutcome::AssertionViolation(report) => Some(&report.stats),
             KissOutcome::RaceDetected(report) => Some(&report.stats),
+            KissOutcome::LivenessViolated(report) => Some(&report.stats),
             KissOutcome::Inconclusive { stats, .. } => Some(stats),
             KissOutcome::RuntimeError(_) | KissOutcome::TransformFailed(_) => None,
         }
@@ -167,6 +192,7 @@ impl KissOutcome {
             KissOutcome::NoErrorFound(_) => "pass",
             KissOutcome::AssertionViolation(_) => "assertion",
             KissOutcome::RaceDetected(_) => "race",
+            KissOutcome::LivenessViolated(_) => "liveness",
             KissOutcome::Inconclusive { .. } => "inconclusive",
             KissOutcome::RuntimeError(_) => "runtime_error",
             KissOutcome::TransformFailed(_) => "transform_failed",
@@ -182,6 +208,11 @@ pub enum CheckError {
         /// The spec as given.
         spec: String,
     },
+    /// An LTL proposition named no global in the program.
+    UnknownProposition {
+        /// The proposition as given.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for CheckError {
@@ -189,6 +220,9 @@ impl std::fmt::Display for CheckError {
         match self {
             CheckError::UnknownRaceSpec { spec } => {
                 write!(f, "race spec `{spec}` names no global or Struct.field in the program")
+            }
+            CheckError::UnknownProposition { name } => {
+                write!(f, "proposition `{name}` names no global in the program")
             }
         }
     }
@@ -361,6 +395,90 @@ impl Kiss {
             .ok_or_else(|| CheckError::UnknownRaceSpec { spec: spec.to_string() })
     }
 
+    /// Checks an LTL formula over the program's globals against every
+    /// balanced run of the sequentialized program (within the `ts`
+    /// bound): the negated formula becomes a Büchi automaton and the
+    /// product with the transformed program is explored for an
+    /// accepting lasso. Terminated runs stutter in their final state;
+    /// pruned (`assume`-false) paths contribute no run. The `--engine`
+    /// selection does not apply — liveness always uses the product
+    /// engine — but budget, cancellation, observer, and `explore_jobs`
+    /// do, and parallel exploration stays byte-identical to serial.
+    pub fn check_ltl(
+        &self,
+        program: &Program,
+        formula: &kiss_ltl::Formula,
+    ) -> Result<KissOutcome, CheckError> {
+        let cfg = TransformConfig { max_ts: self.max_ts, race: None, alias_prune: self.alias_prune };
+        let trace = if self.trace.is_none() && self.obs.is_enabled() {
+            TraceId::fresh()
+        } else {
+            self.trace
+        };
+        let phase = |name| Span::open(&self.obs, trace, self.trace_parent, name);
+        let span = phase("transform");
+        let pruned;
+        let input: &Program = if self.optimize {
+            let mut p = program.clone();
+            kiss_lang::opt::prune_unreachable(&mut p);
+            pruned = p;
+            &pruned
+        } else {
+            program
+        };
+        let mut info = match transform(input, &cfg) {
+            Ok(t) => t,
+            Err(e) => return Ok(KissOutcome::TransformFailed(e)),
+        };
+        if self.optimize {
+            kiss_lang::opt::simplify(&mut info.program);
+        }
+        span.close();
+        let span = phase("buchi");
+        let buchi = kiss_ltl::Buchi::for_negation(formula);
+        span.close();
+        let span = phase("lower");
+        let module = Module::lower(std::mem::take(&mut info.program));
+        span.close();
+        // Transformation only appends instrumentation globals, so user
+        // globals keep their ids — resolving against the transformed
+        // program indexes the product configurations correctly.
+        let atoms = kiss_ltl::resolve_atoms(&module.program, &buchi.atoms)
+            .map_err(|name| CheckError::UnknownProposition { name })?;
+        let span = phase("explore");
+        let (verdict, seq) = kiss_ltl::ProductChecker::new(&module, &buchi, atoms)
+            .with_budget(self.budget)
+            .with_cancel(self.cancel.clone())
+            .with_observer(self.obs.clone())
+            .with_jobs(self.explore_jobs)
+            .with_trace(trace, self.trace_parent)
+            .check_with_stats();
+        span.close();
+        // The product engine is the BFS engine's layered search over a
+        // bigger state space; it reports under the same engine label.
+        let stats = CheckStats {
+            engine: Engine::Bfs,
+            seq,
+            checks_emitted: info.checks_emitted,
+            checks_pruned: info.checks_pruned,
+        };
+        Ok(match verdict {
+            kiss_ltl::LtlVerdict::Holds => KissOutcome::NoErrorFound(stats),
+            kiss_ltl::LtlVerdict::ResourceBound { reason, .. } => {
+                KissOutcome::Inconclusive { stats, reason }
+            }
+            kiss_ltl::LtlVerdict::RuntimeError(e, _) => KissOutcome::RuntimeError(e.to_string()),
+            kiss_ltl::LtlVerdict::Violated(lasso) => {
+                KissOutcome::LivenessViolated(LivenessReport {
+                    formula: formula.to_string(),
+                    stem: lasso.stem,
+                    cycle: lasso.cycle,
+                    stats,
+                })
+            }
+        })
+    }
+
     fn run(&self, program: &Program, cfg: &TransformConfig) -> KissOutcome {
         // A standalone check (no caller-supplied trace) still gets a
         // coherent phase tree when the observer is on.
@@ -479,6 +597,55 @@ mod tests {
         void other() { g = 1; }
         void main() { async other(); assert g == 0; }
     ";
+
+    const SPINLOCK_CORRECT: &str = "
+        int locked;
+        void worker() { locked = 0; }
+        void main() { locked = 1; async worker(); while (locked == 1) { skip; } }
+    ";
+    const SPINLOCK_MUTANT: &str = "
+        int locked;
+        void worker() { skip; }
+        void main() { locked = 1; async worker(); while (locked == 1) { skip; } }
+    ";
+
+    #[test]
+    fn ltl_distinguishes_released_from_stuck_spinlock() {
+        let formula = kiss_ltl::parse("G (locked -> F !locked)").unwrap();
+        let held = Kiss::new().check_ltl(&prog(SPINLOCK_CORRECT), &formula).unwrap();
+        assert!(held.is_clean(), "correct spinlock must satisfy the formula: {held:?}");
+
+        let violated = Kiss::new().check_ltl(&prog(SPINLOCK_MUTANT), &formula).unwrap();
+        let KissOutcome::LivenessViolated(report) = violated else {
+            panic!("expected liveness violation, got {violated:?}");
+        };
+        assert_eq!(report.formula, "G (locked -> F !locked)");
+        assert!(!report.cycle.is_empty(), "the spin loop is a real cycle, not a stutter");
+        assert!(report.stats.seq.product_states > 0);
+        assert!(report.stats.seq.buchi_states > 0);
+        // Rendering shows the loop's source text.
+        let rendered = crate::report::render_liveness(&prog(SPINLOCK_MUTANT), &report);
+        assert!(rendered.contains("cycle"), "{rendered}");
+    }
+
+    #[test]
+    fn ltl_parallel_exploration_matches_serial() {
+        let formula = kiss_ltl::parse("F (locked == 0)").unwrap();
+        let serial = Kiss::new().check_ltl(&prog(SPINLOCK_MUTANT), &formula).unwrap();
+        let parallel = Kiss::new()
+            .with_explore_jobs(4)
+            .check_ltl(&prog(SPINLOCK_MUTANT), &formula)
+            .unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn ltl_unknown_proposition_is_a_typed_error() {
+        let formula = kiss_ltl::parse("F missing").unwrap();
+        let err = Kiss::new().check_ltl(&prog(SPINLOCK_CORRECT), &formula).unwrap_err();
+        assert_eq!(err, CheckError::UnknownProposition { name: "missing".into() });
+        assert!(err.to_string().contains("`missing`"), "{err}");
+    }
 
     #[test]
     fn finds_and_validates_fork_bug() {

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use kiss_lang::hir::{FuncDef, Program, Stmt, StmtKind};
 use kiss_lang::{pretty, Span};
 
+use crate::checker::LivenessReport;
 use crate::trace_map::MappedTrace;
 
 /// Renders a mapped trace with the source text of each executed
@@ -37,6 +38,50 @@ pub fn render_trace(program: &Program, mapped: &MappedTrace) -> String {
     out
 }
 
+/// Renders a liveness counterexample: the user-visible steps of the
+/// stem, then the repeating cycle. Instrumentation steps (scheduler
+/// assumes, raise propagation) are elided, and consecutive steps at the
+/// same source location collapse like in [`render_trace`]:
+///
+/// ```text
+/// stem:
+///   3:13   locked = 1;
+/// cycle (repeats forever):
+///   4:13   iter { ... }
+/// ```
+///
+/// An empty cycle means the violating run terminated and its final
+/// state repeats forever.
+pub fn render_liveness(program: &Program, report: &LivenessReport) -> String {
+    let index = statement_index(program);
+    let mut out = String::new();
+    let mut section = |title: &str, steps: &[kiss_seq::TraceStep]| {
+        out.push_str(title);
+        out.push('\n');
+        let mut last: Option<Span> = None;
+        let mut any = false;
+        for step in steps {
+            if !step.origin.is_user() || step.span.is_synthetic() || last == Some(step.span) {
+                continue;
+            }
+            last = Some(step.span);
+            any = true;
+            let text = index.get(&step.span).map(String::as_str).unwrap_or("<statement>");
+            out.push_str(&format!("  {:<7} {}\n", step.span.to_string(), text));
+        }
+        if !any {
+            out.push_str("  <no user statements>\n");
+        }
+    };
+    section("stem:", &report.stem);
+    if report.cycle.is_empty() {
+        out.push_str("cycle: the final state repeats forever (program terminated)\n");
+    } else {
+        section("cycle (repeats forever):", &report.cycle);
+    }
+    out
+}
+
 /// Maps each source span to the principal statement text at that span.
 /// Lowering can attach several core statements to one source statement
 /// (temporaries); traversal order puts the principal statement last, so
@@ -60,6 +105,13 @@ fn walk(program: &Program, f: &FuncDef, s: &Stmt, index: &mut HashMap<Span, Stri
         _ => {}
     }
     if !s.span.is_synthetic() && !matches!(s.kind, StmtKind::Seq(_)) {
+        // The `while` desugar appends a loop-exit condition re-check
+        // and `assume !cond` that share the loop head's span; an
+        // already-indexed composite (the loop itself) stays the
+        // principal statement there.
+        if index.get(&s.span).is_some_and(|t| t.ends_with("{ ... }")) {
+            return;
+        }
         // One-line rendering; composites get their head line only.
         let text = match &s.kind {
             StmtKind::Choice(_) => "choice { ... }".to_string(),

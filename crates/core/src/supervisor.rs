@@ -285,6 +285,8 @@ fn metrics_for(label: &str, run: &SupervisedRun, wall_ms: u64) -> CheckMetrics {
                 m.summaries = stats.seq.summaries as u64;
                 m.rounds = u64::from(stats.seq.rounds);
                 m.speculative_steps = stats.seq.speculative_steps;
+                m.product_states = stats.seq.product_states as u64;
+                m.buchi_states = stats.seq.buchi_states as u64;
             }
         }
     }

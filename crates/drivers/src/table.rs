@@ -370,6 +370,11 @@ fn field_outcome(result: Supervised) -> FieldOutcome {
         Supervised::Completed(KissOutcome::AssertionViolation(_)) => {
             FieldOutcome::Failed { cause: "assertion violation in race harness".to_string() }
         }
+        // Race harnesses never run liveness checks; reaching here means
+        // the harness was miswired, which is a failure, not a race.
+        Supervised::Completed(KissOutcome::LivenessViolated(_)) => {
+            FieldOutcome::Failed { cause: "liveness verdict in race harness".to_string() }
+        }
         Supervised::Completed(KissOutcome::RuntimeError(e)) => {
             FieldOutcome::Failed { cause: format!("runtime error: {e}") }
         }

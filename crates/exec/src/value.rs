@@ -68,6 +68,26 @@ impl Value {
         }
     }
 
+    /// Truthiness as an atomic proposition: a nonzero int, `true`, or a
+    /// non-null reference. Used by the LTL engine to judge bare-name
+    /// atoms against global values.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Int(n) => *n != 0,
+            Value::Bool(b) => *b,
+            Value::Fn(_) | Value::Ptr(_) => true,
+            Value::Null => false,
+        }
+    }
+
+    /// The integer content, if the value is an int.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     /// A short type name for error messages.
     pub fn type_name(&self) -> &'static str {
         match self {
@@ -148,6 +168,18 @@ impl Memory {
 mod tests {
     use super::*;
     use kiss_lang::parse_and_lower;
+
+    #[test]
+    fn truthiness_and_int_views() {
+        assert!(Value::Int(2).truthy() && Value::Int(-1).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Bool(true).truthy() && !Value::Bool(false).truthy());
+        assert!(!Value::Null.truthy());
+        assert!(Value::Fn(kiss_lang::hir::FuncId(0)).truthy());
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Bool(true).as_int(), None);
+        assert_eq!(Value::Null.as_int(), None);
+    }
 
     #[test]
     fn from_const_round_trips() {

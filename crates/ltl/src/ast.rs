@@ -1,0 +1,257 @@
+//! LTL formula AST and pretty-printer.
+//!
+//! Propositions range over the KISS-C globals of the checked program:
+//! a bare name is truthy (`locked` holds when the global is a nonzero
+//! int or `true`), and a comparison (`pending == 2`) constrains an int
+//! global. The printer emits the minimal parenthesization the parser
+//! needs, so `parse(print(f)) == f` structurally — the round-trip
+//! property the proptest suite pins down.
+
+/// Comparison operator of an atomic proposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The surface spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Applies the comparison to concrete ints.
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// An atomic proposition: a global name, optionally compared against an
+/// integer constant. Without a comparison the atom is the truthiness of
+/// the global's value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Name of the KISS-C global.
+    pub name: String,
+    /// Optional integer comparison.
+    pub cmp: Option<(CmpOp, i64)>,
+}
+
+impl std::fmt::Display for Atom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.cmp {
+            None => f.write_str(&self.name),
+            Some((op, n)) => write!(f, "{} {} {}", self.name, op.symbol(), n),
+        }
+    }
+}
+
+/// An LTL formula over atomic propositions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// An atomic proposition.
+    Atom(Atom),
+    /// `!f`
+    Not(Box<Formula>),
+    /// `f & g`
+    And(Box<Formula>, Box<Formula>),
+    /// `f | g`
+    Or(Box<Formula>, Box<Formula>),
+    /// `f -> g`
+    Implies(Box<Formula>, Box<Formula>),
+    /// `X f` — f holds at the next position.
+    Next(Box<Formula>),
+    /// `F f` — f eventually holds.
+    Finally(Box<Formula>),
+    /// `G f` — f holds at every position.
+    Globally(Box<Formula>),
+    /// `f U g` — g eventually holds and f holds until then.
+    Until(Box<Formula>, Box<Formula>),
+    /// `f R g` — g holds up to and including the first f (or forever).
+    Release(Box<Formula>, Box<Formula>),
+}
+
+/// Binding strength: `->` < `|` < `&` < `U`/`R` < unary < atoms.
+fn prec(f: &Formula) -> u8 {
+    match f {
+        Formula::Implies(..) => 0,
+        Formula::Or(..) => 1,
+        Formula::And(..) => 2,
+        Formula::Until(..) | Formula::Release(..) => 3,
+        Formula::Not(_) | Formula::Next(_) | Formula::Finally(_) | Formula::Globally(_) => 4,
+        Formula::True | Formula::False | Formula::Atom(_) => 5,
+    }
+}
+
+impl Formula {
+    fn fmt_prec(&self, out: &mut std::fmt::Formatter<'_>, min: u8) -> std::fmt::Result {
+        let p = prec(self);
+        if p < min {
+            out.write_str("(")?;
+        }
+        match self {
+            Formula::True => out.write_str("true")?,
+            Formula::False => out.write_str("false")?,
+            Formula::Atom(a) => write!(out, "{a}")?,
+            Formula::Not(x) => {
+                out.write_str("!")?;
+                x.fmt_prec(out, 4)?;
+            }
+            Formula::Next(x) | Formula::Finally(x) | Formula::Globally(x) => {
+                out.write_str(match self {
+                    Formula::Next(_) => "X ",
+                    Formula::Finally(_) => "F ",
+                    _ => "G ",
+                })?;
+                x.fmt_prec(out, 4)?;
+            }
+            // Left-associative: the right operand needs parens at the
+            // same level, the left does not.
+            Formula::And(a, b) => {
+                a.fmt_prec(out, 2)?;
+                out.write_str(" & ")?;
+                b.fmt_prec(out, 3)?;
+            }
+            Formula::Or(a, b) => {
+                a.fmt_prec(out, 1)?;
+                out.write_str(" | ")?;
+                b.fmt_prec(out, 2)?;
+            }
+            // Right-associative: mirrored.
+            Formula::Implies(a, b) => {
+                a.fmt_prec(out, 1)?;
+                out.write_str(" -> ")?;
+                b.fmt_prec(out, 0)?;
+            }
+            Formula::Until(a, b) => {
+                a.fmt_prec(out, 4)?;
+                out.write_str(" U ")?;
+                b.fmt_prec(out, 3)?;
+            }
+            Formula::Release(a, b) => {
+                a.fmt_prec(out, 4)?;
+                out.write_str(" R ")?;
+                b.fmt_prec(out, 3)?;
+            }
+        }
+        if p < min {
+            out.write_str(")")?;
+        }
+        Ok(())
+    }
+
+    /// All atoms of the formula, in first-occurrence order, deduplicated.
+    pub fn atoms(&self) -> Vec<Atom> {
+        let mut out: Vec<Atom> = Vec::new();
+        fn walk(f: &Formula, out: &mut Vec<Atom>) {
+            match f {
+                Formula::True | Formula::False => {}
+                Formula::Atom(a) => {
+                    if !out.contains(a) {
+                        out.push(a.clone());
+                    }
+                }
+                Formula::Not(x) | Formula::Next(x) | Formula::Finally(x) | Formula::Globally(x) => {
+                    walk(x, out)
+                }
+                Formula::And(a, b)
+                | Formula::Or(a, b)
+                | Formula::Implies(a, b)
+                | Formula::Until(a, b)
+                | Formula::Release(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+impl std::fmt::Display for Formula {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(name: &str) -> Formula {
+        Formula::Atom(Atom { name: name.to_string(), cmp: None })
+    }
+
+    #[test]
+    fn printer_parenthesizes_by_precedence() {
+        let f = Formula::Globally(Box::new(Formula::Implies(
+            Box::new(atom("locked")),
+            Box::new(Formula::Finally(Box::new(Formula::Not(Box::new(atom("locked")))))),
+        )));
+        assert_eq!(f.to_string(), "G (locked -> F !locked)");
+    }
+
+    #[test]
+    fn associativity_prints_minimally() {
+        let l = Formula::And(
+            Box::new(Formula::And(Box::new(atom("a")), Box::new(atom("b")))),
+            Box::new(atom("c")),
+        );
+        assert_eq!(l.to_string(), "a & b & c");
+        let r = Formula::And(
+            Box::new(atom("a")),
+            Box::new(Formula::And(Box::new(atom("b")), Box::new(atom("c")))),
+        );
+        assert_eq!(r.to_string(), "a & (b & c)");
+        let u = Formula::Until(
+            Box::new(atom("a")),
+            Box::new(Formula::Until(Box::new(atom("b")), Box::new(atom("c")))),
+        );
+        assert_eq!(u.to_string(), "a U b U c");
+    }
+
+    #[test]
+    fn comparison_atoms_print_with_operator() {
+        let f = Formula::Atom(Atom { name: "pending".into(), cmp: Some((CmpOp::Ge, -3)) });
+        assert_eq!(f.to_string(), "pending >= -3");
+    }
+
+    #[test]
+    fn atoms_dedup_in_first_occurrence_order() {
+        let f = Formula::And(
+            Box::new(Formula::Or(Box::new(atom("b")), Box::new(atom("a")))),
+            Box::new(atom("b")),
+        );
+        let names: Vec<String> = f.atoms().into_iter().map(|a| a.name).collect();
+        assert_eq!(names, vec!["b", "a"]);
+    }
+}

@@ -1,0 +1,407 @@
+//! LTL formula parser.
+//!
+//! Grammar (loosest to tightest): `->` (right-assoc), `|`, `&`,
+//! `U`/`R` (right-assoc), unary `! X F G`, then atoms and parens.
+//! `G`, `F`, `X`, `U`, `R`, `true`, and `false` are reserved words;
+//! every other identifier names a KISS-C global. Errors name the
+//! offending token, matching the CLI's `expected X, found Y` style.
+
+use crate::ast::{Atom, CmpOp, Formula};
+
+/// A parse error: what was expected and which token was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message, `expected <what>, found <token>`.
+    pub message: String,
+    /// Byte offset of the offending token in the input.
+    pub at: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    True,
+    False,
+    GOp,
+    FOp,
+    XOp,
+    UOp,
+    ROp,
+    Not,
+    And,
+    Or,
+    Implies,
+    Cmp(CmpOp),
+    LParen,
+    RParen,
+    Eof,
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Int(n) => format!("integer `{n}`"),
+            Tok::True => "`true`".into(),
+            Tok::False => "`false`".into(),
+            Tok::GOp => "`G`".into(),
+            Tok::FOp => "`F`".into(),
+            Tok::XOp => "`X`".into(),
+            Tok::UOp => "`U`".into(),
+            Tok::ROp => "`R`".into(),
+            Tok::Not => "`!`".into(),
+            Tok::And => "`&`".into(),
+            Tok::Or => "`|`".into(),
+            Tok::Implies => "`->`".into(),
+            Tok::Cmp(op) => format!("`{}`", op.symbol()),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Eof => "end of formula".into(),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            b')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            b'&' => {
+                // `&&` is accepted as an alias for `&`.
+                i += if bytes.get(i + 1) == Some(&b'&') { 2 } else { 1 };
+                toks.push((Tok::And, i - 1));
+            }
+            b'|' => {
+                i += if bytes.get(i + 1) == Some(&b'|') { 2 } else { 1 };
+                toks.push((Tok::Or, i - 1));
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Cmp(CmpOp::Ne), i));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Not, i));
+                    i += 1;
+                }
+            }
+            b'=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Cmp(CmpOp::Eq), i));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        message: "expected `==`, found lone `=`".into(),
+                        at: i,
+                    });
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Cmp(CmpOp::Le), i));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Cmp(CmpOp::Lt), i));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Cmp(CmpOp::Ge), i));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Cmp(CmpOp::Gt), i));
+                    i += 1;
+                }
+            }
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push((Tok::Implies, i));
+                    i += 2;
+                } else if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &src[start..i];
+                    let n: i64 = text.parse().map_err(|_| ParseError {
+                        message: format!("integer `{text}` is out of range"),
+                        at: start,
+                    })?;
+                    toks.push((Tok::Int(n), start));
+                } else {
+                    return Err(ParseError {
+                        message: "expected `->` or a negative integer after `-`".into(),
+                        at: i,
+                    });
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n: i64 = text.parse().map_err(|_| ParseError {
+                    message: format!("integer `{text}` is out of range"),
+                    at: start,
+                })?;
+                toks.push((Tok::Int(n), start));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "G" => Tok::GOp,
+                    "F" => Tok::FOp,
+                    "X" => Tok::XOp,
+                    "U" => Tok::UOp,
+                    "R" => Tok::ROp,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                toks.push((tok, start));
+            }
+            _ => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{}`", &src[i..].chars().next().unwrap()),
+                    at: i,
+                })
+            }
+        }
+    }
+    toks.push((Tok::Eof, src.len()));
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn at(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, expected: &str) -> ParseError {
+        ParseError {
+            message: format!("expected {expected}, found {}", self.peek().describe()),
+            at: self.at(),
+        }
+    }
+
+    fn implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.or()?;
+        if *self.peek() == Tok::Implies {
+            self.bump();
+            let rhs = self.implies()?;
+            return Ok(Formula::Implies(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.and()?;
+        while *self.peek() == Tok::Or {
+            self.bump();
+            let rhs = self.and()?;
+            lhs = Formula::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.until()?;
+        while *self.peek() == Tok::And {
+            self.bump();
+            let rhs = self.until()?;
+            lhs = Formula::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn until(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.unary()?;
+        match self.peek() {
+            Tok::UOp => {
+                self.bump();
+                let rhs = self.until()?;
+                Ok(Formula::Until(Box::new(lhs), Box::new(rhs)))
+            }
+            Tok::ROp => {
+                self.bump();
+                let rhs = self.until()?;
+                Ok(Formula::Release(Box::new(lhs), Box::new(rhs)))
+            }
+            _ => Ok(lhs),
+        }
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Tok::Not => {
+                self.bump();
+                Ok(Formula::Not(Box::new(self.unary()?)))
+            }
+            Tok::XOp => {
+                self.bump();
+                Ok(Formula::Next(Box::new(self.unary()?)))
+            }
+            Tok::FOp => {
+                self.bump();
+                Ok(Formula::Finally(Box::new(self.unary()?)))
+            }
+            Tok::GOp => {
+                self.bump();
+                Ok(Formula::Globally(Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek().clone() {
+            Tok::True => {
+                self.bump();
+                Ok(Formula::True)
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Formula::False)
+            }
+            Tok::LParen => {
+                self.bump();
+                let inner = self.implies()?;
+                if *self.peek() != Tok::RParen {
+                    return Err(self.err("`)`"));
+                }
+                self.bump();
+                Ok(inner)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if let Tok::Cmp(op) = *self.peek() {
+                    self.bump();
+                    let Tok::Int(n) = *self.peek() else {
+                        return Err(self.err(&format!("integer after `{}`", op.symbol())));
+                    };
+                    self.bump();
+                    return Ok(Formula::Atom(Atom { name, cmp: Some((op, n)) }));
+                }
+                Ok(Formula::Atom(Atom { name, cmp: None }))
+            }
+            _ => Err(self.err("a formula")),
+        }
+    }
+}
+
+/// Parses an LTL formula from its surface syntax.
+pub fn parse(src: &str) -> Result<Formula, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let f = p.implies()?;
+    if *p.peek() != Tok::Eof {
+        return Err(p.err("end of formula"));
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_headline_formula() {
+        let f = parse("G(locked -> F !locked)").unwrap();
+        assert_eq!(f.to_string(), "G (locked -> F !locked)");
+    }
+
+    #[test]
+    fn precedence_binds_until_tighter_than_and() {
+        let f = parse("a U b & c").unwrap();
+        // (a U b) & c
+        assert!(matches!(f, Formula::And(..)), "{f:?}");
+        let g = parse("a & b U c").unwrap();
+        assert!(matches!(g, Formula::And(..)), "{g:?}");
+        let Formula::And(_, rhs) = g else { unreachable!() };
+        assert!(matches!(*rhs, Formula::Until(..)));
+    }
+
+    #[test]
+    fn implies_is_right_associative() {
+        let f = parse("a -> b -> c").unwrap();
+        let Formula::Implies(_, rhs) = f else { panic!("expected implies") };
+        assert!(matches!(*rhs, Formula::Implies(..)));
+    }
+
+    #[test]
+    fn comparison_atoms_parse() {
+        let f = parse("pending >= -3 & done == 1").unwrap();
+        assert_eq!(f.to_string(), "pending >= -3 & done == 1");
+    }
+
+    #[test]
+    fn double_ampersand_is_accepted() {
+        assert_eq!(parse("a && b").unwrap(), parse("a & b").unwrap());
+        assert_eq!(parse("a || b").unwrap(), parse("a | b").unwrap());
+    }
+
+    #[test]
+    fn errors_name_the_offending_token() {
+        let e = parse("G (locked -> )").unwrap_err();
+        assert!(e.message.contains("expected a formula, found `)`"), "{e}");
+        let e = parse("locked F").unwrap_err();
+        assert!(e.message.contains("expected end of formula, found `F`"), "{e}");
+        let e = parse("(a").unwrap_err();
+        assert!(e.message.contains("expected `)`, found end of formula"), "{e}");
+        let e = parse("x == y").unwrap_err();
+        assert!(e.message.contains("expected integer after `==`, found identifier `y`"), "{e}");
+        let e = parse("a # b").unwrap_err();
+        assert!(e.message.contains("unexpected character `#`"), "{e}");
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        let e = parse("").unwrap_err();
+        assert!(e.message.contains("found end of formula"), "{e}");
+    }
+}

@@ -1,0 +1,734 @@
+//! Product exploration: sequentialized program × Büchi automaton.
+//!
+//! The engine explores product states `(config, büchi-state)` with the
+//! same layered BFS + interned-store machinery as the sequential BFS
+//! engine: configurations fingerprint through [`Config::fingerprint`],
+//! product fingerprints fold in the automaton state, and parent edges
+//! hold [`SegId`]s so a counterexample reconstructs lazily. Liveness
+//! run semantics over the KISS-transformed program:
+//!
+//! * a *terminated* configuration (empty stack) stutters — the final
+//!   state repeats forever, so `G`-type obligations keep being judged
+//!   against it;
+//! * a false `assume` (or `assert`) **prunes** the path: the
+//!   sequentialization uses complementary-arm assumes for every
+//!   deterministic branch, so pruned arms are infeasible paths, not
+//!   blocked executions — they contribute no infinite run;
+//! * the transformation's RAISE truncation arms are **excluded**: they
+//!   give safety checking its prefix coverage, but a truncated thread
+//!   is an unfinished schedule, not an infinite behavior — keeping them
+//!   would refute every eventuality vacuously.
+//!
+//! A violation is an accepting lasso: a nontrivial SCC of the product
+//! graph containing an accepting state. Selection is deterministic
+//! (smallest accepting [`StateId`], then shortest cycle by BFS), and
+//! the layer-synchronous parallel mode (`--explore-jobs`) speculates
+//! per-node successor computation — a pure function of the node — and
+//! commits serially in rank order, so verdict, trace, and state counts
+//! are byte-identical at any worker count.
+
+use std::collections::{HashMap, VecDeque};
+
+use kiss_exec::{eval, Env as _, ExecError, Instr, Module};
+use kiss_obs::{Obs, Span, TraceId};
+use kiss_seq::config::{fingerprint_of, Config, Frame, SeqEnv};
+use kiss_seq::explicit::resolve_target;
+use kiss_seq::store::{SegId, SegmentInterner, StateId, VisitedTable};
+use kiss_seq::{
+    BoundReason, Budget, CancelToken, EngineStats, ErrorTrace, Meter, TraceStep,
+};
+use kiss_lang::hir::Origin;
+use kiss_lang::Program;
+
+use crate::ast::{Atom, CmpOp};
+use crate::buchi::{Buchi, BuchiState};
+
+/// An atom resolved against a program: the global's index and the
+/// optional comparison.
+pub type ResolvedAtom = (u32, Option<(CmpOp, i64)>);
+
+/// Resolves formula atoms against a program's globals by name.
+/// Unknown names are an error carrying the offending proposition.
+pub fn resolve_atoms(program: &Program, atoms: &[Atom]) -> Result<Vec<ResolvedAtom>, String> {
+    atoms
+        .iter()
+        .map(|a| match program.global_by_name(&a.name) {
+            Some(g) => Ok((g.0, a.cmp)),
+            None => Err(a.name.clone()),
+        })
+        .collect()
+}
+
+/// A concrete liveness counterexample: a finite stem into a cycle that
+/// repeats forever. An empty `cycle` means the program *terminated* and
+/// its final state stutters (the cycle is the state repeating, with no
+/// program steps in it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lasso {
+    /// Steps from the initial state to the cycle entry.
+    pub stem: Vec<TraceStep>,
+    /// Steps around the cycle (empty for a terminal stutter).
+    pub cycle: Vec<TraceStep>,
+}
+
+/// Outcome of a product exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LtlVerdict {
+    /// No accepting lasso: the formula holds on every (balanced,
+    /// budget-permitting) run of the sequentialized program.
+    Holds,
+    /// An accepting lasso exists; the formula is violated.
+    Violated(Lasso),
+    /// The search exceeded its budget before completing.
+    ResourceBound {
+        /// Expansions performed when the budget tripped.
+        steps: u64,
+        /// Distinct product states recorded.
+        states: usize,
+        /// Which budget axis tripped.
+        reason: BoundReason,
+    },
+    /// The program performed an operation with undefined semantics.
+    RuntimeError(ExecError, ErrorTrace),
+}
+
+/// Program-level successors of one configuration: each successor with
+/// the step that produced it (`None` marks a terminal stutter).
+type ProgStep = Result<Vec<(Config, Option<TraceStep>)>, (ExecError, TraceStep)>;
+
+/// Product-level successors of one node.
+type Expanded = Result<Vec<(Config, u32, Option<TraceStep>)>, (ExecError, TraceStep)>;
+
+/// The product-exploration checker.
+pub struct ProductChecker<'a> {
+    module: &'a Module,
+    buchi: &'a Buchi,
+    atoms: Vec<ResolvedAtom>,
+    budget: Budget,
+    cancel: CancelToken,
+    obs: Obs,
+    jobs: usize,
+    trace: TraceId,
+    trace_parent: u64,
+}
+
+impl<'a> ProductChecker<'a> {
+    /// A checker over `module` and the (negated-formula) automaton,
+    /// with atoms already resolved against the module's program.
+    pub fn new(module: &'a Module, buchi: &'a Buchi, atoms: Vec<ResolvedAtom>) -> Self {
+        ProductChecker {
+            module,
+            buchi,
+            atoms,
+            budget: Budget::default(),
+            cancel: CancelToken::default(),
+            obs: Obs::off(),
+            jobs: 1,
+            trace: TraceId::NONE,
+            trace_parent: 0,
+        }
+    }
+
+    /// Sets the exploration budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Installs a cooperative cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Attaches an observer for progress/budget events and the SCC
+    /// phase span.
+    pub fn with_observer(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Explores with `jobs` worker threads; results are byte-identical
+    /// to a serial run at any worker count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Parents the internal `scc` span under `parent` in `trace`.
+    pub fn with_trace(mut self, trace: TraceId, parent: u64) -> Self {
+        self.trace = trace;
+        self.trace_parent = parent;
+        self
+    }
+
+    fn label_holds(&self, state: &BuchiState, config: &Config) -> bool {
+        let truth = |atom: u32| -> bool {
+            let (global, cmp) = self.atoms[atom as usize];
+            match config.mem.globals.get(global as usize) {
+                None => false,
+                Some(v) => match cmp {
+                    None => v.truthy(),
+                    Some((op, n)) => v.as_int().is_some_and(|i| op.eval(i, n)),
+                },
+            }
+        };
+        state.pos.iter().all(|&a| truth(a)) && state.neg.iter().all(|&a| !truth(a))
+    }
+
+    /// Executes the single instruction at `config`'s top frame,
+    /// returning every program successor. Mirrors the BFS engine's
+    /// segment semantics at per-instruction granularity (the Büchi
+    /// automaton may branch at every step).
+    fn step_config(&self, config: &Config) -> ProgStep {
+        let module = self.module;
+        let Some(frame) = config.stack.last() else {
+            // Terminated: the final state repeats forever.
+            return Ok(vec![(config.clone(), None)]);
+        };
+        let (func, pc) = (frame.func, frame.pc);
+        let body = module.body(func);
+        let meta = body.meta[pc];
+        let step = TraceStep { func, pc, origin: meta.origin, span: meta.span };
+        let mut config = config.clone();
+        match &body.instrs[pc] {
+            Instr::Assign(place, rv) => {
+                let mut env = SeqEnv { module, config: &mut config };
+                if let Err(e) = eval::exec_assign(&mut env, place, rv) {
+                    return Err((e, step));
+                }
+                config.stack.last_mut().expect("nonempty").pc += 1;
+                Ok(vec![(config, Some(step))])
+            }
+            // In LTL mode a false assert prunes like a false assume:
+            // assertion failures are the safety checker's verdict, and
+            // a failed path has no infinite continuation.
+            Instr::Assert(cond) | Instr::Assume(cond) => {
+                let env = SeqEnv { module, config: &mut config };
+                match eval::eval_cond(&env, cond) {
+                    Ok(false) => Ok(Vec::new()),
+                    Ok(true) => {
+                        config.stack.last_mut().expect("nonempty").pc += 1;
+                        Ok(vec![(config, Some(step))])
+                    }
+                    Err(e) => Err((e, step)),
+                }
+            }
+            Instr::Call { dest, target, args } => {
+                let resolved = {
+                    let env = SeqEnv { module, config: &mut config };
+                    resolve_target(&env, *target).map(|callee| {
+                        let arg_vals: Vec<_> =
+                            args.iter().map(|a| eval::eval_operand(&env, a)).collect();
+                        (callee, arg_vals)
+                    })
+                };
+                match resolved {
+                    Ok((callee, arg_vals)) => {
+                        config.stack.last_mut().expect("nonempty").pc += 1;
+                        config.stack.push(Frame::enter(module, callee, &arg_vals, *dest));
+                        Ok(vec![(config, Some(step))])
+                    }
+                    Err(e) => Err((e, step)),
+                }
+            }
+            Instr::Async { .. } => Err((ExecError::AsyncInSequential, step)),
+            Instr::Return(op) => {
+                let ret = {
+                    let env = SeqEnv { module, config: &mut config };
+                    op.map(|o| eval::eval_operand(&env, &o))
+                        .unwrap_or(kiss_exec::Value::Null)
+                };
+                let finished = config.stack.pop().expect("nonempty");
+                if !config.stack.is_empty() {
+                    if let Some(dest) = finished.dest {
+                        let mut env = SeqEnv { module, config: &mut config };
+                        if let Err(e) =
+                            eval::place_addr(&env, &dest).and_then(|a| env.write_addr(a, ret))
+                        {
+                            return Err((e, step));
+                        }
+                    }
+                }
+                Ok(vec![(config, Some(step))])
+            }
+            Instr::Jump(t) => {
+                config.stack.last_mut().expect("nonempty").pc = *t;
+                Ok(vec![(config, Some(step))])
+            }
+            Instr::NondetJump(targets) => {
+                let mut out = Vec::with_capacity(targets.len());
+                for &t in targets {
+                    // The transformation's RAISE arms truncate a thread
+                    // mid-run — prefix coverage for safety checking. A
+                    // truncated thread models an unfinished schedule,
+                    // not an infinite behavior, so liveness excludes
+                    // those arms: every started thread runs to
+                    // completion, and F-obligations are judged only
+                    // against complete balanced runs.
+                    if body.meta[t].origin == Origin::Raise {
+                        continue;
+                    }
+                    let mut c = config.clone();
+                    c.stack.last_mut().expect("nonempty").pc = t;
+                    out.push((c, Some(step)));
+                }
+                Ok(out)
+            }
+            Instr::AtomicBegin | Instr::AtomicEnd => {
+                config.stack.last_mut().expect("nonempty").pc += 1;
+                Ok(vec![(config, Some(step))])
+            }
+        }
+    }
+
+    /// Expands one product node — a pure function of the node, which is
+    /// what makes parallel speculation byte-identical by construction.
+    fn expand(&self, config: &Config, q: u32) -> Expanded {
+        let succs = self.step_config(config)?;
+        let mut out = Vec::new();
+        for (c2, step) in &succs {
+            for &q2 in &self.buchi.states[q as usize].succs {
+                if self.label_holds(&self.buchi.states[q2 as usize], c2) {
+                    out.push((c2.clone(), q2, *step));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Speculatively expands a whole frontier layer across worker
+    /// threads. Only node-local computation happens here; all store
+    /// mutation is the serial commit walk's.
+    fn speculate(&self, frontier: &[(StateId, u32, Config)]) -> Vec<Option<Expanded>> {
+        let jobs = self.jobs.min(frontier.len()).max(1);
+        let chunk = frontier.len().div_ceil(jobs);
+        let mut results: Vec<Option<Expanded>> = Vec::new();
+        results.resize_with(frontier.len(), || None);
+        std::thread::scope(|scope| {
+            let mut rest: &mut [Option<Expanded>] = &mut results;
+            let mut start = 0usize;
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                let (mine, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let nodes = &frontier[start..start + take];
+                start += take;
+                scope.spawn(move || {
+                    for (slot, (_, q, config)) in mine.iter_mut().zip(nodes) {
+                        *slot = Some(self.expand(config, *q));
+                    }
+                });
+            }
+        });
+        results
+    }
+
+    /// Runs the product exploration to a verdict plus engine stats.
+    pub fn check_with_stats(&self) -> (LtlVerdict, EngineStats) {
+        let mut meter = Meter::new(self.budget, self.cancel.clone())
+            .with_observer(self.obs.clone(), "ltl")
+            .with_state_size(96);
+        let mut visited = VisitedTable::new();
+        let mut interner = SegmentInterner::new();
+        // Parent edge per product state (roots are self-parented) and
+        // the full adjacency — lasso detection needs every edge, not
+        // just the BFS tree.
+        let mut parents: Vec<(StateId, SegId)> = Vec::new();
+        let mut adj: Vec<Vec<(u32, SegId)>> = Vec::new();
+        let mut accepting: Vec<bool> = Vec::new();
+        let mut frontier: Vec<(StateId, u32, Config)> = Vec::new();
+        let mut speculated: u64 = 0;
+
+        let root = Config::initial(self.module);
+        let root_fp = root.fingerprint();
+        for &q in &self.buchi.initial {
+            if self.label_holds(&self.buchi.states[q as usize], &root) {
+                let fp = fingerprint_of(&(root_fp.0, root_fp.1, q));
+                let (id, fresh) = visited.insert(fp).expect("empty table has capacity");
+                if fresh {
+                    debug_assert_eq!(id.0 as usize, parents.len());
+                    parents.push((id, SegId::EMPTY));
+                    adj.push(Vec::new());
+                    accepting.push(self.buchi.states[q as usize].accepting);
+                    frontier.push((id, q, root.clone()));
+                }
+            }
+        }
+        let mut frontier_peak = frontier.len();
+
+        macro_rules! stats {
+            () => {
+                EngineStats {
+                    steps: meter.usage.steps,
+                    states: visited.len(),
+                    frontier_peak,
+                    states_stored: visited.len(),
+                    store_bytes: visited.bytes()
+                        + interner.bytes()
+                        + parents.len() * std::mem::size_of::<(StateId, SegId)>()
+                        + adj.iter().map(|v| v.len()).sum::<usize>()
+                            * std::mem::size_of::<(u32, SegId)>(),
+                    speculative_steps: speculated.max(meter.usage.steps),
+                    product_states: visited.len(),
+                    buchi_states: self.buchi.states.len(),
+                    ..EngineStats::default()
+                }
+            };
+        }
+        macro_rules! bound {
+            ($reason:expr) => {{
+                let reason = $reason;
+                return (
+                    LtlVerdict::ResourceBound {
+                        steps: meter.usage.steps,
+                        states: meter.usage.states,
+                        reason,
+                    },
+                    stats!(),
+                );
+            }};
+        }
+
+        while !frontier.is_empty() {
+            frontier_peak = frontier_peak.max(frontier.len());
+            let spec = if self.jobs > 1 && frontier.len() > 1 {
+                speculated += frontier.len() as u64;
+                self.speculate(&frontier)
+            } else {
+                let mut v: Vec<Option<Expanded>> = Vec::new();
+                v.resize_with(frontier.len(), || None);
+                v
+            };
+            let mut next: Vec<(StateId, u32, Config)> = Vec::new();
+            for ((id, q, config), pre) in frontier.iter().zip(spec) {
+                if let Err(reason) = meter.advance(1) {
+                    bound!(reason);
+                }
+                if self.jobs <= 1 {
+                    speculated += 1;
+                }
+                let expanded = pre.unwrap_or_else(|| self.expand(config, *q));
+                match expanded {
+                    Err((e, step)) => {
+                        let mut steps = Self::reconstruct(&parents, &interner, *id);
+                        steps.push(step);
+                        let trace =
+                            ErrorTrace { steps, globals: config.mem.globals.to_vec() };
+                        return (LtlVerdict::RuntimeError(e, trace), stats!());
+                    }
+                    Ok(succs) => {
+                        for (c2, q2, step) in succs {
+                            let cfp = c2.fingerprint();
+                            let fp = fingerprint_of(&(cfp.0, cfp.1, q2));
+                            let (sid, fresh) = match visited.insert(fp) {
+                                Ok(x) => x,
+                                Err(_) => bound!(BoundReason::StateCap),
+                            };
+                            let seg = match &step {
+                                Some(s) => interner.intern(std::slice::from_ref(s)),
+                                None => SegId::EMPTY,
+                            };
+                            adj[id.0 as usize].push((sid.0, seg));
+                            if fresh {
+                                debug_assert_eq!(sid.0 as usize, parents.len());
+                                parents.push((*id, seg));
+                                adj.push(Vec::new());
+                                accepting.push(self.buchi.states[q2 as usize].accepting);
+                                next.push((sid, q2, c2));
+                            }
+                        }
+                    }
+                }
+            }
+            meter.note_states(visited.len());
+            if let Err(reason) = meter.poll() {
+                bound!(reason);
+            }
+            frontier = next;
+        }
+
+        // Exploration complete: find an accepting lasso. The span
+        // carries the SCC/lasso wall time into the trace stream without
+        // touching the deterministic stdout.
+        let span = Span::open(&self.obs, self.trace, self.trace_parent, "scc");
+        let lasso = Self::find_lasso(&adj, &accepting, &parents, &interner);
+        span.close();
+        match lasso {
+            Some(l) => (LtlVerdict::Violated(l), stats!()),
+            None => (LtlVerdict::Holds, stats!()),
+        }
+    }
+
+    fn reconstruct(
+        parents: &[(StateId, SegId)],
+        interner: &SegmentInterner,
+        mut id: StateId,
+    ) -> Vec<TraceStep> {
+        let mut segs: Vec<SegId> = Vec::new();
+        loop {
+            let (p, s) = parents[id.0 as usize];
+            if p == id {
+                break;
+            }
+            segs.push(s);
+            id = p;
+        }
+        let mut steps = Vec::new();
+        for &s in segs.iter().rev() {
+            steps.extend_from_slice(interner.get(s));
+        }
+        steps
+    }
+
+    /// Iterative Tarjan SCC + deterministic counterexample selection:
+    /// the smallest accepting state inside a nontrivial SCC anchors the
+    /// lasso; its cycle is the shortest path back to it within the SCC.
+    fn find_lasso(
+        adj: &[Vec<(u32, SegId)>],
+        accepting: &[bool],
+        parents: &[(StateId, SegId)],
+        interner: &SegmentInterner,
+    ) -> Option<Lasso> {
+        let n = adj.len();
+        const UNSET: u32 = u32::MAX;
+        let mut index = vec![UNSET; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut comp = vec![UNSET; n];
+        let mut ncomp: u32 = 0;
+        let mut counter: u32 = 0;
+        let mut call: Vec<(u32, usize)> = Vec::new();
+        for root in 0..n as u32 {
+            if index[root as usize] != UNSET {
+                continue;
+            }
+            index[root as usize] = counter;
+            low[root as usize] = counter;
+            counter += 1;
+            stack.push(root);
+            on_stack[root as usize] = true;
+            call.push((root, 0));
+            while let Some((v, ei)) = call.last_mut() {
+                let v = *v;
+                if *ei < adj[v as usize].len() {
+                    let w = adj[v as usize][*ei].0;
+                    *ei += 1;
+                    if index[w as usize] == UNSET {
+                        index[w as usize] = counter;
+                        low[w as usize] = counter;
+                        counter += 1;
+                        stack.push(w);
+                        on_stack[w as usize] = true;
+                        call.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        low[v as usize] = low[v as usize].min(index[w as usize]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some((p, _)) = call.last() {
+                        let p = *p as usize;
+                        low[p] = low[p].min(low[v as usize]);
+                    }
+                    if low[v as usize] == index[v as usize] {
+                        loop {
+                            let w = stack.pop().expect("scc stack nonempty");
+                            on_stack[w as usize] = false;
+                            comp[w as usize] = ncomp;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        ncomp += 1;
+                    }
+                }
+            }
+        }
+        let mut size = vec![0u32; ncomp as usize];
+        for v in 0..n {
+            size[comp[v] as usize] += 1;
+        }
+        let mut nontrivial: Vec<bool> = size.iter().map(|&s| s >= 2).collect();
+        for v in 0..n {
+            if adj[v].iter().any(|&(w, _)| w as usize == v) {
+                nontrivial[comp[v] as usize] = true;
+            }
+        }
+        let anchor =
+            (0..n).find(|&v| accepting[v] && nontrivial[comp[v] as usize])? as u32;
+
+        // Shortest cycle through the anchor, inside its SCC.
+        let scc = comp[anchor as usize];
+        let mut pred: HashMap<u32, (u32, SegId)> = HashMap::new();
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        let mut cycle_segs: Option<Vec<SegId>> = None;
+        'search: for &(w, seg) in &adj[anchor as usize] {
+            if comp[w as usize] != scc {
+                continue;
+            }
+            if w == anchor {
+                cycle_segs = Some(vec![seg]);
+                break 'search;
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) = pred.entry(w) {
+                e.insert((anchor, seg));
+                queue.push_back(w);
+            }
+        }
+        while cycle_segs.is_none() {
+            let u = queue.pop_front().expect("anchor SCC is nontrivial, a cycle exists");
+            for &(w, seg) in &adj[u as usize] {
+                if comp[w as usize] != scc {
+                    continue;
+                }
+                if w == anchor {
+                    let mut segs = vec![seg];
+                    let mut cur = u;
+                    while cur != anchor {
+                        let (p, s) = pred[&cur];
+                        segs.push(s);
+                        cur = p;
+                    }
+                    segs.reverse();
+                    cycle_segs = Some(segs);
+                    break;
+                }
+                if let std::collections::hash_map::Entry::Vacant(e) = pred.entry(w) {
+                    e.insert((u, seg));
+                    queue.push_back(w);
+                }
+            }
+        }
+        let stem = Self::reconstruct(parents, interner, StateId(anchor));
+        let mut cycle = Vec::new();
+        for &s in &cycle_segs.expect("set above") {
+            cycle.extend_from_slice(interner.get(s));
+        }
+        Some(Lasso { stem, cycle })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buchi::Buchi;
+    use crate::parse::parse;
+
+    fn module(src: &str) -> Module {
+        Module::lower(kiss_lang::parse_and_lower(src).expect("sample parses"))
+    }
+
+    fn check(src: &str, formula: &str, jobs: usize) -> (LtlVerdict, EngineStats) {
+        let m = module(src);
+        let f = parse(formula).expect("formula parses");
+        let b = Buchi::for_negation(&f);
+        let atoms = resolve_atoms(&m.program, &b.atoms).expect("atoms resolve");
+        ProductChecker::new(&m, &b, atoms).with_jobs(jobs).check_with_stats()
+    }
+
+    const TERMINATING: &str = "int x; void main() { x = 1; }";
+    const SPIN: &str = "int x; void main() { while (x == 0) { skip; } x = 2; }";
+
+    #[test]
+    fn eventually_holds_on_a_terminating_run() {
+        let (v, stats) = check(TERMINATING, "F (x == 1)", 1);
+        assert_eq!(v, LtlVerdict::Holds);
+        assert!(stats.product_states > 0 && stats.buchi_states > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn terminal_state_stutters_into_a_globally_violation() {
+        // x becomes 1 and the final state repeats forever, so G (x == 0)
+        // is violated by a lasso whose cycle is the empty stutter.
+        let (v, _) = check(TERMINATING, "G (x == 0)", 1);
+        let LtlVerdict::Violated(lasso) = v else { panic!("expected violation, got {v:?}") };
+        assert!(!lasso.stem.is_empty());
+        assert!(lasso.cycle.is_empty(), "terminal stutter has no steps: {:?}", lasso.cycle);
+    }
+
+    #[test]
+    fn spin_loop_violates_eventually_with_a_real_cycle() {
+        // The loop never exits (x stays 0), so F (x == 2) fails and the
+        // counterexample cycle contains actual loop instructions.
+        let (v, _) = check(SPIN, "F (x == 2)", 1);
+        let LtlVerdict::Violated(lasso) = v else { panic!("expected violation, got {v:?}") };
+        assert!(!lasso.cycle.is_empty(), "spin loop must yield a non-stutter cycle");
+    }
+
+    #[test]
+    fn spin_loop_satisfies_its_invariant() {
+        let (v, _) = check(SPIN, "G (x == 0)", 1);
+        assert_eq!(v, LtlVerdict::Holds);
+    }
+
+    #[test]
+    fn response_property_distinguishes_release_from_deadlock() {
+        let releases = "int locked; void main() { locked = 1; locked = 0; }";
+        let (v, _) = check(releases, "G (locked -> F !locked)", 1);
+        assert_eq!(v, LtlVerdict::Holds);
+
+        let stuck = "int locked; void main() { locked = 1; while (locked == 1) { skip; } }";
+        let (v, _) = check(stuck, "G (locked -> F !locked)", 1);
+        assert!(matches!(v, LtlVerdict::Violated(_)), "{v:?}");
+    }
+
+    #[test]
+    fn parallel_exploration_matches_serial_exactly() {
+        for (src, formula) in [
+            (TERMINATING, "G (x == 0)"),
+            (SPIN, "F (x == 2)"),
+            (SPIN, "G (x == 0)"),
+            (TERMINATING, "F (x == 1)"),
+        ] {
+            let (v1, mut s1) = check(src, formula, 1);
+            let (v4, mut s4) = check(src, formula, 4);
+            assert_eq!(v1, v4, "{src} {formula}");
+            // A completed exploration speculates exactly what it
+            // commits; equality covers the speculative axis too.
+            assert_eq!(s1.speculative_steps, s1.steps, "{src} {formula}");
+            assert_eq!(s4.speculative_steps, s4.steps, "{src} {formula}");
+            s1.speculative_steps = 0;
+            s4.speculative_steps = 0;
+            assert_eq!(s1, s4, "{src} {formula}");
+        }
+    }
+
+    #[test]
+    fn step_budget_trips_on_the_spin_loop() {
+        let m = module(SPIN);
+        let f = parse("F (x == 2)").expect("formula");
+        let b = Buchi::for_negation(&f);
+        let atoms = resolve_atoms(&m.program, &b.atoms).expect("atoms");
+        let (v, _) = ProductChecker::new(&m, &b, atoms)
+            .with_budget(Budget::steps_states(5, 1_000_000))
+            .check_with_stats();
+        assert!(
+            matches!(v, LtlVerdict::ResourceBound { reason: BoundReason::Steps, .. }),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn cancellation_surfaces_as_a_resource_bound() {
+        let m = module(SPIN);
+        let f = parse("F (x == 2)").expect("formula");
+        let b = Buchi::for_negation(&f);
+        let atoms = resolve_atoms(&m.program, &b.atoms).expect("atoms");
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let (v, _) = ProductChecker::new(&m, &b, atoms).with_cancel(cancel).check_with_stats();
+        assert!(
+            matches!(v, LtlVerdict::ResourceBound { reason: BoundReason::Cancelled, .. }),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_proposition_is_reported_by_name() {
+        let m = module(TERMINATING);
+        let f = parse("F nope").expect("formula");
+        let b = Buchi::for_negation(&f);
+        assert_eq!(resolve_atoms(&m.program, &b.atoms), Err("nope".to_string()));
+    }
+}

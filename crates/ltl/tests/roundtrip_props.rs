@@ -1,0 +1,87 @@
+//! Property tests of the LTL surface syntax: the pretty-printer emits
+//! exactly the parenthesization the parser needs, so printing any
+//! formula and parsing it back reproduces the same tree — and printing
+//! that parse is a fixed point.
+
+use kiss_ltl::{parse, Atom, CmpOp, Formula};
+use proptest::prelude::*;
+use proptest::{BoxedStrategy, TestRng};
+
+fn gen_atom(rng: &mut TestRng) -> Formula {
+    let names = ["locked", "turn", "flag0", "in_critical", "pending", "x"];
+    let name = names[rng.below(names.len())].to_string();
+    let cmp = if rng.below(2) == 0 {
+        None
+    } else {
+        let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
+            [rng.below(6)];
+        let n = rng.next_u64() as i64 % 1_000;
+        Some((op, n))
+    };
+    Formula::Atom(Atom { name, cmp })
+}
+
+fn gen_formula(rng: &mut TestRng, depth: u32) -> Formula {
+    let leaf_odds = if depth == 0 { 1 } else { 4 };
+    if rng.below(leaf_odds) == 0 {
+        return match rng.below(4) {
+            0 => Formula::True,
+            1 => Formula::False,
+            _ => gen_atom(rng),
+        };
+    }
+    match rng.below(9) {
+        0 => Formula::Not(Box::new(gen_formula(rng, depth - 1))),
+        1 => Formula::Next(Box::new(gen_formula(rng, depth - 1))),
+        2 => Formula::Finally(Box::new(gen_formula(rng, depth - 1))),
+        3 => Formula::Globally(Box::new(gen_formula(rng, depth - 1))),
+        4 => {
+            let l = gen_formula(rng, depth - 1);
+            Formula::And(Box::new(l), Box::new(gen_formula(rng, depth - 1)))
+        }
+        5 => {
+            let l = gen_formula(rng, depth - 1);
+            Formula::Or(Box::new(l), Box::new(gen_formula(rng, depth - 1)))
+        }
+        6 => {
+            let l = gen_formula(rng, depth - 1);
+            Formula::Implies(Box::new(l), Box::new(gen_formula(rng, depth - 1)))
+        }
+        7 => {
+            let l = gen_formula(rng, depth - 1);
+            Formula::Until(Box::new(l), Box::new(gen_formula(rng, depth - 1)))
+        }
+        _ => {
+            let l = gen_formula(rng, depth - 1);
+            Formula::Release(Box::new(l), Box::new(gen_formula(rng, depth - 1)))
+        }
+    }
+}
+
+fn formula_strategy() -> BoxedStrategy<Formula> {
+    BoxedStrategy::new(|rng| gen_formula(rng, 5))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn printing_then_parsing_is_identity(f in formula_strategy()) {
+        let printed = f.to_string();
+        let reparsed = parse(&printed);
+        prop_assert_eq!(reparsed.as_ref(), Ok(&f), "printed as {}", printed);
+    }
+
+    #[test]
+    fn printing_is_a_fixed_point_of_the_round_trip(f in formula_strategy()) {
+        let printed = f.to_string();
+        let reparsed = parse(&printed).expect("printer output parses");
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+
+    #[test]
+    fn atom_order_survives_the_round_trip(f in formula_strategy()) {
+        let reparsed = parse(&f.to_string()).expect("printer output parses");
+        prop_assert_eq!(reparsed.atoms(), f.atoms());
+    }
+}

@@ -45,6 +45,12 @@ pub struct CheckMetrics {
     /// speculation a parallel exploration ran past the serial stopping
     /// point. Equals `steps` for serial runs.
     pub speculative_steps: u64,
+    /// Distinct `(configuration, Büchi state)` product states explored
+    /// (LTL liveness checks only).
+    pub product_states: u64,
+    /// States of the negated-formula Büchi automaton (LTL liveness
+    /// checks only).
+    pub buchi_states: u64,
 }
 
 impl CheckMetrics {
@@ -55,7 +61,8 @@ impl CheckMetrics {
             "\"check\":{},\"engine\":{},\"verdict\":{},\"steps\":{},\"states\":{},\
              \"frontier_peak\":{},\"states_stored\":{},\"store_bytes\":{},\
              \"summaries\":{},\"rounds\":{},\"wall_ms\":{},\
-             \"bound_reason\":{},\"retries\":{},\"speculative_steps\":{}",
+             \"bound_reason\":{},\"retries\":{},\"speculative_steps\":{},\
+             \"product_states\":{},\"buchi_states\":{}",
             quoted(&self.check),
             quoted(&self.engine),
             quoted(&self.verdict),
@@ -73,6 +80,8 @@ impl CheckMetrics {
             },
             self.retries,
             self.speculative_steps,
+            self.product_states,
+            self.buchi_states,
         ));
     }
 }
@@ -523,6 +532,8 @@ mod tests {
             bound_reason: Some("deadline".into()),
             retries: 1,
             speculative_steps: 9,
+            product_states: 21,
+            buchi_states: 4,
         };
         let parsed = Json::parse(&Event::CheckFinished { metrics: m }.to_json()).unwrap();
         assert_eq!(parsed.get("check").and_then(Json::as_str), Some("d\"x/1"));
@@ -532,5 +543,7 @@ mod tests {
         assert_eq!(parsed.get("bound_reason").and_then(Json::as_str), Some("deadline"));
         assert_eq!(parsed.get("retries").and_then(Json::as_u64), Some(1));
         assert_eq!(parsed.get("speculative_steps").and_then(Json::as_u64), Some(9));
+        assert_eq!(parsed.get("product_states").and_then(Json::as_u64), Some(21));
+        assert_eq!(parsed.get("buchi_states").and_then(Json::as_u64), Some(4));
     }
 }

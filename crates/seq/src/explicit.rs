@@ -302,8 +302,10 @@ impl Search<'_> {
     }
 }
 
-/// Resolves a call target to a function id.
-pub(crate) fn resolve_target(env: &impl Env, target: CallTarget) -> Result<FuncId, kiss_exec::ExecError> {
+/// Resolves a call target to a function id. Shared by the sequential
+/// engines and the kiss-ltl product engine (which steps instructions
+/// itself, one at a time, so the Büchi automaton can branch anywhere).
+pub fn resolve_target(env: &impl Env, target: CallTarget) -> Result<FuncId, kiss_exec::ExecError> {
     match target {
         CallTarget::Direct(f) => Ok(f),
         CallTarget::Indirect(v) => match env.read_var(v) {

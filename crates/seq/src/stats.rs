@@ -37,6 +37,12 @@ pub struct EngineStats {
     /// would have stopped (merged across workers). Equals `steps` for
     /// serial runs; the difference is the parallelism overhead.
     pub speculative_steps: u64,
+    /// Distinct `(configuration, Büchi state)` product states explored.
+    /// LTL product engine only.
+    pub product_states: usize,
+    /// States of the (negated-formula) Büchi automaton. LTL product
+    /// engine only.
+    pub buchi_states: usize,
 }
 
 impl EngineStats {
@@ -52,6 +58,12 @@ impl EngineStats {
         }
         if self.speculative_steps > self.steps {
             line.push_str(&format!(" speculative-steps={}", self.speculative_steps));
+        }
+        if self.product_states > 0 {
+            line.push_str(&format!(
+                " product-states={} buchi-states={}",
+                self.product_states, self.buchi_states
+            ));
         }
         line
     }
@@ -71,6 +83,19 @@ mod tests {
 
         let summary = EngineStats { steps: 10, states: 4, summaries: 4, rounds: 2, ..EngineStats::default() };
         assert!(summary.render().contains("summaries=4 rounds=2"));
+    }
+
+    #[test]
+    fn render_shows_product_fields_only_for_ltl_runs() {
+        let safety = EngineStats { steps: 10, ..EngineStats::default() };
+        assert!(!safety.render().contains("product-states"), "{}", safety.render());
+        let ltl = EngineStats {
+            steps: 10,
+            product_states: 7,
+            buchi_states: 3,
+            ..EngineStats::default()
+        };
+        assert!(ltl.render().contains("product-states=7 buchi-states=3"), "{}", ltl.render());
     }
 
     #[test]

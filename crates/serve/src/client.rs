@@ -968,6 +968,60 @@ mod tests {
     }
 
     #[test]
+    fn old_servers_reject_ltl_requests_with_a_named_error_the_client_reports() {
+        // An old server predating liveness decodes `op:"ltl"` as an
+        // unknown op and answers a typed error naming it. The client
+        // must surface that response verbatim — no retry (the server
+        // answered), no crash, no conflation with a transport failure.
+        let old_server_rejection = Response {
+            id: String::new(),
+            verdict: "error".to_string(),
+            detail: "malformed frame: unknown op `ltl`".to_string(),
+            steps: 0,
+            states: 0,
+            cache: CacheStatus::None,
+        };
+        let (endpoint, server) = scripted_server(vec![vec![Some(old_server_rejection)]]);
+        let opts = SubmitOptions { batch: false, ..SubmitOptions::default() };
+        let batch =
+            [Request::ltl("live", "int g; void main() { g = 1; }", "F (g == 1)")];
+        let outcome = submit_batch_with(&endpoint, &batch, &opts).unwrap();
+        server.join().unwrap();
+        assert_eq!(outcome.responses[0].verdict, "error");
+        assert!(
+            outcome.responses[0].detail.contains("unknown op `ltl`"),
+            "{}",
+            outcome.responses[0].detail
+        );
+        assert_eq!(outcome.retries, 0, "an answered error is final, not retryable");
+    }
+
+    #[test]
+    fn ltl_submissions_cache_separately_from_plain_checks() {
+        // One source, two ops, against a live server: the plain check
+        // must not warm the liveness request (distinct cache keys), and
+        // a repeated liveness request must hit.
+        let (endpoint, shutdown, handle) = boot();
+        let src = "int locked;\nvoid worker() { locked = 0; }\n\
+                   void main() { locked = 1; async worker(); while (locked == 1) { skip; } }";
+        let check = Request::check("plain", src);
+        let ltl = Request::ltl("live", src, "G (locked -> F !locked)");
+        let cold = submit_batch(&endpoint, &[check, ltl.clone()]).unwrap();
+        assert_eq!(cold.responses[0].verdict, "pass");
+        assert_eq!(cold.responses[1].verdict, "pass");
+        assert_eq!(cold.misses, 2, "check and ltl are distinct cache entries");
+        assert_eq!(cold.hits, 0);
+        let warm = submit_batch(&endpoint, &[ltl]).unwrap();
+        assert_eq!(warm.hits, 1, "the repeated liveness request must hit");
+        assert_eq!(warm.responses[0].cache, CacheStatus::Hit);
+        // Warm answers are byte-identical to cold ones.
+        assert_eq!(warm.responses[0].verdict, cold.responses[1].verdict);
+        assert_eq!(warm.responses[0].detail, cold.responses[1].detail);
+        shutdown.cancel();
+        handle.join().unwrap();
+    }
+
+    #[test]
     fn single_frame_mode_still_works_against_a_live_server() {
         let (endpoint, shutdown, handle) = boot();
         let opts = SubmitOptions { batch: false, ..SubmitOptions::default() };

@@ -40,8 +40,8 @@
 //! separate frames), so batching changes framing only — never
 //! verdicts, caching, or accounting. The batch `id` appears on the
 //! wire only when the batch frame itself is rejected. Entries are
-//! restricted to the checking ops (`check`, `race`); control-plane
-//! ops stay single frames. An old server that predates batching
+//! restricted to the checking ops (`check`, `race`, `ltl`);
+//! control-plane ops stay single frames. An old server that predates batching
 //! answers the frame with a single `unknown op `batch`` error, which
 //! updated clients detect and fall back to single frames.
 
@@ -63,6 +63,15 @@ pub enum Op {
     Race {
         /// The race target spec.
         target: String,
+    },
+    /// Check an LTL liveness formula over the program's globals. An
+    /// old server that predates liveness answers with a single
+    /// ``unknown op `ltl` `` error, which clients surface verbatim.
+    Ltl {
+        /// The formula text, e.g. `G (locked -> F !locked)`. Senders
+        /// should pretty-print a parsed formula so the two spellings
+        /// of one formula share a cache entry.
+        formula: String,
     },
     /// Control-plane ping: answer immediately with queue depth, cache
     /// size, and uptime. Needs no `source`, never queues, never counts
@@ -139,6 +148,15 @@ impl Request {
         Request { op: Op::Race { target: target.into() }, ..Request::check(id, source) }
     }
 
+    /// An `ltl` liveness request with every knob at its default.
+    pub fn ltl(
+        id: impl Into<String>,
+        source: impl Into<String>,
+        formula: impl Into<String>,
+    ) -> Request {
+        Request { op: Op::Ltl { formula: formula.into() }, ..Request::check(id, source) }
+    }
+
     /// A `status` ping (no source).
     pub fn status(id: impl Into<String>) -> Request {
         Request { op: Op::Status, ..Request::check(id, "") }
@@ -156,9 +174,12 @@ impl Request {
     /// is `explore_jobs` — parallel exploration is byte-identical to
     /// serial, so the verdict does not depend on it.
     pub fn cache_key(&self) -> u128 {
+        // The formula rides the target slot; the op name alone keeps an
+        // `ltl` request distinct from a `race` on an equal spelling.
         let (op, target) = match &self.op {
             Op::Check => ("check", ""),
             Op::Race { target } => ("race", target.as_str()),
+            Op::Ltl { formula } => ("ltl", formula.as_str()),
             Op::Status => ("status", ""),
             Op::Metrics => ("metrics", ""),
         };
@@ -192,6 +213,9 @@ impl Request {
             Op::Check => out.push_str(",\"op\":\"check\""),
             Op::Race { target } => {
                 out.push_str(&format!(",\"op\":\"race\",\"target\":{}", quoted(target)));
+            }
+            Op::Ltl { formula } => {
+                out.push_str(&format!(",\"op\":\"ltl\",\"formula\":{}", quoted(formula)));
             }
             Op::Status => out.push_str(",\"op\":\"status\""),
             Op::Metrics => out.push_str(",\"op\":\"metrics\""),
@@ -443,8 +467,8 @@ pub fn decode_frame(line: &str) -> Result<Frame, FrameError> {
             return Err(malformed("batch entry is not a JSON object"));
         }
         let request = request_from_value(entry)?;
-        if !matches!(request.op, Op::Check | Op::Race { .. }) {
-            return Err(malformed("batch entries must be check or race ops"));
+        if !matches!(request.op, Op::Check | Op::Race { .. } | Op::Ltl { .. }) {
+            return Err(malformed("batch entries must be check, race, or ltl ops"));
         }
         entries.push(request);
     }
@@ -479,6 +503,13 @@ fn request_from_value(v: &Json) -> Result<Request, FrameError> {
                 .and_then(Json::as_str)
                 .ok_or_else(|| malformed("op `race` needs a `target`"))?;
             Op::Race { target: target.to_string() }
+        }
+        Some("ltl") => {
+            let formula = v
+                .get("formula")
+                .and_then(Json::as_str)
+                .ok_or_else(|| malformed("op `ltl` needs a `formula`"))?;
+            Op::Ltl { formula: formula.to_string() }
         }
         Some("status") => Op::Status,
         Some("metrics") => Op::Metrics,
@@ -817,6 +848,53 @@ mod tests {
     }
 
     #[test]
+    fn ltl_requests_round_trip_and_need_a_formula() {
+        let req = Request::ltl("q4", "int locked; void main() { skip; }", "G (locked -> F !locked)");
+        let line = req.to_json();
+        assert!(line.contains("\"op\":\"ltl\""), "{line}");
+        assert!(line.contains("\"formula\":"), "{line}");
+        assert_eq!(decode_request(&line), Ok(req));
+        let err = decode_request(r#"{"id":"a","op":"ltl","source":"x"}"#).unwrap_err();
+        assert!(err.message().contains("needs a `formula`"), "{}", err.message());
+        // Checking op: a program is still required.
+        assert!(decode_request(r#"{"id":"a","op":"ltl","formula":"G p"}"#).is_err());
+    }
+
+    #[test]
+    fn ltl_cache_keys_never_conflate_with_plain_checks() {
+        // One source, three ops: a cached reachability verdict must
+        // never answer a liveness request (or vice versa), and two
+        // different formulas must not share an entry.
+        let src = "int locked; void main() { locked = 1; }";
+        let check = Request::check("a", src);
+        let ltl = Request::ltl("a", src, "G (locked -> F !locked)");
+        let other = Request::ltl("a", src, "F (locked == 1)");
+        assert_ne!(check.cache_key(), ltl.cache_key());
+        assert_ne!(ltl.cache_key(), other.cache_key());
+        // A race target spelled like a formula is still a distinct op.
+        let race = Request::race("a", src, "G (locked -> F !locked)");
+        assert_ne!(race.cache_key(), ltl.cache_key());
+        // Transport fields stay excluded, exactly as for check/race.
+        let mut same = ltl.clone();
+        same.id = "other-id".to_string();
+        same.no_cache = true;
+        same.explore_jobs = 8;
+        assert_eq!(ltl.cache_key(), same.cache_key());
+    }
+
+    #[test]
+    fn batches_carry_ltl_entries() {
+        let batch = Batch {
+            id: "b1".to_string(),
+            entries: vec![
+                Request::check("q0", "void main() { skip; }"),
+                Request::ltl("q1", "int g; void main() { g = 1; }", "F (g == 1)"),
+            ],
+        };
+        assert_eq!(decode_frame(&batch.to_json()), Ok(Frame::Batch(batch)));
+    }
+
+    #[test]
     fn status_requests_need_no_source() {
         let req = decode_request(r#"{"id":"ping","op":"status"}"#).unwrap();
         assert_eq!(req.op, Op::Status);
@@ -977,7 +1055,7 @@ mod tests {
             ),
             (
                 r#"{"id":"b0","op":"batch","entries":[{"id":"q0","op":"status"}]}"#.to_string(),
-                "must be check or race",
+                "must be check, race, or ltl",
             ),
         ] {
             let err = decode_frame(&line).unwrap_err();

@@ -1259,12 +1259,29 @@ fn execute(
         Ok(program) => program,
         Err(e) => return (error(format!("parse: {e}")), false),
     };
-    let target = match &request.op {
-        Op::Check => None,
+    // Resolve the op's argument before supervising, so a bad target or
+    // formula is a typed request error — never a crashed verdict.
+    enum Work {
+        Check,
+        Race(RaceTarget),
+        Ltl(kiss_ltl::Formula),
+    }
+    let work = match &request.op {
+        Op::Check => Work::Check,
         Op::Race { target } => match RaceTarget::resolve(&program, target) {
-            Some(resolved) => Some(resolved),
+            Some(resolved) => Work::Race(resolved),
             None => return (error(format!("unknown race target `{target}`")), false),
         },
+        Op::Ltl { formula } => {
+            let formula = match kiss_ltl::parse(formula) {
+                Ok(f) => f,
+                Err(e) => return (error(format!("ltl: {e}")), false),
+            };
+            if let Err(name) = kiss_ltl::resolve_atoms(&program, &formula.atoms()) {
+                return (error(format!("ltl: proposition `{name}` names no global")), false);
+            }
+            Work::Ltl(formula)
+        }
         // Control-plane ops never reach the queue; guard against future
         // callers.
         Op::Status | Op::Metrics => {
@@ -1314,9 +1331,12 @@ fn execute(
             .with_observer(obs.clone())
             .with_trace(trace, parent)
             .with_validation(false);
-        match target {
-            Some(target) => kiss.check_race(&program, target),
-            None => kiss.check_assertions(&program),
+        match &work {
+            Work::Check => kiss.check_assertions(&program),
+            Work::Race(target) => kiss.check_race(&program, *target),
+            Work::Ltl(formula) => {
+                kiss.check_ltl(&program, formula).expect("propositions pre-resolved")
+            }
         }
     });
     match run.result {
@@ -1371,6 +1391,23 @@ fn detail_of(outcome: &KissOutcome) -> (String, bool) {
                 true,
             )
         }
+        KissOutcome::LivenessViolated(report) => (
+            if report.cycle.is_empty() {
+                format!(
+                    "liveness violation of `{}`: terminating run, {}-step stem",
+                    report.formula,
+                    report.stem.len()
+                )
+            } else {
+                format!(
+                    "liveness violation of `{}`: {}-step stem, {}-step cycle",
+                    report.formula,
+                    report.stem.len(),
+                    report.cycle.len()
+                )
+            },
+            true,
+        ),
         KissOutcome::Inconclusive { reason, .. } => (
             format!("resource bound exceeded on {}", reason.as_str()),
             // Steps/states/memory bounds are functions of the request
@@ -1472,6 +1509,40 @@ mod tests {
         let (verdict, cacheable) = run(&Request::check("t", "not a program"));
         assert_eq!(verdict.verdict, "error");
         assert!(verdict.detail.starts_with("parse: "));
+        assert!(!cacheable);
+    }
+
+    #[test]
+    fn execute_answers_ltl_requests() {
+        let cfg = ServeConfig { budget: Budget::small(), ..ServeConfig::default() };
+        let seq = AtomicU64::new(0);
+        let run = |req: &Request| execute(req, &cfg, &seq, TraceId::NONE, 0);
+        let stuck = "int locked;\nvoid worker() { skip; }\n\
+                     void main() { locked = 1; async worker(); while (locked == 1) { skip; } }";
+        let released = "int locked;\nvoid worker() { locked = 0; }\n\
+                        void main() { locked = 1; async worker(); while (locked == 1) { skip; } }";
+        let formula = "G (locked -> F !locked)";
+
+        let (verdict, cacheable) = run(&Request::ltl("t", stuck, formula));
+        assert_eq!(verdict.verdict, "liveness");
+        assert!(verdict.detail.starts_with("liveness violation of `G"), "{}", verdict.detail);
+        assert!(verdict.detail.contains("cycle"), "{}", verdict.detail);
+        assert!(cacheable);
+        assert!(verdict.steps > 0);
+
+        let (verdict, cacheable) = run(&Request::ltl("t", released, formula));
+        assert_eq!(verdict.verdict, "pass");
+        assert!(cacheable);
+
+        // A malformed formula and an unknown proposition are typed
+        // request errors naming the offender, never crashed verdicts.
+        let (verdict, cacheable) = run(&Request::ltl("t", released, "G (locked ->"));
+        assert_eq!(verdict.verdict, "error");
+        assert!(verdict.detail.starts_with("ltl: "), "{}", verdict.detail);
+        assert!(!cacheable);
+        let (verdict, cacheable) = run(&Request::ltl("t", released, "F missing"));
+        assert_eq!(verdict.verdict, "error");
+        assert!(verdict.detail.contains("`missing`"), "{}", verdict.detail);
         assert!(!cacheable);
     }
 

@@ -18,6 +18,7 @@
 //! | [`alias`]| `kiss-alias`| unification points-to analysis |
 //! | [`atom`] | `kiss-atom` | Lipton-reduction atomicity analysis (ref \[20\]) |
 //! | [`core`] | `kiss-core` | **the KISS transformation**, trace back-mapping, checker |
+//! | [`ltl`]  | `kiss-ltl`  | LTL liveness: formulas, Büchi tableau, product exploration |
 //! | [`obs`]  | `kiss-obs`  | structured events, run reports, trace/metrics sinks |
 //! | [`fault`] | `kiss-fault` | deterministic failpoints for robustness testing |
 //! | [`serve`] | `kiss-serve` | check service: wire protocol, result cache, server, client |
@@ -56,10 +57,11 @@ pub use kiss_fault as fault;
 pub use kiss_obs as obs;
 pub use kiss_samples as samples;
 pub use kiss_lang as lang;
+pub use kiss_ltl as ltl;
 pub use kiss_seq as seq;
 pub use kiss_serve as serve;
 
-pub use kiss_core::checker::{Engine, ErrorReport, Kiss, KissOutcome, RaceReport};
+pub use kiss_core::checker::{Engine, ErrorReport, Kiss, KissOutcome, LivenessReport, RaceReport};
 pub use kiss_core::transform::{transform, RaceTarget, TransformConfig, Transformed};
 pub use kiss_lang::{LangError, Program};
 pub use kiss_seq::Budget;
